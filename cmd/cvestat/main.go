@@ -1,0 +1,136 @@
+// Command cvestat summarizes a CVE database snapshot (as written by
+// corpusgen): severity and yearly histograms, top weakness types, and
+// per-application leaders — the exploratory views behind Figures 2-3.
+//
+// Usage:
+//
+//	cvestat [-db corpus.json] [-app name] [-class memory-safety] [-top 10]
+//
+// Without -db, the built-in corpus is generated on the fly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/corpus"
+	"repro/internal/cvedb"
+	"repro/internal/cvss"
+	"repro/internal/cwe"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cvestat:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dbPath := flag.String("db", "", "CVE database snapshot (from corpusgen); empty = generate")
+	app := flag.String("app", "", "restrict to one application")
+	class := flag.String("class", "", "restrict to a weakness class (memory-safety, injection, ...)")
+	top := flag.Int("top", 10, "number of top CWEs / applications to list")
+	flag.Parse()
+
+	var db *cvedb.DB
+	if *dbPath != "" {
+		f, err := os.Open(*dbPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		loaded, err := cvedb.Load(f)
+		if err != nil {
+			return err
+		}
+		db = loaded
+	} else {
+		fmt.Fprintln(os.Stderr, "no -db given; generating the built-in corpus...")
+		c, err := corpus.Generate(corpus.DefaultParams())
+		if err != nil {
+			return err
+		}
+		db = c.DB
+	}
+
+	q := cvedb.Query{App: *app}
+	if *class != "" {
+		q.Class = parseClass(*class)
+		if q.Class == cwe.ClassOther {
+			return fmt.Errorf("unknown class %q", *class)
+		}
+	}
+
+	fmt.Printf("records matching: %d (of %d total, %d applications)\n\n",
+		db.Count(q), db.NumRecords(), db.NumApps())
+
+	fmt.Println("severity histogram:")
+	hist := db.SeverityHistogram(q)
+	for _, s := range []cvss.Severity{cvss.SeverityNone, cvss.SeverityLow,
+		cvss.SeverityMedium, cvss.SeverityHigh, cvss.SeverityCritical} {
+		fmt.Printf("  %-9s %6d %s\n", s, hist[s], bar(hist[s], db.Count(q)))
+	}
+
+	fmt.Println("\nby publication year:")
+	for _, yc := range db.YearHistogram(q) {
+		fmt.Printf("  %d %6d %s\n", yc.Year, yc.Count, bar(yc.Count, db.Count(q)))
+	}
+
+	fmt.Printf("\ntop %d weakness types:\n", *top)
+	for _, cc := range db.TopCWEs(q, *top) {
+		name := fmt.Sprintf("CWE-%d", cc.CWE)
+		if e, ok := cwe.Lookup(cc.CWE); ok {
+			name = e.String()
+		}
+		fmt.Printf("  %6d  %s\n", cc.Count, name)
+	}
+
+	if *app == "" {
+		fmt.Printf("\ntop %d applications by record count:\n", *top)
+		type appCount struct {
+			name string
+			n    int
+		}
+		var acs []appCount
+		for _, a := range db.Apps() {
+			qa := q
+			qa.App = a.Name
+			acs = append(acs, appCount{a.Name, db.Count(qa)})
+		}
+		sort.Slice(acs, func(i, j int) bool { return acs[i].n > acs[j].n })
+		if len(acs) > *top {
+			acs = acs[:*top]
+		}
+		for _, ac := range acs {
+			fmt.Printf("  %6d  %s\n", ac.n, ac.name)
+		}
+	}
+	return nil
+}
+
+func parseClass(s string) cwe.Class {
+	for _, c := range []cwe.Class{cwe.ClassMemory, cwe.ClassInjection,
+		cwe.ClassCrypto, cwe.ClassAuth, cwe.ClassInfoLeak,
+		cwe.ClassResource, cwe.ClassInput} {
+		if c.String() == s {
+			return c
+		}
+	}
+	return cwe.ClassOther
+}
+
+// bar renders a proportional ASCII bar.
+func bar(n, total int) string {
+	if total == 0 {
+		return ""
+	}
+	w := n * 40 / total
+	out := make([]byte, w)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

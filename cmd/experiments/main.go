@@ -1,0 +1,102 @@
+// Command experiments regenerates every evaluation artifact of the paper:
+// Figures 1-4, the in-text tables, and the design ablations.
+//
+// Usage:
+//
+//	experiments [-run all|f1|f2|f3|f4|t1|t2|a1|a2|a3|a4|reg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	which := flag.String("run", "all", "experiment id (f1..f4, t1, t2, a1..a4, reg) or 'all'")
+	flag.Parse()
+	if err := run(strings.ToLower(*which)); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string) error {
+	runners := []struct {
+		id string
+		fn func() (string, error)
+	}{
+		{"f1", func() (string, error) {
+			r := experiments.Figure1()
+			return r.Table, nil
+		}},
+		{"f2", func() (string, error) {
+			r, err := experiments.Figure2()
+			return r.Table, err
+		}},
+		{"f3", func() (string, error) {
+			r, err := experiments.Figure3()
+			return r.Table, err
+		}},
+		{"f4", func() (string, error) {
+			// Two fold counts, per the DESIGN.md ablation note.
+			r10, err := experiments.Figure4(core.KindForest, 10, 42)
+			if err != nil {
+				return "", err
+			}
+			r5, err := experiments.Figure4(core.KindForest, 5, 42)
+			if err != nil {
+				return "", err
+			}
+			return r10.Table + "\n(5-fold variant)\n" + r5.Table, nil
+		}},
+		{"t1", func() (string, error) {
+			r, err := experiments.Table1()
+			return r.Table, err
+		}},
+		{"t2", func() (string, error) {
+			r, err := experiments.Table2(200, 7)
+			return r.Table, err
+		}},
+		{"a1", func() (string, error) {
+			r, err := experiments.AblationLoCOnly(3)
+			return r.Table, err
+		}},
+		{"a2", func() (string, error) {
+			r, err := experiments.AblationClassifiers(5)
+			return r.Table, err
+		}},
+		{"a3", func() (string, error) {
+			r, err := experiments.AblationFeatureSelection(11)
+			return r.Table, err
+		}},
+		{"a4", func() (string, error) {
+			r, err := experiments.AblationSymexecBound(13)
+			return r.Table, err
+		}},
+		{"reg", func() (string, error) {
+			r, err := experiments.Regression(17)
+			return r.Table, err
+		}},
+	}
+	matched := false
+	for _, r := range runners {
+		if which != "all" && which != r.id {
+			continue
+		}
+		matched = true
+		table, err := r.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.id, err)
+		}
+		fmt.Printf("\n===== %s =====\n%s\n", strings.ToUpper(r.id), table)
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	return nil
+}

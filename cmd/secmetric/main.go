@@ -1,0 +1,277 @@
+// Command secmetric is the developer-facing tool of §5.3: analyze a source
+// tree, score it against a trained model, and compare two versions.
+//
+// Usage:
+//
+//	secmetric analyze  <dir>                      print the code-property vector
+//	secmetric score    [-model m.json] [-json] <dir>  print the security report
+//	secmetric compare  [-model m.json] <old> <new>  print the risk delta
+//	secmetric focus    [-model m.json] [-budget N] <dir>  apportion deep analysis
+//	secmetric hotspots [-top N] <dir>             rank risky functions
+//	secmetric image    [-model m.json] <manifest.json>  whole-image evaluation
+//
+// Without -model, a model is trained on the built-in corpus first (slower,
+// but zero-setup).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	secmetric "repro"
+	"repro/internal/metrics"
+	"repro/internal/system"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "secmetric:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return usage()
+	}
+	switch args[0] {
+	case "analyze":
+		return cmdAnalyze(args[1:])
+	case "score":
+		return cmdScore(args[1:])
+	case "compare":
+		return cmdCompare(args[1:])
+	case "focus":
+		return cmdFocus(args[1:])
+	case "hotspots":
+		return cmdHotspots(args[1:])
+	case "image":
+		return cmdImage(args[1:])
+	default:
+		return usage()
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: secmetric {analyze <dir> | score [-model m.json] [-json] <dir> | compare [-model m.json] <old> <new> | focus [-model m.json] [-budget N] <dir> | hotspots [-top N] <dir> | image [-model m.json] <manifest.json>}")
+}
+
+func cmdHotspots(args []string) error {
+	fs := flag.NewFlagSet("hotspots", flag.ContinueOnError)
+	top := fs.Int("top", 10, "number of functions to list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("hotspots needs exactly one directory")
+	}
+	tree, err := metrics.LoadTree(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	hs := metrics.TopHotspots(tree, *top)
+	if len(hs) == 0 {
+		return fmt.Errorf("no functions found under %s", fs.Arg(0))
+	}
+	fmt.Printf("%-28s %-24s %6s %6s %6s %6s %8s\n",
+		"function", "file", "cyclo", "len", "nest", "unsafe", "score")
+	for _, h := range hs {
+		fmt.Printf("%-28s %-24s %6d %6d %6d %6d %8.1f\n",
+			h.Function.Name, h.Function.File, h.Function.Cyclomatic,
+			h.Function.Length, h.Function.MaxNesting, h.UnsafeHits, h.Score)
+	}
+	return nil
+}
+
+// imageManifest is the JSON deployment descriptor for whole-image
+// evaluation.
+type imageManifest struct {
+	Name       string `json:"name"`
+	Components []struct {
+		Name       string   `json:"name"`
+		Dir        string   `json:"dir"`
+		Exposure   string   `json:"exposure"` // internet | internal | local
+		Privileged bool     `json:"privileged"`
+		DependsOn  []string `json:"depends_on"`
+	} `json:"components"`
+}
+
+func cmdImage(args []string) error {
+	fs := flag.NewFlagSet("image", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "trained model file (from trainctl)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("image needs exactly one manifest file")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var man imageManifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	if len(man.Components) == 0 {
+		return fmt.Errorf("manifest has no components")
+	}
+	model, err := loadOrTrain(*modelPath)
+	if err != nil {
+		return err
+	}
+	img := &secmetric.SystemImage{Name: man.Name}
+	for _, c := range man.Components {
+		fv, err := secmetric.AnalyzeDir(c.Dir)
+		if err != nil {
+			return fmt.Errorf("component %s: %w", c.Name, err)
+		}
+		exposure, err := parseExposure(c.Exposure)
+		if err != nil {
+			return fmt.Errorf("component %s: %w", c.Name, err)
+		}
+		img.Components = append(img.Components, secmetric.SystemComponent{
+			Name:       c.Name,
+			Report:     model.Score(c.Name, fv),
+			Exposure:   exposure,
+			Privileged: c.Privileged,
+			DependsOn:  c.DependsOn,
+		})
+	}
+	ev, err := secmetric.EvaluateImage(img)
+	if err != nil {
+		return err
+	}
+	fmt.Print(ev)
+	return nil
+}
+
+func parseExposure(s string) (system.Exposure, error) {
+	switch s {
+	case "internet", "":
+		return secmetric.ExposureInternet, nil
+	case "internal":
+		return secmetric.ExposureInternal, nil
+	case "local":
+		return secmetric.ExposureLocal, nil
+	default:
+		return 0, fmt.Errorf("unknown exposure %q", s)
+	}
+}
+
+func cmdFocus(args []string) error {
+	fs := flag.NewFlagSet("focus", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "trained model file (from trainctl)")
+	budget := fs.Int("budget", 100, "deep-analysis budget units to apportion")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("focus needs exactly one directory")
+	}
+	tree, err := metrics.LoadTree(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	model, err := loadOrTrain(*modelPath)
+	if err != nil {
+		return err
+	}
+	plan, err := model.FocusFiles(tree, *budget)
+	if err != nil {
+		return err
+	}
+	fmt.Print(plan)
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("analyze needs exactly one directory")
+	}
+	fv, err := secmetric.AnalyzeDir(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	names := append([]string(nil), metrics.FeatureNames...)
+	sort.Strings(names)
+	fmt.Printf("Code properties of %s:\n", fs.Arg(0))
+	for _, n := range names {
+		fmt.Printf("  %-22s %12.3f\n", n, fv[n])
+	}
+	return nil
+}
+
+// loadOrTrain loads a model file, or trains the default model when path is
+// empty.
+func loadOrTrain(path string) (*secmetric.Model, error) {
+	if path != "" {
+		return secmetric.LoadModel(path)
+	}
+	fmt.Fprintln(os.Stderr, "no -model given; training the default model on the built-in corpus...")
+	c, err := secmetric.DefaultCorpus()
+	if err != nil {
+		return nil, err
+	}
+	return secmetric.TrainDefault(c)
+}
+
+func cmdScore(args []string) error {
+	fs := flag.NewFlagSet("score", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "trained model file (from trainctl)")
+	asJSON := fs.Bool("json", false, "emit the report as JSON (for CI integration)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("score needs exactly one directory")
+	}
+	fv, err := secmetric.AnalyzeDir(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	model, err := loadOrTrain(*modelPath)
+	if err != nil {
+		return err
+	}
+	rep := model.Score(fs.Arg(0), fv)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Print(rep)
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "trained model file (from trainctl)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("compare needs exactly two directories")
+	}
+	oldFV, err := secmetric.AnalyzeDir(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newFV, err := secmetric.AnalyzeDir(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	model, err := loadOrTrain(*modelPath)
+	if err != nil {
+		return err
+	}
+	fmt.Print(model.Compare(fs.Arg(0), oldFV, fs.Arg(1), newFV))
+	return nil
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	secmetric "repro"
+)
+
+var (
+	modelOnce sync.Once
+	modelPath string
+	modelErr  error
+)
+
+// sharedModel trains one small model for every CLI test.
+func sharedModel(t *testing.T) string {
+	t.Helper()
+	modelOnce.Do(func() {
+		c, err := secmetric.DefaultCorpus()
+		if err != nil {
+			modelErr = err
+			return
+		}
+		m, err := secmetric.Train(c, secmetric.TrainConfig{
+			Kind: secmetric.KindLogistic, Folds: 3, Seed: 1,
+		})
+		if err != nil {
+			modelErr = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "secmetric-cli")
+		if err != nil {
+			modelErr = err
+			return
+		}
+		modelPath = filepath.Join(dir, "model.json")
+		modelErr = secmetric.SaveModel(m, modelPath)
+	})
+	if modelErr != nil {
+		t.Fatal(modelErr)
+	}
+	return modelPath
+}
+
+func writeSrc(t *testing.T, name, content string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+const cliSrc = `
+int main(void) {
+	char buf[8];
+	gets(buf);
+	printf(buf);
+	return 0;
+}`
+
+func TestCLIAnalyze(t *testing.T) {
+	dir := writeSrc(t, "main.c", cliSrc)
+	if err := run([]string{"analyze", dir}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIScore(t *testing.T) {
+	dir := writeSrc(t, "main.c", cliSrc)
+	if err := run([]string{"score", "-model", sharedModel(t), dir}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLICompare(t *testing.T) {
+	old := writeSrc(t, "main.c", cliSrc)
+	clean := writeSrc(t, "main.c", "int main(void) { return 0; }\n")
+	if err := run([]string{"compare", "-model", sharedModel(t), old, clean}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIFocus(t *testing.T) {
+	dir := writeSrc(t, "main.c", cliSrc)
+	if err := run([]string{"focus", "-model", sharedModel(t), "-budget", "7", dir}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := [][]string{
+		{},                      // no subcommand
+		{"unknown"},             // bad subcommand
+		{"analyze"},             // missing dir
+		{"analyze", "/no/dir"},  // missing path
+		{"score"},               // missing dir
+		{"compare", "just-one"}, // wrong arity
+		{"focus"},               // missing dir
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestCLIBadModelFile(t *testing.T) {
+	dir := writeSrc(t, "main.c", cliSrc)
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"score", "-model", bad, dir}); err == nil {
+		t.Fatal("corrupt model accepted")
+	}
+}
+
+func TestCLIHotspots(t *testing.T) {
+	dir := writeSrc(t, "main.c", cliSrc)
+	if err := run([]string{"hotspots", "-top", "3", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"hotspots", t.TempDir()}); err == nil {
+		t.Fatal("empty dir produced hotspots")
+	}
+}
+
+func TestCLIScoreJSON(t *testing.T) {
+	dir := writeSrc(t, "main.c", cliSrc)
+	if err := run([]string{"score", "-model", sharedModel(t), "-json", dir}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIImage(t *testing.T) {
+	front := writeSrc(t, "main.c", cliSrc)
+	back := writeSrc(t, "db.c", "int main(void) { return 0; }\n")
+	manifest := filepath.Join(t.TempDir(), "image.json")
+	content := `{
+  "name": "test-image",
+  "components": [
+    {"name": "front", "dir": ` + jsonStr(front) + `, "exposure": "internet", "depends_on": ["back"]},
+    {"name": "back", "dir": ` + jsonStr(back) + `, "exposure": "internal", "privileged": true}
+  ]
+}`
+	if err := os.WriteFile(manifest, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"image", "-model", sharedModel(t), manifest}); err != nil {
+		t.Fatal(err)
+	}
+	// Bad manifest cases.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name":"x","components":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"image", "-model", sharedModel(t), bad}); err == nil {
+		t.Fatal("componentless manifest accepted")
+	}
+}
+
+func jsonStr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

@@ -1,0 +1,92 @@
+// Command trainctl trains the prediction model on the built-in corpus,
+// reports per-hypothesis cross-validation quality, and writes the trained
+// model to disk for the secmetric tool.
+//
+// Usage:
+//
+//	trainctl [-kind forest] [-folds 10] [-topk 0] [-seed 17] [-out model.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	secmetric "repro"
+	"repro/internal/core"
+	"repro/internal/ml"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trainctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	kind := flag.String("kind", string(core.KindForest),
+		"classifier kind: zeror|naivebayes|logistic|tree|forest|knn|boost")
+	folds := flag.Int("folds", 10, "cross-validation folds")
+	topk := flag.Int("topk", 0, "keep only the top-k features by information gain (0 = all)")
+	seed := flag.Uint64("seed", 17, "training seed")
+	out := flag.String("out", "model.json", "model output path")
+	arff := flag.String("arff", "", "also export the many_vulns training set as Weka ARFF")
+	tune := flag.Bool("tune", false, "grid-search random-forest hyperparameters first")
+	flag.Parse()
+
+	if _, err := core.NewClassifier(core.ModelKind(*kind)); err != nil {
+		return err
+	}
+	fmt.Println("generating corpus...")
+	c, err := secmetric.DefaultCorpus()
+	if err != nil {
+		return err
+	}
+	tb := core.NewTestbed(c)
+	if *arff != "" {
+		ds, err := tb.DatasetFor(core.HypManyVulns)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*arff)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := ml.WriteARFF(f, "secmetric-many-vulns", ds); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d instances, %d attributes)\n", *arff, ds.N(), ds.P())
+	}
+	if *tune {
+		fmt.Println("tuning random-forest hyperparameters (10-fold CV on many_vulns)...")
+		results, err := core.TuneForest(tb, core.HypManyVulns, nil, 10, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderTuning(results))
+	}
+	cfg := secmetric.TrainConfig{
+		Kind:        core.ModelKind(*kind),
+		Folds:       *folds,
+		TopFeatures: *topk,
+		Seed:        *seed,
+	}
+	fmt.Printf("training %s with %d-fold cross validation...\n", *kind, *folds)
+	model, err := secmetric.Train(c, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %6s | %s\n", "hypothesis", "base", "cross-validation")
+	for _, hm := range model.Hypotheses {
+		fmt.Printf("%-14s %6.2f | %s\n", hm.Hypothesis.Name, hm.BaseRate, hm.CV)
+	}
+	fmt.Printf("count regression: RMSE=%.3f MAE=%.3f R2=%.3f (log10 space)\n",
+		model.CountEval.RMSE, model.CountEval.MAE, model.CountEval.R2)
+	if err := secmetric.SaveModel(model, *out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

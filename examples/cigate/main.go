@@ -1,0 +1,104 @@
+// CI gate: the §5.3 workflow — "the classifier can give the developer an
+// evaluation of, say, whether a code change has raised or lowered the risk
+// than the previous version of the code." Two versions of the same codebase
+// are written to disk, analyzed, and compared; the process exits nonzero
+// when the change raises risk, exactly how a CI job would gate a merge.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	secmetric "repro"
+)
+
+// Version 1: bounds-checked input handling.
+const v1Source = `
+int read_limit = 64;
+
+int copy_input(int dst, int n) {
+	int data = read_input();
+	int bounded = clamp(data);
+	if (n > read_limit) {
+		n = read_limit;
+	}
+	memmove(dst, bounded, n);
+	return n;
+}
+
+int main(void) {
+	int buf[64];
+	int n = copy_input(buf[0], 128);
+	return n;
+}
+`
+
+// Version 2: the "performance fix" that drops the clamp and switches to an
+// unchecked copy — the kind of change the metric should flag.
+const v2Source = `
+int read_limit = 64;
+
+int copy_input(int dst, int n) {
+	int data = read_input();
+	strcpy(dst, data);
+	sprintf(dst, data);
+	return n;
+}
+
+int main(void) {
+	int buf[64];
+	int n = copy_input(buf[0], 128);
+	system(n);
+	return n;
+}
+`
+
+func main() {
+	workdir, err := os.MkdirTemp("", "cigate")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(workdir)
+	write := func(version, src string) string {
+		dir := filepath.Join(workdir, version)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "input.mc"), []byte(src), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		return dir
+	}
+	v1 := write("v1", v1Source)
+	v2 := write("v2", v2Source)
+
+	corpus, err := secmetric.DefaultCorpus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := secmetric.Train(corpus, secmetric.TrainConfig{
+		Kind: secmetric.KindLogistic, Folds: 5, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	oldFV, err := secmetric.AnalyzeDir(v1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newFV, err := secmetric.AnalyzeDir(v2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cmp := model.Compare("v1", oldFV, "v2", newFV)
+	fmt.Print(cmp)
+	if cmp.DeltaRisk > 0 {
+		fmt.Println("\nCI gate: BLOCKING the merge — the change increases predicted risk.")
+		os.Exit(1)
+	}
+	fmt.Println("\nCI gate: change admitted.")
+}

@@ -1,0 +1,174 @@
+package attackgraph
+
+import "testing"
+
+// twoTier builds the canonical test network: attacker box -> web server
+// (remote exploit to user, local escalation to root) -> database (remote
+// root exploit reachable only from the web server).
+func twoTier() (*Network, State) {
+	n := NewNetwork(
+		Host{Name: "attacker"},
+		Host{Name: "web", Services: []Service{
+			{Name: "httpd", Vulns: []Vuln{
+				{ID: "CVE-WEB-RCE", RequiresPriv: PrivUser, GrantsPriv: PrivUser},
+			}},
+			{Name: "kernel", Vulns: []Vuln{
+				{ID: "CVE-LPE", RequiresPriv: PrivUser, GrantsPriv: PrivRoot, Local: true},
+			}},
+		}},
+		Host{Name: "db", Services: []Service{
+			{Name: "dbd", Vulns: []Vuln{
+				{ID: "CVE-DB-RCE", RequiresPriv: PrivUser, GrantsPriv: PrivRoot},
+			}},
+		}},
+	)
+	n.Connect("attacker", "web")
+	n.Connect("web", "db")
+	return n, State{"attacker": PrivRoot}
+}
+
+func TestGenerateMonotonic(t *testing.T) {
+	n, init := twoTier()
+	g := Generate(n, init)
+	if len(g.Nodes) < 3 {
+		t.Fatalf("states = %d", len(g.Nodes))
+	}
+	// Privileges never decrease along edges.
+	for _, node := range g.Nodes {
+		for _, e := range node.Edges {
+			dst := g.Nodes[e.To]
+			for h, p := range node.State {
+				if dst.State[h] < p {
+					t.Fatalf("privilege decreased on %s", h)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyzeGoalChain(t *testing.T) {
+	n, init := twoTier()
+	a := Analyze(n, init, "db", PrivRoot)
+	if !a.GoalReachable {
+		t.Fatal("db root should be reachable")
+	}
+	// Chain: web RCE -> db RCE = 2 steps (the LPE is not needed).
+	if a.MinSteps != 2 {
+		t.Fatalf("MinSteps = %d, want 2", a.MinSteps)
+	}
+	if a.Paths < 1 {
+		t.Fatalf("Paths = %d", a.Paths)
+	}
+	if a.CompromisableHosts != 3 { // attacker + web + db
+		t.Fatalf("CompromisableHosts = %d", a.CompromisableHosts)
+	}
+}
+
+func TestAnalyzeUnreachableWithoutConnectivity(t *testing.T) {
+	n := NewNetwork(
+		Host{Name: "attacker"},
+		Host{Name: "db", Services: []Service{
+			{Name: "dbd", Vulns: []Vuln{{ID: "V", RequiresPriv: PrivUser, GrantsPriv: PrivRoot}}},
+		}},
+	)
+	// No Connect call: the attacker cannot reach db.
+	a := Analyze(n, State{"attacker": PrivRoot}, "db", PrivRoot)
+	if a.GoalReachable {
+		t.Fatal("goal should be unreachable without connectivity")
+	}
+	if a.MinSteps != -1 {
+		t.Fatalf("MinSteps = %d", a.MinSteps)
+	}
+}
+
+func TestLocalExploitRequiresFoothold(t *testing.T) {
+	n := NewNetwork(
+		Host{Name: "attacker"},
+		Host{Name: "srv", Services: []Service{
+			{Name: "kernel", Vulns: []Vuln{{ID: "LPE", RequiresPriv: PrivUser, GrantsPriv: PrivRoot, Local: true}}},
+		}},
+	)
+	n.Connect("attacker", "srv")
+	// No remote vuln: root unreachable even though an LPE exists.
+	a := Analyze(n, State{"attacker": PrivRoot}, "srv", PrivRoot)
+	if a.GoalReachable {
+		t.Fatal("LPE fired without a foothold")
+	}
+	// Give the attacker user on srv: now one step.
+	a = Analyze(n, State{"attacker": PrivRoot, "srv": PrivUser}, "srv", PrivRoot)
+	if !a.GoalReachable || a.MinSteps != 1 {
+		t.Fatalf("analysis = %+v", a)
+	}
+}
+
+func TestGoalAlreadyHeld(t *testing.T) {
+	n := NewNetwork(Host{Name: "h"})
+	a := Analyze(n, State{"h": PrivRoot}, "h", PrivRoot)
+	if !a.GoalReachable || a.MinSteps != 0 {
+		t.Fatalf("analysis = %+v", a)
+	}
+}
+
+func TestMultiplePathsCounted(t *testing.T) {
+	// Two independent remote vulns on the target: two distinct 1-step paths.
+	n := NewNetwork(
+		Host{Name: "attacker"},
+		Host{Name: "srv", Services: []Service{
+			{Name: "a", Vulns: []Vuln{{ID: "V1", RequiresPriv: PrivUser, GrantsPriv: PrivRoot}}},
+			{Name: "b", Vulns: []Vuln{{ID: "V2", RequiresPriv: PrivUser, GrantsPriv: PrivRoot}}},
+		}},
+	)
+	n.Connect("attacker", "srv")
+	a := Analyze(n, State{"attacker": PrivUser}, "srv", PrivRoot)
+	if a.MinSteps != 1 {
+		t.Fatalf("MinSteps = %d", a.MinSteps)
+	}
+	if a.Paths != 2 {
+		t.Fatalf("Paths = %d, want 2", a.Paths)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	n, init := twoTier()
+	a := Generate(n, init)
+	b := Generate(n, init)
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatal("nondeterministic node count")
+	}
+	for k, na := range a.Nodes {
+		nb, ok := b.Nodes[k]
+		if !ok || na.Depth != nb.Depth || len(na.Edges) != len(nb.Edges) {
+			t.Fatalf("node %q differs", k)
+		}
+		for i := range na.Edges {
+			if na.Edges[i] != nb.Edges[i] {
+				t.Fatalf("edge order differs at %q[%d]", k, i)
+			}
+		}
+	}
+}
+
+func TestStateKeyCanonical(t *testing.T) {
+	a := State{"x": PrivUser, "y": PrivRoot}
+	b := State{"y": PrivRoot, "x": PrivUser}
+	if a.key() != b.key() {
+		t.Fatal("state key not canonical")
+	}
+}
+
+func TestPrivString(t *testing.T) {
+	if PrivNone.String() != "none" || PrivUser.String() != "user" || PrivRoot.String() != "root" {
+		t.Fatal("priv names")
+	}
+}
+
+func TestBidirectionalConnect(t *testing.T) {
+	n := NewNetwork(Host{Name: "a"}, Host{Name: "b"})
+	n.ConnectBidi("a", "b")
+	if !n.Reachable("a", "b") || !n.Reachable("b", "a") {
+		t.Fatal("bidi connectivity broken")
+	}
+	if n.Reachable("b", "c") {
+		t.Fatal("phantom reachability")
+	}
+}

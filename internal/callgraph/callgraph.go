@@ -1,0 +1,233 @@
+// Package callgraph builds the static call graph of a lowered program and
+// computes the interprocedural shape features §4.1 sketches: "data flow
+// analysis can determine numbers of expressions or functions influencing
+// the execution of other parts of the code; control flow analysis can
+// determine numbers of calling and returning targets".
+package callgraph
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Graph is a static call graph. Nodes are function names; external callees
+// (no definition in the program) are tracked separately.
+type Graph struct {
+	// Callees maps a defined function to the defined functions it calls
+	// (deduplicated, sorted).
+	Callees map[string][]string
+	// Callers is the reverse relation.
+	Callers map[string][]string
+	// External maps a defined function to the undefined (library) functions
+	// it calls.
+	External map[string][]string
+	// CallSites counts total call instructions per function.
+	CallSites map[string]int
+	order     []string
+}
+
+// Build constructs the graph from a lowered program.
+func Build(p *ir.Program) *Graph {
+	defined := map[string]bool{}
+	for _, f := range p.Funcs {
+		defined[f.Name] = true
+	}
+	g := &Graph{
+		Callees:   map[string][]string{},
+		Callers:   map[string][]string{},
+		External:  map[string][]string{},
+		CallSites: map[string]int{},
+	}
+	for _, f := range p.Funcs {
+		g.order = append(g.order, f.Name)
+		callees := map[string]bool{}
+		external := map[string]bool{}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				call, ok := in.(*ir.Call)
+				if !ok {
+					continue
+				}
+				g.CallSites[f.Name]++
+				if defined[call.Name] {
+					callees[call.Name] = true
+				} else {
+					external[call.Name] = true
+				}
+			}
+		}
+		g.Callees[f.Name] = sortedKeys(callees)
+		g.External[f.Name] = sortedKeys(external)
+	}
+	for caller, callees := range g.Callees {
+		for _, callee := range callees {
+			g.Callers[callee] = append(g.Callers[callee], caller)
+		}
+	}
+	for k := range g.Callers {
+		sort.Strings(g.Callers[k])
+	}
+	return g
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Functions returns the defined functions in program order.
+func (g *Graph) Functions() []string {
+	return append([]string(nil), g.order...)
+}
+
+// FanOut returns the number of distinct defined callees of fn.
+func (g *Graph) FanOut(fn string) int { return len(g.Callees[fn]) }
+
+// FanIn returns the number of distinct defined callers of fn.
+func (g *Graph) FanIn(fn string) int { return len(g.Callers[fn]) }
+
+// MaxFanOut returns the largest fan-out in the graph.
+func (g *Graph) MaxFanOut() int {
+	max := 0
+	for _, fn := range g.order {
+		if n := g.FanOut(fn); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// MaxFanIn returns the largest fan-in in the graph.
+func (g *Graph) MaxFanIn() int {
+	max := 0
+	for _, fn := range g.order {
+		if n := g.FanIn(fn); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// HasRecursion reports whether the call graph contains a cycle (direct or
+// mutual recursion).
+func (g *Graph) HasRecursion() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(string) bool
+	visit = func(fn string) bool {
+		color[fn] = gray
+		for _, c := range g.Callees[fn] {
+			switch color[c] {
+			case gray:
+				return true
+			case white:
+				if visit(c) {
+					return true
+				}
+			}
+		}
+		color[fn] = black
+		return false
+	}
+	for _, fn := range g.order {
+		if color[fn] == white && visit(fn) {
+			return true
+		}
+	}
+	return false
+}
+
+// Depth returns the longest acyclic call chain length (number of nodes on
+// the longest path). Cycles contribute their nodes once.
+func (g *Graph) Depth() int {
+	memo := map[string]int{}
+	visiting := map[string]bool{}
+	var depth func(string) int
+	depth = func(fn string) int {
+		if d, ok := memo[fn]; ok {
+			return d
+		}
+		if visiting[fn] {
+			return 0 // break cycles
+		}
+		visiting[fn] = true
+		best := 0
+		for _, c := range g.Callees[fn] {
+			if d := depth(c); d > best {
+				best = d
+			}
+		}
+		visiting[fn] = false
+		memo[fn] = best + 1
+		return best + 1
+	}
+	max := 0
+	for _, fn := range g.order {
+		if d := depth(fn); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Roots returns defined functions nobody defined calls (entry candidates).
+func (g *Graph) Roots() []string {
+	var out []string
+	for _, fn := range g.order {
+		if g.FanIn(fn) == 0 {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// Reachable returns the set of defined functions reachable from fn
+// (including fn itself).
+func (g *Graph) Reachable(fn string) map[string]bool {
+	seen := map[string]bool{}
+	var walk func(string)
+	walk = func(f string) {
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		for _, c := range g.Callees[f] {
+			walk(c)
+		}
+	}
+	if _, ok := g.Callees[fn]; ok {
+		walk(fn)
+	}
+	return seen
+}
+
+// DeadFunctions returns defined functions unreachable from any root. When
+// the graph has no roots (everything is in cycles), nothing is reported.
+func (g *Graph) DeadFunctions() []string {
+	roots := g.Roots()
+	if len(roots) == 0 {
+		return nil
+	}
+	live := map[string]bool{}
+	for _, r := range roots {
+		for fn := range g.Reachable(r) {
+			live[fn] = true
+		}
+	}
+	var out []string
+	for _, fn := range g.order {
+		if !live[fn] {
+			out = append(out, fn)
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package callgraph
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+const sample = `
+int leaf(int x) { return x + 1; }
+int middle(int x) { return leaf(x) + leaf(x + 1); }
+int top(int x) {
+	int a = middle(x);
+	int b = leaf(a);
+	log_event(b);
+	return b;
+}
+int orphan(int x) { return external_thing(x); }
+`
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	return Build(ir.MustLowerSource(src))
+}
+
+func TestBuildEdges(t *testing.T) {
+	g := build(t, sample)
+	if got := g.Callees["top"]; len(got) != 2 || got[0] != "leaf" || got[1] != "middle" {
+		t.Fatalf("top callees = %v", got)
+	}
+	if got := g.Callees["middle"]; len(got) != 1 || got[0] != "leaf" {
+		t.Fatalf("middle callees = %v", got)
+	}
+	if got := g.Callers["leaf"]; len(got) != 2 {
+		t.Fatalf("leaf callers = %v", got)
+	}
+	if got := g.External["top"]; len(got) != 1 || got[0] != "log_event" {
+		t.Fatalf("top externals = %v", got)
+	}
+	if got := g.External["orphan"]; len(got) != 1 || got[0] != "external_thing" {
+		t.Fatalf("orphan externals = %v", got)
+	}
+}
+
+func TestCallSitesCounted(t *testing.T) {
+	g := build(t, sample)
+	// middle calls leaf twice: 2 call sites.
+	if g.CallSites["middle"] != 2 {
+		t.Fatalf("middle call sites = %d", g.CallSites["middle"])
+	}
+	// top: middle, leaf, log_event = 3.
+	if g.CallSites["top"] != 3 {
+		t.Fatalf("top call sites = %d", g.CallSites["top"])
+	}
+}
+
+func TestFanInOut(t *testing.T) {
+	g := build(t, sample)
+	if g.FanOut("top") != 2 || g.FanIn("leaf") != 2 || g.FanIn("top") != 0 {
+		t.Fatalf("fan stats wrong: out(top)=%d in(leaf)=%d in(top)=%d",
+			g.FanOut("top"), g.FanIn("leaf"), g.FanIn("top"))
+	}
+	if g.MaxFanOut() != 2 || g.MaxFanIn() != 2 {
+		t.Fatalf("max fans = %d/%d", g.MaxFanOut(), g.MaxFanIn())
+	}
+}
+
+func TestDepth(t *testing.T) {
+	g := build(t, sample)
+	// top -> middle -> leaf = 3 nodes.
+	if got := g.Depth(); got != 3 {
+		t.Fatalf("depth = %d, want 3", got)
+	}
+	flat := build(t, "int a(void) { return 1; }\nint b(void) { return 2; }")
+	if got := flat.Depth(); got != 1 {
+		t.Fatalf("flat depth = %d", got)
+	}
+}
+
+func TestRecursionDetection(t *testing.T) {
+	if build(t, sample).HasRecursion() {
+		t.Fatal("acyclic graph reported recursive")
+	}
+	direct := build(t, "int f(int n) { if (n) { return f(n - 1); } return 0; }")
+	if !direct.HasRecursion() {
+		t.Fatal("direct recursion missed")
+	}
+	mutual := build(t, `
+int even(int n) { if (n) { return odd(n - 1); } return 1; }
+int odd(int n) { if (n) { return even(n - 1); } return 0; }
+`)
+	if !mutual.HasRecursion() {
+		t.Fatal("mutual recursion missed")
+	}
+}
+
+func TestRecursiveDepthTerminates(t *testing.T) {
+	g := build(t, "int f(int n) { if (n) { return f(n - 1); } return 0; }")
+	if d := g.Depth(); d != 1 {
+		t.Fatalf("self-recursive depth = %d, want 1", d)
+	}
+}
+
+func TestRootsAndDeadFunctions(t *testing.T) {
+	g := build(t, sample)
+	roots := g.Roots()
+	// top and orphan are uncalled.
+	if len(roots) != 2 {
+		t.Fatalf("roots = %v", roots)
+	}
+	if dead := g.DeadFunctions(); len(dead) != 0 {
+		t.Fatalf("dead = %v", dead)
+	}
+	// A function only reachable from itself is dead once a root exists.
+	g2 := build(t, `
+int main(void) { return helper(); }
+int helper(void) { return 1; }
+int unused(void) { return unused_inner(); }
+int unused_inner(void) { return 2; }
+`)
+	dead := g2.DeadFunctions()
+	if len(dead) != 0 {
+		// unused is a root itself (nobody calls it), so nothing is dead.
+		t.Fatalf("dead = %v", dead)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := build(t, sample)
+	r := g.Reachable("top")
+	for _, want := range []string{"top", "middle", "leaf"} {
+		if !r[want] {
+			t.Fatalf("%s not reachable from top: %v", want, r)
+		}
+	}
+	if r["orphan"] {
+		t.Fatal("orphan should not be reachable from top")
+	}
+	if len(g.Reachable("nonexistent")) != 0 {
+		t.Fatal("unknown function has reachable set")
+	}
+}
+
+func TestFunctionsOrder(t *testing.T) {
+	g := build(t, sample)
+	fns := g.Functions()
+	want := []string{"leaf", "middle", "top", "orphan"}
+	if len(fns) != len(want) {
+		t.Fatalf("functions = %v", fns)
+	}
+	for i := range want {
+		if fns[i] != want[i] {
+			t.Fatalf("order = %v, want %v", fns, want)
+		}
+	}
+}

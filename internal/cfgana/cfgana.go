@@ -1,0 +1,301 @@
+// Package cfgana implements the control-flow-graph analyses the paper lists
+// among its candidate code properties (§4.1): dominator trees, natural-loop
+// detection, acyclic path counting, and call/return target counts.
+package cfgana
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Dominators computes the immediate-dominator relation for f using the
+// Cooper-Harvey-Kennedy iterative algorithm. The result maps each block to
+// its immediate dominator; the entry maps to itself.
+func Dominators(f *ir.Func) map[*ir.Block]*ir.Block {
+	// Reverse postorder.
+	order := PostOrder(f)
+	rpo := make([]*ir.Block, len(order))
+	for i, b := range order {
+		rpo[len(order)-1-i] = b
+	}
+	index := map[*ir.Block]int{}
+	for i, b := range rpo {
+		index[b] = i
+	}
+	idom := map[*ir.Block]*ir.Block{}
+	entry := f.Entry()
+	idom[entry] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, p := range b.Preds {
+				if idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+					continue
+				}
+				newIdom = intersect(p, newIdom, idom, index)
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+func intersect(a, b *ir.Block, idom map[*ir.Block]*ir.Block, index map[*ir.Block]int) *ir.Block {
+	for a != b {
+		for index[a] > index[b] {
+			a = idom[a]
+		}
+		for index[b] > index[a] {
+			b = idom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether a dominates b under the idom relation.
+func Dominates(idom map[*ir.Block]*ir.Block, a, b *ir.Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := idom[b]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// PostOrder returns the blocks of f in depth-first postorder from the entry.
+func PostOrder(f *ir.Func) []*ir.Block {
+	var order []*ir.Block
+	seen := map[*ir.Block]bool{}
+	var walk func(*ir.Block)
+	walk = func(b *ir.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs() {
+			walk(s)
+		}
+		order = append(order, b)
+	}
+	walk(f.Entry())
+	return order
+}
+
+// Loop is a natural loop: a back edge tail->head plus the body blocks.
+type Loop struct {
+	Head *ir.Block
+	Body []*ir.Block // includes Head, sorted by block ID
+}
+
+// NaturalLoops finds every natural loop of f (one per back edge; loops
+// sharing a head are reported separately).
+func NaturalLoops(f *ir.Func) []Loop {
+	idom := Dominators(f)
+	var loops []Loop
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			if Dominates(idom, s, b) {
+				loops = append(loops, collectLoop(s, b))
+			}
+		}
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Head.ID < loops[j].Head.ID })
+	return loops
+}
+
+// collectLoop gathers the natural loop of back edge tail->head.
+func collectLoop(head, tail *ir.Block) Loop {
+	body := map[*ir.Block]bool{head: true}
+	var stack []*ir.Block
+	if !body[tail] {
+		body[tail] = true
+		stack = append(stack, tail)
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range b.Preds {
+			if !body[p] {
+				body[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	var blocks []*ir.Block
+	for b := range body {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].ID < blocks[j].ID })
+	return Loop{Head: head, Body: blocks}
+}
+
+// IsReducible reports whether every cycle of f's CFG is a natural loop,
+// i.e. every back edge's target dominates its source. MiniC lowering always
+// produces reducible graphs; hand-built IR may not.
+func IsReducible(f *ir.Func) bool {
+	idom := Dominators(f)
+	// A graph is irreducible iff removing dominator-back-edges leaves a cycle.
+	// Build the forward graph without such back edges and look for cycles.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*ir.Block]int{}
+	var visit func(*ir.Block) bool
+	visit = func(b *ir.Block) bool {
+		color[b] = gray
+		for _, s := range b.Succs() {
+			if Dominates(idom, s, b) {
+				continue // natural back edge
+			}
+			switch color[s] {
+			case gray:
+				return false // cycle not headed by a dominator
+			case white:
+				if !visit(s) {
+					return false
+				}
+			}
+		}
+		color[b] = black
+		return true
+	}
+	return visit(f.Entry())
+}
+
+// AcyclicPathCount counts the distinct entry-to-exit paths in the CFG with
+// back edges removed (each loop contributes its body once). Counts saturate
+// at MaxPathCount to keep exponential CFGs finite.
+const MaxPathCount = float64(1e18)
+
+// AcyclicPathCount returns the path count as a float64 (counts can overflow
+// int64 on branch-heavy functions).
+func AcyclicPathCount(f *ir.Func) float64 {
+	idom := Dominators(f)
+	memo := map[*ir.Block]float64{}
+	var count func(*ir.Block) float64
+	count = func(b *ir.Block) float64 {
+		if v, ok := memo[b]; ok {
+			return v
+		}
+		memo[b] = 0 // cycle guard (irreducible graphs)
+		succs := b.Succs()
+		if len(succs) == 0 {
+			memo[b] = 1
+			return 1
+		}
+		total := 0.0
+		for _, s := range succs {
+			if Dominates(idom, s, b) {
+				continue // skip back edge
+			}
+			total += count(s)
+		}
+		if total == 0 {
+			// All successors were back edges: this block exits its loop only
+			// by its head; treat as one path terminus.
+			total = 1
+		}
+		total = math.Min(total, MaxPathCount)
+		memo[b] = total
+		return total
+	}
+	return count(f.Entry())
+}
+
+// FlowFacts summarizes the control-flow properties used as features.
+type FlowFacts struct {
+	Blocks       int
+	Edges        int
+	Loops        int
+	MaxLoopDepth int
+	CallSites    int // "calling targets" (Allen's control-flow analysis)
+	ReturnSites  int // "returning targets"
+	Branches     int
+	AcyclicPaths float64
+	Reducible    bool
+	// CyclomaticCFG is E - N + 2 computed on the real CFG, the graph-theoretic
+	// definition of McCabe's metric (vs. the token heuristic in metrics).
+	CyclomaticCFG int
+}
+
+// Analyze computes the flow facts of one function.
+func Analyze(f *ir.Func) FlowFacts {
+	facts := FlowFacts{Blocks: len(f.Blocks), Reducible: IsReducible(f)}
+	for _, b := range f.Blocks {
+		facts.Edges += len(b.Succs())
+		switch b.Term.(type) {
+		case *ir.Branch:
+			facts.Branches++
+		case *ir.Ret:
+			facts.ReturnSites++
+		}
+		for _, in := range b.Instrs {
+			if _, ok := in.(*ir.Call); ok {
+				facts.CallSites++
+			}
+		}
+	}
+	loops := NaturalLoops(f)
+	facts.Loops = len(loops)
+	facts.MaxLoopDepth = maxLoopDepth(loops)
+	facts.AcyclicPaths = AcyclicPathCount(f)
+	facts.CyclomaticCFG = facts.Edges - facts.Blocks + 2
+	return facts
+}
+
+// maxLoopDepth computes the deepest loop nesting: loop A nests in loop B when
+// A's body is a strict subset of B's body.
+func maxLoopDepth(loops []Loop) int {
+	depth := 0
+	for i := range loops {
+		d := 1
+		for j := range loops {
+			if i == j {
+				continue
+			}
+			if strictSubset(loops[i].Body, loops[j].Body) {
+				d++
+			}
+		}
+		if d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+func strictSubset(a, b []*ir.Block) bool {
+	if len(a) >= len(b) {
+		return false
+	}
+	in := map[*ir.Block]bool{}
+	for _, x := range b {
+		in[x] = true
+	}
+	for _, x := range a {
+		if !in[x] {
+			return false
+		}
+	}
+	return true
+}

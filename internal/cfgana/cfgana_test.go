@@ -1,0 +1,259 @@
+package cfgana
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func lower(t *testing.T, src string) *ir.Func {
+	t.Helper()
+	p := ir.MustLowerSource(src)
+	return p.Funcs[0]
+}
+
+func blockByPrefix(f *ir.Func, prefix string) *ir.Block {
+	for _, b := range f.Blocks {
+		if strings.HasPrefix(b.Name, prefix) {
+			return b
+		}
+	}
+	return nil
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	f := lower(t, `
+int f(int x) {
+	int y = 0;
+	if (x) { y = 1; } else { y = 2; }
+	return y;
+}`)
+	idom := Dominators(f)
+	entry := f.Entry()
+	if idom[entry] != entry {
+		t.Fatal("entry idom not itself")
+	}
+	join := blockByPrefix(f, "join")
+	then := blockByPrefix(f, "then")
+	els := blockByPrefix(f, "else")
+	if idom[then] != entry || idom[els] != entry {
+		t.Fatalf("branch arms not dominated by entry:\n%s", f)
+	}
+	// The join is dominated by entry, not by either arm.
+	if idom[join] != entry {
+		t.Fatalf("join idom = %v, want entry:\n%s", idom[join].Name, f)
+	}
+	if !Dominates(idom, entry, join) {
+		t.Fatal("entry should dominate join")
+	}
+	if Dominates(idom, then, join) {
+		t.Fatal("then must not dominate join")
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	f := lower(t, `
+int f(int n) {
+	int s = 0;
+	while (n > 0) { s += n; n--; }
+	return s;
+}`)
+	idom := Dominators(f)
+	cond := blockByPrefix(f, "loopcond")
+	body := blockByPrefix(f, "loopbody")
+	exit := blockByPrefix(f, "loopexit")
+	if idom[body] != cond || idom[exit] != cond {
+		t.Fatalf("loop dominators wrong:\n%s", f)
+	}
+	if !Dominates(idom, f.Entry(), body) {
+		t.Fatal("entry should dominate body transitively")
+	}
+}
+
+func TestNaturalLoops(t *testing.T) {
+	f := lower(t, `
+int f(int n) {
+	int s = 0;
+	while (n > 0) { s += n; n--; }
+	return s;
+}`)
+	loops := NaturalLoops(f)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	if !strings.HasPrefix(loops[0].Head.Name, "loopcond") {
+		t.Fatalf("loop head = %s", loops[0].Head.Name)
+	}
+	// Body contains head and loopbody.
+	if len(loops[0].Body) != 2 {
+		t.Fatalf("loop body = %d blocks", len(loops[0].Body))
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	f := lower(t, `
+int f(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < i; j++) {
+			s += j;
+		}
+	}
+	return s;
+}`)
+	loops := NaturalLoops(f)
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	facts := Analyze(f)
+	if facts.MaxLoopDepth != 2 {
+		t.Fatalf("MaxLoopDepth = %d, want 2", facts.MaxLoopDepth)
+	}
+	if facts.Loops != 2 {
+		t.Fatalf("Loops = %d", facts.Loops)
+	}
+}
+
+func TestNoLoops(t *testing.T) {
+	f := lower(t, "int f(int x) { if (x) { x = 1; } return x; }")
+	if loops := NaturalLoops(f); len(loops) != 0 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	facts := Analyze(f)
+	if facts.MaxLoopDepth != 0 {
+		t.Fatalf("depth = %d", facts.MaxLoopDepth)
+	}
+}
+
+func TestAcyclicPathCountStraight(t *testing.T) {
+	f := lower(t, "int f(void) { return 1; }")
+	if got := AcyclicPathCount(f); got != 1 {
+		t.Fatalf("paths = %v, want 1", got)
+	}
+}
+
+func TestAcyclicPathCountDiamonds(t *testing.T) {
+	// Each if/else doubles the path count: 3 diamonds -> 8 paths.
+	f := lower(t, `
+int f(int a, int b, int c) {
+	int x = 0;
+	if (a) { x = 1; } else { x = 2; }
+	if (b) { x += 1; } else { x += 2; }
+	if (c) { x += 3; } else { x += 4; }
+	return x;
+}`)
+	if got := AcyclicPathCount(f); got != 8 {
+		t.Fatalf("paths = %v, want 8:\n%s", got, f)
+	}
+}
+
+func TestAcyclicPathCountLoop(t *testing.T) {
+	// One loop: enter-skip or enter-once (back edge removed): cond has 2
+	// forward successors... body's only forward exit rejoins nothing; the
+	// loop contributes its body once. Expect 2 paths: cond->exit and
+	// cond->body->(back edge pruned; body counts as terminus)->...
+	f := lower(t, `
+int f(int n) {
+	int s = 0;
+	while (n > 0) { s += n; n--; }
+	return s;
+}`)
+	got := AcyclicPathCount(f)
+	if got != 2 {
+		t.Fatalf("paths = %v, want 2:\n%s", got, f)
+	}
+}
+
+func TestReducible(t *testing.T) {
+	f := lower(t, `
+int f(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		if (i % 2) { s += i; }
+	}
+	return s;
+}`)
+	if !IsReducible(f) {
+		t.Fatal("lowered MiniC should be reducible")
+	}
+}
+
+func TestIrreducibleDetected(t *testing.T) {
+	// Hand-build the classic irreducible graph:
+	// entry branches to A and B; A -> B; B -> A; A -> exit.
+	entry := &ir.Block{ID: 0, Name: "entry"}
+	a := &ir.Block{ID: 1, Name: "A"}
+	b := &ir.Block{ID: 2, Name: "B"}
+	exit := &ir.Block{ID: 3, Name: "exit"}
+	entry.Term = &ir.Branch{Cond: ir.Var{Name: "c"}, True: a, False: b}
+	a.Term = &ir.Branch{Cond: ir.Var{Name: "d"}, True: b, False: exit}
+	b.Term = &ir.Jump{Target: a}
+	exit.Term = &ir.Ret{}
+	f := &ir.Func{Name: "irr", Blocks: []*ir.Block{entry, a, b, exit}}
+	a.Preds = []*ir.Block{entry, b}
+	b.Preds = []*ir.Block{entry, a}
+	exit.Preds = []*ir.Block{a}
+	if IsReducible(f) {
+		t.Fatal("irreducible graph reported reducible")
+	}
+}
+
+func TestAnalyzeFacts(t *testing.T) {
+	f := lower(t, `
+int f(int n) {
+	int s = helper(n);
+	if (s > 0) { log_it(s); return s; }
+	while (n > 0) { n--; }
+	return 0;
+}`)
+	facts := Analyze(f)
+	if facts.CallSites != 2 {
+		t.Fatalf("CallSites = %d, want 2", facts.CallSites)
+	}
+	if facts.ReturnSites != 2 {
+		t.Fatalf("ReturnSites = %d, want 2", facts.ReturnSites)
+	}
+	if facts.Branches < 2 {
+		t.Fatalf("Branches = %d", facts.Branches)
+	}
+	if facts.Loops != 1 {
+		t.Fatalf("Loops = %d", facts.Loops)
+	}
+	if !facts.Reducible {
+		t.Fatal("should be reducible")
+	}
+	if facts.CyclomaticCFG < 2 {
+		t.Fatalf("CyclomaticCFG = %d", facts.CyclomaticCFG)
+	}
+}
+
+func TestPostOrderCoversAll(t *testing.T) {
+	f := lower(t, `
+int f(int a) {
+	if (a) { a = 1; } else { a = 2; }
+	while (a < 10) { a++; }
+	return a;
+}`)
+	order := PostOrder(f)
+	if len(order) != len(f.Blocks) {
+		t.Fatalf("postorder covers %d/%d blocks", len(order), len(f.Blocks))
+	}
+	// Entry is last in postorder.
+	if order[len(order)-1] != f.Entry() {
+		t.Fatal("entry not last in postorder")
+	}
+}
+
+func TestCyclomaticCFGMatchesBranching(t *testing.T) {
+	// Straight line: E-N+2 = 0-1+2 = 1.
+	f := lower(t, "int f(void) { return 0; }")
+	if facts := Analyze(f); facts.CyclomaticCFG != 1 {
+		t.Fatalf("straight-line cyclomatic = %d", facts.CyclomaticCFG)
+	}
+	// One if: adds one.
+	f = lower(t, "int f(int x) { if (x) { x = 1; } return x; }")
+	if facts := Analyze(f); facts.CyclomaticCFG != 2 {
+		t.Fatalf("one-branch cyclomatic = %d", facts.CyclomaticCFG)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// FocusPlan implements the paper's §6 suggestion: "one might use these
+// metrics to focus the effort of bug-finding tools for deeper analysis on
+// particularly risky code, or to focus additional testing effort." Files
+// are scored individually with the cheap extractors, and a deep-analysis
+// budget (symbolic-execution paths, fuzzing time, review hours — any unit)
+// is apportioned by predicted risk.
+type FocusPlan struct {
+	Budget  int
+	Entries []FocusEntry
+}
+
+// FocusEntry is one file's allocation.
+type FocusEntry struct {
+	File      string
+	Risk      float64 // model risk score of the file in isolation
+	Allocated int
+}
+
+// FocusFiles builds a plan for the tree under the given budget. Files are
+// scored with the token-level extractors only (the plan decides where the
+// expensive analyses go, so it must stay cheap itself).
+func (m *Model) FocusFiles(tree *metrics.Tree, budget int) (*FocusPlan, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("core: focus budget must be positive")
+	}
+	if len(tree.Files) == 0 {
+		return nil, fmt.Errorf("core: tree has no files")
+	}
+	plan := &FocusPlan{Budget: budget}
+	for _, f := range tree.Files {
+		single := metrics.NewTree(f.Path, f)
+		fv := metrics.Extract(single)
+		rep := m.Score(f.Path, fv)
+		plan.Entries = append(plan.Entries, FocusEntry{File: f.Path, Risk: rep.RiskScore})
+	}
+	sort.SliceStable(plan.Entries, func(i, j int) bool {
+		return plan.Entries[i].Risk > plan.Entries[j].Risk
+	})
+	// Proportional allocation with largest remainders; risk 0 files get 0.
+	total := 0.0
+	for _, e := range plan.Entries {
+		total += e.Risk
+	}
+	if total == 0 {
+		// Uniform fallback: nothing to discriminate on.
+		for i := range plan.Entries {
+			plan.Entries[i].Allocated = budget / len(plan.Entries)
+		}
+		plan.Entries[0].Allocated += budget % len(plan.Entries)
+		return plan, nil
+	}
+	type frac struct {
+		idx int
+		rem float64
+	}
+	var fracs []frac
+	used := 0
+	for i := range plan.Entries {
+		share := float64(budget) * plan.Entries[i].Risk / total
+		whole := int(math.Floor(share))
+		plan.Entries[i].Allocated = whole
+		used += whole
+		fracs = append(fracs, frac{idx: i, rem: share - float64(whole)})
+	}
+	sort.SliceStable(fracs, func(a, b int) bool { return fracs[a].rem > fracs[b].rem })
+	for k := 0; used < budget && len(fracs) > 0; k = (k + 1) % len(fracs) {
+		plan.Entries[fracs[k].idx].Allocated++
+		used++
+	}
+	return plan, nil
+}
+
+// String renders the plan.
+func (p *FocusPlan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Deep-analysis focus plan (budget %d):\n", p.Budget)
+	for _, e := range p.Entries {
+		fmt.Fprintf(&sb, "  %-28s risk %5.1f -> %d unit(s)\n", e.File, e.Risk, e.Allocated)
+	}
+	return sb.String()
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func focusModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := Train(NewTestbed(getCorpus(t)), TrainConfig{Kind: KindLogistic, Folds: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func focusTree() *metrics.Tree {
+	return metrics.NewTree("mixed",
+		metrics.File{Path: "risky.c", Content: `
+int handle(int fd) {
+	char buf[16];
+	int n = recv(fd, buf, 64, 0);
+	strcpy(buf, n);
+	sprintf(buf, n);
+	system(buf);
+	printf(buf);
+	return n;
+}`},
+		metrics.File{Path: "safe.c", Content: `
+// well-commented arithmetic helpers
+int add(int a, int b) { return a + b; }
+// doubles a value
+int twice(int a) { return a * 2; }
+`},
+	)
+}
+
+func TestFocusFilesRanksRiskyFirst(t *testing.T) {
+	m := focusModel(t)
+	plan, err := m.FocusFiles(focusTree(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Entries) != 2 {
+		t.Fatalf("entries = %d", len(plan.Entries))
+	}
+	if plan.Entries[0].File != "risky.c" {
+		t.Fatalf("ranking = %+v", plan.Entries)
+	}
+	if plan.Entries[0].Risk <= plan.Entries[1].Risk {
+		t.Fatalf("risk ordering = %+v", plan.Entries)
+	}
+	// Higher risk never receives *less* budget (equality can happen when
+	// largest-remainder rounding hands the spare unit to the runner-up).
+	if plan.Entries[0].Allocated < plan.Entries[1].Allocated {
+		t.Fatalf("allocation not risk-monotone: %+v", plan.Entries)
+	}
+}
+
+func TestFocusBudgetConserved(t *testing.T) {
+	m := focusModel(t)
+	for _, budget := range []int{1, 3, 7, 100} {
+		plan, err := m.FocusFiles(focusTree(), budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, e := range plan.Entries {
+			if e.Allocated < 0 {
+				t.Fatalf("negative allocation: %+v", e)
+			}
+			total += e.Allocated
+		}
+		if total != budget {
+			t.Fatalf("budget %d allocated %d", budget, total)
+		}
+	}
+}
+
+func TestFocusValidation(t *testing.T) {
+	m := focusModel(t)
+	if _, err := m.FocusFiles(focusTree(), 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := m.FocusFiles(metrics.NewTree("empty"), 5); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+}
+
+func TestFocusString(t *testing.T) {
+	m := focusModel(t)
+	plan, err := m.FocusFiles(focusTree(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := plan.String()
+	if !strings.Contains(out, "risky.c") || !strings.Contains(out, "budget 4") {
+		t.Fatalf("rendering = %q", out)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/ml"
+)
+
+// Serialized model format, versioned for forward compatibility.
+const modelFormatVersion = 1
+
+type hypothesisDTO struct {
+	Name       string             `json:"name"`
+	Question   string             `json:"question"`
+	Kind       ModelKind          `json:"kind"`
+	Classifier json.RawMessage    `json:"classifier"`
+	Features   []string           `json:"features"`
+	Importance []ml.FeatureWeight `json:"importance"`
+	BaseRate   float64            `json:"base_rate"`
+	CVAccuracy float64            `json:"cv_accuracy"`
+	CVAUC      float64            `json:"cv_auc"`
+}
+
+type modelDTO struct {
+	Version     int                  `json:"version"`
+	Kind        ModelKind            `json:"kind"`
+	Transformer *Transformer         `json:"transformer"`
+	Hypotheses  []hypothesisDTO      `json:"hypotheses"`
+	CountModel  json.RawMessage      `json:"count_model,omitempty"`
+	CountEval   ml.RegressionMetrics `json:"count_eval"`
+	CountStd    float64              `json:"count_residual_std"`
+}
+
+// Save writes the trained model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	dto := modelDTO{
+		Version:     modelFormatVersion,
+		Kind:        m.Config.Kind,
+		Transformer: m.Transformer,
+		CountEval:   m.CountEval,
+		CountStd:    m.CountResidualStd,
+	}
+	for _, hm := range m.Hypotheses {
+		blob, err := ml.MarshalClassifier(hm.Classifier)
+		if err != nil {
+			return fmt.Errorf("core: saving %s: %w", hm.Hypothesis.Name, err)
+		}
+		h := hypothesisDTO{
+			Name:       hm.Hypothesis.Name,
+			Question:   hm.Hypothesis.Question,
+			Kind:       hm.Kind,
+			Classifier: blob,
+			Features:   hm.Features,
+			Importance: hm.Importance,
+			BaseRate:   hm.BaseRate,
+		}
+		if hm.CV != nil {
+			h.CVAccuracy = hm.CV.Accuracy
+			h.CVAUC = hm.CV.AUC
+		}
+		dto.Hypotheses = append(dto.Hypotheses, h)
+	}
+	if m.CountModel != nil {
+		blob, err := ml.MarshalRegressor(m.CountModel)
+		if err != nil {
+			return fmt.Errorf("core: saving count model: %w", err)
+		}
+		dto.CountModel = blob
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(dto)
+}
+
+// LoadModel restores a model saved with Save. The restored model scores and
+// compares codebases; it cannot be retrained (no corpus attached).
+func LoadModel(r io.Reader) (*Model, error) {
+	var dto modelDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("core: decode model: %w", err)
+	}
+	if dto.Version != modelFormatVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d", dto.Version)
+	}
+	if dto.Transformer == nil {
+		return nil, fmt.Errorf("core: model missing transformer")
+	}
+	m := &Model{
+		Config:           TrainConfig{Kind: dto.Kind},
+		Transformer:      dto.Transformer,
+		CountEval:        dto.CountEval,
+		CountResidualStd: dto.CountStd,
+	}
+	for _, h := range dto.Hypotheses {
+		clf, err := ml.UnmarshalClassifier(h.Classifier)
+		if err != nil {
+			return nil, fmt.Errorf("core: loading %s: %w", h.Name, err)
+		}
+		m.Hypotheses = append(m.Hypotheses, &HypothesisModel{
+			Hypothesis: Hypothesis{Name: h.Name, Question: h.Question},
+			Kind:       h.Kind,
+			Classifier: clf,
+			Features:   h.Features,
+			Importance: h.Importance,
+			BaseRate:   h.BaseRate,
+			CV:         &ml.CVResult{Accuracy: h.CVAccuracy, AUC: h.CVAUC},
+		})
+	}
+	if len(dto.CountModel) > 0 {
+		reg, err := ml.UnmarshalRegressor(dto.CountModel)
+		if err != nil {
+			return nil, fmt.Errorf("core: loading count model: %w", err)
+		}
+		m.CountModel = reg
+	}
+	return m, nil
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	tb := NewTestbed(getCorpus(t))
+	m, err := Train(tb, TrainConfig{Kind: KindForest, Folds: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Hypotheses) != len(m.Hypotheses) {
+		t.Fatalf("hypotheses = %d, want %d", len(loaded.Hypotheses), len(m.Hypotheses))
+	}
+	// Scores must agree exactly for a handful of apps.
+	for _, a := range testCorpus.Apps[:10] {
+		orig := m.Score(a.App.Name, a.Features)
+		rest := loaded.Score(a.App.Name, a.Features)
+		if math.Abs(orig.RiskScore-rest.RiskScore) > 1e-9 {
+			t.Fatalf("%s: risk %v vs %v", a.App.Name, orig.RiskScore, rest.RiskScore)
+		}
+		if math.Abs(orig.ExpectedVulns-rest.ExpectedVulns) > 1e-6 {
+			t.Fatalf("%s: expected vulns %v vs %v", a.App.Name, orig.ExpectedVulns, rest.ExpectedVulns)
+		}
+		for i := range orig.Risks {
+			if math.Abs(orig.Risks[i].Probability-rest.Risks[i].Probability) > 1e-9 {
+				t.Fatalf("%s %s: p %v vs %v", a.App.Name, orig.Risks[i].Name,
+					orig.Risks[i].Probability, rest.Risks[i].Probability)
+			}
+		}
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	if _, err := LoadModel(bytes.NewBufferString("{nope")); err == nil {
+		t.Fatal("garbage loaded")
+	}
+	if _, err := LoadModel(bytes.NewBufferString(`{"version":99}`)); err == nil {
+		t.Fatal("bad version loaded")
+	}
+	if _, err := LoadModel(bytes.NewBufferString(`{"version":1}`)); err == nil {
+		t.Fatal("transformerless model loaded")
+	}
+}

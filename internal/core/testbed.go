@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/callgraph"
+	"repro/internal/corpus"
+	"repro/internal/dataflow"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/lint"
+	"repro/internal/metrics"
+	"repro/internal/minic"
+	"repro/internal/ml"
+	"repro/internal/stats"
+	"repro/internal/symexec"
+)
+
+// Transformer maps raw feature vectors into model space. It is the part of
+// the testbed a deployed model needs at scoring time, so it persists with
+// the model while the corpus does not.
+type Transformer struct {
+	// LogFeatures are transformed as log10(1+x) before training; the
+	// volume-like counts are heavy-tailed across four orders of magnitude.
+	LogFeatures []string `json:"log_features"`
+	// Impute maps feature names to the corpus-median value substituted
+	// when the testbed reports zero. Development-history features (churn,
+	// developers, age) and deployment features (attack-graph depth) are
+	// unavailable when analyzing a bare source tree; scoring them as
+	// literal zero would push the vector far outside the training
+	// distribution, so the median is the neutral choice.
+	Impute map[string]float64 `json:"impute,omitempty"`
+}
+
+// Testbed turns a corpus into training datasets (Figure 4's left half) and
+// extracts enriched feature vectors from real source trees (§5.3's
+// "automated testbed ... collecting code properties in developer's
+// codebase").
+type Testbed struct {
+	Corpus *corpus.Corpus
+	*Transformer
+}
+
+// DefaultTransformer returns the standard transformation set.
+func DefaultTransformer() *Transformer {
+	return &Transformer{
+		LogFeatures: []string{
+			metrics.FeatKLoC, metrics.FeatFiles, metrics.FeatFunctions,
+			metrics.FeatCyclomaticTotal, metrics.FeatCyclomaticMax,
+			metrics.FeatHalsteadVolume, metrics.FeatHalsteadEffort,
+			metrics.FeatHalsteadBugs, metrics.FeatMaxFunctionLen,
+			metrics.FeatLongFunctions, metrics.FeatDeeplyNested,
+			metrics.FeatManyParams, metrics.FeatGodFiles,
+			metrics.FeatMagicNumbers, metrics.FeatTodoDensity,
+			metrics.FeatDupLines, metrics.FeatAvgFunctionLen,
+			metrics.FeatNetworkCalls, metrics.FeatFileInputs,
+			metrics.FeatEnvInputs, metrics.FeatProcessSpawns,
+			metrics.FeatPrivilegeOps, metrics.FeatUnsafeCalls,
+			metrics.FeatFormatCalls, metrics.FeatEntryPoints,
+			metrics.FeatRASQ, metrics.FeatChurn, metrics.FeatDevelopers,
+			metrics.FeatTaintedSinks, metrics.FeatLintWarnings,
+			metrics.FeatCallFanOut, metrics.FeatCallDepth,
+		},
+	}
+}
+
+// NewTestbed wraps a corpus with the default transformation.
+func NewTestbed(c *corpus.Corpus) *Testbed {
+	return &Testbed{Corpus: c, Transformer: DefaultTransformer()}
+}
+
+// logCols resolves LogFeatures to column indexes.
+func (tb *Transformer) logCols() []int {
+	idx := map[string]int{}
+	for i, n := range metrics.FeatureNames {
+		idx[n] = i
+	}
+	var cols []int
+	for _, n := range tb.LogFeatures {
+		if i, ok := idx[n]; ok {
+			cols = append(cols, i)
+		}
+	}
+	sort.Ints(cols)
+	return cols
+}
+
+// ImputedFeatures are the features that cannot be measured from a bare
+// source tree and therefore receive corpus medians when reported as zero.
+var ImputedFeatures = []string{
+	metrics.FeatChurn, metrics.FeatDevelopers, metrics.FeatAgeYears,
+	metrics.FeatAttackDepth,
+}
+
+// Transform applies the feature transformation to a raw vector, returning
+// the model-space row.
+func (tb *Transformer) Transform(fv metrics.FeatureVector) []float64 {
+	row := fv.Slice()
+	if tb.Impute != nil {
+		for j, name := range metrics.FeatureNames {
+			if row[j] == 0 {
+				if median, ok := tb.Impute[name]; ok {
+					row[j] = median
+				}
+			}
+		}
+	}
+	cols := map[int]bool{}
+	for _, c := range tb.logCols() {
+		cols[c] = true
+	}
+	for j := range row {
+		if cols[j] {
+			v := row[j]
+			if v < 0 {
+				v = 0
+			}
+			row[j] = math.Log10(1 + v)
+		}
+	}
+	return row
+}
+
+// FitImputation computes corpus medians for the imputed features and
+// installs them on the transformer. Train calls this automatically.
+func (tb *Testbed) FitImputation() {
+	tb.Impute = map[string]float64{}
+	for _, name := range ImputedFeatures {
+		var vals []float64
+		for _, a := range tb.Corpus.Apps {
+			vals = append(vals, a.Features[name])
+		}
+		if len(vals) > 0 {
+			tb.Impute[name] = stats.Median(vals)
+		}
+	}
+}
+
+// DatasetFor builds the classification dataset of one hypothesis: one row
+// per corpus application, transformed features, ground-truth label.
+func (tb *Testbed) DatasetFor(h Hypothesis) (*ml.Dataset, error) {
+	if h.Label == nil {
+		// HypManyVulns binds its threshold to the corpus median.
+		median := tb.medianVulnCount()
+		return tb.datasetWith(func(a corpus.AppProfile) bool {
+			return float64(a.VulnCount) > median
+		})
+	}
+	return tb.datasetWith(func(a corpus.AppProfile) bool {
+		st, err := tb.Corpus.DB.StatsFor(a.App.Name)
+		if err != nil {
+			return false
+		}
+		return h.Label(st)
+	})
+}
+
+func (tb *Testbed) datasetWith(label func(corpus.AppProfile) bool) (*ml.Dataset, error) {
+	var X [][]float64
+	var Y []float64
+	for _, a := range tb.Corpus.Apps {
+		X = append(X, tb.Transform(a.Features))
+		if label(a) {
+			Y = append(Y, 1)
+		} else {
+			Y = append(Y, 0)
+		}
+	}
+	return ml.NewDataset(append([]string(nil), metrics.FeatureNames...), ClassNames, X, Y)
+}
+
+func (tb *Testbed) medianVulnCount() float64 {
+	counts := make([]float64, 0, len(tb.Corpus.Apps))
+	for _, a := range tb.Corpus.Apps {
+		counts = append(counts, float64(a.VulnCount))
+	}
+	return stats.Median(counts)
+}
+
+// RegressionDataset builds the vulnerability-count regression dataset with
+// log10(count) targets.
+func (tb *Testbed) RegressionDataset() (*ml.Dataset, error) {
+	var X [][]float64
+	var Y []float64
+	for _, a := range tb.Corpus.Apps {
+		X = append(X, tb.Transform(a.Features))
+		Y = append(Y, math.Log10(float64(a.VulnCount)))
+	}
+	return ml.NewDataset(append([]string(nil), metrics.FeatureNames...), nil, X, Y)
+}
+
+// LoCOnlyDataset projects a hypothesis dataset down to the single kLoC
+// column — the paper's straw-man baseline for the ablation benchmarks.
+func (tb *Testbed) LoCOnlyDataset(h Hypothesis) (*ml.Dataset, error) {
+	full, err := tb.DatasetFor(h)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range full.AttrNames {
+		if n == metrics.FeatKLoC {
+			return ml.ProjectColumns(full, []int{i}), nil
+		}
+	}
+	return nil, fmt.Errorf("core: kloc column missing")
+}
+
+// fileEnrichment is the deep-analysis result of one file.
+type fileEnrichment struct {
+	taintedSinks  int
+	feasiblePaths float64
+	maxFanOut     int
+	maxDepth      int
+	covSum        float64
+	covRuns       int
+	dynPaths      int
+}
+
+// ExtractFeatures runs the full static-analysis testbed over a source tree:
+// the base extractors plus the deep-analysis enrichment (lint warnings,
+// taint findings, symbolic-execution path counts, call-graph shape, and
+// sampled dynamic traces) for files that parse as MiniC. The per-file deep
+// analyses are independent, so they run on a bounded worker pool.
+func ExtractFeatures(tree *metrics.Tree) metrics.FeatureVector {
+	fv := metrics.Extract(tree)
+
+	rep := lint.Check(tree)
+	fv[metrics.FeatLintWarnings] = float64(rep.Total())
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tree.Files) {
+		workers = len(tree.Files)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan metrics.File)
+	results := make(chan fileEnrichment)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := range jobs {
+				results <- enrichFile(f)
+			}
+		}()
+	}
+	go func() {
+		for _, f := range tree.Files {
+			jobs <- f
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	var agg fileEnrichment
+	for r := range results {
+		agg.taintedSinks += r.taintedSinks
+		agg.feasiblePaths += r.feasiblePaths
+		if r.maxFanOut > agg.maxFanOut {
+			agg.maxFanOut = r.maxFanOut
+		}
+		if r.maxDepth > agg.maxDepth {
+			agg.maxDepth = r.maxDepth
+		}
+		agg.covSum += r.covSum
+		agg.covRuns += r.covRuns
+		agg.dynPaths += r.dynPaths
+	}
+
+	fv[metrics.FeatTaintedSinks] = float64(agg.taintedSinks)
+	fv[metrics.FeatFeasiblePaths] = math.Log10(1 + agg.feasiblePaths)
+	fv[metrics.FeatCallFanOut] = float64(agg.maxFanOut)
+	fv[metrics.FeatCallDepth] = float64(agg.maxDepth)
+	if agg.covRuns > 0 {
+		fv[metrics.FeatDynBranchCov] = agg.covSum / float64(agg.covRuns)
+	}
+	fv[metrics.FeatDynUniquePaths] = math.Log10(1 + float64(agg.dynPaths))
+	return fv
+}
+
+// enrichFile runs the deep analyses over one file; files that do not parse
+// as MiniC contribute nothing (real C rarely parses as MiniC; the token
+// metrics already cover it).
+func enrichFile(f metrics.File) fileEnrichment {
+	var out fileEnrichment
+	if f.Language != lang.MiniC && f.Language != lang.C {
+		return out
+	}
+	prog, err := minic.Parse(f.Content)
+	if err != nil {
+		return out
+	}
+	lowered, err := ir.Lower(prog)
+	if err != nil {
+		return out
+	}
+	out.taintedSinks = dataflow.CountTaintedSinks(lowered)
+	cfg := symexec.DefaultConfig()
+	for _, fn := range lowered.Funcs {
+		out.feasiblePaths += float64(symexec.Explore(fn, cfg).FeasiblePaths)
+	}
+	cg := callgraph.Build(lowered)
+	out.maxFanOut = cg.MaxFanOut()
+	out.maxDepth = cg.Depth()
+	for _, root := range cg.Roots() {
+		prof, err := interp.ProfileFunc(lowered, root, 24, 0xd1ce)
+		if err != nil {
+			continue
+		}
+		out.covSum += prof.BranchCoverage
+		out.covRuns++
+		out.dynPaths += prof.UniquePaths
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ml"
+	"repro/internal/stats"
+)
+
+// Hyperparameter tuning: §5.2 names "tuning the parameters to the learning
+// algorithms" as a primary challenge of building the metric. TuneForest
+// grid-searches the random-forest parameters with cross validation on one
+// hypothesis and returns the configurations ranked by AUC.
+
+// ForestParams is one grid point.
+type ForestParams struct {
+	Trees    int
+	MaxDepth int
+}
+
+// TuneResult is one evaluated configuration.
+type TuneResult struct {
+	Params   ForestParams
+	Accuracy float64
+	AUC      float64
+}
+
+// DefaultForestGrid spans the useful range at corpus scale.
+var DefaultForestGrid = []ForestParams{
+	{Trees: 5, MaxDepth: 4},
+	{Trees: 5, MaxDepth: 10},
+	{Trees: 15, MaxDepth: 4},
+	{Trees: 15, MaxDepth: 10},
+	{Trees: 30, MaxDepth: 6},
+	{Trees: 30, MaxDepth: 12},
+	{Trees: 60, MaxDepth: 10},
+}
+
+// TuneForest evaluates the grid on h with k-fold CV; results come back
+// sorted by AUC, best first. Ties break toward the cheaper model (fewer
+// trees, then shallower).
+func TuneForest(tb *Testbed, h Hypothesis, grid []ForestParams, folds int, seed uint64) ([]TuneResult, error) {
+	if len(grid) == 0 {
+		grid = DefaultForestGrid
+	}
+	ds, err := tb.DatasetFor(h)
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(seed)
+	var out []TuneResult
+	for _, p := range grid {
+		p := p
+		cv, err := ml.CrossValidate(func() ml.Classifier {
+			return &ml.RandomForest{Trees: p.Trees, MaxDepth: p.MaxDepth, Seed: seed}
+		}, ds, folds, rng.Split())
+		if err != nil {
+			return nil, fmt.Errorf("core: tuning %+v: %w", p, err)
+		}
+		out = append(out, TuneResult{Params: p, Accuracy: cv.Accuracy, AUC: cv.AUC})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].AUC != out[j].AUC {
+			return out[i].AUC > out[j].AUC
+		}
+		if out[i].Params.Trees != out[j].Params.Trees {
+			return out[i].Params.Trees < out[j].Params.Trees
+		}
+		return out[i].Params.MaxDepth < out[j].Params.MaxDepth
+	})
+	return out, nil
+}
+
+// RenderTuning prints the grid results as a table.
+func RenderTuning(results []TuneResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %-8s %8s %8s\n", "trees", "depth", "acc", "auc")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-8d %-8d %8.3f %8.3f\n", r.Params.Trees, r.Params.MaxDepth, r.Accuracy, r.AUC)
+	}
+	return sb.String()
+}

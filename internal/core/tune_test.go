@@ -1,0 +1,46 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTuneForest(t *testing.T) {
+	tb := NewTestbed(getCorpus(t))
+	grid := []ForestParams{
+		{Trees: 3, MaxDepth: 2},
+		{Trees: 10, MaxDepth: 8},
+	}
+	results, err := TuneForest(tb, HypManyVulns, grid, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Sorted best-first by AUC.
+	if results[0].AUC < results[1].AUC {
+		t.Fatalf("not sorted: %+v", results)
+	}
+	// Both configurations must beat chance on this learnable hypothesis.
+	for _, r := range results {
+		if r.AUC < 0.6 {
+			t.Fatalf("config %+v AUC = %v", r.Params, r.AUC)
+		}
+	}
+	out := RenderTuning(results)
+	if !strings.Contains(out, "trees") || !strings.Contains(out, "auc") {
+		t.Fatalf("rendering = %q", out)
+	}
+}
+
+func TestTuneForestDefaultGrid(t *testing.T) {
+	tb := NewTestbed(getCorpus(t))
+	results, err := TuneForest(tb, HypManyVulns, nil, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(DefaultForestGrid) {
+		t.Fatalf("results = %d, want %d", len(results), len(DefaultForestGrid))
+	}
+}

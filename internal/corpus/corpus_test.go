@@ -1,0 +1,227 @@
+package corpus
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cvedb"
+	"repro/internal/lang"
+	"repro/internal/stats"
+)
+
+var cached *Corpus
+
+func defaultCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	c, err := Generate(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached = c
+	return c
+}
+
+func TestCorpusSizeAndMix(t *testing.T) {
+	c := defaultCorpus(t)
+	if len(c.Apps) != 164 {
+		t.Fatalf("apps = %d, want 164", len(c.Apps))
+	}
+	counts := c.LanguageCounts()
+	want := map[lang.Language]int{lang.C: 126, lang.CPP: 20, lang.Python: 6, lang.Java: 12}
+	for l, n := range want {
+		if counts[l] != n {
+			t.Errorf("%v apps = %d, want %d", l, counts[l], n)
+		}
+	}
+}
+
+func TestCorpusTotalCVEsExact(t *testing.T) {
+	c := defaultCorpus(t)
+	if got := c.TotalCVEs(); got != 5975 {
+		t.Fatalf("total CVEs = %d, want 5975", got)
+	}
+	if got := c.DB.NumRecords(); got != 5975 {
+		t.Fatalf("db records = %d, want 5975", got)
+	}
+}
+
+func TestCorpusFiveYearHistories(t *testing.T) {
+	c := defaultCorpus(t)
+	asOf := time.Date(c.Params.EndYear, 4, 30, 0, 0, 0, 0, time.UTC)
+	sel := c.DB.SelectEstablished(cvedb.FiveYears, asOf)
+	if len(sel) != 164 {
+		t.Fatalf("established apps = %d, want all 164", len(sel))
+	}
+	// Multi-record apps additionally have a >= 5-year first-to-last span.
+	for _, a := range c.Apps {
+		if a.VulnCount >= 2 {
+			if span := c.DB.HistorySpan(a.App.Name); span < cvedb.FiveYears {
+				t.Fatalf("%s span = %v", a.App.Name, span)
+			}
+		}
+	}
+}
+
+func TestCorpusFigure2Regression(t *testing.T) {
+	c := defaultCorpus(t)
+	kloc, vulns := c.LoCVulnSeries()
+	fit := stats.FitLinear(stats.Log10(kloc), stats.Log10(vulns))
+	// Integer rounding perturbs the calibrated fit slightly.
+	if math.Abs(fit.Slope-0.39) > 0.03 {
+		t.Errorf("slope = %v, want ~0.39", fit.Slope)
+	}
+	if math.Abs(fit.Intercept-0.17) > 0.08 {
+		t.Errorf("intercept = %v, want ~0.17", fit.Intercept)
+	}
+	if math.Abs(fit.R2-0.2466) > 0.04 {
+		t.Errorf("R2 = %v, want ~0.2466", fit.R2)
+	}
+}
+
+func TestCorpusFigure3WeakerOrSimilar(t *testing.T) {
+	c := defaultCorpus(t)
+	kloc, vulns := c.LoCVulnSeries()
+	cyclo, _ := c.CyclomaticVulnSeries()
+	locFit := stats.FitLinear(stats.Log10(kloc), stats.Log10(vulns))
+	cycloFit := stats.FitLinear(stats.Log10(cyclo), stats.Log10(vulns))
+	// Cyclomatic complexity adds noise on top of size, so its R² must stay
+	// in the same weak band (within a small margin of the LoC fit).
+	if cycloFit.R2 > locFit.R2+0.05 {
+		t.Errorf("cyclomatic R2 %v unexpectedly above LoC R2 %v", cycloFit.R2, locFit.R2)
+	}
+	if cycloFit.R2 < 0.05 {
+		t.Errorf("cyclomatic R2 %v lost all correlation", cycloFit.R2)
+	}
+}
+
+func TestCorpusKLoCRange(t *testing.T) {
+	c := defaultCorpus(t)
+	for _, a := range c.Apps {
+		if a.App.KLoC < 1 || a.App.KLoC > 10000 {
+			t.Fatalf("%s kloc = %v out of [1, 10000]", a.App.Name, a.App.KLoC)
+		}
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a, err := Generate(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Apps {
+		if a.Apps[i].App != b.Apps[i].App || a.Apps[i].VulnCount != b.Apps[i].VulnCount {
+			t.Fatalf("app %d differs between runs", i)
+		}
+		for _, k := range []string{"kloc", "unsafe_calls", "rasq"} {
+			if a.Apps[i].Features[k] != b.Apps[i].Features[k] {
+				t.Fatalf("app %d feature %s differs", i, k)
+			}
+		}
+	}
+}
+
+func TestCorpusManagedLanguagesNoMemoryCWEs(t *testing.T) {
+	c := defaultCorpus(t)
+	for _, a := range c.Apps {
+		if !a.App.Language.Managed() {
+			continue
+		}
+		for _, r := range c.DB.Records(a.App.Name) {
+			switch r.CWE {
+			case 121, 122, 120, 125, 787, 416, 415, 119, 134, 401:
+				t.Fatalf("%s (%v) has managed-safe CWE-%d", a.App.Name, a.App.Language, r.CWE)
+			}
+		}
+	}
+}
+
+func TestCorpusScoresValid(t *testing.T) {
+	c := defaultCorpus(t)
+	for _, a := range c.Apps[:20] {
+		for _, r := range c.DB.Records(a.App.Name) {
+			if r.Score < 0 || r.Score > 10 {
+				t.Fatalf("score %v out of range", r.Score)
+			}
+			if r.V3 == "" {
+				t.Fatalf("record %s missing v3 vector", r.ID)
+			}
+			if r.Published.Year() < 2016 && r.V2 == "" {
+				t.Fatalf("old record %s missing v2 vector", r.ID)
+			}
+		}
+	}
+}
+
+func TestCorpusQualityDrivesHygiene(t *testing.T) {
+	// Apps with higher latent quality residual must show higher unsafe-call
+	// density on average — the correlation the model is meant to recover.
+	c := defaultCorpus(t)
+	var qs, density []float64
+	for _, a := range c.Apps {
+		if a.App.Language.Managed() {
+			continue
+		}
+		qs = append(qs, a.Quality)
+		density = append(density, a.Features["unsafe_calls"]/(a.App.KLoC+1))
+	}
+	if r := stats.Pearson(qs, density); r < 0.3 {
+		t.Fatalf("quality/unsafe-density correlation = %v, want > 0.3", r)
+	}
+}
+
+func TestCorpusHypothesisLabelsPopulated(t *testing.T) {
+	c := defaultCorpus(t)
+	var highSev, netVec, stack int
+	for _, a := range c.Apps {
+		highSev += a.HighSeverity
+		netVec += a.NetworkVector
+		stack += a.StackOverflow
+	}
+	if highSev == 0 || netVec == 0 || stack == 0 {
+		t.Fatalf("labels empty: high=%d net=%d stack=%d", highSev, netVec, stack)
+	}
+	// Sanity: high severity is a minority but not negligible.
+	frac := float64(highSev) / 5975
+	if frac < 0.05 || frac > 0.8 {
+		t.Fatalf("high-severity fraction = %v", frac)
+	}
+}
+
+func TestCorpusFeatureMatrixShape(t *testing.T) {
+	c := defaultCorpus(t)
+	X, names := c.FeatureMatrix()
+	if len(X) != 164 {
+		t.Fatalf("rows = %d", len(X))
+	}
+	if len(names) != len(X[0]) {
+		t.Fatalf("names %d != cols %d", len(names), len(X[0]))
+	}
+}
+
+func TestGenerateRejectsTinyMix(t *testing.T) {
+	p := DefaultParams()
+	p.LangMix = map[lang.Language]int{lang.C: 1}
+	if _, err := Generate(p); err == nil {
+		t.Fatal("tiny corpus accepted")
+	}
+}
+
+func TestCorpusRecordCountsConsistent(t *testing.T) {
+	c := defaultCorpus(t)
+	for _, a := range c.Apps {
+		if a.VulnCount < 1 {
+			t.Fatalf("%s has %d records, want >= 1", a.App.Name, a.VulnCount)
+		}
+		if len(c.DB.Records(a.App.Name)) != a.VulnCount {
+			t.Fatalf("%s record count mismatch", a.App.Name)
+		}
+	}
+}

@@ -1,0 +1,456 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/cvedb"
+	"repro/internal/cvss"
+	"repro/internal/cwe"
+	"repro/internal/lang"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// AppProfile is one generated application with its ground truth.
+type AppProfile struct {
+	App cvedb.App
+	// Quality is the latent code-quality residual (higher = more
+	// vulnerability-prone than size alone predicts).
+	Quality float64
+	// Features is the application's code-property vector, generated to
+	// co-vary with size and Quality.
+	Features metrics.FeatureVector
+	// VulnCount is the number of CVE records.
+	VulnCount int
+	// Ground-truth hypothesis labels, derived from the records.
+	HighSeverity  int
+	NetworkVector int
+	StackOverflow int
+}
+
+// Corpus is the generated dataset.
+type Corpus struct {
+	Params Params
+	DB     *cvedb.DB
+	Apps   []AppProfile
+}
+
+// Generate builds the corpus. The same Params produce identical output.
+func Generate(p Params) (*Corpus, error) {
+	if p.NumApps() < 3 {
+		return nil, fmt.Errorf("corpus: need at least 3 apps, got %d", p.NumApps())
+	}
+	rng := stats.NewRNG(p.Seed)
+	n := p.NumApps()
+
+	// --- Sizes: stratified log10(kLoC) over [0, LogKLoCMax], skewed toward
+	// smaller applications by a power transform whose exponent is tuned so
+	// the final rounded counts hit TargetTotalCVEs.
+	quantiles := make([]float64, n)
+	for i := range quantiles {
+		quantiles[i] = (float64(i) + 0.5) / float64(n)
+	}
+	rng.Shuffle(n, func(i, j int) { quantiles[i], quantiles[j] = quantiles[j], quantiles[i] })
+
+	// Raw residuals: sampled once, then affinely adjusted for the exact fit.
+	rawRes := make([]float64, n)
+	for i := range rawRes {
+		rawRes[i] = rng.Normal(0, 1)
+	}
+
+	// build generates the log-log scatter for inner parameters (a, b,
+	// resScale). Sizes come from a symmetric stratified family over
+	// [0, LogKLoCMax]: x = L/2 + (L/2)·sign(t)·|t|^kappa with t uniform on
+	// (-1, 1). kappa = 1 is log-uniform; larger kappa concentrates sizes
+	// toward the middle while keeping the full span (most real applications
+	// are mid-sized with a few giants, which is also what makes the total
+	// CVE count land where the paper reports it). Residuals are centered
+	// and orthogonalized against size so the *pre-rounding* fit is exactly
+	// (a, b) with residual standard deviation resScale.
+	build := func(kappa, a, b, resScale float64) (xs, ys, res []float64) {
+		xs = make([]float64, n)
+		half := p.LogKLoCMax / 2
+		for i, q := range quantiles {
+			t := 2*q - 1
+			mag := math.Pow(math.Abs(t), kappa)
+			if t < 0 {
+				mag = -mag
+			}
+			xs[i] = half + half*mag
+		}
+		res = append([]float64(nil), rawRes...)
+		mx := stats.Mean(xs)
+		mr := stats.Mean(res)
+		var sxx, sxr float64
+		for i := range xs {
+			res[i] -= mr
+			sxx += (xs[i] - mx) * (xs[i] - mx)
+			sxr += (xs[i] - mx) * res[i]
+		}
+		if sxx > 0 {
+			beta := sxr / sxx
+			for i := range res {
+				res[i] -= beta * (xs[i] - mx)
+			}
+		}
+		cur := stats.StdDev(res)
+		if cur > 0 {
+			for i := range res {
+				res[i] *= resScale / cur
+			}
+		}
+		ys = make([]float64, n)
+		for i := range ys {
+			ys[i] = a + b*xs[i] + res[i]
+		}
+		return xs, ys, res
+	}
+
+	// roundCounts is the measurement model: integer counts with a floor of
+	// 1. (Figure 2's y-axis shows applications with a single reported
+	// vulnerability, so the paper's "5-year history" must be age since the
+	// first report rather than first-to-last span; see cvedb.SelectEstablished.)
+	roundCounts := func(ys []float64) []int {
+		out := make([]int, len(ys))
+		for i, y := range ys {
+			c := int(math.Round(math.Pow(10, y)))
+			if c < 1 {
+				c = 1
+			}
+			out[i] = c
+		}
+		return out
+	}
+
+	// Integer rounding and the floor flatten the measured regression
+	// relative to the inner parameters (exactly as they do in the real CVE
+	// data). For a given size-spread kappa, calibrate the inner (a, b,
+	// resScale) with a damped fixed-point iteration so the fit measured on
+	// the rounded counts matches the published numbers.
+	calibrate := func(kappa float64) (xs, res []float64, counts []int) {
+		a, b := p.Intercept, p.Slope
+		varFit := p.Slope * p.Slope * (p.LogKLoCMax * p.LogKLoCMax / 12)
+		resScale := math.Sqrt(varFit * (1 - p.R2) / p.R2)
+		for iter := 0; iter < 30; iter++ {
+			var ys []float64
+			xs, ys, res = build(kappa, a, b, resScale)
+			counts = roundCounts(ys)
+			logCounts := make([]float64, n)
+			for i, c := range counts {
+				logCounts[i] = math.Log10(float64(c))
+			}
+			fit := stats.FitLinear(xs, logCounts)
+			const step = 0.6
+			a += step * (p.Intercept - fit.Intercept)
+			b += step * (p.Slope - fit.Slope)
+			if fit.R2 > 0.01 && fit.R2 < 0.99 {
+				// R² = F/(F+V) => V = F(1/R² - 1): correct the residual scale.
+				ratio := (1/p.R2 - 1) / (1/fit.R2 - 1)
+				resScale *= math.Pow(ratio, step/2)
+			}
+		}
+		return xs, res, counts
+	}
+
+	// Outer bisection on kappa: with the fit pinned by calibration, the
+	// size spread Var(x) is what determines the heavy-tailed total, and
+	// larger kappa (tighter spread) lowers it.
+	totalOf := func(counts []int) int {
+		t := 0
+		for _, c := range counts {
+			t += c
+		}
+		return t
+	}
+	kLo, kHi := 0.6, 8.0
+	for i := 0; i < 25; i++ {
+		mid := (kLo + kHi) / 2
+		_, _, counts := calibrate(mid)
+		if totalOf(counts) > p.TargetTotalCVEs {
+			kLo = mid
+		} else {
+			kHi = mid
+		}
+	}
+	xs, res, counts := calibrate((kLo + kHi) / 2)
+
+	// Exact total: nudge counts by +/-1, preferring the largest counts
+	// (where a unit change perturbs the log fit least), keeping the floor.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+	for k := 0; totalOf(counts) < p.TargetTotalCVEs; k = (k + 1) % n {
+		counts[order[k]]++
+	}
+	for k := 0; totalOf(counts) > p.TargetTotalCVEs; k = (k + 1) % n {
+		if counts[order[k]] > 1 {
+			counts[order[k]]--
+		}
+	}
+
+	// --- Assemble apps, records, features.
+	langs := langSequence(p.LangMix, rng)
+	db := cvedb.New()
+	c := &Corpus{Params: p, DB: db}
+	for i := 0; i < n; i++ {
+		l := langs[i]
+		kloc := math.Pow(10, xs[i])
+		name := fmt.Sprintf("app-%s-%03d", langTag(l), i)
+		profile := AppProfile{
+			App: cvedb.App{
+				Name:     name,
+				Language: l,
+				KLoC:     kloc,
+			},
+			Quality:   res[i],
+			VulnCount: counts[i],
+		}
+		// Figure 3: whole-program cyclomatic complexity ~ LoC / density,
+		// density lognormal around 8 — an extra noise source on top of
+		// size, so the cyclomatic correlation is at least as weak as LoC's.
+		density := 8 * rng.LogNormal(0, 0.45)
+		profile.App.Cyclomatic = kloc * 1000 / density
+		profile.Features = genFeatures(&profile, rng.Split())
+		if err := db.AddApp(profile.App); err != nil {
+			return nil, err
+		}
+		recs := genRecords(&profile, p, rng.Split())
+		for _, r := range recs {
+			if err := db.AddRecord(r); err != nil {
+				return nil, err
+			}
+		}
+		st, err := db.StatsFor(name)
+		if err != nil {
+			return nil, err
+		}
+		profile.HighSeverity = st.HighSeverity
+		profile.NetworkVector = st.NetworkVector
+		profile.StackOverflow = st.StackOverflow
+		c.Apps = append(c.Apps, profile)
+	}
+	return c, nil
+}
+
+// langSequence deals out the language mix in shuffled order.
+func langSequence(mix map[lang.Language]int, rng *stats.RNG) []lang.Language {
+	var seq []lang.Language
+	// Deterministic iteration: fixed language order.
+	for _, l := range []lang.Language{lang.C, lang.CPP, lang.Python, lang.Java} {
+		for i := 0; i < mix[l]; i++ {
+			seq = append(seq, l)
+		}
+	}
+	rng.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+	return seq
+}
+
+func langTag(l lang.Language) string {
+	switch l {
+	case lang.C:
+		return "c"
+	case lang.CPP:
+		return "cpp"
+	case lang.Python:
+		return "py"
+	case lang.Java:
+		return "java"
+	default:
+		return "x"
+	}
+}
+
+// genRecords synthesizes the app's CVE history: publication dates spanning
+// at least five years, CWE classes matching the language profile, and CVSS
+// vectors whose severity/vector distributions reflect the app's latent
+// quality and attack-surface features.
+func genRecords(a *AppProfile, p Params, rng *stats.RNG) []cvedb.Record {
+	nv := a.VulnCount
+	recs := make([]cvedb.Record, 0, nv)
+	// Spread publication dates over a window of at least 5 years within
+	// [StartYear, EndYear].
+	years := p.EndYear - p.StartYear
+	spanYears := 5 + rng.Intn(years-5+1)
+	startOff := 0
+	if years > spanYears {
+		startOff = rng.Intn(years - spanYears + 1)
+	}
+	start := time.Date(p.StartYear+startOff, 1, 1, 0, 0, 0, 0, time.UTC)
+	span := time.Duration(spanYears) * 365 * 24 * time.Hour
+
+	// Network propensity follows the app's network attack surface; memory
+	// propensity follows language safety and unsafe-API density.
+	netDensity := a.Features[metrics.FeatNetworkCalls] / (a.App.KLoC + 1)
+	pNet := clamp01(0.25 + 0.1*math.Log10(1+netDensity*50) + 0.08*a.Quality)
+	unsafe := !a.App.Language.Managed()
+	pMem := 0.05
+	if unsafe {
+		unsafeDensity := a.Features[metrics.FeatUnsafeCalls] / (a.App.KLoC + 1)
+		pMem = clamp01(0.35 + 0.1*math.Log10(1+unsafeDensity*50) + 0.06*a.Quality)
+	}
+	// Severity: latent quality shifts the CVSS impact distribution.
+	pHighImpact := clamp01(0.45 + 0.12*a.Quality)
+
+	for i := 0; i < nv; i++ {
+		frac := 0.0
+		if nv > 1 {
+			frac = float64(i) / float64(nv-1)
+		}
+		// First and last records pin the span endpoints; the rest jitter.
+		offset := time.Duration(frac * float64(span))
+		if i != 0 && i != nv-1 {
+			offset = time.Duration(rng.Float64() * float64(span))
+		}
+		published := start.Add(offset)
+		id := fmt.Sprintf("CVE-%d-%s%04d", published.Year(), langTag(a.App.Language), i)
+
+		cweID := sampleCWE(rng, a.App.Language, pMem)
+		v3 := sampleVector(rng, pNet, pHighImpact, cweID)
+		rec := cvedb.Record{
+			ID:        id,
+			App:       a.App.Name,
+			Published: published,
+			CWE:       cweID,
+			V3:        v3.String(),
+			Score:     v3.MustBaseScore(),
+		}
+		// Pre-2016 records predate v3 adoption: also carry a v2 vector.
+		if published.Year() < 2016 {
+			rec.V2 = approximateV2(v3).String()
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// memoryCWEs/otherCWEs are the sampling pools.
+var memoryCWEs = []cwe.ID{121, 122, 125, 787, 120, 416, 415, 476, 119}
+var injectionCWEs = []cwe.ID{79, 89, 78, 94, 134, 22}
+var otherCWEs = []cwe.ID{20, 200, 287, 352, 362, 400, 310, 264, 284, 502, 798, 190}
+
+// allowedPool filters a CWE pool down to the entries the language can
+// structurally exhibit.
+func allowedPool(pool []cwe.ID, l lang.Language) []cwe.ID {
+	if !l.Managed() {
+		return pool
+	}
+	var out []cwe.ID
+	for _, id := range pool {
+		if e, ok := cwe.Lookup(id); ok && !e.ManagedSafe {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func sampleCWE(rng *stats.RNG, l lang.Language, pMem float64) cwe.ID {
+	if mem := allowedPool(memoryCWEs, l); len(mem) > 0 && rng.Bool(pMem) {
+		return mem[rng.Zipf(len(mem), 1.1)]
+	}
+	if inj := allowedPool(injectionCWEs, l); len(inj) > 0 && rng.Bool(0.45) {
+		return inj[rng.Zipf(len(inj), 1.0)]
+	}
+	pool := allowedPool(otherCWEs, l)
+	return pool[rng.Zipf(len(pool), 0.8)]
+}
+
+// sampleVector draws a CVSS v3 base vector consistent with the app's
+// propensities and the weakness class.
+func sampleVector(rng *stats.RNG, pNet, pHighImpact float64, id cwe.ID) cvss.V3 {
+	v := cvss.V3{}
+	if rng.Bool(pNet) {
+		v.AV = cvss.AVNetwork
+	} else {
+		avs := []cvss.AttackVector{cvss.AVAdjacent, cvss.AVLocal, cvss.AVLocal, cvss.AVPhysical}
+		v.AV = avs[rng.Intn(len(avs))]
+	}
+	if rng.Bool(0.7) {
+		v.AC = cvss.ACLow
+	} else {
+		v.AC = cvss.ACHigh
+	}
+	prs := []cvss.PrivilegesRequired{cvss.PRNone, cvss.PRNone, cvss.PRLow, cvss.PRHigh}
+	v.PR = prs[rng.Intn(len(prs))]
+	if rng.Bool(0.65) {
+		v.UI = cvss.UINone
+	} else {
+		v.UI = cvss.UIRequired
+	}
+	if rng.Bool(0.12) {
+		v.S = cvss.ScopeChanged
+	} else {
+		v.S = cvss.ScopeUnchanged
+	}
+	impact := func() cvss.Impact {
+		if rng.Bool(pHighImpact) {
+			return cvss.ImpactHigh
+		}
+		if rng.Bool(0.6) {
+			return cvss.ImpactLow
+		}
+		return cvss.ImpactNone
+	}
+	v.C, v.I, v.A = impact(), impact(), impact()
+	// Memory-corruption bugs practically always threaten availability.
+	if e, ok := cwe.Lookup(id); ok && e.Class == cwe.ClassMemory && v.A == cvss.ImpactNone {
+		v.A = cvss.ImpactHigh
+	}
+	// Avoid the degenerate all-None vector (not a reportable vulnerability).
+	if v.C == cvss.ImpactNone && v.I == cvss.ImpactNone && v.A == cvss.ImpactNone {
+		v.I = cvss.ImpactLow
+	}
+	return v
+}
+
+// approximateV2 maps a v3 vector to the closest v2 base vector.
+func approximateV2(v cvss.V3) cvss.V2 {
+	out := cvss.V2{}
+	switch v.AV {
+	case cvss.AVNetwork:
+		out.AV = cvss.V2AVNetwork
+	case cvss.AVAdjacent:
+		out.AV = cvss.V2AVAdjacent
+	default:
+		out.AV = cvss.V2AVLocal
+	}
+	if v.AC == cvss.ACLow {
+		out.AC = cvss.V2ACLow
+	} else {
+		out.AC = cvss.V2ACHigh
+	}
+	switch v.PR {
+	case cvss.PRNone:
+		out.Au = cvss.V2AuNone
+	case cvss.PRLow:
+		out.Au = cvss.V2AuSingle
+	default:
+		out.Au = cvss.V2AuMultiple
+	}
+	conv := func(i cvss.Impact) cvss.V2Impact {
+		switch i {
+		case cvss.ImpactHigh:
+			return cvss.V2ImpactComplete
+		case cvss.ImpactLow:
+			return cvss.V2ImpactPartial
+		default:
+			return cvss.V2ImpactNone
+		}
+	}
+	out.C, out.I, out.A = conv(v.C), conv(v.I), conv(v.A)
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0.02 {
+		return 0.02
+	}
+	if v > 0.98 {
+		return 0.98
+	}
+	return v
+}

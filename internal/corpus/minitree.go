@@ -1,0 +1,70 @@
+package corpus
+
+import (
+	"math"
+
+	"repro/internal/lang"
+	"repro/internal/langgen"
+	"repro/internal/metrics"
+)
+
+// MiniTree generates an actual source tree for one corpus application,
+// scaled down to at most maxKLoC thousand lines. The langgen spec is
+// derived from the application's modeled features — hygiene (comment
+// ratio, vulnerability density) follows the latent quality residual — so
+// the real extractors measure distributions that echo the corpus model.
+// This is the end-to-end bridge DESIGN.md §2.2 promises: figure-scale
+// statistics come from the property model, while the full analysis path is
+// exercised on these scaled trees.
+func MiniTree(a AppProfile, maxKLoC float64, seed uint64) *metrics.Tree {
+	kloc := math.Min(a.App.KLoC, maxKLoC)
+	if kloc < 0.2 {
+		kloc = 0.2
+	}
+	// A generated function body averages ~12 physical lines at the default
+	// statement count; derive file/function counts from the size budget.
+	const linesPerFunc = 12.0
+	funcs := int(math.Max(2, kloc*1000/linesPerFunc))
+	files := int(math.Max(1, math.Min(16, float64(funcs)/8)))
+	funcsPerFile := funcs / files
+	if funcsPerFile < 1 {
+		funcsPerFile = 1
+	}
+
+	hygiene := math.Exp(0.9 * a.Quality) // matches genFeatures' latent scale
+	vulnDensity := clamp01(0.12 * hygiene)
+	commentRate := clamp01(0.25 / math.Sqrt(hygiene))
+	genLang := lang.MiniC
+	if a.App.Language.Managed() {
+		// Managed apps get Python-flavoured trees: no unsafe C APIs, token
+		// metrics only — mirroring how the real analyses degrade there.
+		genLang = lang.Python
+		vulnDensity = clamp01(0.04 * hygiene)
+	}
+
+	spec := langgen.Spec{
+		Language:     genLang,
+		Files:        files,
+		FuncsPerFile: funcsPerFile,
+		StmtsPerFunc: 8,
+		BranchProb:   0.25,
+		LoopProb:     0.12,
+		CallProb:     0.18,
+		CommentRate:  commentRate,
+		VulnDensity:  vulnDensity,
+		Seed:         seed ^ hashName(a.App.Name),
+	}
+	tree := langgen.Generate(spec)
+	tree.Name = a.App.Name + "-mini"
+	return tree
+}
+
+// hashName gives each application a stable generation stream.
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

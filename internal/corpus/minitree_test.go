@@ -1,0 +1,100 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+func TestMiniTreeScales(t *testing.T) {
+	c := defaultCorpus(t)
+	small, large := c.Apps[0], c.Apps[0]
+	for _, a := range c.Apps {
+		if a.App.KLoC < small.App.KLoC {
+			small = a
+		}
+		if a.App.KLoC > large.App.KLoC {
+			large = a
+		}
+	}
+	smallTree := MiniTree(small, 5, 1)
+	largeTree := MiniTree(large, 5, 1)
+	smallLoC, _ := metrics.CountTree(smallTree)
+	largeLoC, _ := metrics.CountTree(largeTree)
+	if largeLoC.Code <= smallLoC.Code {
+		t.Fatalf("mini trees do not scale: %d vs %d", smallLoC.Code, largeLoC.Code)
+	}
+	// The cap holds (generated lines track the budget loosely).
+	if largeLoC.Code > 5*1000*2 {
+		t.Fatalf("cap exceeded: %d lines", largeLoC.Code)
+	}
+}
+
+func TestMiniTreeLanguageFollowsApp(t *testing.T) {
+	c := defaultCorpus(t)
+	for _, a := range c.Apps {
+		tree := MiniTree(a, 1, 2)
+		primary := tree.PrimaryLanguage()
+		if a.App.Language.Managed() {
+			if primary != lang.Python {
+				t.Fatalf("%s (%v): mini tree language %v", a.App.Name, a.App.Language, primary)
+			}
+		} else if primary != lang.MiniC {
+			t.Fatalf("%s (%v): mini tree language %v", a.App.Name, a.App.Language, primary)
+		}
+		if len(c.Apps) > 20 {
+			// Checking every app is slow; a prefix suffices after the first
+			// managed app has been seen.
+			if a.App.Language.Managed() {
+				break
+			}
+		}
+	}
+}
+
+func TestMiniTreeDeterministic(t *testing.T) {
+	c := defaultCorpus(t)
+	a := c.Apps[3]
+	x := MiniTree(a, 2, 7)
+	y := MiniTree(a, 2, 7)
+	if len(x.Files) != len(y.Files) {
+		t.Fatal("file counts differ")
+	}
+	for i := range x.Files {
+		if x.Files[i].Content != y.Files[i].Content {
+			t.Fatalf("file %d differs", i)
+		}
+	}
+}
+
+// The fidelity check: measured unsafe-call density on mini trees must
+// correlate with the corpus's modeled quality residual across unsafe-
+// language apps — the generative story survives the real extractors.
+func TestMiniTreeFidelity(t *testing.T) {
+	c := defaultCorpus(t)
+	var qs, measured []float64
+	count := 0
+	for _, a := range c.Apps {
+		if a.App.Language.Managed() {
+			continue
+		}
+		count++
+		if count > 40 { // enough for a stable rank correlation
+			break
+		}
+		tree := MiniTree(a, 1, 3)
+		fv := metrics.Extract(tree)
+		loc, _ := metrics.CountTree(tree)
+		if loc.Code == 0 {
+			t.Fatalf("%s: empty mini tree", a.App.Name)
+		}
+		density := fv[metrics.FeatUnsafeCalls] / (float64(loc.Code) / 1000)
+		qs = append(qs, a.Quality)
+		measured = append(measured, density)
+	}
+	if r := stats.Spearman(qs, measured); r < 0.3 {
+		t.Fatalf("quality/measured-unsafe correlation = %v, want > 0.3", r)
+	}
+}

@@ -1,0 +1,175 @@
+package cvss
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Temporal metrics (CVSS v3.0 §3): exploit code maturity (E), remediation
+// level (RL), and report confidence (RC) adjust the base score over a
+// vulnerability's lifetime. §5.1 lists "exploit code maturity (E)" among
+// the CVSS factors the model can learn against.
+
+// ExploitMaturity is the E metric.
+type ExploitMaturity int
+
+// ExploitMaturity values. Not Defined weighs 1.0, as do the other
+// not-defined temporal values.
+const (
+	ENotDefined ExploitMaturity = iota
+	EUnproven
+	EProofOfConcept
+	EFunctional
+	EHigh
+)
+
+// RemediationLevel is the RL metric.
+type RemediationLevel int
+
+// RemediationLevel values.
+const (
+	RLNotDefined RemediationLevel = iota
+	RLOfficialFix
+	RLTemporaryFix
+	RLWorkaround
+	RLUnavailable
+)
+
+// ReportConfidence is the RC metric.
+type ReportConfidence int
+
+// ReportConfidence values.
+const (
+	RCNotDefined ReportConfidence = iota
+	RCUnknown
+	RCReasonable
+	RCConfirmed
+)
+
+// Temporal is a v3.0 temporal metric group.
+type Temporal struct {
+	E  ExploitMaturity
+	RL RemediationLevel
+	RC ReportConfidence
+}
+
+func (t Temporal) eWeight() float64 {
+	switch t.E {
+	case EUnproven:
+		return 0.91
+	case EProofOfConcept:
+		return 0.94
+	case EFunctional:
+		return 0.97
+	case EHigh, ENotDefined:
+		return 1.0
+	}
+	return 1.0
+}
+
+func (t Temporal) rlWeight() float64 {
+	switch t.RL {
+	case RLOfficialFix:
+		return 0.95
+	case RLTemporaryFix:
+		return 0.96
+	case RLWorkaround:
+		return 0.97
+	case RLUnavailable, RLNotDefined:
+		return 1.0
+	}
+	return 1.0
+}
+
+func (t Temporal) rcWeight() float64 {
+	switch t.RC {
+	case RCUnknown:
+		return 0.92
+	case RCReasonable:
+		return 0.96
+	case RCConfirmed, RCNotDefined:
+		return 1.0
+	}
+	return 1.0
+}
+
+// TemporalScore computes roundup(base * E * RL * RC) per the v3.0 spec.
+func (v V3) TemporalScore(t Temporal) (float64, error) {
+	base, err := v.BaseScore()
+	if err != nil {
+		return 0, err
+	}
+	return roundUp1(base * t.eWeight() * t.rlWeight() * t.rcWeight()), nil
+}
+
+// String renders "E:P/RL:O/RC:C" (not-defined metrics render as X).
+func (t Temporal) String() string {
+	var b strings.Builder
+	b.WriteString("E:" + pick(int(t.E), "X", "U", "P", "F", "H"))
+	b.WriteString("/RL:" + pick(int(t.RL), "X", "O", "T", "W", "U"))
+	b.WriteString("/RC:" + pick(int(t.RC), "X", "U", "R", "C"))
+	return b.String()
+}
+
+// ParseTemporal parses "E:P/RL:O/RC:C" fragments; missing metrics stay
+// not-defined.
+func ParseTemporal(s string) (Temporal, error) {
+	var t Temporal
+	for _, part := range strings.Split(s, "/") {
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, ":", 2)
+		if len(kv) != 2 {
+			return Temporal{}, fmt.Errorf("cvss: malformed temporal metric %q", part)
+		}
+		switch kv[0] {
+		case "E":
+			switch kv[1] {
+			case "X":
+				t.E = ENotDefined
+			case "U":
+				t.E = EUnproven
+			case "P":
+				t.E = EProofOfConcept
+			case "F":
+				t.E = EFunctional
+			case "H":
+				t.E = EHigh
+			default:
+				return Temporal{}, fmt.Errorf("cvss: bad E value %q", kv[1])
+			}
+		case "RL":
+			switch kv[1] {
+			case "X":
+				t.RL = RLNotDefined
+			case "O":
+				t.RL = RLOfficialFix
+			case "T":
+				t.RL = RLTemporaryFix
+			case "W":
+				t.RL = RLWorkaround
+			case "U":
+				t.RL = RLUnavailable
+			default:
+				return Temporal{}, fmt.Errorf("cvss: bad RL value %q", kv[1])
+			}
+		case "RC":
+			switch kv[1] {
+			case "X":
+				t.RC = RCNotDefined
+			case "U":
+				t.RC = RCUnknown
+			case "R":
+				t.RC = RCReasonable
+			case "C":
+				t.RC = RCConfirmed
+			default:
+				return Temporal{}, fmt.Errorf("cvss: bad RC value %q", kv[1])
+			}
+		default:
+			return Temporal{}, fmt.Errorf("cvss: unknown temporal metric %q", kv[0])
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,92 @@
+package cvss
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestTemporalScoreKnown(t *testing.T) {
+	// 9.8 base with E:U/RL:O/RC:U -> 9.8*0.91*0.95*0.92 = 7.796 -> 7.8
+	v, err := ParseV3("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := ParseTemporal("E:U/RL:O/RC:U")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.TemporalScore(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7.8 {
+		t.Fatalf("temporal = %v, want 7.8", got)
+	}
+}
+
+func TestTemporalNotDefinedIsBase(t *testing.T) {
+	v, _ := ParseV3("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N")
+	base, _ := v.BaseScore()
+	got, err := v.TemporalScore(Temporal{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != base {
+		t.Fatalf("not-defined temporal = %v, want base %v", got, base)
+	}
+}
+
+func TestTemporalNeverRaisesScore(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		v := randomV3(r)
+		tm := Temporal{
+			E:  ExploitMaturity(r.Intn(5)),
+			RL: RemediationLevel(r.Intn(5)),
+			RC: ReportConfidence(r.Intn(4)),
+		}
+		base := v.MustBaseScore()
+		got, err := v.TemporalScore(tm)
+		if err != nil {
+			return false
+		}
+		// Round-up can add at most 0.1 over the product, which is <= base.
+		return got <= base+1e-9 && got >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTemporalRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		tm := Temporal{
+			E:  ExploitMaturity(r.Intn(5)),
+			RL: RemediationLevel(r.Intn(5)),
+			RC: ReportConfidence(r.Intn(4)),
+		}
+		parsed, err := ParseTemporal(tm.String())
+		return err == nil && parsed == tm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTemporalParseErrors(t *testing.T) {
+	for _, bad := range []string{"E:Z", "RL:Q", "RC:9", "E=U", "ZZ:X"} {
+		if _, err := ParseTemporal(bad); err == nil {
+			t.Errorf("ParseTemporal(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestTemporalInvalidBase(t *testing.T) {
+	var v V3
+	if _, err := v.TemporalScore(Temporal{}); err == nil {
+		t.Fatal("temporal score of invalid vector succeeded")
+	}
+}

@@ -1,0 +1,133 @@
+package cvss
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// Reference v2 vectors with NVD-published scores.
+var v2Known = []struct {
+	vector string
+	score  float64
+}{
+	{"AV:N/AC:L/Au:N/C:P/I:P/A:P", 7.5},
+	{"AV:N/AC:L/Au:N/C:C/I:C/A:C", 10.0},
+	{"AV:L/AC:L/Au:N/C:C/I:C/A:C", 7.2},
+	{"AV:N/AC:L/Au:N/C:P/I:N/A:N", 5.0},
+	{"AV:N/AC:M/Au:N/C:N/I:P/A:N", 4.3}, // classic XSS
+	{"AV:N/AC:L/Au:N/C:N/I:N/A:N", 0.0},
+}
+
+func TestV2KnownScores(t *testing.T) {
+	for _, tc := range v2Known {
+		v, err := ParseV2(tc.vector)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.vector, err)
+		}
+		got, err := v.BaseScore()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.vector, err)
+		}
+		if got != tc.score {
+			t.Errorf("%s: score = %v, want %v", tc.vector, got, tc.score)
+		}
+	}
+}
+
+func TestParseV2Parentheses(t *testing.T) {
+	v, err := ParseV2("(AV:N/AC:L/Au:N/C:P/I:P/A:P)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AV != V2AVNetwork {
+		t.Fatalf("AV = %v", v.AV)
+	}
+}
+
+func TestParseV2Errors(t *testing.T) {
+	bad := []string{
+		"",
+		"AV:N/AC:L/Au:N/C:P/I:P",     // missing A
+		"AV:N/AC:L/Au:N/C:P/I:P/A:X", // bad impact
+		"AV:N/AV:N/AC:L/Au:N/C:P/I:P/A:P",
+		"ZZ:Q",
+	}
+	for _, s := range bad {
+		if _, err := ParseV2(s); err == nil {
+			t.Errorf("ParseV2(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func randomV2(r *stats.RNG) V2 {
+	return V2{
+		AV: V2AccessVector(1 + r.Intn(3)),
+		AC: V2AccessComplexity(1 + r.Intn(3)),
+		Au: V2Authentication(1 + r.Intn(3)),
+		C:  V2Impact(1 + r.Intn(3)),
+		I:  V2Impact(1 + r.Intn(3)),
+		A:  V2Impact(1 + r.Intn(3)),
+	}
+}
+
+func TestV2ScoreBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		v := randomV2(r)
+		s := v.MustBaseScore()
+		return s >= 0 && s <= 10 && math.Abs(s*10-math.Round(s*10)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestV2RoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		v := randomV2(r)
+		parsed, err := ParseV2(v.String())
+		return err == nil && parsed == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestV2ZeroImpactIsZero(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		v := randomV2(r)
+		v.C, v.I, v.A = V2ImpactNone, V2ImpactNone, V2ImpactNone
+		return v.MustBaseScore() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestV2NetworkDominatesLocal(t *testing.T) {
+	// Switching AV from Local to Network with everything else fixed must not
+	// decrease the score.
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		v := randomV2(r)
+		v.AV = V2AVLocal
+		local := v.MustBaseScore()
+		v.AV = V2AVNetwork
+		return v.MustBaseScore() >= local
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestV2ValidateZero(t *testing.T) {
+	var v V2
+	if err := v.Validate(); err == nil {
+		t.Fatal("zero v2 vector validated")
+	}
+}

@@ -1,0 +1,425 @@
+// Package cvss implements the Common Vulnerability Scoring System base-score
+// arithmetic for versions 2.0 and 3.0, including vector parsing, formatting,
+// validation, and qualitative severity banding.
+//
+// The paper's prediction hypotheses are phrased over CVSS v3.0 factors
+// ("CVSS > 7?", "Attack Vector = N?"), so this package is the ground-truth
+// labelling substrate for the training pipeline.
+package cvss
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Enumerations for the CVSS v3.0 base metrics. The zero value of each type is
+// invalid so an unset metric is detectable.
+
+// AttackVector reflects the context by which exploitation is possible.
+type AttackVector int
+
+// AttackVector values, most remote first.
+const (
+	AVUnset AttackVector = iota
+	AVNetwork
+	AVAdjacent
+	AVLocal
+	AVPhysical
+)
+
+// AttackComplexity describes conditions beyond the attacker's control.
+type AttackComplexity int
+
+// AttackComplexity values.
+const (
+	ACUnset AttackComplexity = iota
+	ACLow
+	ACHigh
+)
+
+// PrivilegesRequired describes the privilege level the attacker needs.
+type PrivilegesRequired int
+
+// PrivilegesRequired values.
+const (
+	PRUnset PrivilegesRequired = iota
+	PRNone
+	PRLow
+	PRHigh
+)
+
+// UserInteraction captures whether a user must participate.
+type UserInteraction int
+
+// UserInteraction values.
+const (
+	UIUnset UserInteraction = iota
+	UINone
+	UIRequired
+)
+
+// Scope captures whether the vulnerability affects resources beyond its
+// security authority.
+type Scope int
+
+// Scope values.
+const (
+	ScopeUnset Scope = iota
+	ScopeUnchanged
+	ScopeChanged
+)
+
+// Impact is the degree of loss for one of the C/I/A dimensions.
+type Impact int
+
+// Impact values.
+const (
+	ImpactUnset Impact = iota
+	ImpactNone
+	ImpactLow
+	ImpactHigh
+)
+
+// V3 is a CVSS v3.0 base vector.
+type V3 struct {
+	AV AttackVector
+	AC AttackComplexity
+	PR PrivilegesRequired
+	UI UserInteraction
+	S  Scope
+	C  Impact
+	I  Impact
+	A  Impact
+}
+
+// Validate reports whether every metric has been set.
+func (v V3) Validate() error {
+	switch {
+	case v.AV == AVUnset:
+		return fmt.Errorf("cvss: v3 vector missing AV")
+	case v.AC == ACUnset:
+		return fmt.Errorf("cvss: v3 vector missing AC")
+	case v.PR == PRUnset:
+		return fmt.Errorf("cvss: v3 vector missing PR")
+	case v.UI == UIUnset:
+		return fmt.Errorf("cvss: v3 vector missing UI")
+	case v.S == ScopeUnset:
+		return fmt.Errorf("cvss: v3 vector missing S")
+	case v.C == ImpactUnset:
+		return fmt.Errorf("cvss: v3 vector missing C")
+	case v.I == ImpactUnset:
+		return fmt.Errorf("cvss: v3 vector missing I")
+	case v.A == ImpactUnset:
+		return fmt.Errorf("cvss: v3 vector missing A")
+	}
+	return nil
+}
+
+func (v V3) avWeight() float64 {
+	switch v.AV {
+	case AVNetwork:
+		return 0.85
+	case AVAdjacent:
+		return 0.62
+	case AVLocal:
+		return 0.55
+	case AVPhysical:
+		return 0.2
+	}
+	return 0
+}
+
+func (v V3) acWeight() float64 {
+	switch v.AC {
+	case ACLow:
+		return 0.77
+	case ACHigh:
+		return 0.44
+	}
+	return 0
+}
+
+func (v V3) prWeight() float64 {
+	changed := v.S == ScopeChanged
+	switch v.PR {
+	case PRNone:
+		return 0.85
+	case PRLow:
+		if changed {
+			return 0.68
+		}
+		return 0.62
+	case PRHigh:
+		if changed {
+			return 0.5
+		}
+		return 0.27
+	}
+	return 0
+}
+
+func (v V3) uiWeight() float64 {
+	switch v.UI {
+	case UINone:
+		return 0.85
+	case UIRequired:
+		return 0.62
+	}
+	return 0
+}
+
+func impactWeight(i Impact) float64 {
+	switch i {
+	case ImpactHigh:
+		return 0.56
+	case ImpactLow:
+		return 0.22
+	case ImpactNone:
+		return 0
+	}
+	return 0
+}
+
+// roundUp1 implements the CVSS v3 "round up to 1 decimal place" rule.
+func roundUp1(x float64) float64 {
+	return math.Ceil(x*10) / 10
+}
+
+// ISCBase returns the impact sub-score base 1-(1-C)(1-I)(1-A).
+func (v V3) ISCBase() float64 {
+	return 1 - (1-impactWeight(v.C))*(1-impactWeight(v.I))*(1-impactWeight(v.A))
+}
+
+// ImpactSubScore returns the impact sub-score, scope-adjusted per the spec.
+func (v V3) ImpactSubScore() float64 {
+	isc := v.ISCBase()
+	if v.S == ScopeChanged {
+		return 7.52*(isc-0.029) - 3.25*math.Pow(isc-0.02, 15)
+	}
+	return 6.42 * isc
+}
+
+// ExploitabilitySubScore returns 8.22 * AV * AC * PR * UI.
+func (v V3) ExploitabilitySubScore() float64 {
+	return 8.22 * v.avWeight() * v.acWeight() * v.prWeight() * v.uiWeight()
+}
+
+// BaseScore computes the CVSS v3.0 base score in [0, 10] per the
+// specification. It returns an error if the vector is incomplete.
+func (v V3) BaseScore() (float64, error) {
+	if err := v.Validate(); err != nil {
+		return 0, err
+	}
+	impact := v.ImpactSubScore()
+	if impact <= 0 {
+		return 0, nil
+	}
+	expl := v.ExploitabilitySubScore()
+	var raw float64
+	if v.S == ScopeChanged {
+		raw = math.Min(1.08*(impact+expl), 10)
+	} else {
+		raw = math.Min(impact+expl, 10)
+	}
+	return roundUp1(raw), nil
+}
+
+// MustBaseScore is BaseScore for vectors known to be valid; it panics on an
+// invalid vector and is intended for generated corpora and tests.
+func (v V3) MustBaseScore() float64 {
+	s, err := v.BaseScore()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Severity is the qualitative severity rating scale shared by v2 and v3.
+type Severity int
+
+// Severity bands, ordered.
+const (
+	SeverityNone Severity = iota
+	SeverityLow
+	SeverityMedium
+	SeverityHigh
+	SeverityCritical
+)
+
+// String returns the canonical name of the band.
+func (s Severity) String() string {
+	switch s {
+	case SeverityNone:
+		return "NONE"
+	case SeverityLow:
+		return "LOW"
+	case SeverityMedium:
+		return "MEDIUM"
+	case SeverityHigh:
+		return "HIGH"
+	case SeverityCritical:
+		return "CRITICAL"
+	}
+	return "UNKNOWN"
+}
+
+// SeverityOf maps a v3 base score to its qualitative band.
+func SeverityOf(score float64) Severity {
+	switch {
+	case score <= 0:
+		return SeverityNone
+	case score < 4.0:
+		return SeverityLow
+	case score < 7.0:
+		return SeverityMedium
+	case score < 9.0:
+		return SeverityHigh
+	default:
+		return SeverityCritical
+	}
+}
+
+// String renders the vector in the standard "CVSS:3.0/AV:N/..." form.
+func (v V3) String() string {
+	var b strings.Builder
+	b.WriteString("CVSS:3.0")
+	b.WriteString("/AV:" + pick(int(v.AV), "", "N", "A", "L", "P"))
+	b.WriteString("/AC:" + pick(int(v.AC), "", "L", "H"))
+	b.WriteString("/PR:" + pick(int(v.PR), "", "N", "L", "H"))
+	b.WriteString("/UI:" + pick(int(v.UI), "", "N", "R"))
+	b.WriteString("/S:" + pick(int(v.S), "", "U", "C"))
+	b.WriteString("/C:" + pick(int(v.C), "", "N", "L", "H"))
+	b.WriteString("/I:" + pick(int(v.I), "", "N", "L", "H"))
+	b.WriteString("/A:" + pick(int(v.A), "", "N", "L", "H"))
+	return b.String()
+}
+
+func pick(i int, names ...string) string {
+	if i < 0 || i >= len(names) {
+		return "?"
+	}
+	return names[i]
+}
+
+// ParseV3 parses a vector of the form "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".
+// The "CVSS:3.0" or "CVSS:3.1" prefix is optional. Metrics may appear in any
+// order; duplicates and unknown metrics are errors.
+func ParseV3(s string) (V3, error) {
+	var v V3
+	parts := strings.Split(s, "/")
+	seen := map[string]bool{}
+	for _, part := range parts {
+		if part == "" {
+			continue
+		}
+		if strings.HasPrefix(part, "CVSS:3") {
+			continue
+		}
+		kv := strings.SplitN(part, ":", 2)
+		if len(kv) != 2 {
+			return V3{}, fmt.Errorf("cvss: malformed metric %q", part)
+		}
+		key, val := kv[0], kv[1]
+		if seen[key] {
+			return V3{}, fmt.Errorf("cvss: duplicate metric %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "AV":
+			v.AV, err = parseAV(val)
+		case "AC":
+			v.AC, err = parseAC(val)
+		case "PR":
+			v.PR, err = parsePR(val)
+		case "UI":
+			v.UI, err = parseUI(val)
+		case "S":
+			v.S, err = parseScope(val)
+		case "C":
+			v.C, err = parseImpact(val)
+		case "I":
+			v.I, err = parseImpact(val)
+		case "A":
+			v.A, err = parseImpact(val)
+		default:
+			return V3{}, fmt.Errorf("cvss: unknown metric %q", key)
+		}
+		if err != nil {
+			return V3{}, err
+		}
+	}
+	if err := v.Validate(); err != nil {
+		return V3{}, err
+	}
+	return v, nil
+}
+
+func parseAV(s string) (AttackVector, error) {
+	switch s {
+	case "N":
+		return AVNetwork, nil
+	case "A":
+		return AVAdjacent, nil
+	case "L":
+		return AVLocal, nil
+	case "P":
+		return AVPhysical, nil
+	}
+	return AVUnset, fmt.Errorf("cvss: bad AV value %q", s)
+}
+
+func parseAC(s string) (AttackComplexity, error) {
+	switch s {
+	case "L":
+		return ACLow, nil
+	case "H":
+		return ACHigh, nil
+	}
+	return ACUnset, fmt.Errorf("cvss: bad AC value %q", s)
+}
+
+func parsePR(s string) (PrivilegesRequired, error) {
+	switch s {
+	case "N":
+		return PRNone, nil
+	case "L":
+		return PRLow, nil
+	case "H":
+		return PRHigh, nil
+	}
+	return PRUnset, fmt.Errorf("cvss: bad PR value %q", s)
+}
+
+func parseUI(s string) (UserInteraction, error) {
+	switch s {
+	case "N":
+		return UINone, nil
+	case "R":
+		return UIRequired, nil
+	}
+	return UIUnset, fmt.Errorf("cvss: bad UI value %q", s)
+}
+
+func parseScope(s string) (Scope, error) {
+	switch s {
+	case "U":
+		return ScopeUnchanged, nil
+	case "C":
+		return ScopeChanged, nil
+	}
+	return ScopeUnset, fmt.Errorf("cvss: bad S value %q", s)
+}
+
+func parseImpact(s string) (Impact, error) {
+	switch s {
+	case "N":
+		return ImpactNone, nil
+	case "L":
+		return ImpactLow, nil
+	case "H":
+		return ImpactHigh, nil
+	}
+	return ImpactUnset, fmt.Errorf("cvss: bad impact value %q", s)
+}

@@ -1,0 +1,223 @@
+package cvss
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// Reference vectors with scores published by NVD / the v3.0 spec examples.
+var v3Known = []struct {
+	vector string
+	score  float64
+}{
+	{"CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 9.8},
+	{"CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H", 10.0},
+	{"CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N", 7.5}, // Heartbleed
+	{"CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", 7.8}, // Dirty COW
+	{"CVSS:3.0/AV:N/AC:H/PR:N/UI:R/S:U/C:L/I:N/A:N", 3.1},
+	{"CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", 0.0},
+	{"CVSS:3.0/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N", 1.6},
+}
+
+func TestV3KnownScores(t *testing.T) {
+	for _, tc := range v3Known {
+		v, err := ParseV3(tc.vector)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.vector, err)
+		}
+		got, err := v.BaseScore()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.vector, err)
+		}
+		if got != tc.score {
+			t.Errorf("%s: score = %v, want %v", tc.vector, got, tc.score)
+		}
+	}
+}
+
+func TestParseV3Errors(t *testing.T) {
+	bad := []string{
+		"",                                // empty
+		"AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H", // missing A
+		"AV:X/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+		"AV:N/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", // duplicate
+		"AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/XX:Y", // unknown metric
+		"AV;N",
+	}
+	for _, s := range bad {
+		if _, err := ParseV3(s); err == nil {
+			t.Errorf("ParseV3(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestV3RoundTrip(t *testing.T) {
+	for _, tc := range v3Known {
+		v, err := ParseV3(tc.vector)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := ParseV3(v.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", v.String(), err)
+		}
+		if again != v {
+			t.Errorf("round trip changed vector: %v -> %v", v, again)
+		}
+	}
+}
+
+// randomV3 draws a uniformly random complete v3 vector.
+func randomV3(r *stats.RNG) V3 {
+	return V3{
+		AV: AttackVector(1 + r.Intn(4)),
+		AC: AttackComplexity(1 + r.Intn(2)),
+		PR: PrivilegesRequired(1 + r.Intn(3)),
+		UI: UserInteraction(1 + r.Intn(2)),
+		S:  Scope(1 + r.Intn(2)),
+		C:  Impact(1 + r.Intn(3)),
+		I:  Impact(1 + r.Intn(3)),
+		A:  Impact(1 + r.Intn(3)),
+	}
+}
+
+func TestV3ScoreBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		v := randomV3(r)
+		s := v.MustBaseScore()
+		if s < 0 || s > 10 {
+			return false
+		}
+		// Scores are reported to one decimal.
+		return math.Abs(s*10-math.Round(s*10)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestV3RoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		v := randomV3(r)
+		parsed, err := ParseV3(v.String())
+		return err == nil && parsed == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Raising any impact dimension must never lower the score.
+func TestV3ImpactMonotonicity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		v := randomV3(r)
+		base := v.MustBaseScore()
+		if v.C != ImpactHigh {
+			up := v
+			up.C++
+			if up.MustBaseScore() < base {
+				return false
+			}
+		}
+		if v.I != ImpactHigh {
+			up := v
+			up.I++
+			if up.MustBaseScore() < base {
+				return false
+			}
+		}
+		if v.A != ImpactHigh {
+			up := v
+			up.A++
+			if up.MustBaseScore() < base {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeverityBands(t *testing.T) {
+	cases := []struct {
+		score float64
+		want  Severity
+	}{
+		{0, SeverityNone},
+		{0.1, SeverityLow},
+		{3.9, SeverityLow},
+		{4.0, SeverityMedium},
+		{6.9, SeverityMedium},
+		{7.0, SeverityHigh},
+		{8.9, SeverityHigh},
+		{9.0, SeverityCritical},
+		{10, SeverityCritical},
+	}
+	for _, tc := range cases {
+		if got := SeverityOf(tc.score); got != tc.want {
+			t.Errorf("SeverityOf(%v) = %v, want %v", tc.score, got, tc.want)
+		}
+	}
+}
+
+func TestSeverityMonotoneInScore(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Abs(math.Mod(a, 10))
+		b = math.Abs(math.Mod(b, 10))
+		if a > b {
+			a, b = b, a
+		}
+		return SeverityOf(a) <= SeverityOf(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	names := map[Severity]string{
+		SeverityNone: "NONE", SeverityLow: "LOW", SeverityMedium: "MEDIUM",
+		SeverityHigh: "HIGH", SeverityCritical: "CRITICAL",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if Severity(99).String() != "UNKNOWN" {
+		t.Error("out-of-range severity should stringify as UNKNOWN")
+	}
+}
+
+func TestV3ValidateReportsMissing(t *testing.T) {
+	var v V3
+	if err := v.Validate(); err == nil {
+		t.Fatal("zero vector validated")
+	}
+	v = V3{AV: AVNetwork, AC: ACLow, PR: PRNone, UI: UINone, S: ScopeUnchanged, C: ImpactHigh, I: ImpactHigh}
+	if err := v.Validate(); err == nil {
+		t.Fatal("vector missing A validated")
+	}
+	v.A = ImpactNone
+	if err := v.Validate(); err != nil {
+		t.Fatalf("complete vector rejected: %v", err)
+	}
+}
+
+func TestMustBaseScorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBaseScore on invalid vector did not panic")
+		}
+	}()
+	var v V3
+	v.MustBaseScore()
+}

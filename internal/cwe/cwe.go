@@ -1,0 +1,209 @@
+// Package cwe provides a self-contained subset of the Common Weakness
+// Enumeration taxonomy: the entries that dominate CVE reporting, their
+// parent/child structure, and the attributes the prediction model uses as
+// labels (memory safety, injection class, language affinity).
+//
+// The paper's third example hypothesis is "does an application suffer any
+// stack-based buffer overflow (CWE = 121)?"; this package supplies that
+// labelling vocabulary.
+package cwe
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID is a CWE identifier, e.g. 121 for stack-based buffer overflow.
+type ID int
+
+// Class partitions weaknesses into the coarse families the corpus generator
+// and the recommendation engine reason about.
+type Class int
+
+// Weakness classes.
+const (
+	ClassOther Class = iota
+	ClassMemory
+	ClassInjection
+	ClassCrypto
+	ClassAuth
+	ClassInfoLeak
+	ClassResource
+	ClassInput
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassMemory:
+		return "memory-safety"
+	case ClassInjection:
+		return "injection"
+	case ClassCrypto:
+		return "cryptography"
+	case ClassAuth:
+		return "authentication"
+	case ClassInfoLeak:
+		return "information-exposure"
+	case ClassResource:
+		return "resource-management"
+	case ClassInput:
+		return "input-validation"
+	default:
+		return "other"
+	}
+}
+
+// Entry is one weakness type.
+type Entry struct {
+	ID     ID
+	Name   string
+	Parent ID // 0 for roots
+	Class  Class
+	// ManagedSafe reports whether memory-managed languages (Java, Python)
+	// are structurally immune to this weakness.
+	ManagedSafe bool
+}
+
+// The embedded taxonomy. Parents appear before children.
+var entries = []Entry{
+	{ID: 118, Name: "Incorrect Access of Indexable Resource", Class: ClassMemory, ManagedSafe: true},
+	{ID: 119, Name: "Improper Restriction of Operations within the Bounds of a Memory Buffer", Parent: 118, Class: ClassMemory, ManagedSafe: true},
+	{ID: 120, Name: "Buffer Copy without Checking Size of Input (Classic Buffer Overflow)", Parent: 119, Class: ClassMemory, ManagedSafe: true},
+	{ID: 121, Name: "Stack-based Buffer Overflow", Parent: 119, Class: ClassMemory, ManagedSafe: true},
+	{ID: 122, Name: "Heap-based Buffer Overflow", Parent: 119, Class: ClassMemory, ManagedSafe: true},
+	{ID: 125, Name: "Out-of-bounds Read", Parent: 119, Class: ClassMemory, ManagedSafe: true},
+	{ID: 787, Name: "Out-of-bounds Write", Parent: 119, Class: ClassMemory, ManagedSafe: true},
+	{ID: 416, Name: "Use After Free", Class: ClassMemory, ManagedSafe: true},
+	{ID: 415, Name: "Double Free", Parent: 416, Class: ClassMemory, ManagedSafe: true},
+	{ID: 476, Name: "NULL Pointer Dereference", Class: ClassMemory},
+	{ID: 190, Name: "Integer Overflow or Wraparound", Class: ClassInput},
+	{ID: 191, Name: "Integer Underflow", Parent: 190, Class: ClassInput},
+	{ID: 74, Name: "Improper Neutralization of Special Elements (Injection)", Class: ClassInjection},
+	{ID: 77, Name: "Command Injection", Parent: 74, Class: ClassInjection},
+	{ID: 78, Name: "OS Command Injection", Parent: 77, Class: ClassInjection},
+	{ID: 79, Name: "Cross-site Scripting", Parent: 74, Class: ClassInjection},
+	{ID: 89, Name: "SQL Injection", Parent: 74, Class: ClassInjection},
+	{ID: 94, Name: "Code Injection", Parent: 74, Class: ClassInjection},
+	{ID: 134, Name: "Use of Externally-Controlled Format String", Parent: 74, Class: ClassInjection, ManagedSafe: true},
+	{ID: 20, Name: "Improper Input Validation", Class: ClassInput},
+	{ID: 22, Name: "Path Traversal", Parent: 20, Class: ClassInput},
+	{ID: 59, Name: "Improper Link Resolution Before File Access", Parent: 20, Class: ClassInput},
+	{ID: 287, Name: "Improper Authentication", Class: ClassAuth},
+	{ID: 288, Name: "Authentication Bypass Using an Alternate Path", Parent: 287, Class: ClassAuth},
+	{ID: 306, Name: "Missing Authentication for Critical Function", Parent: 287, Class: ClassAuth},
+	{ID: 352, Name: "Cross-Site Request Forgery", Parent: 287, Class: ClassAuth},
+	{ID: 269, Name: "Improper Privilege Management", Class: ClassAuth},
+	{ID: 264, Name: "Permissions, Privileges, and Access Controls", Class: ClassAuth},
+	{ID: 284, Name: "Improper Access Control", Class: ClassAuth},
+	{ID: 310, Name: "Cryptographic Issues", Class: ClassCrypto},
+	{ID: 326, Name: "Inadequate Encryption Strength", Parent: 310, Class: ClassCrypto},
+	{ID: 327, Name: "Use of a Broken or Risky Cryptographic Algorithm", Parent: 310, Class: ClassCrypto},
+	{ID: 330, Name: "Use of Insufficiently Random Values", Parent: 310, Class: ClassCrypto},
+	{ID: 200, Name: "Information Exposure", Class: ClassInfoLeak},
+	{ID: 209, Name: "Information Exposure Through an Error Message", Parent: 200, Class: ClassInfoLeak},
+	{ID: 362, Name: "Race Condition", Class: ClassResource},
+	{ID: 367, Name: "Time-of-check Time-of-use (TOCTOU) Race Condition", Parent: 362, Class: ClassResource},
+	{ID: 400, Name: "Uncontrolled Resource Consumption", Class: ClassResource},
+	{ID: 401, Name: "Missing Release of Memory after Effective Lifetime", Parent: 400, Class: ClassResource, ManagedSafe: true},
+	{ID: 404, Name: "Improper Resource Shutdown or Release", Parent: 400, Class: ClassResource},
+	{ID: 835, Name: "Loop with Unreachable Exit Condition (Infinite Loop)", Parent: 400, Class: ClassResource},
+	{ID: 502, Name: "Deserialization of Untrusted Data", Class: ClassInput},
+	{ID: 611, Name: "Improper Restriction of XML External Entity Reference", Parent: 20, Class: ClassInput},
+	{ID: 798, Name: "Use of Hard-coded Credentials", Class: ClassAuth},
+}
+
+var byID = func() map[ID]Entry {
+	m := make(map[ID]Entry, len(entries))
+	for _, e := range entries {
+		if _, dup := m[e.ID]; dup {
+			panic(fmt.Sprintf("cwe: duplicate entry %d", e.ID))
+		}
+		m[e.ID] = e
+	}
+	return m
+}()
+
+// Lookup returns the entry for id.
+func Lookup(id ID) (Entry, bool) {
+	e, ok := byID[id]
+	return e, ok
+}
+
+// MustLookup panics if the id is unknown.
+func MustLookup(id ID) Entry {
+	e, ok := byID[id]
+	if !ok {
+		panic(fmt.Sprintf("cwe: unknown CWE-%d", id))
+	}
+	return e
+}
+
+// All returns every known entry, sorted by ID.
+func All() []Entry {
+	out := append([]Entry(nil), entries...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IsA reports whether id is cat or a (transitive) descendant of cat.
+func IsA(id, cat ID) bool {
+	for id != 0 {
+		if id == cat {
+			return true
+		}
+		e, ok := byID[id]
+		if !ok {
+			return false
+		}
+		id = e.Parent
+	}
+	return false
+}
+
+// Ancestors returns the chain from id's parent to its root, nearest first.
+func Ancestors(id ID) []ID {
+	var out []ID
+	e, ok := byID[id]
+	if !ok {
+		return nil
+	}
+	for e.Parent != 0 {
+		out = append(out, e.Parent)
+		parent, ok := byID[e.Parent]
+		if !ok {
+			break
+		}
+		e = parent
+	}
+	return out
+}
+
+// Children returns the direct children of id, sorted by ID.
+func Children(id ID) []ID {
+	var out []ID
+	for _, e := range entries {
+		if e.Parent == id {
+			out = append(out, e.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OfClass returns all entry IDs belonging to the class, sorted.
+func OfClass(c Class) []ID {
+	var out []ID
+	for _, e := range entries {
+		if e.Class == c {
+			out = append(out, e.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders "CWE-121: Stack-based Buffer Overflow".
+func (e Entry) String() string {
+	return fmt.Sprintf("CWE-%d: %s", e.ID, e.Name)
+}

@@ -1,0 +1,159 @@
+package cwe
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLookupKnown(t *testing.T) {
+	e, ok := Lookup(121)
+	if !ok {
+		t.Fatal("CWE-121 missing")
+	}
+	if e.Name != "Stack-based Buffer Overflow" {
+		t.Fatalf("CWE-121 name = %q", e.Name)
+	}
+	if e.Class != ClassMemory {
+		t.Fatalf("CWE-121 class = %v", e.Class)
+	}
+	if !e.ManagedSafe {
+		t.Fatal("CWE-121 should be ManagedSafe")
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup(99999); ok {
+		t.Fatal("unknown CWE resolved")
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup on unknown id did not panic")
+		}
+	}()
+	MustLookup(424242)
+}
+
+func TestIsAHierarchy(t *testing.T) {
+	cases := []struct {
+		id, cat ID
+		want    bool
+	}{
+		{121, 121, true}, // reflexive
+		{121, 119, true}, // parent
+		{121, 118, true}, // grandparent
+		{121, 74, false}, // unrelated
+		{78, 74, true},   // OS cmd injection is-a injection (via 77)
+		{78, 77, true},
+		{119, 121, false}, // not symmetric
+	}
+	for _, tc := range cases {
+		if got := IsA(tc.id, tc.cat); got != tc.want {
+			t.Errorf("IsA(%d, %d) = %v, want %v", tc.id, tc.cat, got, tc.want)
+		}
+	}
+}
+
+func TestAncestorsChain(t *testing.T) {
+	got := Ancestors(121)
+	if len(got) != 2 || got[0] != 119 || got[1] != 118 {
+		t.Fatalf("Ancestors(121) = %v, want [119 118]", got)
+	}
+	if a := Ancestors(118); len(a) != 0 {
+		t.Fatalf("Ancestors(root) = %v", a)
+	}
+	if a := Ancestors(99999); a != nil {
+		t.Fatalf("Ancestors(unknown) = %v", a)
+	}
+}
+
+func TestChildren(t *testing.T) {
+	kids := Children(119)
+	want := map[ID]bool{120: true, 121: true, 122: true, 125: true, 787: true}
+	if len(kids) != len(want) {
+		t.Fatalf("Children(119) = %v", kids)
+	}
+	for _, k := range kids {
+		if !want[k] {
+			t.Fatalf("unexpected child %d", k)
+		}
+	}
+	// Children must be sorted.
+	for i := 1; i < len(kids); i++ {
+		if kids[i] <= kids[i-1] {
+			t.Fatalf("Children not sorted: %v", kids)
+		}
+	}
+}
+
+func TestAllSortedAndConsistent(t *testing.T) {
+	all := All()
+	if len(all) < 30 {
+		t.Fatalf("taxonomy too small: %d entries", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].ID <= all[i-1].ID {
+			t.Fatalf("All() not sorted at %d", i)
+		}
+	}
+	// Every parent reference must resolve.
+	for _, e := range all {
+		if e.Parent != 0 {
+			if _, ok := Lookup(e.Parent); !ok {
+				t.Errorf("CWE-%d has dangling parent %d", e.ID, e.Parent)
+			}
+		}
+	}
+}
+
+func TestNoParentCycles(t *testing.T) {
+	for _, e := range All() {
+		seen := map[ID]bool{e.ID: true}
+		cur := e.Parent
+		for cur != 0 {
+			if seen[cur] {
+				t.Fatalf("cycle through CWE-%d", cur)
+			}
+			seen[cur] = true
+			p, ok := Lookup(cur)
+			if !ok {
+				break
+			}
+			cur = p.Parent
+		}
+	}
+}
+
+func TestOfClass(t *testing.T) {
+	mem := OfClass(ClassMemory)
+	found := false
+	for _, id := range mem {
+		if id == 121 {
+			found = true
+		}
+		if MustLookup(id).Class != ClassMemory {
+			t.Fatalf("OfClass returned wrong class for %d", id)
+		}
+	}
+	if !found {
+		t.Fatal("CWE-121 missing from memory class")
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	s := MustLookup(121).String()
+	if !strings.Contains(s, "CWE-121") || !strings.Contains(s, "Stack-based") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassMemory.String() != "memory-safety" {
+		t.Fatalf("ClassMemory = %q", ClassMemory.String())
+	}
+	if Class(99).String() != "other" {
+		t.Fatalf("unknown class = %q", Class(99).String())
+	}
+}

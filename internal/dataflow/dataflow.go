@@ -1,0 +1,370 @@
+// Package dataflow implements the classic forward/backward data-flow
+// analyses over the IR — reaching definitions, live variables, def-use
+// chains — plus a taint analysis that propagates attacker-controlled data
+// from sources (parameters, input functions) to sinks (dangerous calls).
+// The paper cites precise interprocedural dataflow (Reps et al.) as one of
+// the signal families worth feeding the model (§4.1).
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Def identifies one definition site: instruction Index in Block defines Var.
+type Def struct {
+	Block *ir.Block
+	Index int
+	Var   string
+}
+
+// String renders "x@block2[3]".
+func (d Def) String() string {
+	return fmt.Sprintf("%s@%s[%d]", d.Var, d.Block.Name, d.Index)
+}
+
+// defSet is a set of definitions.
+type defSet map[Def]bool
+
+func (s defSet) clone() defSet {
+	out := make(defSet, len(s))
+	for d := range s {
+		out[d] = true
+	}
+	return out
+}
+
+func (s defSet) equal(o defSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for d := range s {
+		if !o[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// destName returns the defined variable name of an instruction, treating
+// temps as variables named "tN". Array stores define the array name (weak
+// update).
+func destName(in ir.Instr) (string, bool) {
+	if st, ok := in.(*ir.ArrayStore); ok {
+		return st.Array, true
+	}
+	d := in.Defs()
+	if d == nil {
+		return "", false
+	}
+	return d.String(), true
+}
+
+// useNames returns the variable names read by an instruction, including the
+// arrays read by loads.
+func useNames(in ir.Instr) []string {
+	var out []string
+	for _, u := range in.Uses() {
+		switch v := u.(type) {
+		case ir.Var:
+			out = append(out, v.Name)
+		case ir.Temp:
+			out = append(out, v.String())
+		}
+	}
+	if ld, ok := in.(*ir.ArrayLoad); ok {
+		out = append(out, ld.Array)
+	}
+	return out
+}
+
+// termUses returns the names read by a terminator.
+func termUses(t ir.Terminator) []string {
+	if t == nil {
+		return nil
+	}
+	var out []string
+	for _, u := range t.Uses() {
+		switch v := u.(type) {
+		case ir.Var:
+			out = append(out, v.Name)
+		case ir.Temp:
+			out = append(out, v.String())
+		}
+	}
+	return out
+}
+
+// Reaching holds reaching-definitions results: the set of definitions live
+// at the entry and exit of every block.
+type Reaching struct {
+	In, Out map[*ir.Block]defSet
+	// ParamDefs are the synthetic entry definitions of parameters.
+	ParamDefs []Def
+}
+
+// ReachingDefinitions computes the forward may-analysis to a fixpoint.
+// Parameters receive synthetic definitions at index -1 in the entry block.
+func ReachingDefinitions(f *ir.Func) *Reaching {
+	r := &Reaching{In: map[*ir.Block]defSet{}, Out: map[*ir.Block]defSet{}}
+	gen := map[*ir.Block]defSet{}
+	kill := map[*ir.Block]map[string]bool{}
+
+	// All defs per var, for kill sets.
+	defsOf := map[string][]Def{}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if name, ok := destName(in); ok {
+				defsOf[name] = append(defsOf[name], Def{Block: b, Index: i, Var: name})
+			}
+		}
+	}
+	for _, p := range f.Params {
+		d := Def{Block: f.Entry(), Index: -1, Var: p}
+		r.ParamDefs = append(r.ParamDefs, d)
+		defsOf[p] = append(defsOf[p], d)
+	}
+
+	for _, b := range f.Blocks {
+		g := defSet{}
+		k := map[string]bool{}
+		for i, in := range b.Instrs {
+			name, ok := destName(in)
+			if !ok {
+				continue
+			}
+			// Array stores are weak updates: they generate but do not kill.
+			if _, isStore := in.(*ir.ArrayStore); !isStore {
+				// Remove earlier gens of the same var from this block.
+				for d := range g {
+					if d.Var == name {
+						delete(g, d)
+					}
+				}
+				k[name] = true
+			}
+			g[Def{Block: b, Index: i, Var: name}] = true
+		}
+		gen[b] = g
+		kill[b] = k
+	}
+
+	// Entry starts with parameter definitions.
+	entryIn := defSet{}
+	for _, d := range r.ParamDefs {
+		entryIn[d] = true
+	}
+	for _, b := range f.Blocks {
+		r.In[b] = defSet{}
+		r.Out[b] = defSet{}
+	}
+	r.In[f.Entry()] = entryIn
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range f.Blocks {
+			in := defSet{}
+			if b == f.Entry() {
+				in = entryIn.clone()
+			}
+			for _, p := range b.Preds {
+				for d := range r.Out[p] {
+					in[d] = true
+				}
+			}
+			out := gen[b].clone()
+			for d := range in {
+				if !kill[b][d.Var] {
+					out[d] = true
+				}
+			}
+			if !in.equal(r.In[b]) || !out.equal(r.Out[b]) {
+				r.In[b] = in
+				r.Out[b] = out
+				changed = true
+			}
+		}
+	}
+	return r
+}
+
+// UseDefChains maps every use site to the definitions that may reach it.
+type UseSite struct {
+	Block *ir.Block
+	Index int // -1 for the terminator
+	Var   string
+}
+
+// Chains computes the use-def chains of f.
+func Chains(f *ir.Func) map[UseSite][]Def {
+	r := ReachingDefinitions(f)
+	out := map[UseSite][]Def{}
+	for _, b := range f.Blocks {
+		// Walk instructions tracking the local reaching state.
+		local := r.In[b].clone()
+		for i, in := range b.Instrs {
+			for _, name := range useNames(in) {
+				site := UseSite{Block: b, Index: i, Var: name}
+				for d := range local {
+					if d.Var == name {
+						out[site] = append(out[site], d)
+					}
+				}
+				sortDefs(out[site])
+			}
+			if name, ok := destName(in); ok {
+				if _, isStore := in.(*ir.ArrayStore); !isStore {
+					for d := range local {
+						if d.Var == name {
+							delete(local, d)
+						}
+					}
+				}
+				local[Def{Block: b, Index: i, Var: name}] = true
+			}
+		}
+		for _, name := range termUses(b.Term) {
+			site := UseSite{Block: b, Index: -1, Var: name}
+			for d := range local {
+				if d.Var == name {
+					out[site] = append(out[site], d)
+				}
+			}
+			sortDefs(out[site])
+		}
+	}
+	return out
+}
+
+func sortDefs(ds []Def) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].Block.ID != ds[j].Block.ID {
+			return ds[i].Block.ID < ds[j].Block.ID
+		}
+		return ds[i].Index < ds[j].Index
+	})
+}
+
+// Liveness computes live-variable sets at block boundaries (backward
+// may-analysis).
+type Liveness struct {
+	In, Out map[*ir.Block]map[string]bool
+}
+
+// LiveVariables runs the analysis to a fixpoint.
+func LiveVariables(f *ir.Func) *Liveness {
+	lv := &Liveness{In: map[*ir.Block]map[string]bool{}, Out: map[*ir.Block]map[string]bool{}}
+	use := map[*ir.Block]map[string]bool{}
+	def := map[*ir.Block]map[string]bool{}
+	for _, b := range f.Blocks {
+		u := map[string]bool{}
+		d := map[string]bool{}
+		for _, in := range b.Instrs {
+			for _, name := range useNames(in) {
+				if !d[name] {
+					u[name] = true
+				}
+			}
+			if name, ok := destName(in); ok {
+				if _, isStore := in.(*ir.ArrayStore); !isStore {
+					d[name] = true
+				}
+			}
+		}
+		for _, name := range termUses(b.Term) {
+			if !d[name] {
+				u[name] = true
+			}
+		}
+		use[b] = u
+		def[b] = d
+		lv.In[b] = map[string]bool{}
+		lv.Out[b] = map[string]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		// Reverse order converges faster for backward analyses.
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := map[string]bool{}
+			for _, s := range b.Succs() {
+				for v := range lv.In[s] {
+					out[v] = true
+				}
+			}
+			in := map[string]bool{}
+			for v := range use[b] {
+				in[v] = true
+			}
+			for v := range out {
+				if !def[b][v] {
+					in[v] = true
+				}
+			}
+			if !setEq(in, lv.In[b]) || !setEq(out, lv.Out[b]) {
+				lv.In[b] = in
+				lv.Out[b] = out
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+func setEq(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// DeadStores returns definitions whose value is never used: the defined
+// variable is not live immediately after the definition. Array stores are
+// never reported (weak updates may alias).
+func DeadStores(f *ir.Func) []Def {
+	lv := LiveVariables(f)
+	var out []Def
+	for _, b := range f.Blocks {
+		// Walk backward through the block maintaining liveness.
+		live := map[string]bool{}
+		for v := range lv.Out[b] {
+			live[v] = true
+		}
+		for _, name := range termUses(b.Term) {
+			live[name] = true
+		}
+		type rec struct {
+			def  Def
+			dead bool
+		}
+		var recs []rec
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			if name, ok := destName(in); ok {
+				if _, isStore := in.(*ir.ArrayStore); !isStore {
+					recs = append(recs, rec{def: Def{Block: b, Index: i, Var: name}, dead: !live[name]})
+					delete(live, name)
+				}
+			}
+			for _, name := range useNames(in) {
+				live[name] = true
+			}
+		}
+		for _, rc := range recs {
+			if rc.dead {
+				out = append(out, rc.def)
+			}
+		}
+	}
+	sortDefs(out)
+	return out
+}

@@ -1,0 +1,224 @@
+package dataflow
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func lower(t *testing.T, src string) *ir.Func {
+	t.Helper()
+	return ir.MustLowerSource(src).Funcs[0]
+}
+
+func TestReachingStraightLine(t *testing.T) {
+	f := lower(t, `
+int f(int a) {
+	int x = 1;
+	x = 2;
+	return x;
+}`)
+	r := ReachingDefinitions(f)
+	entry := f.Entry()
+	// At exit: only the second definition of x reaches (plus 'a' param and temps).
+	var xDefs []Def
+	for d := range r.Out[entry] {
+		if d.Var == "x" {
+			xDefs = append(xDefs, d)
+		}
+	}
+	if len(xDefs) != 1 {
+		t.Fatalf("x defs at exit = %v", xDefs)
+	}
+}
+
+func TestReachingMerge(t *testing.T) {
+	f := lower(t, `
+int f(int c) {
+	int x = 0;
+	if (c) { x = 1; } else { x = 2; }
+	return x;
+}`)
+	r := ReachingDefinitions(f)
+	// At the join block, both branch definitions reach.
+	var join *ir.Block
+	for _, b := range f.Blocks {
+		if len(b.Preds) == 2 {
+			join = b
+		}
+	}
+	if join == nil {
+		t.Fatal("no join block")
+	}
+	count := 0
+	for d := range r.In[join] {
+		if d.Var == "x" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("x defs at join = %d, want 2", count)
+	}
+}
+
+func TestReachingParams(t *testing.T) {
+	f := lower(t, "int f(int a) { return a; }")
+	r := ReachingDefinitions(f)
+	if len(r.ParamDefs) != 1 || r.ParamDefs[0].Var != "a" || r.ParamDefs[0].Index != -1 {
+		t.Fatalf("param defs = %v", r.ParamDefs)
+	}
+	found := false
+	for d := range r.In[f.Entry()] {
+		if d.Var == "a" && d.Index == -1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("param def missing at entry")
+	}
+}
+
+func TestReachingLoop(t *testing.T) {
+	f := lower(t, `
+int f(int n) {
+	int s = 0;
+	while (n) { s = s + 1; n = n - 1; }
+	return s;
+}`)
+	r := ReachingDefinitions(f)
+	// In the loop condition block, both the initial def of s and the
+	// loop-body def must reach (the fixpoint crosses the back edge).
+	var cond *ir.Block
+	for _, b := range f.Blocks {
+		if len(b.Preds) == 2 {
+			cond = b
+		}
+	}
+	if cond == nil {
+		t.Fatal("no cond block")
+	}
+	count := 0
+	for d := range r.In[cond] {
+		if d.Var == "s" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("s defs at loop head = %d, want 2", count)
+	}
+}
+
+func TestChains(t *testing.T) {
+	f := lower(t, `
+int f(int c) {
+	int x = 1;
+	if (c) { x = 2; }
+	int y = x;
+	return y;
+}`)
+	chains := Chains(f)
+	// Find the use of x in the assignment to y: it should see 2 defs.
+	found := false
+	for site, defs := range chains {
+		if site.Var == "x" && len(defs) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no merged use of x: %v", chains)
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	f := lower(t, `
+int f(int a, int b) {
+	int x = a + 1;
+	int y = b + 2;
+	return x;
+}`)
+	lv := LiveVariables(f)
+	entry := f.Entry()
+	// a and b are live at entry (both used); y is dead everywhere after def.
+	if !lv.In[entry]["a"] || !lv.In[entry]["b"] {
+		t.Fatalf("params not live at entry: %v", lv.In[entry])
+	}
+	if lv.Out[entry]["y"] {
+		t.Fatal("y live at exit of the only block")
+	}
+}
+
+func TestDeadStores(t *testing.T) {
+	f := lower(t, `
+int f(int a) {
+	int x = 1;
+	x = 2;
+	int unused = a * 3;
+	return x;
+}`)
+	dead := DeadStores(f)
+	// Dead: first def of x (overwritten) and 'unused'.
+	vars := map[string]bool{}
+	for _, d := range dead {
+		vars[d.Var] = true
+	}
+	if !vars["x"] {
+		t.Fatalf("overwritten x not reported: %v", dead)
+	}
+	if !vars["unused"] {
+		t.Fatalf("unused var not reported: %v", dead)
+	}
+}
+
+func TestDeadStoresNoneInTightCode(t *testing.T) {
+	f := lower(t, `
+int f(int a) {
+	int x = a + 1;
+	return x;
+}`)
+	for _, d := range DeadStores(f) {
+		if d.Var == "x" || d.Var == "a" {
+			t.Fatalf("live store reported dead: %v", d)
+		}
+	}
+}
+
+func TestDeadStoresTerminatorUse(t *testing.T) {
+	// The branch condition temp is used by the terminator only; it must not
+	// be a dead store.
+	f := lower(t, "int f(int a) { if (a > 1) { return 1; } return 0; }")
+	for _, d := range DeadStores(f) {
+		if d.Var[0] == 't' {
+			t.Fatalf("branch condition reported dead: %v", d)
+		}
+	}
+}
+
+func TestLivenessAcrossLoop(t *testing.T) {
+	f := lower(t, `
+int f(int n) {
+	int acc = 0;
+	while (n > 0) {
+		acc = acc + n;
+		n = n - 1;
+	}
+	return acc;
+}`)
+	lv := LiveVariables(f)
+	// acc must be live around the back edge (used on next iteration).
+	var body *ir.Block
+	for _, b := range f.Blocks {
+		if b.Name[:4] == "loop" && len(b.Instrs) > 0 {
+			for _, in := range b.Instrs {
+				if d := in.Defs(); d != nil && d.String() == "acc" {
+					body = b
+				}
+			}
+		}
+	}
+	if body == nil {
+		t.Fatal("loop body not found")
+	}
+	if !lv.Out[body]["acc"] {
+		t.Fatalf("acc not live at body exit: %v", lv.Out[body])
+	}
+}

@@ -1,0 +1,219 @@
+package dataflow
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// TaintConfig names the source and sink functions. A call to a source
+// returns attacker-controlled data; passing tainted data to a sink is a
+// finding. Parameters of the analyzed function may also be treated as
+// tainted (the "inputs exposed to external attackers" convention).
+type TaintConfig struct {
+	Sources     map[string]bool
+	Sinks       map[string]bool
+	TaintParams bool
+	Sanitizers  map[string]bool // calls whose result is always clean
+}
+
+// DefaultTaintConfig mirrors the attack-surface API tables: inputs arrive
+// via recv/read/getenv-style functions, danger lives in strcpy/system-style
+// functions.
+func DefaultTaintConfig() TaintConfig {
+	return TaintConfig{
+		Sources: map[string]bool{
+			"read_input": true, "recv": true, "read": true, "getenv": true,
+			"fgets": true, "scanf": true, "recvfrom": true, "gets": true,
+			"fread": true, "parse_packet": true,
+		},
+		Sinks: map[string]bool{
+			"strcpy": true, "strcat": true, "sprintf": true, "system": true,
+			"exec": true, "execve": true, "popen": true, "memcpy": true,
+			"printf": true, "sql_query": true, "send": true, "write_log": true,
+		},
+		Sanitizers: map[string]bool{
+			"sanitize": true, "validate": true, "escape": true, "clamp": true,
+			"bounds_check": true,
+		},
+		TaintParams: true,
+	}
+}
+
+// TaintFinding is one tainted value reaching a sink.
+type TaintFinding struct {
+	Func string
+	Sink string
+	Line int
+	// Arg is the index of the tainted argument.
+	Arg int
+}
+
+// TaintResult summarizes the analysis of one function.
+type TaintResult struct {
+	Findings []TaintFinding
+	// TaintedVars is the set of variables tainted at function exit.
+	TaintedVars []string
+}
+
+// AnalyzeTaint runs a flow-sensitive forward taint propagation over f to a
+// fixpoint. Taint propagates through assignments, arithmetic, array loads
+// and stores (whole-array granularity), and unknown-function call results
+// whose arguments are tainted.
+func AnalyzeTaint(f *ir.Func, cfg TaintConfig) TaintResult {
+	in := map[*ir.Block]map[string]bool{}
+	out := map[*ir.Block]map[string]bool{}
+	for _, b := range f.Blocks {
+		in[b] = map[string]bool{}
+		out[b] = map[string]bool{}
+	}
+	entryTaint := map[string]bool{}
+	if cfg.TaintParams {
+		for _, p := range f.Params {
+			entryTaint[p] = true
+		}
+	}
+
+	valueTainted := func(v ir.Value, t map[string]bool) bool {
+		switch x := v.(type) {
+		case ir.Const:
+			return false
+		case ir.Var:
+			return t[x.Name]
+		case ir.Temp:
+			return t[x.String()]
+		}
+		return false
+	}
+
+	// transfer applies one block's instructions to a taint set, optionally
+	// recording sink findings.
+	transfer := func(b *ir.Block, t map[string]bool, record func(TaintFinding)) {
+		for _, instr := range b.Instrs {
+			switch x := instr.(type) {
+			case *ir.Assign:
+				setTaint(t, x.Dst, valueTainted(x.Src, t))
+			case *ir.BinOp:
+				setTaint(t, x.Dst, valueTainted(x.L, t) || valueTainted(x.R, t))
+			case *ir.UnOp:
+				setTaint(t, x.Dst, valueTainted(x.X, t))
+			case *ir.ArrayLoad:
+				setTaint(t, x.Dst, t[x.Array] || valueTainted(x.Index, t))
+			case *ir.ArrayStore:
+				if valueTainted(x.Src, t) || valueTainted(x.Index, t) {
+					t[x.Array] = true // weak update: arrays only gain taint
+				}
+			case *ir.Call:
+				tainted := false
+				for argIdx, a := range x.Args {
+					if valueTainted(a, t) {
+						tainted = true
+						if cfg.Sinks[x.Name] && record != nil {
+							record(TaintFinding{Func: f.Name, Sink: x.Name, Line: x.Line, Arg: argIdx})
+						}
+					}
+				}
+				switch {
+				case cfg.Sources[x.Name]:
+					setTaint(t, x.Dst, true)
+				case cfg.Sanitizers[x.Name]:
+					setTaint(t, x.Dst, false)
+				default:
+					// Unknown callee: result taint follows argument taint.
+					setTaint(t, x.Dst, tainted)
+				}
+			}
+		}
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range f.Blocks {
+			newIn := map[string]bool{}
+			if b == f.Entry() {
+				for v := range entryTaint {
+					newIn[v] = true
+				}
+			}
+			for _, p := range b.Preds {
+				for v := range out[p] {
+					newIn[v] = true
+				}
+			}
+			newOut := cloneSet(newIn)
+			transfer(b, newOut, nil)
+			if !setEq(newIn, in[b]) || !setEq(newOut, out[b]) {
+				in[b] = newIn
+				out[b] = newOut
+				changed = true
+			}
+		}
+	}
+
+	// Final pass: collect findings with the converged in-sets.
+	var res TaintResult
+	seen := map[TaintFinding]bool{}
+	for _, b := range f.Blocks {
+		t := cloneSet(in[b])
+		transfer(b, t, func(tf TaintFinding) {
+			if !seen[tf] {
+				seen[tf] = true
+				res.Findings = append(res.Findings, tf)
+			}
+		})
+	}
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Arg < b.Arg
+	})
+
+	exitTaint := map[string]bool{}
+	for _, b := range f.Blocks {
+		if _, isRet := b.Term.(*ir.Ret); isRet {
+			for v := range out[b] {
+				exitTaint[v] = true
+			}
+		}
+	}
+	for v := range exitTaint {
+		res.TaintedVars = append(res.TaintedVars, v)
+	}
+	sort.Strings(res.TaintedVars)
+	return res
+}
+
+func setTaint(t map[string]bool, d ir.Dest, tainted bool) {
+	if d == nil {
+		return
+	}
+	name := d.String()
+	if tainted {
+		t[name] = true
+	} else {
+		delete(t, name)
+	}
+}
+
+func cloneSet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// CountTaintedSinks analyzes every function of a program with the default
+// configuration and returns the total number of findings — the
+// "tainted_sinks" feature.
+func CountTaintedSinks(p *ir.Program) int {
+	cfg := DefaultTaintConfig()
+	n := 0
+	for _, f := range p.Funcs {
+		n += len(AnalyzeTaint(f, cfg).Findings)
+	}
+	return n
+}

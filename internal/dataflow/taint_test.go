@@ -1,0 +1,204 @@
+package dataflow
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func taint(t *testing.T, src string) TaintResult {
+	t.Helper()
+	f := ir.MustLowerSource(src).Funcs[0]
+	return AnalyzeTaint(f, DefaultTaintConfig())
+}
+
+func TestTaintDirectFlow(t *testing.T) {
+	res := taint(t, `
+int f(void) {
+	int data = read_input();
+	system(data);
+	return 0;
+}`)
+	if len(res.Findings) != 1 {
+		t.Fatalf("findings = %+v", res.Findings)
+	}
+	if res.Findings[0].Sink != "system" || res.Findings[0].Arg != 0 {
+		t.Fatalf("finding = %+v", res.Findings[0])
+	}
+}
+
+func TestTaintThroughArithmetic(t *testing.T) {
+	res := taint(t, `
+int f(void) {
+	int data = read_input();
+	int derived = data * 2 + 1;
+	strcpy(derived, 0);
+	return 0;
+}`)
+	if len(res.Findings) != 1 {
+		t.Fatalf("findings = %+v", res.Findings)
+	}
+}
+
+func TestTaintParams(t *testing.T) {
+	res := taint(t, `
+int handler(int request) {
+	system(request);
+	return 0;
+}`)
+	if len(res.Findings) != 1 {
+		t.Fatalf("param taint findings = %+v", res.Findings)
+	}
+	// With TaintParams off, no finding.
+	cfg := DefaultTaintConfig()
+	cfg.TaintParams = false
+	f := ir.MustLowerSource(`
+int handler(int request) {
+	system(request);
+	return 0;
+}`).Funcs[0]
+	res2 := AnalyzeTaint(f, cfg)
+	if len(res2.Findings) != 0 {
+		t.Fatalf("untainted params still flagged: %+v", res2.Findings)
+	}
+}
+
+func TestTaintCleanData(t *testing.T) {
+	res := taint(t, `
+int f(void) {
+	int clean = 42;
+	system(clean);
+	return 0;
+}`)
+	if len(res.Findings) != 0 {
+		t.Fatalf("clean data flagged: %+v", res.Findings)
+	}
+}
+
+func TestTaintSanitizer(t *testing.T) {
+	res := taint(t, `
+int f(void) {
+	int data = read_input();
+	int clean = sanitize(data);
+	system(clean);
+	return 0;
+}`)
+	if len(res.Findings) != 0 {
+		t.Fatalf("sanitized data flagged: %+v", res.Findings)
+	}
+}
+
+func TestTaintThroughArray(t *testing.T) {
+	res := taint(t, `
+int f(void) {
+	int buf[8];
+	int data = read_input();
+	buf[0] = data;
+	int y = buf[3];
+	send(y);
+	return 0;
+}`)
+	// Whole-array granularity: buf[3] is tainted because buf[0] was.
+	if len(res.Findings) != 1 {
+		t.Fatalf("array taint findings = %+v", res.Findings)
+	}
+}
+
+func TestTaintJoinOverBranches(t *testing.T) {
+	res := taint(t, `
+int f(int c) {
+	int x = 0;
+	if (c > 0) {
+		x = read_input();
+	}
+	system(x);
+	return 0;
+}`)
+	// x may be tainted on one path: the may-analysis must flag it.
+	found := false
+	for _, fd := range res.Findings {
+		if fd.Sink == "system" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("path-join taint missed: %+v", res.Findings)
+	}
+}
+
+func TestTaintLoopFixpoint(t *testing.T) {
+	res := taint(t, `
+int f(int n) {
+	int acc = 0;
+	int i = 0;
+	while (i < n) {
+		acc = acc + read_input();
+		i = i + 1;
+	}
+	write_log(acc);
+	return 0;
+}`)
+	found := false
+	for _, fd := range res.Findings {
+		if fd.Sink == "write_log" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("loop taint missed: %+v", res.Findings)
+	}
+}
+
+func TestTaintOverwriteClears(t *testing.T) {
+	res := taint(t, `
+int f(void) {
+	int x = read_input();
+	x = 5;
+	system(x);
+	return 0;
+}`)
+	if len(res.Findings) != 0 {
+		t.Fatalf("overwritten taint persisted: %+v", res.Findings)
+	}
+}
+
+func TestTaintMultipleArgs(t *testing.T) {
+	res := taint(t, `
+int f(void) {
+	int a = read_input();
+	int b = 1;
+	memcpy(b, a);
+	return 0;
+}`)
+	if len(res.Findings) != 1 || res.Findings[0].Arg != 1 {
+		t.Fatalf("arg index wrong: %+v", res.Findings)
+	}
+}
+
+func TestTaintedVarsAtExit(t *testing.T) {
+	res := taint(t, `
+int f(void) {
+	int d = read_input();
+	return d;
+}`)
+	found := false
+	for _, v := range res.TaintedVars {
+		if v == "d" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tainted vars = %v", res.TaintedVars)
+	}
+}
+
+func TestCountTaintedSinks(t *testing.T) {
+	p := ir.MustLowerSource(`
+int a(void) { int x = read_input(); system(x); return 0; }
+int b(void) { int y = 1; system(y); return 0; }
+int c(int z) { strcpy(z, 0); return 0; }
+`)
+	if got := CountTaintedSinks(p); got != 2 {
+		t.Fatalf("CountTaintedSinks = %d, want 2", got)
+	}
+}

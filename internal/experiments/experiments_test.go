@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/survey"
+)
+
+func TestFigure1MatchesPaper(t *testing.T) {
+	r := Figure1()
+	if got := r.Counts.Total(survey.MethodLoC); got != 384 {
+		t.Errorf("LoC total = %d", got)
+	}
+	if got := r.Counts.Total(survey.MethodCVECount); got != 116 {
+		t.Errorf("CVE total = %d", got)
+	}
+	if got := r.Counts.Total(survey.MethodFormal); got != 31 {
+		t.Errorf("formal total = %d", got)
+	}
+	if !strings.Contains(r.Table, "Figure 1") {
+		t.Error("table header missing")
+	}
+}
+
+func TestFigure2MatchesPaper(t *testing.T) {
+	r, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Fit.Slope-0.39) > 0.03 {
+		t.Errorf("slope = %v", r.Fit.Slope)
+	}
+	if math.Abs(r.Fit.Intercept-0.17) > 0.08 {
+		t.Errorf("intercept = %v", r.Fit.Intercept)
+	}
+	if math.Abs(r.Fit.R2-0.2466) > 0.04 {
+		t.Errorf("R2 = %v", r.Fit.R2)
+	}
+	if r.PerLang[lang.C] != 126 {
+		t.Errorf("C apps = %d", r.PerLang[lang.C])
+	}
+	if !strings.Contains(r.Table, "R^2") {
+		t.Error("fit line missing from table")
+	}
+}
+
+func TestFigure3WeakCorrelation(t *testing.T) {
+	r, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Similarly weak": R² in the same band as Figure 2, far below strong.
+	if r.Fit.R2 < 0.05 || r.Fit.R2 > 0.45 {
+		t.Errorf("cyclomatic R2 = %v, want weak correlation", r.Fit.R2)
+	}
+}
+
+func TestFigure4ModelsBeatBaselines(t *testing.T) {
+	r, err := Figure4(core.KindForest, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	beatLoC := 0
+	for _, row := range r.Rows {
+		base := row.BaseRate
+		if base < 0.5 {
+			base = 1 - base
+		}
+		// Multi-feature models must stay at or above the majority-class
+		// baseline (a small tolerance for the heavily imbalanced
+		// hypotheses, where accuracy is a blunt instrument)...
+		if row.Accuracy < base-0.05 {
+			t.Errorf("%s: acc %.3f below baseline %.3f", row.Hypothesis, row.Accuracy, base)
+		}
+		// ...and must clearly rank positives above negatives.
+		if row.AUC <= 0.6 {
+			t.Errorf("%s: AUC %.3f is near chance", row.Hypothesis, row.AUC)
+		}
+		// ...and usually beat LoC alone (count the wins below).
+		if row.AUC > row.LoCOnlyAUC {
+			beatLoC++
+		}
+	}
+	if beatLoC < 4 {
+		t.Errorf("full features beat LoC-only on only %d/5 hypotheses", beatLoC)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Apps != 164 || r.TotalCVEs != 5975 {
+		t.Fatalf("corpus = %d apps, %d CVEs", r.Apps, r.TotalCVEs)
+	}
+	if r.MeanScore < 3 || r.MeanScore > 9 {
+		t.Errorf("mean score = %v", r.MeanScore)
+	}
+	if !strings.Contains(r.Table, "5,975") {
+		t.Error("paper reference missing")
+	}
+}
+
+func TestTable2ShinReplication(t *testing.T) {
+	r, err := Table2(150, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's target: ~80% of vulnerable files predicted.
+	if r.Recall < 0.6 || r.Recall > 1.0 {
+		t.Errorf("recall = %v, want in the vicinity of 0.80", r.Recall)
+	}
+	if r.Precision < 0.5 {
+		t.Errorf("precision = %v collapsed", r.Precision)
+	}
+	if r.VulnFiles == 0 || r.VulnFiles == r.Files {
+		t.Errorf("degenerate labels: %d/%d", r.VulnFiles, r.Files)
+	}
+}
+
+func TestAblationLoCOnly(t *testing.T) {
+	r, err := AblationLoCOnly(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Table, "LoC-only") && !strings.Contains(r.Table, "loc-auc") {
+		t.Errorf("table = %q", r.Table)
+	}
+}
+
+func TestAblationClassifiers(t *testing.T) {
+	r, err := AblationClassifiers(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(core.AllKinds) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// ZeroR must be the floor on AUC.
+	var zeroAUC, bestAUC float64
+	for _, row := range r.Rows {
+		if row.Kind == core.KindZeroR {
+			zeroAUC = row.AUC
+		}
+		if row.AUC > bestAUC {
+			bestAUC = row.AUC
+		}
+	}
+	if bestAUC <= zeroAUC {
+		t.Errorf("no classifier beats ZeroR: best %.3f vs %.3f", bestAUC, zeroAUC)
+	}
+}
+
+func TestAblationFeatureSelection(t *testing.T) {
+	r, err := AblationFeatureSelection(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.AUC < 0.5 {
+			t.Errorf("top-%d AUC = %v", row.TopK, row.AUC)
+		}
+	}
+}
+
+func TestAblationSymexecBound(t *testing.T) {
+	r, err := AblationSymexecBound(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feasible path count is non-decreasing in the loop bound.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Feasible < r.Rows[i-1].Feasible {
+			t.Errorf("path yield decreased: %+v", r.Rows)
+		}
+	}
+}
+
+func TestRegressionFullBeatsLoC(t *testing.T) {
+	r, err := Regression(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FullR2 <= r.LoCR2 {
+		t.Errorf("full R2 %.3f does not beat LoC-only %.3f — the paper's thesis fails", r.FullR2, r.LoCR2)
+	}
+	if r.LoCR2 > 0.4 {
+		t.Errorf("LoC-only out-of-sample R2 %.3f suspiciously strong", r.LoCR2)
+	}
+}

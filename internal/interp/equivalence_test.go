@@ -1,0 +1,100 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/langgen"
+	"repro/internal/minic"
+	"repro/internal/stats"
+)
+
+// Property: Optimize preserves semantics — for generated programs and
+// sampled inputs, the interpreter returns identical results (and identical
+// completion status) before and after optimization. This ties the
+// generator, parser, lowerer, optimizer, and interpreter together in one
+// differential test.
+func TestOptimizePreservesSemantics(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		spec := langgen.DefaultSpec()
+		spec.Seed = seed
+		spec.Files = 2
+		spec.VulnDensity = 0 // keep runs deterministic and source-free
+		tree := langgen.Generate(spec)
+		for _, file := range tree.Files {
+			ast, err := minic.Parse(file.Content)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			plain, err := ir.Lower(ast)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			optimized, err := ir.Lower(ast)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			ir.OptimizeProgram(optimized)
+
+			rng := stats.NewRNG(seed * 7793)
+			for _, fn := range plain.Funcs {
+				for trial := 0; trial < 5; trial++ {
+					inputs := make([]int64, 12)
+					for i := range inputs {
+						inputs[i] = int64(rng.IntRange(-100, 100))
+					}
+					cfgA := DefaultConfig()
+					cfgA.Inputs = append([]int64(nil), inputs...)
+					cfgA.MaxSteps = 30000
+					cfgB := DefaultConfig()
+					cfgB.Inputs = append([]int64(nil), inputs...)
+					cfgB.MaxSteps = 30000
+
+					a, err := Run(plain, fn.Name, cfgA)
+					if err != nil {
+						t.Fatalf("seed %d %s: %v", seed, fn.Name, err)
+					}
+					b, err := Run(optimized, fn.Name, cfgB)
+					if err != nil {
+						t.Fatalf("seed %d %s (optimized): %v", seed, fn.Name, err)
+					}
+					if a.Returned != b.Returned {
+						t.Fatalf("seed %d %s inputs %v: completion differs (%v vs %v)",
+							seed, fn.Name, inputs, a.Returned, b.Returned)
+					}
+					if a.Returned && a.ReturnValue != b.ReturnValue {
+						t.Fatalf("seed %d %s inputs %v: %d != %d after optimization",
+							seed, fn.Name, inputs, a.ReturnValue, b.ReturnValue)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: the symbolic executor's feasible-path set never grows under
+// optimization is NOT guaranteed (merging blocks can change path counts),
+// but execution must still terminate and find at least one path.
+func TestOptimizedProgramsStillExplore(t *testing.T) {
+	spec := langgen.DefaultSpec()
+	spec.Seed = 99
+	tree := langgen.Generate(spec)
+	ast, err := minic.Parse(tree.Files[0].Content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir.OptimizeProgram(prog)
+	for _, fn := range prog.Funcs {
+		tr, err := Run(prog, fn.Name, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Steps == 0 && len(tr.Blocks) == 0 {
+			t.Fatalf("%s: optimized function did not execute", fn.Name)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package ir
+
+// Optimize performs the classic clean-up passes over a function:
+// constant folding, copy/constant propagation within blocks, and
+// constant-branch simplification with unreachable-block removal. The
+// analyses run faster on optimized IR and the symbolic executor prunes
+// statically-dead branches for free; semantics are preserved (property-
+// tested against the interpreter).
+
+// Optimize runs the passes to a fixpoint (bounded). Without program
+// context every named variable is treated as call-clobbered; use
+// OptimizeProgram to confine clobbering to the actual globals.
+func Optimize(f *Func) {
+	optimizeFunc(f, nil)
+}
+
+// OptimizeProgram optimizes every function, clobbering only true globals
+// at call sites (MiniC has no pointers, so calls cannot touch locals).
+func OptimizeProgram(p *Program) {
+	globals := map[string]bool{}
+	for _, g := range p.Globals {
+		globals[g] = true
+	}
+	for _, f := range p.Funcs {
+		optimizeFunc(f, globals)
+	}
+}
+
+func optimizeFunc(f *Func, globals map[string]bool) {
+	for i := 0; i < 8; i++ {
+		changed := propagateAndFold(f, globals)
+		changed = simplifyBranches(f) || changed
+		if !changed {
+			break
+		}
+	}
+	f.removeUnreachable()
+}
+
+// propagateAndFold does block-local constant/copy propagation and folds
+// constant expressions. Temps are single-assignment so their bindings are
+// safe to propagate anywhere in the block after the definition; named
+// variables are invalidated on reassignment, and call sites clobber the
+// globals set (or every named variable when globals is nil).
+func propagateAndFold(f *Func, globals map[string]bool) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		// binding maps a value name to its known replacement.
+		binding := map[string]Value{}
+		resolve := func(v Value) Value {
+			for i := 0; i < 8; i++ { // bounded chase
+				name, ok := valueName(v)
+				if !ok {
+					return v
+				}
+				next, ok := binding[name]
+				if !ok {
+					return v
+				}
+				v = next
+			}
+			return v
+		}
+		invalidate := func(name string) {
+			delete(binding, name)
+			// Any binding whose target is the overwritten variable dies too.
+			for k, v := range binding {
+				if n, ok := valueName(v); ok && n == name {
+					delete(binding, k)
+				}
+			}
+		}
+		for idx, in := range b.Instrs {
+			switch x := in.(type) {
+			case *Assign:
+				src := resolve(x.Src)
+				if src != x.Src {
+					x.Src = src
+					changed = true
+				}
+				invalidate(x.Dst.String())
+				binding[x.Dst.String()] = src
+			case *BinOp:
+				l, r := resolve(x.L), resolve(x.R)
+				if l != x.L || r != x.R {
+					x.L, x.R = l, r
+					changed = true
+				}
+				invalidate(x.Dst.String())
+				if lc, lok := l.(Const); lok {
+					if rc, rok := r.(Const); rok {
+						if v, ok := foldBin(x.Op, lc.V, rc.V); ok {
+							b.Instrs[idx] = &Assign{Dst: x.Dst, Src: Const{V: v}, Line: x.Line}
+							binding[x.Dst.String()] = Const{V: v}
+							changed = true
+							continue
+						}
+					}
+				}
+			case *UnOp:
+				v := resolve(x.X)
+				if v != x.X {
+					x.X = v
+					changed = true
+				}
+				invalidate(x.Dst.String())
+				if c, ok := v.(Const); ok {
+					var folded int64
+					switch x.Op {
+					case "-":
+						folded = -c.V
+					case "!":
+						if c.V == 0 {
+							folded = 1
+						}
+					default:
+						continue
+					}
+					b.Instrs[idx] = &Assign{Dst: x.Dst, Src: Const{V: folded}, Line: x.Line}
+					binding[x.Dst.String()] = Const{V: folded}
+					changed = true
+				}
+			case *Call:
+				for i := range x.Args {
+					a := resolve(x.Args[i])
+					if a != x.Args[i] {
+						x.Args[i] = a
+						changed = true
+					}
+				}
+				if x.Dst != nil {
+					invalidate(x.Dst.String())
+				}
+				// Calls may mutate globals: drop their bindings. Without
+				// program context, conservatively clobber every named var.
+				if globals != nil {
+					for g := range globals {
+						invalidate(g)
+					}
+				} else {
+					for name := range f.collectNamedVars() {
+						invalidate(name)
+					}
+				}
+			case *ArrayLoad:
+				iv := resolve(x.Index)
+				if iv != x.Index {
+					x.Index = iv
+					changed = true
+				}
+				invalidate(x.Dst.String())
+			case *ArrayStore:
+				iv, sv := resolve(x.Index), resolve(x.Src)
+				if iv != x.Index || sv != x.Src {
+					x.Index, x.Src = iv, sv
+					changed = true
+				}
+			}
+		}
+		// Terminator operand.
+		if br, ok := b.Term.(*Branch); ok {
+			if c := resolve(br.Cond); c != br.Cond {
+				br.Cond = c
+				changed = true
+			}
+		}
+		if rt, ok := b.Term.(*Ret); ok && rt.Value != nil {
+			if c := resolve(rt.Value); c != rt.Value {
+				rt.Value = c
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func (f *Func) collectNamedVars() map[string]bool {
+	set := map[string]bool{}
+	for _, v := range f.Vars() {
+		set[v] = true
+	}
+	return set
+}
+
+func valueName(v Value) (string, bool) {
+	switch x := v.(type) {
+	case Var:
+		return x.Name, true
+	case Temp:
+		return x.String(), true
+	}
+	return "", false
+}
+
+// foldBin evaluates a constant binary expression; division and modulo by
+// zero do not fold (the runtime behaviour must be preserved).
+func foldBin(op string, l, r int64) (int64, bool) {
+	switch op {
+	case "+":
+		return l + r, true
+	case "-":
+		return l - r, true
+	case "*":
+		return l * r, true
+	case "/":
+		if r == 0 {
+			return 0, false
+		}
+		return l / r, true
+	case "%":
+		if r == 0 {
+			return 0, false
+		}
+		return l % r, true
+	case "<":
+		return b2i(l < r), true
+	case "<=":
+		return b2i(l <= r), true
+	case ">":
+		return b2i(l > r), true
+	case ">=":
+		return b2i(l >= r), true
+	case "==":
+		return b2i(l == r), true
+	case "!=":
+		return b2i(l != r), true
+	case "&&":
+		return b2i(l != 0 && r != 0), true
+	case "||":
+		return b2i(l != 0 || r != 0), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// simplifyBranches rewrites Branch terminators with constant conditions
+// into Jumps.
+func simplifyBranches(f *Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		br, ok := b.Term.(*Branch)
+		if !ok {
+			continue
+		}
+		c, ok := br.Cond.(Const)
+		if !ok {
+			continue
+		}
+		if c.V != 0 {
+			b.Term = &Jump{Target: br.True}
+		} else {
+			b.Term = &Jump{Target: br.False}
+		}
+		changed = true
+	}
+	if changed {
+		f.computePreds()
+	}
+	return changed
+}

@@ -1,0 +1,150 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOptimizeFoldsConstants(t *testing.T) {
+	f := MustLowerSource("int f(void) { int x = 2 + 3 * 4; return x; }").Funcs[0]
+	Optimize(f)
+	if len(f.Blocks) != 1 {
+		t.Fatalf("blocks = %d:\n%s", len(f.Blocks), f)
+	}
+	ret, ok := f.Entry().Term.(*Ret)
+	if !ok {
+		t.Fatalf("terminator = %T", f.Entry().Term)
+	}
+	if c, ok := ret.Value.(Const); !ok || c.V != 14 {
+		t.Fatalf("return = %v, want constant 14:\n%s", ret.Value, f)
+	}
+}
+
+func TestOptimizePrunesDeadBranch(t *testing.T) {
+	f := MustLowerSource(`
+int f(void) {
+	int debug = 0;
+	if (debug) {
+		expensive_diagnostics();
+	}
+	return 1;
+}`).Funcs[0]
+	Optimize(f)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if c, ok := in.(*Call); ok && c.Name == "expensive_diagnostics" {
+				t.Fatalf("dead call survived:\n%s", f)
+			}
+		}
+		if _, ok := b.Term.(*Branch); ok {
+			t.Fatalf("constant branch survived:\n%s", f)
+		}
+	}
+}
+
+func TestOptimizeKeepsDivByZero(t *testing.T) {
+	// 1/0 must NOT fold away: runtime behaviour (a trap) is observable.
+	f := MustLowerSource("int f(void) { return 1 / 0; }").Funcs[0]
+	Optimize(f)
+	found := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if bo, ok := in.(*BinOp); ok && bo.Op == "/" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("division by zero folded away:\n%s", f)
+	}
+}
+
+func TestOptimizeCopyPropagation(t *testing.T) {
+	f := MustLowerSource(`
+int f(int a) {
+	int b = a;
+	int c = b;
+	return c + c;
+}`).Funcs[0]
+	Optimize(f)
+	// The addition should read 'a' directly after propagation.
+	propagated := false
+	for _, in := range f.Entry().Instrs {
+		if bo, ok := in.(*BinOp); ok && bo.Op == "+" {
+			if l, ok := bo.L.(Var); ok && l.Name == "a" {
+				propagated = true
+			}
+		}
+	}
+	if !propagated {
+		t.Fatalf("copies not propagated:\n%s", f)
+	}
+}
+
+func TestOptimizeCallClobbersGlobals(t *testing.T) {
+	prog := MustLowerSource(`
+int g = 1;
+int bump(void) { g = g + 1; return g; }
+int f(void) {
+	g = 5;
+	bump();
+	return g;
+}`)
+	OptimizeProgram(prog)
+	f, _ := prog.FuncByName("f")
+	ret := f.Blocks[len(f.Blocks)-1].Term.(*Ret)
+	// g must NOT have been constant-propagated past the call.
+	if _, isConst := ret.Value.(Const); isConst {
+		t.Fatalf("global folded across a call:\n%s", f)
+	}
+}
+
+func TestOptimizeLocalsSurviveCalls(t *testing.T) {
+	prog := MustLowerSource(`
+int g = 1;
+int f(void) {
+	int local = 7;
+	log_event(0);
+	return local;
+}`)
+	OptimizeProgram(prog)
+	f, _ := prog.FuncByName("f")
+	ret := f.Blocks[len(f.Blocks)-1].Term.(*Ret)
+	// With program context, the local constant propagates across the call.
+	if c, ok := ret.Value.(Const); !ok || c.V != 7 {
+		t.Fatalf("local not propagated across call: %v\n%s", ret.Value, f)
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	f := MustLowerSource(`
+int f(int x) {
+	int a = 1 + 2;
+	if (a > 2) { x = x + a; }
+	return x;
+}`).Funcs[0]
+	Optimize(f)
+	first := f.String()
+	Optimize(f)
+	if second := f.String(); second != first {
+		t.Fatalf("not idempotent:\n%s\nvs\n%s", first, second)
+	}
+}
+
+func TestOptimizeShrinksGeneratedDump(t *testing.T) {
+	src := `
+int f(int x) {
+	int mode = 2;
+	int scale = mode * 10;
+	if (mode == 1) { return 0 - 1; }
+	if (mode == 2) { return x * scale; }
+	return 0;
+}`
+	f := MustLowerSource(src).Funcs[0]
+	before := strings.Count(f.String(), "\n")
+	Optimize(f)
+	after := strings.Count(f.String(), "\n")
+	if after >= before {
+		t.Fatalf("optimization did not shrink: %d -> %d\n%s", before, after, f)
+	}
+}

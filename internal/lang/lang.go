@@ -1,0 +1,234 @@
+// Package lang is the language registry: per-language lexical syntax
+// (comment and string delimiters, keywords, decision keywords for cyclomatic
+// complexity) and file-extension mapping. The corpus in the paper categorizes
+// applications by primary language (C, C++, Python, Java), and the static
+// analysis stack is language-parameterized through this package.
+package lang
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// Language identifies a supported programming language.
+type Language int
+
+// Supported languages. MiniC is the analyzable C subset used by the parser,
+// IR, and symbolic-execution substrates; it shares C's lexical syntax.
+const (
+	Unknown Language = iota
+	C
+	CPP
+	Java
+	Python
+	MiniC
+)
+
+// String returns the display name used in figures ("Primarily C", etc.).
+func (l Language) String() string {
+	switch l {
+	case C:
+		return "C"
+	case CPP:
+		return "C++"
+	case Java:
+		return "Java"
+	case Python:
+		return "Python"
+	case MiniC:
+		return "MiniC"
+	default:
+		return "Unknown"
+	}
+}
+
+// ParseLanguage maps a display name back to a Language.
+func ParseLanguage(s string) Language {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "c":
+		return C
+	case "c++", "cpp", "cxx":
+		return CPP
+	case "java":
+		return Java
+	case "python", "py":
+		return Python
+	case "minic":
+		return MiniC
+	default:
+		return Unknown
+	}
+}
+
+// Managed reports whether the language has managed memory (no raw pointer
+// arithmetic), which structurally precludes several CWE families.
+func (l Language) Managed() bool {
+	return l == Java || l == Python
+}
+
+// Syntax captures the lexical rules an analyzer needs.
+type Syntax struct {
+	LineComment    []string // comment-to-end-of-line introducers
+	BlockStart     string   // block comment opener ("" if none)
+	BlockEnd       string   // block comment closer
+	StringQuotes   []byte   // characters that open/close string literals
+	RawTripleQuote bool     // Python-style ''' / """ strings
+	Preprocessor   byte     // line prefix treated as code (C's '#'), 0 if none
+	IndentBlocks   bool     // block structure by indentation (Python)
+	Keywords       map[string]bool
+	// DecisionKeywords are the tokens that add one to McCabe cyclomatic
+	// complexity when they begin a branching construct.
+	DecisionKeywords map[string]bool
+	// FunctionKeywords introduce a function definition (Python's "def");
+	// empty for brace languages where functions are detected structurally.
+	FunctionKeywords map[string]bool
+}
+
+func set(words ...string) map[string]bool {
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[w] = true
+	}
+	return m
+}
+
+var cKeywords = set(
+	"auto", "break", "case", "char", "const", "continue", "default", "do",
+	"double", "else", "enum", "extern", "float", "for", "goto", "if", "int",
+	"long", "register", "return", "short", "signed", "sizeof", "static",
+	"struct", "switch", "typedef", "union", "unsigned", "void", "volatile",
+	"while",
+)
+
+var cppExtra = set(
+	"class", "namespace", "template", "typename", "public", "private",
+	"protected", "virtual", "new", "delete", "try", "catch", "throw",
+	"operator", "this", "using", "bool", "true", "false", "nullptr",
+)
+
+var javaKeywords = set(
+	"abstract", "assert", "boolean", "break", "byte", "case", "catch", "char",
+	"class", "const", "continue", "default", "do", "double", "else", "enum",
+	"extends", "final", "finally", "float", "for", "goto", "if", "implements",
+	"import", "instanceof", "int", "interface", "long", "native", "new",
+	"package", "private", "protected", "public", "return", "short", "static",
+	"strictfp", "super", "switch", "synchronized", "this", "throw", "throws",
+	"transient", "try", "void", "volatile", "while",
+)
+
+var pythonKeywords = set(
+	"False", "None", "True", "and", "as", "assert", "async", "await", "break",
+	"class", "continue", "def", "del", "elif", "else", "except", "finally",
+	"for", "from", "global", "if", "import", "in", "is", "lambda", "nonlocal",
+	"not", "or", "pass", "raise", "return", "try", "while", "with", "yield",
+)
+
+func merge(ms ...map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for _, m := range ms {
+		for k := range m {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+var syntaxes = map[Language]Syntax{
+	C: {
+		LineComment:      []string{"//"},
+		BlockStart:       "/*",
+		BlockEnd:         "*/",
+		StringQuotes:     []byte{'"', '\''},
+		Preprocessor:     '#',
+		Keywords:         cKeywords,
+		DecisionKeywords: set("if", "for", "while", "case", "do"),
+	},
+	CPP: {
+		LineComment:      []string{"//"},
+		BlockStart:       "/*",
+		BlockEnd:         "*/",
+		StringQuotes:     []byte{'"', '\''},
+		Preprocessor:     '#',
+		Keywords:         merge(cKeywords, cppExtra),
+		DecisionKeywords: set("if", "for", "while", "case", "do", "catch"),
+	},
+	Java: {
+		LineComment:      []string{"//"},
+		BlockStart:       "/*",
+		BlockEnd:         "*/",
+		StringQuotes:     []byte{'"', '\''},
+		Keywords:         javaKeywords,
+		DecisionKeywords: set("if", "for", "while", "case", "do", "catch"),
+	},
+	Python: {
+		LineComment:      []string{"#"},
+		StringQuotes:     []byte{'"', '\''},
+		RawTripleQuote:   true,
+		IndentBlocks:     true,
+		Keywords:         pythonKeywords,
+		DecisionKeywords: set("if", "for", "while", "elif", "except", "and", "or"),
+		FunctionKeywords: set("def"),
+	},
+	MiniC: {
+		LineComment:      []string{"//"},
+		BlockStart:       "/*",
+		BlockEnd:         "*/",
+		StringQuotes:     []byte{'"'},
+		Keywords:         cKeywords,
+		DecisionKeywords: set("if", "for", "while", "case", "do"),
+	},
+}
+
+// SyntaxOf returns the lexical rules for l. Unknown languages fall back to C
+// syntax, which is a safe default for line classification.
+func SyntaxOf(l Language) Syntax {
+	if s, ok := syntaxes[l]; ok {
+		return s
+	}
+	return syntaxes[C]
+}
+
+var extensions = map[string]Language{
+	".c":    C,
+	".h":    C,
+	".cc":   CPP,
+	".cpp":  CPP,
+	".cxx":  CPP,
+	".hpp":  CPP,
+	".hh":   CPP,
+	".java": Java,
+	".py":   Python,
+	".mc":   MiniC,
+}
+
+// FromPath infers the language of a file from its extension.
+func FromPath(path string) Language {
+	ext := strings.ToLower(filepath.Ext(path))
+	if l, ok := extensions[ext]; ok {
+		return l
+	}
+	return Unknown
+}
+
+// Extensions returns the canonical file extension for a language.
+func (l Language) Extension() string {
+	switch l {
+	case C:
+		return ".c"
+	case CPP:
+		return ".cpp"
+	case Java:
+		return ".java"
+	case Python:
+		return ".py"
+	case MiniC:
+		return ".mc"
+	default:
+		return ".txt"
+	}
+}
+
+// All returns the analyzable languages in display order.
+func All() []Language {
+	return []Language{C, CPP, Python, Java, MiniC}
+}

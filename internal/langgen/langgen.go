@@ -1,0 +1,305 @@
+// Package langgen deterministically generates synthetic source trees. It
+// substitutes for the 164 real open-source codebases the paper measures:
+// the static-analysis stack needs actual source text to chew on, and the
+// generator gives us source whose size, branching, call density, comment
+// ratio, and injected-vulnerability density are controllable and seeded.
+package langgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// Spec controls generation.
+type Spec struct {
+	Language     lang.Language
+	Files        int
+	FuncsPerFile int
+	// StmtsPerFunc is the mean statement count per function body.
+	StmtsPerFunc int
+	BranchProb   float64 // probability a statement is an if
+	LoopProb     float64 // probability a statement is a loop
+	CallProb     float64 // probability a statement is a call
+	CommentRate  float64 // probability of a comment line before a statement
+	// VulnDensity is the probability that a function receives an injected
+	// vulnerable pattern (unchecked input flowing into a dangerous sink).
+	VulnDensity float64
+	Seed        uint64
+}
+
+// DefaultSpec returns a reasonable mid-size MiniC spec.
+func DefaultSpec() Spec {
+	return Spec{
+		Language:     lang.MiniC,
+		Files:        4,
+		FuncsPerFile: 6,
+		StmtsPerFunc: 10,
+		BranchProb:   0.25,
+		LoopProb:     0.15,
+		CallProb:     0.15,
+		CommentRate:  0.2,
+		VulnDensity:  0.2,
+		Seed:         1,
+	}
+}
+
+// Generate produces the tree described by spec. The same spec always
+// produces byte-identical output.
+func Generate(spec Spec) *metrics.Tree {
+	tree, _ := GenerateLabeled(spec)
+	return tree
+}
+
+// GenerateLabeled also returns, per file, whether a vulnerability pattern
+// was injected — the ground-truth labels for the Shin et al. style
+// vulnerable-file prediction experiment.
+func GenerateLabeled(spec Spec) (*metrics.Tree, []bool) {
+	rng := stats.NewRNG(spec.Seed ^ 0xc0de)
+	g := &generator{spec: spec, rng: rng}
+	tree := &metrics.Tree{Name: fmt.Sprintf("synth-%d", spec.Seed)}
+	for fi := 0; fi < spec.Files; fi++ {
+		name := fmt.Sprintf("src/file%03d%s", fi, spec.Language.Extension())
+		content, vulnerable := g.genFile(fi)
+		tree.Files = append(tree.Files, metrics.File{
+			Path:     name,
+			Language: spec.Language,
+			Content:  content,
+		})
+		g.fileVulnerable = append(g.fileVulnerable, vulnerable)
+	}
+	return tree, g.fileVulnerable
+}
+
+type generator struct {
+	spec           Spec
+	rng            *stats.RNG
+	fileVulnerable []bool
+	funcCounter    int
+	// fileFuncs are the function ids defined earlier in the current file,
+	// available as intra-file call targets (keeps the call graph acyclic).
+	fileFuncs []int
+}
+
+var comments = []string{
+	"update the accumulator", "validate the inputs", "main processing loop",
+	"corner case handling", "legacy workaround, do not touch",
+	"TODO revisit this bound", "fast path", "slow path fallback",
+	"see issue tracker for context", "bounds were checked by the caller",
+	"invariant: value stays non-negative", "mirrors the spec wording",
+}
+
+var sinkCalls = []string{"strcpy", "sprintf", "system", "memcpy"}
+var sourceCalls = []string{"read_input", "recv", "getenv", "fgets"}
+
+func (g *generator) genFile(fileIdx int) (string, bool) {
+	switch {
+	case g.spec.Language == lang.Python:
+		return g.genPythonFile(fileIdx)
+	case g.spec.Language == lang.Java:
+		return g.genJavaFile(fileIdx)
+	default:
+		return g.genCFile(fileIdx)
+	}
+}
+
+// genCFile emits MiniC (also valid for C token analysis).
+func (g *generator) genCFile(fileIdx int) (string, bool) {
+	var sb strings.Builder
+	vulnerable := false
+	if g.spec.Language == lang.C || g.spec.Language == lang.CPP {
+		sb.WriteString("#include <stdio.h>\n#include <stdlib.h>\n\n")
+	}
+	fmt.Fprintf(&sb, "// module %d: generated translation unit\n\n", fileIdx)
+	g.fileFuncs = g.fileFuncs[:0]
+	for fn := 0; fn < g.spec.FuncsPerFile; fn++ {
+		g.funcCounter++
+		inject := g.rng.Bool(g.spec.VulnDensity)
+		if inject {
+			vulnerable = true
+		}
+		g.genCFunc(&sb, g.funcCounter, inject)
+		g.fileFuncs = append(g.fileFuncs, g.funcCounter)
+		sb.WriteString("\n")
+	}
+	return sb.String(), vulnerable
+}
+
+func (g *generator) genCFunc(sb *strings.Builder, id int, injectVuln bool) {
+	params := g.rng.IntRange(0, 3)
+	var plist []string
+	var names []string
+	for p := 0; p < params; p++ {
+		n := fmt.Sprintf("p%d", p)
+		plist = append(plist, "int "+n)
+		names = append(names, n)
+	}
+	if len(plist) == 0 {
+		plist = append(plist, "void")
+	}
+	fmt.Fprintf(sb, "int fn_%04d(%s) {\n", id, strings.Join(plist, ", "))
+	// Local declarations.
+	locals := g.rng.IntRange(1, 4)
+	for l := 0; l < locals; l++ {
+		n := fmt.Sprintf("v%d", l)
+		fmt.Fprintf(sb, "\tint %s = %d;\n", n, g.rng.IntRange(0, 100))
+		names = append(names, n)
+	}
+	if injectVuln {
+		// The canonical injected pattern: unchecked input into a sink.
+		src := sourceCalls[g.rng.Intn(len(sourceCalls))]
+		sink := sinkCalls[g.rng.Intn(len(sinkCalls))]
+		fmt.Fprintf(sb, "\tint tainted = %s();\n", src)
+		fmt.Fprintf(sb, "\t%s(tainted, %s);\n", sink, names[g.rng.Intn(len(names))])
+		names = append(names, "tainted")
+	}
+	nStmts := g.rng.IntRange(1, 2*g.spec.StmtsPerFunc)
+	for s := 0; s < nStmts; s++ {
+		g.genCStmt(sb, names, 1, 2)
+	}
+	fmt.Fprintf(sb, "\treturn %s;\n}\n", g.expr(names, 1))
+}
+
+// genCStmt emits one statement at the given indent, recursing up to depth.
+func (g *generator) genCStmt(sb *strings.Builder, names []string, indent, depth int) {
+	tabs := strings.Repeat("\t", indent)
+	if g.rng.Bool(g.spec.CommentRate) {
+		fmt.Fprintf(sb, "%s// %s\n", tabs, comments[g.rng.Intn(len(comments))])
+	}
+	r := g.rng.Float64()
+	switch {
+	case depth > 0 && r < g.spec.BranchProb:
+		fmt.Fprintf(sb, "%sif (%s %s %d) {\n", tabs, g.pick(names), g.cmp(), g.rng.IntRange(0, 50))
+		inner := g.rng.IntRange(1, 3)
+		for i := 0; i < inner; i++ {
+			g.genCStmt(sb, names, indent+1, depth-1)
+		}
+		if g.rng.Bool(0.4) {
+			fmt.Fprintf(sb, "%s} else {\n", tabs)
+			g.genCStmt(sb, names, indent+1, depth-1)
+		}
+		fmt.Fprintf(sb, "%s}\n", tabs)
+	case depth > 0 && r < g.spec.BranchProb+g.spec.LoopProb:
+		v := g.pick(names)
+		fmt.Fprintf(sb, "%swhile (%s > 0) {\n", tabs, v)
+		g.genCStmt(sb, names, indent+1, depth-1)
+		fmt.Fprintf(sb, "%s%s = %s - 1;\n", tabs+"\t", v, v)
+		fmt.Fprintf(sb, "%s}\n", tabs)
+	case r < g.spec.BranchProb+g.spec.LoopProb+g.spec.CallProb:
+		// Half the calls target earlier functions in the file (keeping the
+		// call graph acyclic), half go to an external logger.
+		if len(g.fileFuncs) > 0 && g.rng.Bool(0.5) {
+			callee := g.fileFuncs[g.rng.Intn(len(g.fileFuncs))]
+			fmt.Fprintf(sb, "%s%s = fn_%04d(%s);\n", tabs, g.pick(names), callee, g.expr(names, 0))
+		} else {
+			fmt.Fprintf(sb, "%slog_event(%s);\n", tabs, g.expr(names, 0))
+		}
+	default:
+		fmt.Fprintf(sb, "%s%s = %s;\n", tabs, g.pick(names), g.expr(names, 1))
+	}
+}
+
+func (g *generator) pick(names []string) string {
+	return names[g.rng.Intn(len(names))]
+}
+
+func (g *generator) cmp() string {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	return ops[g.rng.Intn(len(ops))]
+}
+
+// expr builds a small arithmetic expression over the names.
+func (g *generator) expr(names []string, depth int) string {
+	if depth <= 0 || g.rng.Bool(0.4) {
+		if g.rng.Bool(0.5) {
+			return g.pick(names)
+		}
+		return fmt.Sprintf("%d", g.rng.IntRange(0, 99))
+	}
+	ops := []string{"+", "-", "*"}
+	return fmt.Sprintf("%s %s %s", g.expr(names, depth-1),
+		ops[g.rng.Intn(len(ops))], g.expr(names, depth-1))
+}
+
+// genPythonFile emits Python-flavoured source (token metrics only).
+func (g *generator) genPythonFile(fileIdx int) (string, bool) {
+	var sb strings.Builder
+	vulnerable := false
+	fmt.Fprintf(&sb, "# module %d: generated\n\n", fileIdx)
+	for fn := 0; fn < g.spec.FuncsPerFile; fn++ {
+		g.funcCounter++
+		inject := g.rng.Bool(g.spec.VulnDensity)
+		if inject {
+			vulnerable = true
+		}
+		params := g.rng.IntRange(0, 3)
+		var plist []string
+		names := []string{}
+		for p := 0; p < params; p++ {
+			n := fmt.Sprintf("p%d", p)
+			plist = append(plist, n)
+			names = append(names, n)
+		}
+		fmt.Fprintf(&sb, "def fn_%04d(%s):\n", g.funcCounter, strings.Join(plist, ", "))
+		names = append(names, "acc")
+		fmt.Fprintf(&sb, "    acc = %d\n", g.rng.IntRange(0, 100))
+		if inject {
+			sb.WriteString("    data = read_input()\n")
+			sb.WriteString("    system(data)\n")
+			names = append(names, "data")
+		}
+		n := g.rng.IntRange(1, g.spec.StmtsPerFunc)
+		for s := 0; s < n; s++ {
+			if g.rng.Bool(g.spec.CommentRate) {
+				fmt.Fprintf(&sb, "    # %s\n", comments[g.rng.Intn(len(comments))])
+			}
+			switch {
+			case g.rng.Bool(g.spec.BranchProb):
+				fmt.Fprintf(&sb, "    if %s %s %d:\n        acc = acc + 1\n",
+					g.pick(names), g.cmp(), g.rng.IntRange(0, 50))
+			case g.rng.Bool(g.spec.LoopProb):
+				fmt.Fprintf(&sb, "    for i in range(%d):\n        acc = acc + i\n", g.rng.IntRange(1, 9))
+			default:
+				fmt.Fprintf(&sb, "    %s = %s\n", g.pick(names), g.expr(names, 1))
+			}
+		}
+		sb.WriteString("    return acc\n\n")
+	}
+	return sb.String(), vulnerable
+}
+
+// genJavaFile emits Java-flavoured source (token metrics only).
+func (g *generator) genJavaFile(fileIdx int) (string, bool) {
+	var sb strings.Builder
+	vulnerable := false
+	fmt.Fprintf(&sb, "// module %d: generated\npublic class Module%03d {\n", fileIdx, fileIdx)
+	for fn := 0; fn < g.spec.FuncsPerFile; fn++ {
+		g.funcCounter++
+		inject := g.rng.Bool(g.spec.VulnDensity)
+		if inject {
+			vulnerable = true
+		}
+		names := []string{"acc"}
+		fmt.Fprintf(&sb, "\tpublic int fn%04d(int p0) {\n\t\tint acc = %d;\n", g.funcCounter, g.rng.IntRange(0, 100))
+		if inject {
+			sb.WriteString("\t\tString data = recv();\n\t\texec(data);\n")
+		}
+		n := g.rng.IntRange(1, g.spec.StmtsPerFunc)
+		for s := 0; s < n; s++ {
+			if g.rng.Bool(g.spec.CommentRate) {
+				fmt.Fprintf(&sb, "\t\t// %s\n", comments[g.rng.Intn(len(comments))])
+			}
+			if g.rng.Bool(g.spec.BranchProb) {
+				fmt.Fprintf(&sb, "\t\tif (p0 %s %d) { acc += 1; }\n", g.cmp(), g.rng.IntRange(0, 50))
+			} else {
+				fmt.Fprintf(&sb, "\t\tacc = %s;\n", g.expr(names, 1))
+			}
+		}
+		sb.WriteString("\t\treturn acc;\n\t}\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String(), vulnerable
+}

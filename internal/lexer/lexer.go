@@ -1,0 +1,323 @@
+// Package lexer is a language-parameterized tokenizer for C-like, Java-like,
+// and Python-like source text. It is the shared front end for the metric
+// extractors (cyclomatic complexity, Halstead measures, code smells, lint)
+// and is resilient to malformed input: it never fails, it only degrades.
+package lexer
+
+import (
+	"strings"
+	"unicode"
+
+	"repro/internal/lang"
+)
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Keyword
+	Number
+	String
+	Comment
+	Operator
+	Punct // brackets, braces, separators
+	Preproc
+	Newline
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case Ident:
+		return "Ident"
+	case Keyword:
+		return "Keyword"
+	case Number:
+		return "Number"
+	case String:
+		return "String"
+	case Comment:
+		return "Comment"
+	case Operator:
+		return "Operator"
+	case Punct:
+		return "Punct"
+	case Preproc:
+		return "Preproc"
+	case Newline:
+		return "Newline"
+	}
+	return "Unknown"
+}
+
+// Token is one lexical unit.
+type Token struct {
+	Kind Kind
+	Text string
+	Line int // 1-based line of the token's first character
+}
+
+// multi-character operators, longest first within each leading byte.
+var multiOps = []string{
+	"<<=", ">>=", "...", "->*", "===", "!==",
+	"==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=",
+	"%=", "&=", "|=", "^=", "<<", ">>", "->", "::", "**", "//",
+}
+
+// Lexer tokenizes one source buffer.
+type Lexer struct {
+	src    string
+	syntax lang.Syntax
+	pos    int
+	line   int
+}
+
+// New returns a lexer for src using the lexical rules of language l.
+func New(src string, l lang.Language) *Lexer {
+	return &Lexer{src: src, syntax: lang.SyntaxOf(l), line: 1}
+}
+
+// Tokenize scans src to completion and returns all tokens (excluding EOF).
+// Comments and newlines are included so callers can reconstruct line
+// structure; filter with Filter if only code tokens are wanted.
+func Tokenize(src string, l lang.Language) []Token {
+	lx := New(src, l)
+	var out []Token
+	for {
+		t := lx.Next()
+		if t.Kind == EOF {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// Filter returns only the tokens of the given kinds.
+func Filter(toks []Token, kinds ...Kind) []Token {
+	want := map[Kind]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []Token
+	for _, t := range toks {
+		if want[t.Kind] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Code returns the tokens that participate in program semantics (everything
+// except comments and newlines).
+func Code(toks []Token) []Token {
+	var out []Token
+	for _, t := range toks {
+		if t.Kind != Comment && t.Kind != Newline {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peekAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *Lexer) startsWith(s string) bool {
+	return strings.HasPrefix(lx.src[lx.pos:], s)
+}
+
+// Next returns the next token, or an EOF token at the end of input.
+func (lx *Lexer) Next() Token {
+	// Skip horizontal whitespace (newlines are tokens).
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == ' ' || c == '\t' || c == '\r' {
+			lx.pos++
+			continue
+		}
+		break
+	}
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: EOF, Line: lx.line}
+	}
+	start, startLine := lx.pos, lx.line
+	c := lx.src[lx.pos]
+
+	if c == '\n' {
+		lx.pos++
+		lx.line++
+		return Token{Kind: Newline, Text: "\n", Line: startLine}
+	}
+
+	// Preprocessor lines (C/C++): '#' at the start of a (logical) line.
+	if lx.syntax.Preprocessor != 0 && c == lx.syntax.Preprocessor && lx.atLineStart(start) {
+		for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+			// Handle line continuation.
+			if lx.src[lx.pos] == '\\' && lx.peekAt(1) == '\n' {
+				lx.pos += 2
+				lx.line++
+				continue
+			}
+			lx.pos++
+		}
+		return Token{Kind: Preproc, Text: lx.src[start:lx.pos], Line: startLine}
+	}
+
+	// Line comments.
+	for _, lc := range lx.syntax.LineComment {
+		if lx.startsWith(lc) {
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+			return Token{Kind: Comment, Text: lx.src[start:lx.pos], Line: startLine}
+		}
+	}
+
+	// Block comments.
+	if lx.syntax.BlockStart != "" && lx.startsWith(lx.syntax.BlockStart) {
+		lx.pos += len(lx.syntax.BlockStart)
+		for lx.pos < len(lx.src) && !lx.startsWith(lx.syntax.BlockEnd) {
+			if lx.src[lx.pos] == '\n' {
+				lx.line++
+			}
+			lx.pos++
+		}
+		if lx.pos < len(lx.src) {
+			lx.pos += len(lx.syntax.BlockEnd)
+		}
+		return Token{Kind: Comment, Text: lx.src[start:lx.pos], Line: startLine}
+	}
+
+	// Triple-quoted strings (Python).
+	if lx.syntax.RawTripleQuote && (lx.startsWith(`"""`) || lx.startsWith("'''")) {
+		quote := lx.src[lx.pos : lx.pos+3]
+		lx.pos += 3
+		for lx.pos < len(lx.src) && !lx.startsWith(quote) {
+			if lx.src[lx.pos] == '\n' {
+				lx.line++
+			}
+			lx.pos++
+		}
+		if lx.pos < len(lx.src) {
+			lx.pos += 3
+		}
+		return Token{Kind: String, Text: lx.src[start:lx.pos], Line: startLine}
+	}
+
+	// Quoted strings/chars.
+	for _, q := range lx.syntax.StringQuotes {
+		if c == q {
+			lx.pos++
+			for lx.pos < len(lx.src) {
+				ch := lx.src[lx.pos]
+				if ch == '\\' && lx.pos+1 < len(lx.src) {
+					lx.pos += 2
+					continue
+				}
+				if ch == '\n' { // unterminated: stop at line end
+					break
+				}
+				lx.pos++
+				if ch == q {
+					break
+				}
+			}
+			return Token{Kind: String, Text: lx.src[start:lx.pos], Line: startLine}
+		}
+	}
+
+	// Numbers: ints, floats, hex, exponents, suffixes.
+	if isDigit(c) || (c == '.' && isDigit(lx.peekAt(1))) {
+		lx.pos++
+		for lx.pos < len(lx.src) {
+			ch := lx.src[lx.pos]
+			if isDigit(ch) || isAlpha(ch) || ch == '.' || ch == '_' {
+				lx.pos++
+				continue
+			}
+			// Exponent sign: 1e-5
+			if (ch == '+' || ch == '-') && lx.pos > start {
+				prev := lx.src[lx.pos-1]
+				if prev == 'e' || prev == 'E' {
+					lx.pos++
+					continue
+				}
+			}
+			break
+		}
+		return Token{Kind: Number, Text: lx.src[start:lx.pos], Line: startLine}
+	}
+
+	// Identifiers and keywords.
+	if isAlpha(c) || c == '_' {
+		lx.pos++
+		for lx.pos < len(lx.src) && (isAlnum(lx.src[lx.pos]) || lx.src[lx.pos] == '_') {
+			lx.pos++
+		}
+		text := lx.src[start:lx.pos]
+		kind := Ident
+		if lx.syntax.Keywords[text] {
+			kind = Keyword
+		}
+		return Token{Kind: kind, Text: text, Line: startLine}
+	}
+
+	// Multi-character operators. Skip "//" which would have been a comment
+	// already for C-family; for Python "//" is floor division and there is no
+	// "//" line comment, so this is safe either way.
+	for _, op := range multiOps {
+		if lx.startsWith(op) {
+			lx.pos += len(op)
+			return Token{Kind: Operator, Text: op, Line: startLine}
+		}
+	}
+
+	// Single-character punctuation vs. operator.
+	lx.pos++
+	text := string(c)
+	switch c {
+	case '(', ')', '[', ']', '{', '}', ',', ';', ':':
+		return Token{Kind: Punct, Text: text, Line: startLine}
+	default:
+		return Token{Kind: Operator, Text: text, Line: startLine}
+	}
+}
+
+// atLineStart reports whether only whitespace precedes position p on its line.
+func (lx *Lexer) atLineStart(p int) bool {
+	for i := p - 1; i >= 0; i-- {
+		switch lx.src[i] {
+		case '\n':
+			return true
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isAlpha(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80 && unicode.IsLetter(rune(c))
+}
+
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }

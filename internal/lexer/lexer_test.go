@@ -1,0 +1,292 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lang"
+	"repro/internal/stats"
+)
+
+func kindsOf(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func textsOf(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestTokenizeSimpleC(t *testing.T) {
+	src := "int main(void) { return 0; }"
+	toks := Tokenize(src, lang.C)
+	want := []struct {
+		kind Kind
+		text string
+	}{
+		{Keyword, "int"}, {Ident, "main"}, {Punct, "("}, {Keyword, "void"},
+		{Punct, ")"}, {Punct, "{"}, {Keyword, "return"}, {Number, "0"},
+		{Punct, ";"}, {Punct, "}"},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens %v", len(toks), textsOf(toks))
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Fatalf("token %d = %v %q, want %v %q", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLineComments(t *testing.T) {
+	toks := Tokenize("x = 1; // trailing\ny = 2;", lang.C)
+	comments := Filter(toks, Comment)
+	if len(comments) != 1 || !strings.HasPrefix(comments[0].Text, "//") {
+		t.Fatalf("comments = %v", textsOf(comments))
+	}
+	if comments[0].Line != 1 {
+		t.Fatalf("comment line = %d", comments[0].Line)
+	}
+}
+
+func TestBlockCommentsSpanLines(t *testing.T) {
+	src := "a /* one\ntwo\nthree */ b"
+	toks := Tokenize(src, lang.C)
+	if len(Filter(toks, Comment)) != 1 {
+		t.Fatalf("tokens = %v", textsOf(toks))
+	}
+	idents := Filter(toks, Ident)
+	if len(idents) != 2 || idents[1].Line != 3 {
+		t.Fatalf("line tracking broken: %+v", idents)
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	toks := Tokenize("x /* never closed", lang.C)
+	if len(toks) != 2 || toks[1].Kind != Comment {
+		t.Fatalf("tokens = %v", kindsOf(toks))
+	}
+}
+
+func TestPythonComments(t *testing.T) {
+	toks := Tokenize("x = 1  # comment\n", lang.Python)
+	if len(Filter(toks, Comment)) != 1 {
+		t.Fatalf("tokens = %v", textsOf(toks))
+	}
+	// '#' must NOT be a preprocessor directive in Python.
+	if len(Filter(toks, Preproc)) != 0 {
+		t.Fatal("python # treated as preprocessor")
+	}
+}
+
+func TestCPreprocessor(t *testing.T) {
+	src := "#include <stdio.h>\nint x;\n  #define A 1\n"
+	toks := Tokenize(src, lang.C)
+	pps := Filter(toks, Preproc)
+	if len(pps) != 2 {
+		t.Fatalf("preproc tokens = %v", textsOf(pps))
+	}
+	// '#' mid-line is not preprocessor.
+	toks = Tokenize("int a; # stray", lang.C)
+	if len(Filter(toks, Preproc)) != 0 {
+		t.Fatal("mid-line # treated as preprocessor")
+	}
+}
+
+func TestPreprocessorContinuation(t *testing.T) {
+	src := "#define MAX(a,b) \\\n ((a)>(b)?(a):(b))\nint y;"
+	toks := Tokenize(src, lang.C)
+	pps := Filter(toks, Preproc)
+	if len(pps) != 1 {
+		t.Fatalf("continuation broken: %v", textsOf(pps))
+	}
+	idents := Filter(toks, Ident)
+	if len(idents) != 1 || idents[0].Text != "y" || idents[0].Line != 3 {
+		t.Fatalf("line count after continuation: %+v", idents)
+	}
+}
+
+func TestStringsWithEscapes(t *testing.T) {
+	toks := Tokenize(`printf("a \"quoted\" string");`, lang.C)
+	strs := Filter(toks, String)
+	if len(strs) != 1 || !strings.Contains(strs[0].Text, `\"quoted\"`) {
+		t.Fatalf("strings = %v", textsOf(strs))
+	}
+}
+
+func TestCharLiteral(t *testing.T) {
+	toks := Tokenize(`char c = 'x'; char nl = '\n';`, lang.C)
+	strs := Filter(toks, String)
+	if len(strs) != 2 {
+		t.Fatalf("char literals = %v", textsOf(strs))
+	}
+}
+
+func TestStringWithCommentInside(t *testing.T) {
+	toks := Tokenize(`s = "not // a comment /* either */";`, lang.C)
+	if len(Filter(toks, Comment)) != 0 {
+		t.Fatal("comment found inside string")
+	}
+}
+
+func TestUnterminatedStringStopsAtNewline(t *testing.T) {
+	toks := Tokenize("s = \"unterminated\nnext_line", lang.C)
+	idents := Filter(toks, Ident)
+	found := false
+	for _, tok := range idents {
+		if tok.Text == "next_line" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lexer consumed past unterminated string: %v", textsOf(toks))
+	}
+}
+
+func TestTripleQuotedPython(t *testing.T) {
+	src := "x = \"\"\"multi\nline\ndoc\"\"\"\ny = 1"
+	toks := Tokenize(src, lang.Python)
+	strs := Filter(toks, String)
+	if len(strs) != 1 || !strings.Contains(strs[0].Text, "multi\nline") {
+		t.Fatalf("triple quote broken: %v", textsOf(strs))
+	}
+	for _, tok := range toks {
+		if tok.Text == "y" && tok.Line != 4 {
+			t.Fatalf("line after triple quote = %d, want 4", tok.Line)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	src := "a = 42 + 0x1F + 3.14 + 1e-5 + 100UL;"
+	toks := Tokenize(src, lang.C)
+	nums := Filter(toks, Number)
+	want := []string{"42", "0x1F", "3.14", "1e-5", "100UL"}
+	if len(nums) != len(want) {
+		t.Fatalf("numbers = %v, want %v", textsOf(nums), want)
+	}
+	for i, w := range want {
+		if nums[i].Text != w {
+			t.Fatalf("number %d = %q, want %q", i, nums[i].Text, w)
+		}
+	}
+}
+
+func TestMultiCharOperators(t *testing.T) {
+	src := "if (a == b && c != d || e <= f) x += 1; p->q; y <<= 2;"
+	toks := Tokenize(src, lang.C)
+	ops := map[string]bool{}
+	for _, tok := range Filter(toks, Operator) {
+		ops[tok.Text] = true
+	}
+	for _, want := range []string{"==", "&&", "!=", "||", "<=", "+=", "->", "<<="} {
+		if !ops[want] {
+			t.Errorf("operator %q not tokenized; got %v", want, ops)
+		}
+	}
+}
+
+func TestPythonFloorDivIsOperator(t *testing.T) {
+	toks := Tokenize("q = a // b", lang.Python)
+	// Python has no // comment, so // must lex as an operator.
+	if len(Filter(toks, Comment)) != 0 {
+		t.Fatal("python // lexed as comment")
+	}
+	found := false
+	for _, tok := range Filter(toks, Operator) {
+		if tok.Text == "//" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("python // missing: %v", textsOf(toks))
+	}
+}
+
+func TestKeywordsPerLanguage(t *testing.T) {
+	toks := Tokenize("class Foo {}", lang.Java)
+	if toks[0].Kind != Keyword {
+		t.Fatal("java class not keyword")
+	}
+	toks = Tokenize("class Foo;", lang.C)
+	if toks[0].Kind != Ident {
+		t.Fatal("C class should be ident")
+	}
+}
+
+func TestNewlineTokens(t *testing.T) {
+	toks := Tokenize("a\nb\n", lang.C)
+	nl := Filter(toks, Newline)
+	if len(nl) != 2 {
+		t.Fatalf("newlines = %d", len(nl))
+	}
+	code := Code(toks)
+	if len(code) != 2 {
+		t.Fatalf("Code() = %v", textsOf(code))
+	}
+}
+
+func TestEmptyAndWhitespaceOnly(t *testing.T) {
+	if toks := Tokenize("", lang.C); len(toks) != 0 {
+		t.Fatalf("empty input produced %v", toks)
+	}
+	toks := Tokenize("   \t  ", lang.C)
+	if len(toks) != 0 {
+		t.Fatalf("whitespace produced %v", toks)
+	}
+}
+
+// Property: the lexer terminates and every token has valid line numbers, for
+// arbitrary byte soup in every language.
+func TestLexerRobustness(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := r.Intn(200)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(r.Intn(128))
+		}
+		for _, l := range lang.All() {
+			toks := Tokenize(string(buf), l)
+			lines := 1 + strings.Count(string(buf), "\n")
+			prevLine := 1
+			for _, tok := range toks {
+				if tok.Line < prevLine || tok.Line > lines {
+					return false
+				}
+				prevLine = tok.Line
+				if tok.Kind != Newline && tok.Kind != EOF && tok.Text == "" {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: concatenating token texts (plus whitespace) never loses code
+// identifiers — tokenizing twice is deterministic.
+func TestLexerDeterministic(t *testing.T) {
+	src := "int f(int x) { return x * 2; } // done"
+	a := Tokenize(src, lang.C)
+	b := Tokenize(src, lang.C)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic token count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("token %d differs", i)
+		}
+	}
+}

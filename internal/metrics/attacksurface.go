@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"repro/internal/lexer"
+)
+
+// AttackSurface is a RASQ-style (Relative Attack Surface Quotient, Howard et
+// al.) estimate: a weighted count of the resources an attacker can reach.
+// Each dimension is a count of syntactic evidence in the source; the Quotient
+// is the weighted sum. As the paper (and Howard et al.) note, the score is
+// only meaningful relative to another measurement of the same kind.
+type AttackSurface struct {
+	NetworkEndpoints int // socket/bind/listen/accept/recv/connect call sites
+	FileInputs       int // fopen/open/read/fread/ifstream call sites
+	EnvInputs        int // getenv/environment accesses
+	ProcessSpawns    int // system/exec/popen call sites
+	PrivilegeOps     int // setuid/seteuid/chmod/chown call sites
+	UnsafeAPIs       int // strcpy/gets/sprintf/strcat/scanf call sites
+	FormatCalls      int // printf-family call sites (format-string channel)
+	EntryPoints      int // main functions and exported handlers
+	Quotient         float64
+}
+
+// Channel weights follow the RASQ intuition: remotely reachable channels
+// weigh most, local privilege operations least.
+var rasqWeights = struct {
+	network, file, env, proc, priv, unsafe, format, entry float64
+}{
+	network: 1.0,
+	file:    0.6,
+	env:     0.4,
+	proc:    0.8,
+	priv:    0.7,
+	unsafe:  0.9,
+	format:  0.5,
+	entry:   0.3,
+}
+
+// classification tables: identifier -> dimension.
+var (
+	networkAPIs = set("socket", "bind", "listen", "accept", "recv", "recvfrom",
+		"connect", "send", "sendto", "ServerSocket", "DatagramSocket", "urlopen",
+		"requests", "listen_and_serve")
+	fileAPIs = set("fopen", "open", "read", "fread", "fgets", "ifstream",
+		"FileInputStream", "FileReader", "readlines")
+	envAPIs  = set("getenv", "environ", "getProperty", "osenviron")
+	procAPIs = set("system", "exec", "execl", "execv", "execve", "popen",
+		"fork", "ProcessBuilder", "subprocess", "Runtime")
+	privAPIs   = set("setuid", "seteuid", "setgid", "chmod", "chown", "chroot")
+	unsafeAPIs = set("strcpy", "strcat", "gets", "sprintf", "vsprintf",
+		"scanf", "sscanf", "memcpy", "alloca", "strtok", "realpath")
+	formatAPIs = set("printf", "fprintf", "snprintf", "syslog", "format")
+)
+
+func set(words ...string) map[string]bool {
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[w] = true
+	}
+	return m
+}
+
+// AttackSurfaceOf scans the tree's token streams for channel evidence. A hit
+// is an identifier from a class table immediately followed by '(' (a call),
+// except entry points, which are function definitions named "main" or
+// prefixed "handle"/"serve".
+func AttackSurfaceOf(t *Tree) AttackSurface {
+	var as AttackSurface
+	for _, f := range t.Files {
+		toks := lexer.Code(lexer.Tokenize(f.Content, f.Language))
+		for i, tok := range toks {
+			if tok.Kind != lexer.Ident {
+				continue
+			}
+			isCall := i+1 < len(toks) && toks[i+1].Text == "("
+			if !isCall {
+				continue
+			}
+			switch {
+			case networkAPIs[tok.Text]:
+				as.NetworkEndpoints++
+			case fileAPIs[tok.Text]:
+				as.FileInputs++
+			case envAPIs[tok.Text]:
+				as.EnvInputs++
+			case procAPIs[tok.Text]:
+				as.ProcessSpawns++
+			case privAPIs[tok.Text]:
+				as.PrivilegeOps++
+			case unsafeAPIs[tok.Text]:
+				as.UnsafeAPIs++
+			case formatAPIs[tok.Text]:
+				as.FormatCalls++
+			}
+		}
+		for _, fn := range Cyclomatic(f) {
+			if fn.Name == "main" || hasPrefixAny(fn.Name, "handle", "serve", "on_") {
+				as.EntryPoints++
+			}
+		}
+	}
+	as.Quotient = rasqWeights.network*float64(as.NetworkEndpoints) +
+		rasqWeights.file*float64(as.FileInputs) +
+		rasqWeights.env*float64(as.EnvInputs) +
+		rasqWeights.proc*float64(as.ProcessSpawns) +
+		rasqWeights.priv*float64(as.PrivilegeOps) +
+		rasqWeights.unsafe*float64(as.UnsafeAPIs) +
+		rasqWeights.format*float64(as.FormatCalls) +
+		rasqWeights.entry*float64(as.EntryPoints)
+	return as
+}
+
+func hasPrefixAny(s string, prefixes ...string) bool {
+	for _, p := range prefixes {
+		if len(s) >= len(p) && s[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}

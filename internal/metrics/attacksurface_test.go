@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"testing"
+)
+
+func TestAttackSurfaceCounts(t *testing.T) {
+	src := `
+int main(int argc, char **argv) {
+	int fd = socket(AF_INET, SOCK_STREAM, 0);
+	bind(fd, addr, len);
+	listen(fd, 5);
+	char *home = getenv("HOME");
+	FILE *f = fopen(home, "r");
+	char buf[64];
+	strcpy(buf, argv[1]);
+	system(argv[2]);
+	setuid(0);
+	printf(buf);
+	return 0;
+}`
+	as := AttackSurfaceOf(NewTree("t", File{Path: "a.c", Content: src}))
+	if as.NetworkEndpoints != 3 {
+		t.Errorf("NetworkEndpoints = %d, want 3", as.NetworkEndpoints)
+	}
+	if as.FileInputs != 1 {
+		t.Errorf("FileInputs = %d, want 1", as.FileInputs)
+	}
+	if as.EnvInputs != 1 {
+		t.Errorf("EnvInputs = %d, want 1", as.EnvInputs)
+	}
+	if as.ProcessSpawns != 1 {
+		t.Errorf("ProcessSpawns = %d, want 1", as.ProcessSpawns)
+	}
+	if as.PrivilegeOps != 1 {
+		t.Errorf("PrivilegeOps = %d, want 1", as.PrivilegeOps)
+	}
+	if as.UnsafeAPIs != 1 {
+		t.Errorf("UnsafeAPIs = %d, want 1", as.UnsafeAPIs)
+	}
+	if as.FormatCalls != 1 {
+		t.Errorf("FormatCalls = %d, want 1", as.FormatCalls)
+	}
+	if as.EntryPoints != 1 {
+		t.Errorf("EntryPoints = %d, want 1", as.EntryPoints)
+	}
+	if as.Quotient <= 0 {
+		t.Errorf("Quotient = %v", as.Quotient)
+	}
+}
+
+func TestAttackSurfaceRequiresCall(t *testing.T) {
+	// Mentioning "socket" without calling it is not a channel.
+	src := "int socket_count;\nchar *strcpy_docs;\n"
+	as := AttackSurfaceOf(NewTree("t", File{Path: "a.c", Content: src}))
+	if as.NetworkEndpoints != 0 || as.UnsafeAPIs != 0 {
+		t.Fatalf("non-call identifiers counted: %+v", as)
+	}
+}
+
+func TestAttackSurfaceHandlers(t *testing.T) {
+	src := `
+void handle_request(int fd) { }
+void serve_client(int fd) { }
+void on_message(int fd) { }
+void helper(void) { }
+`
+	as := AttackSurfaceOf(NewTree("t", File{Path: "a.c", Content: src}))
+	if as.EntryPoints != 3 {
+		t.Fatalf("EntryPoints = %d, want 3", as.EntryPoints)
+	}
+}
+
+func TestAttackSurfaceQuotientMonotone(t *testing.T) {
+	small := AttackSurfaceOf(NewTree("t", File{Path: "a.c", Content: "int f(void){ return recv(s, b, n, 0); }"}))
+	big := AttackSurfaceOf(NewTree("t", File{Path: "a.c",
+		Content: "int f(void){ recv(s,b,n,0); recv(s,b,n,0); strcpy(a,b); system(c); return 0; }"}))
+	if big.Quotient <= small.Quotient {
+		t.Fatalf("quotient not monotone: %v vs %v", small.Quotient, big.Quotient)
+	}
+}
+
+func TestAttackSurfaceEmptyTree(t *testing.T) {
+	as := AttackSurfaceOf(NewTree("empty"))
+	if as.Quotient != 0 {
+		t.Fatalf("empty quotient = %v", as.Quotient)
+	}
+}

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchTree builds a mid-size synthetic file inline (no langgen dependency
+// to keep the package graph acyclic).
+func benchTree() *Tree {
+	var sb strings.Builder
+	for fn := 0; fn < 40; fn++ {
+		sb.WriteString("// helper routine\n")
+		sb.WriteString("int fn_")
+		sb.WriteByte(byte('a' + fn%26))
+		sb.WriteString("(int a, int b) {\n")
+		for s := 0; s < 25; s++ {
+			sb.WriteString("\tif (a > b) { a = a - b; } else { b = b - a; }\n")
+			sb.WriteString("\ta = a * 3 + 7;\n")
+		}
+		sb.WriteString("\treturn a + b;\n}\n\n")
+	}
+	return NewTree("bench", File{Path: "bench.c", Content: sb.String()})
+}
+
+func BenchmarkCountLines(b *testing.B) {
+	tree := benchTree()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CountTree(tree)
+	}
+}
+
+func BenchmarkCyclomatic(b *testing.B) {
+	tree := benchTree()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CyclomaticTree(tree)
+	}
+}
+
+func BenchmarkHalstead(b *testing.B) {
+	tree := benchTree()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HalsteadTree(tree)
+	}
+}
+
+func BenchmarkExtractFeatureVector(b *testing.B) {
+	tree := benchTree()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Extract(tree)
+	}
+}
+
+func BenchmarkHotspots(b *testing.B) {
+	tree := benchTree()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Hotspots(tree)
+	}
+}

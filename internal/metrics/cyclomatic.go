@@ -1,0 +1,291 @@
+package metrics
+
+import (
+	"repro/internal/lang"
+	"repro/internal/lexer"
+)
+
+// FunctionMetrics summarizes one function definition.
+type FunctionMetrics struct {
+	Name       string
+	File       string
+	Line       int
+	Length     int // token count of the body
+	Cyclomatic int // McCabe complexity: 1 + decision points
+	MaxNesting int // deepest brace/indent nesting inside the body
+	Params     int // number of parameters
+}
+
+// Cyclomatic computes McCabe complexity for every function in the file.
+// For brace languages, function bodies are found structurally (an identifier
+// followed by a parenthesized parameter list followed by '{' at top level);
+// for Python, bodies are found from "def" and indentation.
+//
+// Complexity is 1 plus the number of decision points: branching keywords
+// (if/for/while/case/catch/elif/except), the ternary '?', and short-circuit
+// operators '&&'/'||' (or Python's and/or), following the counting rule the
+// common tools (CCCC, Metrix++, lizard) use.
+func Cyclomatic(f File) []FunctionMetrics {
+	toks := lexer.Code(lexer.Tokenize(f.Content, f.Language))
+	syn := lang.SyntaxOf(f.Language)
+	if syn.IndentBlocks {
+		return cyclomaticIndent(f, toks, syn)
+	}
+	return cyclomaticBraces(f, toks, syn)
+}
+
+// cyclomaticBraces scans a C/C++/Java token stream.
+func cyclomaticBraces(f File, toks []lexer.Token, syn lang.Syntax) []FunctionMetrics {
+	var out []FunctionMetrics
+	depth := 0
+	i := 0
+	for i < len(toks) {
+		t := toks[i]
+		switch t.Text {
+		case "{":
+			depth++
+			i++
+			continue
+		case "}":
+			depth--
+			i++
+			continue
+		}
+		// A function definition at top level (or class level for Java/C++:
+		// depth <= 1 tolerates methods inside one class/namespace block).
+		if depth <= 1 && (t.Kind == lexer.Ident || t.Kind == lexer.Keyword) {
+			if name, params, bodyStart, ok := matchFunctionHeader(toks, i); ok {
+				fm := FunctionMetrics{Name: name, File: f.Path, Line: t.Line, Params: params, Cyclomatic: 1}
+				end := scanBody(toks, bodyStart, syn, &fm)
+				out = append(out, fm)
+				i = end
+				continue
+			}
+		}
+		i++
+	}
+	return out
+}
+
+// matchFunctionHeader tries to match "ident ( ... ) {" starting near i.
+// It returns the function name, parameter count, the index of the '{', and
+// whether a definition was found. The name is the identifier immediately
+// before '('.
+func matchFunctionHeader(toks []lexer.Token, i int) (string, int, int, bool) {
+	// Find the '(' within a few tokens (return type + name).
+	j := i
+	lastIdent := -1
+	for j < len(toks) && j < i+8 {
+		t := toks[j]
+		if t.Kind == lexer.Ident {
+			lastIdent = j
+		} else if t.Kind != lexer.Keyword && t.Text != "*" && t.Text != "&" && t.Text != "::" {
+			break
+		}
+		j++
+	}
+	if lastIdent < 0 || j >= len(toks) || toks[j].Text != "(" {
+		return "", 0, 0, false
+	}
+	if controlKeyword(toks[lastIdent].Text) {
+		return "", 0, 0, false
+	}
+	name := toks[lastIdent].Text
+	// Scan the parameter list.
+	depth := 0
+	params := 0
+	sawAny := false
+	k := j
+	for k < len(toks) {
+		switch toks[k].Text {
+		case "(":
+			depth++
+		case ")":
+			depth--
+			if depth == 0 {
+				if sawAny {
+					params++
+				}
+				k++
+				goto closed
+			}
+		case ",":
+			if depth == 1 {
+				params++
+			}
+		default:
+			if depth == 1 && toks[k].Text != "void" {
+				sawAny = true
+			}
+		}
+		k++
+	}
+	return "", 0, 0, false
+closed:
+	// Skip qualifiers between ')' and '{' (const, throws X, noexcept...).
+	for k < len(toks) && toks[k].Text != "{" {
+		if toks[k].Text == ";" || toks[k].Text == "(" || toks[k].Text == "}" {
+			return "", 0, 0, false // declaration, not definition
+		}
+		k++
+	}
+	if k >= len(toks) {
+		return "", 0, 0, false
+	}
+	return name, params, k, true
+}
+
+func controlKeyword(s string) bool {
+	switch s {
+	case "if", "for", "while", "switch", "return", "sizeof", "catch", "do", "else":
+		return true
+	}
+	return false
+}
+
+// scanBody walks the brace-delimited body starting at the '{' at index
+// start, accumulating metrics, and returns the index just past the matching
+// '}'.
+func scanBody(toks []lexer.Token, start int, syn lang.Syntax, fm *FunctionMetrics) int {
+	depth := 0
+	nesting := 0
+	i := start
+	for i < len(toks) {
+		t := toks[i]
+		switch {
+		case t.Text == "{":
+			depth++
+			if depth-1 > nesting {
+				nesting = depth - 1
+			}
+		case t.Text == "}":
+			depth--
+			if depth == 0 {
+				fm.MaxNesting = nesting
+				return i + 1
+			}
+		case t.Kind == lexer.Keyword && syn.DecisionKeywords[t.Text]:
+			// "do" pairs with "while"; avoid double counting do-while by
+			// not counting "do" when "while" is also a decision keyword.
+			if t.Text != "do" {
+				fm.Cyclomatic++
+			}
+		case t.Text == "&&" || t.Text == "||" || t.Text == "?":
+			fm.Cyclomatic++
+		}
+		fm.Length++
+		i++
+	}
+	fm.MaxNesting = nesting
+	return i
+}
+
+// cyclomaticIndent scans a Python token stream using def/indentation.
+// Token streams do not carry column information, so nesting is tracked by
+// re-scanning source lines.
+func cyclomaticIndent(f File, toks []lexer.Token, syn lang.Syntax) []FunctionMetrics {
+	lines := splitLines(f.Content)
+	indentOf := func(lineNo int) int {
+		if lineNo-1 < 0 || lineNo-1 >= len(lines) {
+			return 0
+		}
+		n := 0
+		for _, c := range lines[lineNo-1] {
+			switch c {
+			case ' ':
+				n++
+			case '\t':
+				n += 8
+			default:
+				return n
+			}
+		}
+		return n
+	}
+	var out []FunctionMetrics
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind != lexer.Keyword || !syn.FunctionKeywords[t.Text] {
+			continue
+		}
+		if i+1 >= len(toks) || toks[i+1].Kind != lexer.Ident {
+			continue
+		}
+		fm := FunctionMetrics{Name: toks[i+1].Text, File: f.Path, Line: t.Line, Cyclomatic: 1}
+		defIndent := indentOf(t.Line)
+		// Count parameters inside the def's parentheses.
+		j := i + 2
+		if j < len(toks) && toks[j].Text == "(" {
+			depth := 0
+			sawAny := false
+			for ; j < len(toks); j++ {
+				switch toks[j].Text {
+				case "(":
+					depth++
+				case ")":
+					depth--
+				case ",":
+					if depth == 1 {
+						fm.Params++
+					}
+				default:
+					if depth == 1 {
+						sawAny = true
+					}
+				}
+				if depth == 0 && toks[j].Text == ")" {
+					break
+				}
+			}
+			if sawAny {
+				fm.Params++
+			}
+		}
+		// Body: tokens on lines more indented than the def, until a token at
+		// or below the def's indentation on a later line.
+		maxIndent := defIndent
+		for k := j + 1; k < len(toks); k++ {
+			tk := toks[k]
+			if tk.Line == t.Line {
+				continue
+			}
+			ind := indentOf(tk.Line)
+			if ind <= defIndent {
+				break
+			}
+			if ind > maxIndent {
+				maxIndent = ind
+			}
+			fm.Length++
+			if tk.Kind == lexer.Keyword && syn.DecisionKeywords[tk.Text] {
+				fm.Cyclomatic++
+			}
+		}
+		// Nesting levels are indentation steps of 4 below the body's first
+		// level.
+		if maxIndent > defIndent {
+			fm.MaxNesting = (maxIndent - defIndent - 4) / 4
+			if fm.MaxNesting < 0 {
+				fm.MaxNesting = 0
+			}
+		}
+		out = append(out, fm)
+	}
+	return out
+}
+
+// CyclomaticTree returns the per-function metrics of every file plus the
+// whole-tree total (the sum of per-function complexities, which is what
+// Figure 3's x-axis plots).
+func CyclomaticTree(t *Tree) ([]FunctionMetrics, int) {
+	var all []FunctionMetrics
+	total := 0
+	for _, f := range t.Files {
+		fns := Cyclomatic(f)
+		for _, fn := range fns {
+			total += fn.Cyclomatic
+		}
+		all = append(all, fns...)
+	}
+	return all, total
+}

@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lang"
+	"repro/internal/stats"
+)
+
+func TestCyclomaticStraightLine(t *testing.T) {
+	src := `int add(int a, int b) { return a + b; }`
+	fns := Cyclomatic(cFile(src))
+	if len(fns) != 1 {
+		t.Fatalf("found %d functions", len(fns))
+	}
+	fn := fns[0]
+	if fn.Name != "add" {
+		t.Errorf("name = %q", fn.Name)
+	}
+	if fn.Cyclomatic != 1 {
+		t.Errorf("cyclomatic = %d, want 1", fn.Cyclomatic)
+	}
+	if fn.Params != 2 {
+		t.Errorf("params = %d, want 2", fn.Params)
+	}
+}
+
+func TestCyclomaticDecisionPoints(t *testing.T) {
+	src := `
+int classify(int x) {
+	if (x > 0 && x < 10) { return 1; }
+	for (int i = 0; i < x; i++) {
+		while (x > 0) { x--; }
+	}
+	switch (x) {
+	case 0: return 0;
+	case 1: return 1;
+	}
+	return x > 5 ? 2 : 3;
+}`
+	fns := Cyclomatic(cFile(src))
+	if len(fns) != 1 {
+		t.Fatalf("found %d functions", len(fns))
+	}
+	// 1 + if + && + for + while + case + case + ? = 8
+	if fns[0].Cyclomatic != 8 {
+		t.Errorf("cyclomatic = %d, want 8", fns[0].Cyclomatic)
+	}
+}
+
+func TestCyclomaticMultipleFunctions(t *testing.T) {
+	src := `
+int f(void) { return 1; }
+int g(int a) { if (a) return 1; return 0; }
+static int h(int a, int b, int c) { return a; }
+`
+	fns := Cyclomatic(cFile(src))
+	if len(fns) != 3 {
+		t.Fatalf("found %d functions: %+v", len(fns), fns)
+	}
+	if fns[0].Name != "f" || fns[0].Params != 0 {
+		t.Errorf("f = %+v", fns[0])
+	}
+	if fns[1].Name != "g" || fns[1].Cyclomatic != 2 {
+		t.Errorf("g = %+v", fns[1])
+	}
+	if fns[2].Name != "h" || fns[2].Params != 3 {
+		t.Errorf("h = %+v", fns[2])
+	}
+}
+
+func TestCyclomaticSkipsDeclarations(t *testing.T) {
+	src := `
+int declared_only(int a);
+int defined(int a) { return a; }
+`
+	fns := Cyclomatic(cFile(src))
+	if len(fns) != 1 || fns[0].Name != "defined" {
+		t.Fatalf("fns = %+v", fns)
+	}
+}
+
+func TestCyclomaticSkipsControlStatements(t *testing.T) {
+	// "if (x) { ... }" at top level must not be mistaken for a function.
+	src := `
+int main(void) {
+	if (x) { y(); }
+	while (z) { w(); }
+	return 0;
+}`
+	fns := Cyclomatic(cFile(src))
+	if len(fns) != 1 || fns[0].Name != "main" {
+		t.Fatalf("fns = %+v", fns)
+	}
+}
+
+func TestCyclomaticNesting(t *testing.T) {
+	src := `
+void deep(void) {
+	if (a) {
+		if (b) {
+			if (c) {
+				x();
+			}
+		}
+	}
+}`
+	fns := Cyclomatic(cFile(src))
+	if len(fns) != 1 {
+		t.Fatalf("fns = %+v", fns)
+	}
+	if fns[0].MaxNesting != 3 {
+		t.Errorf("nesting = %d, want 3", fns[0].MaxNesting)
+	}
+}
+
+func TestCyclomaticJavaMethods(t *testing.T) {
+	src := `
+public class Foo {
+	public int bar(int x) {
+		if (x > 0) { return 1; }
+		return 0;
+	}
+	private void baz() { }
+}`
+	fns := Cyclomatic(File{Path: "Foo.java", Language: lang.Java, Content: src})
+	if len(fns) != 2 {
+		t.Fatalf("found %d functions: %+v", len(fns), fns)
+	}
+	if fns[0].Name != "bar" || fns[0].Cyclomatic != 2 {
+		t.Errorf("bar = %+v", fns[0])
+	}
+}
+
+func TestCyclomaticPython(t *testing.T) {
+	src := `def simple():
+    return 1
+
+def branchy(x, y):
+    if x > 0:
+        return 1
+    elif x < 0:
+        return -1
+    for i in range(y):
+        pass
+    return 0
+
+def after():
+    return 2
+`
+	fns := Cyclomatic(pyFile(src))
+	if len(fns) != 3 {
+		t.Fatalf("found %d functions: %+v", len(fns), fns)
+	}
+	if fns[0].Name != "simple" || fns[0].Cyclomatic != 1 {
+		t.Errorf("simple = %+v", fns[0])
+	}
+	// 1 + if + elif + for = 4
+	if fns[1].Name != "branchy" || fns[1].Cyclomatic != 4 {
+		t.Errorf("branchy = %+v", fns[1])
+	}
+	if fns[1].Params != 2 {
+		t.Errorf("branchy params = %d", fns[1].Params)
+	}
+	if fns[2].Name != "after" || fns[2].Cyclomatic != 1 {
+		t.Errorf("after = %+v", fns[2])
+	}
+}
+
+func TestCyclomaticPythonNestedDef(t *testing.T) {
+	src := `def outer():
+    def inner(a):
+        if a:
+            return 1
+        return 0
+    return inner
+`
+	fns := Cyclomatic(pyFile(src))
+	if len(fns) != 2 {
+		t.Fatalf("found %d functions", len(fns))
+	}
+}
+
+// Property: complexity is always >= 1 and equals 1 for bodies without
+// decision tokens, on generated straight-line functions.
+func TestCyclomaticAtLeastOne(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		src := "int f(void) {\n"
+		for i := 0; i < r.Intn(20); i++ {
+			src += "\tx = x + 1;\n"
+		}
+		src += "}\n"
+		fns := Cyclomatic(cFile(src))
+		return len(fns) == 1 && fns[0].Cyclomatic == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCyclomaticTreeTotals(t *testing.T) {
+	tree := NewTree("app",
+		File{Path: "a.c", Content: "int f(void){ if(a) x(); }\nint g(void){ return 0; }"},
+		File{Path: "b.c", Content: "int h(int q){ while(q) q--; return q; }"},
+	)
+	fns, total := CyclomaticTree(tree)
+	if len(fns) != 3 {
+		t.Fatalf("fns = %d", len(fns))
+	}
+	if total != 2+1+2 {
+		t.Fatalf("total = %d, want 5", total)
+	}
+}
+
+func TestCyclomaticDoWhileNotDoubleCounted(t *testing.T) {
+	src := `void f(void) { do { x(); } while (y); }`
+	fns := Cyclomatic(cFile(src))
+	if len(fns) != 1 || fns[0].Cyclomatic != 2 {
+		t.Fatalf("do-while = %+v", fns)
+	}
+}

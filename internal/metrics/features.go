@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/lang"
+)
+
+// FeatureVector is the named code-property vector the prediction model
+// consumes (Figure 4's "Code properties" box). Keys are stable names;
+// values are raw (untransformed) measurements.
+type FeatureVector map[string]float64
+
+// Feature names, grouped as in the paper's §3-§4 discussion. The canonical
+// ordering of FeatureNames is the column order of generated datasets.
+const (
+	FeatKLoC            = "kloc" // thousands of code lines
+	FeatCommentRatio    = "comment_ratio"
+	FeatFiles           = "files"
+	FeatLanguageUnsafe  = "language_unsafe" // 1 for C/C++, 0 for managed
+	FeatFunctions       = "functions"
+	FeatAvgFunctionLen  = "avg_function_len"
+	FeatMaxFunctionLen  = "max_function_len"
+	FeatCyclomaticTotal = "cyclomatic_total"
+	FeatCyclomaticAvg   = "cyclomatic_avg"
+	FeatCyclomaticMax   = "cyclomatic_max"
+	FeatHalsteadVolume  = "halstead_volume"
+	FeatHalsteadEffort  = "halstead_effort"
+	FeatHalsteadBugs    = "halstead_bugs"
+	FeatLongFunctions   = "long_functions"
+	FeatDeeplyNested    = "deeply_nested"
+	FeatManyParams      = "many_params"
+	FeatGodFiles        = "god_files"
+	FeatMagicNumbers    = "magic_numbers"
+	FeatTodoDensity     = "todo_density"
+	FeatDupLines        = "duplicate_lines"
+	FeatNetworkCalls    = "net_endpoints"
+	FeatFileInputs      = "file_inputs"
+	FeatEnvInputs       = "env_inputs"
+	FeatProcessSpawns   = "process_spawns"
+	FeatPrivilegeOps    = "privilege_ops"
+	FeatUnsafeCalls     = "unsafe_calls"
+	FeatFormatCalls     = "format_calls"
+	FeatEntryPoints     = "entry_points"
+	FeatRASQ            = "rasq"
+	// Development-history features (Shin et al.'s churn/developer-activity
+	// family); populated by the corpus model or version control, zero when
+	// unavailable.
+	FeatChurn      = "churn"
+	FeatDevelopers = "developers"
+	FeatAgeYears   = "age_years"
+	// Deep-analysis features supplied by the dataflow/symexec substrates via
+	// Enrich; zero until enriched.
+	FeatTaintedSinks  = "tainted_sinks"
+	FeatFeasiblePaths = "feasible_paths_log10"
+	FeatLintWarnings  = "lint_warnings"
+	FeatAttackDepth   = "attack_graph_depth"
+	// Call-graph shape (§4.1: "numbers of calling and returning targets").
+	FeatCallFanOut = "call_fanout_max"
+	FeatCallDepth  = "call_graph_depth"
+	// Dynamic-trace features (§5.3's "collect dynamic traces" improvement):
+	// sampled branch coverage and executed path diversity.
+	FeatDynBranchCov   = "dyn_branch_cov"
+	FeatDynUniquePaths = "dyn_unique_paths_log10"
+)
+
+// FeatureNames is the canonical ordered list of every feature.
+var FeatureNames = []string{
+	FeatKLoC, FeatCommentRatio, FeatFiles, FeatLanguageUnsafe,
+	FeatFunctions, FeatAvgFunctionLen, FeatMaxFunctionLen,
+	FeatCyclomaticTotal, FeatCyclomaticAvg, FeatCyclomaticMax,
+	FeatHalsteadVolume, FeatHalsteadEffort, FeatHalsteadBugs,
+	FeatLongFunctions, FeatDeeplyNested, FeatManyParams, FeatGodFiles,
+	FeatMagicNumbers, FeatTodoDensity, FeatDupLines,
+	FeatNetworkCalls, FeatFileInputs, FeatEnvInputs, FeatProcessSpawns,
+	FeatPrivilegeOps, FeatUnsafeCalls, FeatFormatCalls, FeatEntryPoints,
+	FeatRASQ,
+	FeatChurn, FeatDevelopers, FeatAgeYears,
+	FeatTaintedSinks, FeatFeasiblePaths, FeatLintWarnings, FeatAttackDepth,
+	FeatCallFanOut, FeatCallDepth, FeatDynBranchCov, FeatDynUniquePaths,
+}
+
+// Extract runs every static extractor over the tree and assembles the
+// feature vector. History and deep-analysis features default to zero; use
+// Set to enrich the vector afterwards.
+func Extract(t *Tree) FeatureVector {
+	fv := FeatureVector{}
+	for _, name := range FeatureNames {
+		fv[name] = 0
+	}
+
+	total, _ := CountTree(t)
+	fv[FeatKLoC] = float64(total.Code) / 1000
+	fv[FeatFiles] = float64(len(t.Files))
+
+	primary := t.PrimaryLanguage()
+	if primary == lang.C || primary == lang.CPP || primary == lang.MiniC {
+		fv[FeatLanguageUnsafe] = 1
+	}
+
+	fns, cycloTotal := CyclomaticTree(t)
+	fv[FeatFunctions] = float64(len(fns))
+	fv[FeatCyclomaticTotal] = float64(cycloTotal)
+
+	s := SmellsOf(t)
+	fv[FeatCommentRatio] = s.CommentRatio
+	fv[FeatAvgFunctionLen] = s.AvgFunctionLen
+	fv[FeatMaxFunctionLen] = float64(s.MaxFunctionLen)
+	fv[FeatCyclomaticAvg] = s.AvgCyclomatic
+	fv[FeatCyclomaticMax] = float64(s.MaxCyclomatic)
+	fv[FeatLongFunctions] = float64(s.LongFunctions)
+	fv[FeatDeeplyNested] = float64(s.DeeplyNested)
+	fv[FeatManyParams] = float64(s.ManyParams)
+	fv[FeatGodFiles] = float64(s.GodFiles)
+	fv[FeatMagicNumbers] = float64(s.MagicNumbers)
+	if total.Code > 0 {
+		fv[FeatTodoDensity] = float64(s.TodoCount) / (float64(total.Code) / 1000)
+	}
+	fv[FeatDupLines] = float64(s.DuplicateLines)
+
+	h := HalsteadTree(t)
+	fv[FeatHalsteadVolume] = h.Volume
+	fv[FeatHalsteadEffort] = h.Effort
+	fv[FeatHalsteadBugs] = h.EstimatedBugs
+
+	as := AttackSurfaceOf(t)
+	fv[FeatNetworkCalls] = float64(as.NetworkEndpoints)
+	fv[FeatFileInputs] = float64(as.FileInputs)
+	fv[FeatEnvInputs] = float64(as.EnvInputs)
+	fv[FeatProcessSpawns] = float64(as.ProcessSpawns)
+	fv[FeatPrivilegeOps] = float64(as.PrivilegeOps)
+	fv[FeatUnsafeCalls] = float64(as.UnsafeAPIs)
+	fv[FeatFormatCalls] = float64(as.FormatCalls)
+	fv[FeatEntryPoints] = float64(as.EntryPoints)
+	fv[FeatRASQ] = as.Quotient
+
+	return fv
+}
+
+// Set assigns a feature value, validating the name.
+func (fv FeatureVector) Set(name string, v float64) error {
+	if _, ok := fv[name]; !ok {
+		known := false
+		for _, n := range FeatureNames {
+			if n == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("metrics: unknown feature %q", name)
+		}
+	}
+	fv[name] = v
+	return nil
+}
+
+// Slice returns the values in canonical FeatureNames order.
+func (fv FeatureVector) Slice() []float64 {
+	out := make([]float64, len(FeatureNames))
+	for i, n := range FeatureNames {
+		out[i] = fv[n]
+	}
+	return out
+}
+
+// Clone deep-copies the vector.
+func (fv FeatureVector) Clone() FeatureVector {
+	out := make(FeatureVector, len(fv))
+	for k, v := range fv {
+		out[k] = v
+	}
+	return out
+}
+
+// Diff returns the features whose values differ between fv and other by more
+// than epsilon, sorted by absolute delta, largest first. It is the substrate
+// of the "did this change raise or lower risk" report.
+type FeatureDelta struct {
+	Name     string
+	Old, New float64
+}
+
+// Diff compares two vectors.
+func (fv FeatureVector) Diff(newer FeatureVector, epsilon float64) []FeatureDelta {
+	var out []FeatureDelta
+	for _, n := range FeatureNames {
+		o, nw := fv[n], newer[n]
+		if math.Abs(nw-o) > epsilon {
+			out = append(out, FeatureDelta{Name: n, Old: o, New: nw})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return math.Abs(out[i].New-out[i].Old) > math.Abs(out[j].New-out[j].Old)
+	})
+	return out
+}

@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func sampleTree() *Tree {
+	return NewTree("sample",
+		File{Path: "main.c", Content: `
+#include <stdio.h>
+// entry point
+int main(int argc, char **argv) {
+	char buf[16];
+	if (argc > 1) {
+		strcpy(buf, argv[1]);
+	}
+	printf(buf);
+	return 0;
+}
+`},
+		File{Path: "util.c", Content: `
+int helper(int x) {
+	while (x > 100) { x = x / 2; }
+	return x;
+}
+`},
+	)
+}
+
+func TestExtractPopulatesCoreFeatures(t *testing.T) {
+	fv := Extract(sampleTree())
+	if fv[FeatKLoC] <= 0 {
+		t.Error("kloc not set")
+	}
+	if fv[FeatFiles] != 2 {
+		t.Errorf("files = %v", fv[FeatFiles])
+	}
+	if fv[FeatLanguageUnsafe] != 1 {
+		t.Error("C tree should be language_unsafe")
+	}
+	if fv[FeatFunctions] != 2 {
+		t.Errorf("functions = %v", fv[FeatFunctions])
+	}
+	if fv[FeatCyclomaticTotal] < 3 {
+		t.Errorf("cyclomatic_total = %v", fv[FeatCyclomaticTotal])
+	}
+	if fv[FeatUnsafeCalls] != 1 {
+		t.Errorf("unsafe_calls = %v", fv[FeatUnsafeCalls])
+	}
+	if fv[FeatEntryPoints] != 1 {
+		t.Errorf("entry_points = %v", fv[FeatEntryPoints])
+	}
+	if fv[FeatHalsteadVolume] <= 0 {
+		t.Error("halstead_volume not set")
+	}
+	// Enrichment features default to zero.
+	if fv[FeatChurn] != 0 || fv[FeatTaintedSinks] != 0 {
+		t.Error("enrichment features should default to 0")
+	}
+}
+
+func TestExtractManagedLanguage(t *testing.T) {
+	tree := NewTree("j", File{Path: "A.java", Content: "class A { int f() { return 1; } }"})
+	fv := Extract(tree)
+	if fv[FeatLanguageUnsafe] != 0 {
+		t.Error("Java tree marked unsafe")
+	}
+}
+
+func TestFeatureVectorCompleteness(t *testing.T) {
+	fv := Extract(NewTree("empty"))
+	if len(fv) != len(FeatureNames) {
+		t.Fatalf("vector has %d features, want %d", len(fv), len(FeatureNames))
+	}
+	for _, n := range FeatureNames {
+		if _, ok := fv[n]; !ok {
+			t.Errorf("missing feature %q", n)
+		}
+	}
+}
+
+func TestFeatureSliceOrder(t *testing.T) {
+	fv := FeatureVector{}
+	for i, n := range FeatureNames {
+		fv[n] = float64(i)
+	}
+	s := fv.Slice()
+	for i := range s {
+		if s[i] != float64(i) {
+			t.Fatalf("Slice order broken at %d", i)
+		}
+	}
+}
+
+func TestFeatureSetValidation(t *testing.T) {
+	fv := Extract(NewTree("x"))
+	if err := fv.Set(FeatChurn, 12); err != nil {
+		t.Fatal(err)
+	}
+	if fv[FeatChurn] != 12 {
+		t.Fatal("Set did not apply")
+	}
+	if err := fv.Set("no_such_feature", 1); err == nil {
+		t.Fatal("unknown feature accepted")
+	}
+}
+
+func TestFeatureClone(t *testing.T) {
+	fv := Extract(sampleTree())
+	c := fv.Clone()
+	c[FeatKLoC] = 999
+	if fv[FeatKLoC] == 999 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestFeatureDiff(t *testing.T) {
+	a := FeatureVector{FeatKLoC: 1, FeatUnsafeCalls: 2}
+	b := FeatureVector{FeatKLoC: 1, FeatUnsafeCalls: 10}
+	deltas := a.Diff(b, 1e-9)
+	if len(deltas) != 1 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	if deltas[0].Name != FeatUnsafeCalls || deltas[0].Old != 2 || deltas[0].New != 10 {
+		t.Fatalf("delta = %+v", deltas[0])
+	}
+}
+
+func TestFeatureDiffSorted(t *testing.T) {
+	a := FeatureVector{FeatKLoC: 0, FeatUnsafeCalls: 0, FeatFiles: 0}
+	b := FeatureVector{FeatKLoC: 1, FeatUnsafeCalls: 100, FeatFiles: 10}
+	deltas := a.Diff(b, 0)
+	if len(deltas) < 3 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	if deltas[0].Name != FeatUnsafeCalls {
+		t.Fatalf("largest delta first, got %+v", deltas[0])
+	}
+}
+
+func TestLoadTree(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"main.c":        "int main(void) { return 0; }\n",
+		"sub/helper.py": "def f():\n    return 1\n",
+		"README.md":     "not source\n",
+		".git/config":   "hidden\n",
+	}
+	for p, content := range files {
+		full := filepath.Join(dir, p)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tree, err := LoadTree(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Files) != 2 {
+		t.Fatalf("loaded %d files: %+v", len(tree.Files), tree.Files)
+	}
+	if tree.Files[0].Path != "main.c" {
+		t.Fatalf("files not sorted: %v", tree.Files[0].Path)
+	}
+	if tree.Files[1].Language != lang.Python {
+		t.Fatalf("language = %v", tree.Files[1].Language)
+	}
+}
+
+func TestLoadTreeMissingDir(t *testing.T) {
+	if _, err := LoadTree("/nonexistent/path/xyz"); err == nil {
+		t.Fatal("missing dir loaded")
+	}
+}

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/lexer"
+)
+
+// Halstead holds the Halstead software-science measures of a file or tree.
+// Operators are keywords, operators, and punctuation; operands are
+// identifiers, numbers, and string literals.
+type Halstead struct {
+	DistinctOperators int     // n1
+	DistinctOperands  int     // n2
+	TotalOperators    int     // N1
+	TotalOperands     int     // N2
+	Vocabulary        int     // n = n1 + n2
+	Length            int     // N = N1 + N2
+	Volume            float64 // N * log2(n)
+	Difficulty        float64 // (n1/2) * (N2/n2)
+	Effort            float64 // Difficulty * Volume
+	// EstimatedBugs is Halstead's delivered-bugs estimate Volume/3000,
+	// one of the classic "expected defect" code properties.
+	EstimatedBugs float64
+}
+
+// HalsteadOf computes the measures for one file.
+func HalsteadOf(f File) Halstead {
+	return halsteadOfTokens(lexer.Code(lexer.Tokenize(f.Content, f.Language)))
+}
+
+func halsteadOfTokens(toks []lexer.Token) Halstead {
+	operators := map[string]int{}
+	operands := map[string]int{}
+	for _, t := range toks {
+		switch t.Kind {
+		case lexer.Keyword, lexer.Operator, lexer.Punct:
+			operators[t.Text]++
+		case lexer.Ident, lexer.Number, lexer.String:
+			operands[t.Text]++
+		case lexer.Preproc:
+			operators["#"]++
+		}
+	}
+	var h Halstead
+	h.DistinctOperators = len(operators)
+	h.DistinctOperands = len(operands)
+	for _, c := range operators {
+		h.TotalOperators += c
+	}
+	for _, c := range operands {
+		h.TotalOperands += c
+	}
+	h.Vocabulary = h.DistinctOperators + h.DistinctOperands
+	h.Length = h.TotalOperators + h.TotalOperands
+	if h.Vocabulary > 0 {
+		h.Volume = float64(h.Length) * math.Log2(float64(h.Vocabulary))
+	}
+	if h.DistinctOperands > 0 {
+		h.Difficulty = float64(h.DistinctOperators) / 2 *
+			float64(h.TotalOperands) / float64(h.DistinctOperands)
+	}
+	h.Effort = h.Difficulty * h.Volume
+	h.EstimatedBugs = h.Volume / 3000
+	return h
+}
+
+// HalsteadTree computes the measures over a whole tree by pooling tokens,
+// so distinct counts reflect cross-file vocabulary reuse.
+func HalsteadTree(t *Tree) Halstead {
+	var toks []lexer.Token
+	for _, f := range t.Files {
+		toks = append(toks, lexer.Code(lexer.Tokenize(f.Content, f.Language))...)
+	}
+	return halsteadOfTokens(toks)
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHalsteadSmallProgram(t *testing.T) {
+	// Operators: int(2), =(2), ;(2), +(1)      -> n1=4, N1=7
+	// Operands:  a(2), b(1), 1(1), 2(1)        -> n2=4, N2=5
+	src := "int a = 1; int b = a + 2;"
+	h := HalsteadOf(cFile(src))
+	if h.DistinctOperators != 4 {
+		t.Errorf("n1 = %d, want 4", h.DistinctOperators)
+	}
+	if h.DistinctOperands != 4 {
+		t.Errorf("n2 = %d, want 4", h.DistinctOperands)
+	}
+	if h.TotalOperators != 7 {
+		t.Errorf("N1 = %d, want 7", h.TotalOperators)
+	}
+	if h.TotalOperands != 5 {
+		t.Errorf("N2 = %d, want 5", h.TotalOperands)
+	}
+	if h.Vocabulary != 8 || h.Length != 12 {
+		t.Errorf("n=%d N=%d", h.Vocabulary, h.Length)
+	}
+	wantVol := 12 * math.Log2(8)
+	if math.Abs(h.Volume-wantVol) > 1e-9 {
+		t.Errorf("Volume = %v, want %v", h.Volume, wantVol)
+	}
+	wantDiff := 4.0 / 2 * 5.0 / 4
+	if math.Abs(h.Difficulty-wantDiff) > 1e-9 {
+		t.Errorf("Difficulty = %v, want %v", h.Difficulty, wantDiff)
+	}
+	if math.Abs(h.Effort-h.Volume*h.Difficulty) > 1e-9 {
+		t.Errorf("Effort inconsistent")
+	}
+	if math.Abs(h.EstimatedBugs-h.Volume/3000) > 1e-12 {
+		t.Errorf("EstimatedBugs inconsistent")
+	}
+}
+
+func TestHalsteadEmpty(t *testing.T) {
+	h := HalsteadOf(cFile(""))
+	if h.Volume != 0 || h.Difficulty != 0 || h.Effort != 0 {
+		t.Fatalf("empty Halstead = %+v", h)
+	}
+}
+
+func TestHalsteadCommentsExcluded(t *testing.T) {
+	with := HalsteadOf(cFile("int a = 1; // a comment full of words\n"))
+	without := HalsteadOf(cFile("int a = 1;\n"))
+	if with.Length != without.Length {
+		t.Fatalf("comments leaked into Halstead: %d vs %d", with.Length, without.Length)
+	}
+}
+
+func TestHalsteadMonotoneInCode(t *testing.T) {
+	small := HalsteadOf(cFile("int a = 1;"))
+	large := HalsteadOf(cFile("int a = 1; int b = 2; int c = a + b; if (c) { c = c * 2; }"))
+	if large.Volume <= small.Volume {
+		t.Fatalf("volume not monotone: %v vs %v", small.Volume, large.Volume)
+	}
+	if large.Length <= small.Length {
+		t.Fatalf("length not monotone")
+	}
+}
+
+func TestHalsteadTreePoolsVocabulary(t *testing.T) {
+	a := File{Path: "a.c", Content: "int x = 1;"}
+	b := File{Path: "b.c", Content: "int x = 1;"}
+	tree := NewTree("t", a, b)
+	h := HalsteadTree(tree)
+	single := HalsteadOf(NewTree("s", a).Files[0])
+	// Pooled distinct counts equal the single file's (same vocabulary),
+	// totals double.
+	if h.DistinctOperands != single.DistinctOperands {
+		t.Fatalf("pooled n2 = %d, want %d", h.DistinctOperands, single.DistinctOperands)
+	}
+	if h.TotalOperands != 2*single.TotalOperands {
+		t.Fatalf("pooled N2 = %d, want %d", h.TotalOperands, 2*single.TotalOperands)
+	}
+}

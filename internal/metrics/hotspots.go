@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"sort"
+
+	"repro/internal/lexer"
+)
+
+// Hotspot ranks one function by its concentration of risk-correlated
+// properties — §6's "identify individual code metrics that contribute to
+// this risk and work from there", at function granularity.
+type Hotspot struct {
+	Function   FunctionMetrics
+	UnsafeHits int // unsafe/format API call sites inside the body
+	// Score combines complexity, length, nesting, and unsafe usage into a
+	// single ranking key (weights match the smell thresholds' relative
+	// severities; the absolute value is only meaningful for ordering).
+	Score float64
+}
+
+// Hotspots returns every function in the tree ranked by score, highest
+// first.
+func Hotspots(t *Tree) []Hotspot {
+	var out []Hotspot
+	for _, f := range t.Files {
+		fns := Cyclomatic(f)
+		if len(fns) == 0 {
+			continue
+		}
+		// Count unsafe/format call sites per function by token position:
+		// functions are non-overlapping and sorted by starting line.
+		toks := lexer.Code(lexer.Tokenize(f.Content, f.Language))
+		unsafeLines := make([]int, 0, 8)
+		for i, tok := range toks {
+			if tok.Kind != lexer.Ident {
+				continue
+			}
+			if i+1 < len(toks) && toks[i+1].Text == "(" &&
+				(unsafeAPIs[tok.Text] || formatAPIs[tok.Text]) {
+				unsafeLines = append(unsafeLines, tok.Line)
+			}
+		}
+		for idx, fn := range fns {
+			endLine := int(^uint(0) >> 1) // last function runs to EOF
+			if idx+1 < len(fns) {
+				endLine = fns[idx+1].Line
+			}
+			hits := 0
+			for _, l := range unsafeLines {
+				if l >= fn.Line && l < endLine {
+					hits++
+				}
+			}
+			h := Hotspot{Function: fn, UnsafeHits: hits}
+			h.Score = float64(fn.Cyclomatic)*2 +
+				float64(fn.Length)*0.05 +
+				float64(fn.MaxNesting)*3 +
+				float64(fn.Params)*1 +
+				float64(hits)*10
+			out = append(out, h)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// TopHotspots returns at most n entries.
+func TopHotspots(t *Tree, n int) []Hotspot {
+	all := Hotspots(t)
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
+}

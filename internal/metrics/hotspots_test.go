@@ -1,0 +1,85 @@
+package metrics
+
+import "testing"
+
+func TestHotspotsRanking(t *testing.T) {
+	tree := NewTree("t", File{Path: "a.c", Content: `
+int trivial(int a) { return a + 1; }
+
+int scary(int fd, int n) {
+	char buf[16];
+	if (n > 0) {
+		if (fd > 0) {
+			while (n > 0) {
+				strcpy(buf, fd);
+				sprintf(buf, n);
+				n--;
+			}
+		}
+	}
+	printf(buf);
+	return n;
+}
+
+int middling(int a) {
+	if (a > 0) { a = a * 2; }
+	return a;
+}
+`})
+	hs := Hotspots(tree)
+	if len(hs) != 3 {
+		t.Fatalf("hotspots = %d", len(hs))
+	}
+	if hs[0].Function.Name != "scary" {
+		t.Fatalf("top hotspot = %s", hs[0].Function.Name)
+	}
+	if hs[0].UnsafeHits != 3 { // strcpy, sprintf, printf
+		t.Fatalf("unsafe hits = %d", hs[0].UnsafeHits)
+	}
+	if hs[len(hs)-1].Function.Name != "trivial" {
+		t.Fatalf("bottom hotspot = %s", hs[len(hs)-1].Function.Name)
+	}
+	for i := 1; i < len(hs); i++ {
+		if hs[i].Score > hs[i-1].Score {
+			t.Fatal("not sorted by score")
+		}
+	}
+}
+
+func TestHotspotsAttributionBoundaries(t *testing.T) {
+	// The unsafe call in g must not be attributed to f.
+	tree := NewTree("t", File{Path: "a.c", Content: `
+int f(int a) { return a; }
+int g(int a) { gets(a); return a; }
+`})
+	hs := Hotspots(tree)
+	for _, h := range hs {
+		switch h.Function.Name {
+		case "f":
+			if h.UnsafeHits != 0 {
+				t.Fatalf("f charged with g's call: %+v", h)
+			}
+		case "g":
+			if h.UnsafeHits != 1 {
+				t.Fatalf("g hits = %d", h.UnsafeHits)
+			}
+		}
+	}
+}
+
+func TestTopHotspotsBounds(t *testing.T) {
+	tree := NewTree("t", File{Path: "a.c", Content: `
+int a(void) { return 1; }
+int b(void) { return 2; }
+int c(void) { return 3; }
+`})
+	if got := TopHotspots(tree, 2); len(got) != 2 {
+		t.Fatalf("top 2 = %d", len(got))
+	}
+	if got := TopHotspots(tree, 0); len(got) != 3 {
+		t.Fatalf("top 0 (all) = %d", len(got))
+	}
+	if got := TopHotspots(NewTree("empty"), 5); len(got) != 0 {
+		t.Fatalf("empty = %d", len(got))
+	}
+}

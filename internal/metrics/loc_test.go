@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lang"
+	"repro/internal/stats"
+)
+
+func cFile(src string) File {
+	return File{Path: "t.c", Language: lang.C, Content: src}
+}
+
+func pyFile(src string) File {
+	return File{Path: "t.py", Language: lang.Python, Content: src}
+}
+
+func TestCountLinesBasic(t *testing.T) {
+	src := `// header comment
+int x = 1;
+
+/* block */
+int y = 2; // trailing
+`
+	c := CountLines(cFile(src))
+	if c.Code != 2 {
+		t.Errorf("Code = %d, want 2", c.Code)
+	}
+	if c.Comment != 2 {
+		t.Errorf("Comment = %d, want 2", c.Comment)
+	}
+	if c.Blank != 1 {
+		t.Errorf("Blank = %d, want 1", c.Blank)
+	}
+	if c.Total() != 5 {
+		t.Errorf("Total = %d, want 5", c.Total())
+	}
+}
+
+func TestCountLinesMultiLineBlock(t *testing.T) {
+	src := `/*
+ * big banner
+ */
+int main() {}
+`
+	c := CountLines(cFile(src))
+	if c.Comment != 3 || c.Code != 1 {
+		t.Fatalf("count = %+v", c)
+	}
+}
+
+func TestCountLinesCodeBeforeBlock(t *testing.T) {
+	src := "int x; /* starts here\nstill comment */ int y;\n"
+	c := CountLines(cFile(src))
+	// Line 1 has code then comment -> code. Line 2 ends comment then code -> code.
+	if c.Code != 2 || c.Comment != 0 {
+		t.Fatalf("count = %+v", c)
+	}
+}
+
+func TestCountLinesCommentMarkerInString(t *testing.T) {
+	src := `char *s = "// not a comment";` + "\n" + `char *u = "/* nor this";` + "\n"
+	c := CountLines(cFile(src))
+	if c.Code != 2 || c.Comment != 0 {
+		t.Fatalf("count = %+v", c)
+	}
+}
+
+func TestCountLinesPython(t *testing.T) {
+	src := `# leading comment
+x = 1
+
+def f():
+    """docstring
+    second line"""
+    return x
+`
+	c := CountLines(pyFile(src))
+	if c.Comment != 1 {
+		t.Errorf("Comment = %d, want 1", c.Comment)
+	}
+	// x=1, def, docstring(2 lines: they are string values -> code), return
+	if c.Code != 5 {
+		t.Errorf("Code = %d, want 5 (%+v)", c.Code, c)
+	}
+	if c.Blank != 1 {
+		t.Errorf("Blank = %d", c.Blank)
+	}
+}
+
+func TestCountLinesEmptyFile(t *testing.T) {
+	c := CountLines(cFile(""))
+	if c.Total() != 0 {
+		t.Fatalf("empty file count = %+v", c)
+	}
+}
+
+func TestCountLinesNoTrailingNewline(t *testing.T) {
+	c := CountLines(cFile("int x;"))
+	if c.Code != 1 || c.Total() != 1 {
+		t.Fatalf("count = %+v", c)
+	}
+}
+
+// Property: blank + comment + code always equals the number of physical
+// lines, for random content in every language. This is the cloc invariant.
+func TestCountLinesPartitionProperty(t *testing.T) {
+	chars := []byte("abc {}();/*#\"'\n\n\n \t=+-")
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := r.Intn(400)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = chars[r.Intn(len(chars))]
+		}
+		src := string(buf)
+		physical := len(splitLines(src))
+		for _, l := range lang.All() {
+			c := CountLines(File{Path: "x", Language: l, Content: src})
+			if c.Total() != physical {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountTreePerLanguage(t *testing.T) {
+	tree := NewTree("app",
+		File{Path: "a.c", Content: "int a;\nint b;\n"},
+		File{Path: "b.py", Content: "x = 1\n"},
+	)
+	total, perLang := CountTree(tree)
+	if total.Code != 3 {
+		t.Fatalf("total code = %d", total.Code)
+	}
+	if perLang[lang.C].Code != 2 || perLang[lang.Python].Code != 1 {
+		t.Fatalf("perLang = %v", perLang)
+	}
+}
+
+func TestPrimaryLanguage(t *testing.T) {
+	tree := NewTree("app",
+		File{Path: "a.c", Content: "int a;\n"},
+		File{Path: "b.py", Content: "x = 1\ny = 2\nz = 3\n"},
+	)
+	if got := tree.PrimaryLanguage(); got != lang.Python {
+		t.Fatalf("PrimaryLanguage = %v", got)
+	}
+	empty := NewTree("none")
+	if got := empty.PrimaryLanguage(); got != lang.Unknown {
+		t.Fatalf("empty tree primary = %v", got)
+	}
+}
+
+func TestNewTreeInfersLanguage(t *testing.T) {
+	tree := NewTree("x", File{Path: "m.java", Content: "class A {}"})
+	if tree.Files[0].Language != lang.Java {
+		t.Fatalf("language = %v", tree.Files[0].Language)
+	}
+}
+
+func TestSplitLines(t *testing.T) {
+	if got := splitLines(""); got != nil {
+		t.Fatalf("splitLines(\"\") = %v", got)
+	}
+	if got := splitLines("a\nb\n"); len(got) != 2 {
+		t.Fatalf("splitLines = %v", got)
+	}
+	if got := splitLines("a\nb"); len(got) != 2 {
+		t.Fatalf("splitLines no-trailing = %v", got)
+	}
+	if got := splitLines("\n"); len(got) != 1 || strings.TrimSpace(got[0]) != "" {
+		t.Fatalf("splitLines single newline = %q", got)
+	}
+}

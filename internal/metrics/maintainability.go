@@ -1,0 +1,69 @@
+package metrics
+
+import "math"
+
+// MaintainabilityIndex is the classic composite metric (Oman & Hagemeister,
+// as used by Visual Studio and the SEI): a 0-100 rescaling of
+// 171 - 5.2·ln(HalsteadVolume) - 0.23·CyclomaticComplexity - 16.2·ln(LoC),
+// optionally with the comment bonus term. §3's point is precisely that such
+// composites exist and are still one-dimensional; the index is provided for
+// completeness and comparison, not as the prediction target.
+type MaintainabilityIndex struct {
+	Raw        float64 // unclamped three-factor value
+	Rescaled   float64 // max(0, Raw)*100/171, the Visual Studio convention
+	WithBonus  float64 // rescaled value including the comment bonus
+	Band       string  // "high" (>=20), "moderate" (>=10), "low"
+	PerKLoCFix float64 // deprecated-style per-kLoC normalization, kept at 0
+}
+
+// Maintainability computes the index for a tree.
+func Maintainability(t *Tree) MaintainabilityIndex {
+	total, _ := CountTree(t)
+	h := HalsteadTree(t)
+	_, cyclo := CyclomaticTree(t)
+
+	loc := float64(total.Code)
+	if loc < 1 {
+		loc = 1
+	}
+	vol := h.Volume
+	if vol < 1 {
+		vol = 1
+	}
+	raw := 171 - 5.2*math.Log(vol) - 0.23*float64(cyclo) - 16.2*math.Log(loc)
+
+	mi := MaintainabilityIndex{Raw: raw}
+	rescaled := raw * 100 / 171
+	if rescaled < 0 {
+		rescaled = 0
+	}
+	if rescaled > 100 {
+		rescaled = 100
+	}
+	mi.Rescaled = rescaled
+
+	// Comment bonus: 50*sin(sqrt(2.4*perCM)) with perCM the comment ratio.
+	perCM := 0.0
+	if total.Code+total.Comment > 0 {
+		perCM = float64(total.Comment) / float64(total.Code+total.Comment)
+	}
+	withBonus := raw + 50*math.Sin(math.Sqrt(2.4*perCM))
+	withBonus = withBonus * 100 / 171
+	if withBonus < 0 {
+		withBonus = 0
+	}
+	if withBonus > 100 {
+		withBonus = 100
+	}
+	mi.WithBonus = withBonus
+
+	switch {
+	case mi.Rescaled >= 20:
+		mi.Band = "high"
+	case mi.Rescaled >= 10:
+		mi.Band = "moderate"
+	default:
+		mi.Band = "low"
+	}
+	return mi
+}

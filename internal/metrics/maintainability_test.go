@@ -1,0 +1,58 @@
+package metrics
+
+import "testing"
+
+func TestMaintainabilitySmallClean(t *testing.T) {
+	tree := NewTree("clean", File{Path: "a.c", Content: `
+// a tiny well-factored helper
+int add(int a, int b) { return a + b; }
+`})
+	mi := Maintainability(tree)
+	if mi.Rescaled < 50 {
+		t.Fatalf("tiny clean code MI = %v, want high", mi.Rescaled)
+	}
+	if mi.Band != "high" {
+		t.Fatalf("band = %q", mi.Band)
+	}
+	if mi.WithBonus < mi.Rescaled {
+		t.Fatalf("comment bonus lowered the index: %v < %v", mi.WithBonus, mi.Rescaled)
+	}
+}
+
+func TestMaintainabilityDecreasesWithComplexity(t *testing.T) {
+	simple := NewTree("s", File{Path: "a.c", Content: "int f(void) { return 1; }\n"})
+	var big string
+	big = "int f(int a) {\n"
+	for i := 0; i < 200; i++ {
+		big += "\tif (a > " + itoa(i) + ") { a = a * 2 + " + itoa(i) + "; }\n"
+	}
+	big += "\treturn a;\n}\n"
+	complexTree := NewTree("c", File{Path: "a.c", Content: big})
+	miS := Maintainability(simple)
+	miC := Maintainability(complexTree)
+	if miC.Rescaled >= miS.Rescaled {
+		t.Fatalf("MI not decreasing: simple %v vs complex %v", miS.Rescaled, miC.Rescaled)
+	}
+}
+
+func TestMaintainabilityBounds(t *testing.T) {
+	empty := NewTree("e")
+	mi := Maintainability(empty)
+	if mi.Rescaled < 0 || mi.Rescaled > 100 || mi.WithBonus < 0 || mi.WithBonus > 100 {
+		t.Fatalf("MI out of bounds: %+v", mi)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSmellsCommentRatio(t *testing.T) {
+	tree := NewTree("t", File{Path: "a.c", Content: "// one\n// two\nint x;\nint y;\n"})
+	s := SmellsOf(tree)
+	if s.CommentRatio != 0.5 {
+		t.Fatalf("CommentRatio = %v, want 0.5", s.CommentRatio)
+	}
+}
+
+func TestSmellsTodoCount(t *testing.T) {
+	src := "// TODO fix\n/* FIXME: later XXX */\nint x; // also: HACK\n"
+	s := SmellsOf(NewTree("t", File{Path: "a.c", Content: src}))
+	if s.TodoCount != 4 {
+		t.Fatalf("TodoCount = %d, want 4", s.TodoCount)
+	}
+}
+
+func TestSmellsMagicNumbers(t *testing.T) {
+	src := "int a = 0; int b = 1; int c = 2; int d = 42; int e = 1337;\n"
+	s := SmellsOf(NewTree("t", File{Path: "a.c", Content: src}))
+	if s.MagicNumbers != 2 {
+		t.Fatalf("MagicNumbers = %d, want 2", s.MagicNumbers)
+	}
+}
+
+func TestSmellsManyParams(t *testing.T) {
+	src := "int f(int a, int b, int c, int d, int e, int g) { return 0; }\nint h(int a) { return a; }\n"
+	s := SmellsOf(NewTree("t", File{Path: "a.c", Content: src}))
+	if s.ManyParams != 1 {
+		t.Fatalf("ManyParams = %d, want 1", s.ManyParams)
+	}
+	if s.FunctionCount != 2 {
+		t.Fatalf("FunctionCount = %d", s.FunctionCount)
+	}
+}
+
+func TestSmellsLongFunction(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("void f(void) {\n")
+	for i := 0; i < LongFunctionTokens; i++ {
+		b.WriteString("x = x + 1;\n") // 6 tokens per line
+	}
+	b.WriteString("}\n")
+	s := SmellsOf(NewTree("t", File{Path: "a.c", Content: b.String()}))
+	if s.LongFunctions != 1 {
+		t.Fatalf("LongFunctions = %d, want 1", s.LongFunctions)
+	}
+	if s.MaxFunctionLen <= LongFunctionTokens {
+		t.Fatalf("MaxFunctionLen = %d", s.MaxFunctionLen)
+	}
+}
+
+func TestSmellsDeepNesting(t *testing.T) {
+	src := `void f(void) { if(a){ if(b){ if(c){ if(d){ if(e){ x(); } } } } } }`
+	s := SmellsOf(NewTree("t", File{Path: "a.c", Content: src}))
+	if s.DeeplyNested != 1 {
+		t.Fatalf("DeeplyNested = %d, want 1", s.DeeplyNested)
+	}
+}
+
+func TestSmellsGodFile(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i <= GodFileLines; i++ {
+		b.WriteString("int x;\n")
+	}
+	s := SmellsOf(NewTree("t", File{Path: "a.c", Content: b.String()}))
+	if s.GodFiles != 1 {
+		t.Fatalf("GodFiles = %d, want 1", s.GodFiles)
+	}
+}
+
+func TestSmellsDuplicateLines(t *testing.T) {
+	line := "result = compute(a, b, c);\n"
+	src := strings.Repeat(line, 5)
+	s := SmellsOf(NewTree("t", File{Path: "a.c", Content: src}))
+	if s.DuplicateLines != 5 {
+		t.Fatalf("DuplicateLines = %d, want 5", s.DuplicateLines)
+	}
+	// Under the threshold: no smell.
+	s = SmellsOf(NewTree("t", File{Path: "a.c", Content: strings.Repeat(line, 3)}))
+	if s.DuplicateLines != 0 {
+		t.Fatalf("DuplicateLines below threshold = %d", s.DuplicateLines)
+	}
+}
+
+func TestSmellsLongLines(t *testing.T) {
+	src := "int x; // " + strings.Repeat("y", 150) + "\nint z;\n"
+	s := SmellsOf(NewTree("t", File{Path: "a.c", Content: src}))
+	if s.LongLines != 1 {
+		t.Fatalf("LongLines = %d, want 1", s.LongLines)
+	}
+}
+
+func TestSmellsEmptyTree(t *testing.T) {
+	s := SmellsOf(NewTree("empty"))
+	if s.FunctionCount != 0 || s.CommentRatio != 0 || s.AvgCyclomatic != 0 {
+		t.Fatalf("empty smells = %+v", s)
+	}
+}

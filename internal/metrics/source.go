@@ -1,0 +1,100 @@
+// Package metrics implements the code-property extractors the paper feeds
+// into its prediction model: a cloc-equivalent line classifier, McCabe
+// cyclomatic complexity, Halstead software-science measures, code-smell
+// detectors, an attack-surface estimator, and the assembly of all of them
+// into a named feature vector.
+package metrics
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// File is one source file to analyze.
+type File struct {
+	Path     string
+	Language lang.Language
+	Content  string
+}
+
+// Tree is a source tree: the unit of analysis for an application.
+type Tree struct {
+	Name  string
+	Files []File
+}
+
+// NewTree builds a tree from in-memory files, inferring languages from
+// paths where unset.
+func NewTree(name string, files ...File) *Tree {
+	t := &Tree{Name: name}
+	for _, f := range files {
+		if f.Language == lang.Unknown {
+			f.Language = lang.FromPath(f.Path)
+		}
+		t.Files = append(t.Files, f)
+	}
+	return t
+}
+
+// LoadTree walks dir and loads every file with a recognized source
+// extension. Hidden directories (dot-prefixed) are skipped.
+func LoadTree(dir string) (*Tree, error) {
+	t := &Tree{Name: filepath.Base(dir)}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if strings.HasPrefix(d.Name(), ".") && path != dir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		l := lang.FromPath(path)
+		if l == lang.Unknown {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("metrics: read %s: %w", path, err)
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			rel = path
+		}
+		t.Files = append(t.Files, File{Path: rel, Language: l, Content: string(data)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(t.Files, func(i, j int) bool { return t.Files[i].Path < t.Files[j].Path })
+	return t, nil
+}
+
+// PrimaryLanguage returns the language with the most code lines in the tree,
+// mirroring how the paper buckets applications ("primarily C", etc.).
+func (t *Tree) PrimaryLanguage() lang.Language {
+	counts := map[lang.Language]int{}
+	for _, f := range t.Files {
+		c := CountLines(f)
+		counts[f.Language] += c.Code
+	}
+	best := lang.Unknown
+	bestN := -1
+	for _, l := range lang.All() {
+		if counts[l] > bestN {
+			best, bestN = l, counts[l]
+		}
+	}
+	if bestN <= 0 {
+		return lang.Unknown
+	}
+	return best
+}

@@ -1,0 +1,223 @@
+// Package minic defines MiniC, the analyzable C subset used by the deep
+// static analyses (§4.1's control-flow, data-flow, and symbolic-execution
+// properties). MiniC has int scalars and arrays, the usual expression
+// operators, if/while/for control flow, and function calls — enough to lower
+// to a basic-block IR and run precise analyses, while staying parseable by a
+// small recursive-descent parser.
+package minic
+
+import "fmt"
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() int // 1-based source line
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Funcs   []*FuncDecl
+	Globals []*DeclStmt
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *Block
+	Line   int
+}
+
+// Pos implements Node.
+func (f *FuncDecl) Pos() int { return f.Line }
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// DeclStmt declares an int scalar (Size == 0) or array (Size > 0), with an
+// optional scalar initializer.
+type DeclStmt struct {
+	Name string
+	Size int
+	Init Expr // nil if none
+	Line int
+}
+
+// AssignStmt assigns Value to Target.
+type AssignStmt struct {
+	Target LValue
+	Value  Expr
+	Line   int
+}
+
+// IfStmt is a conditional with optional else.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else *Block // nil if none
+	Line int
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Line int
+}
+
+// ForStmt is a for loop; any clause may be nil.
+type ForStmt struct {
+	Init Stmt // AssignStmt or DeclStmt
+	Cond Expr
+	Post Stmt // AssignStmt
+	Body *Block
+	Line int
+}
+
+// ReturnStmt returns an optional value.
+type ReturnStmt struct {
+	Value Expr // nil for bare return
+	Line  int
+}
+
+// ExprStmt evaluates an expression for its side effects (a call).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt jumps to the innermost loop's next iteration.
+type ContinueStmt struct{ Line int }
+
+// Pos implementations.
+func (b *Block) Pos() int        { return b.Line }
+func (d *DeclStmt) Pos() int     { return d.Line }
+func (a *AssignStmt) Pos() int   { return a.Line }
+func (i *IfStmt) Pos() int       { return i.Line }
+func (w *WhileStmt) Pos() int    { return w.Line }
+func (f *ForStmt) Pos() int      { return f.Line }
+func (r *ReturnStmt) Pos() int   { return r.Line }
+func (e *ExprStmt) Pos() int     { return e.Line }
+func (s *BreakStmt) Pos() int    { return s.Line }
+func (s *ContinueStmt) Pos() int { return s.Line }
+
+func (*Block) stmt()        {}
+func (*DeclStmt) stmt()     {}
+func (*AssignStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*ExprStmt) stmt()     {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	expr()
+}
+
+// LValue is an assignable expression: a variable or array element.
+type LValue interface {
+	Expr
+	lvalue()
+}
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Value int64
+	Line  int
+}
+
+// VarRef references a scalar variable.
+type VarRef struct {
+	Name string
+	Line int
+}
+
+// IndexExpr references an array element.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// BinaryExpr applies Op to L and R. Ops: + - * / % < <= > >= == != && ||.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// UnaryExpr applies Op ("-" or "!") to X.
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// CallExpr calls a function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// Pos implementations.
+func (n *NumLit) Pos() int     { return n.Line }
+func (v *VarRef) Pos() int     { return v.Line }
+func (x *IndexExpr) Pos() int  { return x.Line }
+func (b *BinaryExpr) Pos() int { return b.Line }
+func (u *UnaryExpr) Pos() int  { return u.Line }
+func (c *CallExpr) Pos() int   { return c.Line }
+
+func (*NumLit) expr()     {}
+func (*VarRef) expr()     {}
+func (*IndexExpr) expr()  {}
+func (*BinaryExpr) expr() {}
+func (*UnaryExpr) expr()  {}
+func (*CallExpr) expr()   {}
+
+func (*VarRef) lvalue()    {}
+func (*IndexExpr) lvalue() {}
+
+// String renders expressions compactly for diagnostics.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *NumLit:
+		return fmt.Sprintf("%d", x.Value)
+	case *VarRef:
+		return x.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", x.Name, ExprString(x.Index))
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", ExprString(x.L), x.Op, ExprString(x.R))
+	case *UnaryExpr:
+		return fmt.Sprintf("%s%s", x.Op, ExprString(x.X))
+	case *CallExpr:
+		s := x.Name + "("
+		for i, a := range x.Args {
+			if i > 0 {
+				s += ", "
+			}
+			s += ExprString(a)
+		}
+		return s + ")"
+	case nil:
+		return "<nil>"
+	default:
+		return "<?>"
+	}
+}

@@ -1,0 +1,215 @@
+package minic
+
+import "fmt"
+
+// check runs the semantic checks: declaration before use, scalar/array
+// consistency, no duplicate declarations in one scope, and break/continue
+// only inside loops. Calls to undeclared functions are allowed — they model
+// external library functions, which the taint analysis treats as sources or
+// sinks by name.
+func check(prog *Program) error {
+	funcNames := map[string]bool{}
+	for _, f := range prog.Funcs {
+		if funcNames[f.Name] {
+			return fmt.Errorf("minic: line %d: duplicate function %q", f.Line, f.Name)
+		}
+		funcNames[f.Name] = true
+	}
+	globals := newScope(nil)
+	for _, g := range prog.Globals {
+		if err := globals.declare(g.Name, g.Size > 0, g.Line); err != nil {
+			return err
+		}
+		if g.Init != nil {
+			if err := checkExpr(g.Init, globals); err != nil {
+				return err
+			}
+		}
+	}
+	for _, f := range prog.Funcs {
+		sc := newScope(globals)
+		for _, p := range f.Params {
+			if err := sc.declare(p, false, f.Line); err != nil {
+				return err
+			}
+		}
+		if err := checkBlock(f.Body, sc, 0); err != nil {
+			return fmt.Errorf("minic: in %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+type scope struct {
+	parent *scope
+	vars   map[string]bool // name -> isArray
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, vars: map[string]bool{}}
+}
+
+func (s *scope) declare(name string, isArray bool, line int) error {
+	if _, dup := s.vars[name]; dup {
+		return fmt.Errorf("line %d: %q redeclared", line, name)
+	}
+	s.vars[name] = isArray
+	return nil
+}
+
+// lookup returns (isArray, found).
+func (s *scope) lookup(name string) (bool, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if isArr, ok := sc.vars[name]; ok {
+			return isArr, true
+		}
+	}
+	return false, false
+}
+
+func checkBlock(b *Block, parent *scope, loopDepth int) error {
+	sc := newScope(parent)
+	for _, st := range b.Stmts {
+		if err := checkStmt(st, sc, loopDepth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkStmt(st Stmt, sc *scope, loopDepth int) error {
+	switch s := st.(type) {
+	case *Block:
+		return checkBlock(s, sc, loopDepth)
+	case *DeclStmt:
+		if s.Init != nil {
+			if err := checkExpr(s.Init, sc); err != nil {
+				return err
+			}
+		}
+		return sc.declare(s.Name, s.Size > 0, s.Line)
+	case *AssignStmt:
+		if err := checkLValue(s.Target, sc); err != nil {
+			return err
+		}
+		return checkExpr(s.Value, sc)
+	case *IfStmt:
+		if err := checkExpr(s.Cond, sc); err != nil {
+			return err
+		}
+		if err := checkBlock(s.Then, sc, loopDepth); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return checkBlock(s.Else, sc, loopDepth)
+		}
+		return nil
+	case *WhileStmt:
+		if err := checkExpr(s.Cond, sc); err != nil {
+			return err
+		}
+		return checkBlock(s.Body, sc, loopDepth+1)
+	case *ForStmt:
+		inner := newScope(sc) // for-init declarations scope over the loop
+		if s.Init != nil {
+			if err := checkStmt(s.Init, inner, loopDepth); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := checkExpr(s.Cond, inner); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := checkStmt(s.Post, inner, loopDepth); err != nil {
+				return err
+			}
+		}
+		return checkBlock(s.Body, inner, loopDepth+1)
+	case *ReturnStmt:
+		if s.Value != nil {
+			return checkExpr(s.Value, sc)
+		}
+		return nil
+	case *ExprStmt:
+		return checkExpr(s.X, sc)
+	case *BreakStmt:
+		if loopDepth == 0 {
+			return fmt.Errorf("line %d: break outside loop", s.Line)
+		}
+		return nil
+	case *ContinueStmt:
+		if loopDepth == 0 {
+			return fmt.Errorf("line %d: continue outside loop", s.Line)
+		}
+		return nil
+	default:
+		return fmt.Errorf("line %d: unknown statement %T", st.Pos(), st)
+	}
+}
+
+func checkLValue(lv LValue, sc *scope) error {
+	switch x := lv.(type) {
+	case *VarRef:
+		isArr, ok := sc.lookup(x.Name)
+		if !ok {
+			return fmt.Errorf("line %d: %q undeclared", x.Line, x.Name)
+		}
+		if isArr {
+			return fmt.Errorf("line %d: cannot assign to array %q without index", x.Line, x.Name)
+		}
+		return nil
+	case *IndexExpr:
+		isArr, ok := sc.lookup(x.Name)
+		if !ok {
+			return fmt.Errorf("line %d: %q undeclared", x.Line, x.Name)
+		}
+		if !isArr {
+			return fmt.Errorf("line %d: %q is not an array", x.Line, x.Name)
+		}
+		return checkExpr(x.Index, sc)
+	}
+	return fmt.Errorf("invalid lvalue")
+}
+
+func checkExpr(e Expr, sc *scope) error {
+	switch x := e.(type) {
+	case *NumLit:
+		return nil
+	case *VarRef:
+		isArr, ok := sc.lookup(x.Name)
+		if !ok {
+			return fmt.Errorf("line %d: %q undeclared", x.Line, x.Name)
+		}
+		if isArr {
+			return fmt.Errorf("line %d: array %q used as scalar", x.Line, x.Name)
+		}
+		return nil
+	case *IndexExpr:
+		isArr, ok := sc.lookup(x.Name)
+		if !ok {
+			return fmt.Errorf("line %d: %q undeclared", x.Line, x.Name)
+		}
+		if !isArr {
+			return fmt.Errorf("line %d: %q is not an array", x.Line, x.Name)
+		}
+		return checkExpr(x.Index, sc)
+	case *BinaryExpr:
+		if err := checkExpr(x.L, sc); err != nil {
+			return err
+		}
+		return checkExpr(x.R, sc)
+	case *UnaryExpr:
+		return checkExpr(x.X, sc)
+	case *CallExpr:
+		for _, a := range x.Args {
+			if err := checkExpr(a, sc); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("line %d: unknown expression %T", e.Pos(), e)
+	}
+}

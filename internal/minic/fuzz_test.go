@@ -1,0 +1,91 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// Property: the parser never panics and never loops on arbitrary byte soup —
+// it either produces an AST or a ParseError.
+func TestParseRobustnessRandomBytes(t *testing.T) {
+	chars := []byte("intvoidreturnifwhileforbreak(){}[];=+-*/%<>!&|, \n\t0123456789abcxyz\"'")
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := r.Intn(300)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = chars[r.Intn(len(chars))]
+		}
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Errorf("panic on input %q: %v", buf, rec)
+			}
+		}()
+		_, err := Parse(string(buf))
+		_ = err // error or success are both acceptable
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mutating a valid program by deleting one random byte never
+// panics the parser (truncation robustness).
+func TestParseRobustnessMutation(t *testing.T) {
+	base := `
+int helper(int a, int b) {
+	int c = a * b;
+	if (c > 100) { return c - 100; }
+	while (c < 0) { c += 10; }
+	for (int i = 0; i < b; i++) { c = c + i; }
+	return c;
+}
+int main(void) {
+	int arr[8];
+	arr[0] = helper(3, 4);
+	return arr[0];
+}`
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		pos := r.Intn(len(base))
+		mutated := base[:pos] + base[pos+1:]
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Errorf("panic on mutation at %d: %v", pos, rec)
+			}
+		}()
+		_, _ = Parse(mutated)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a parse error always names a line within the input.
+func TestParseErrorLineInRange(t *testing.T) {
+	inputs := []string{
+		"int f(void) { return }",
+		"int f(void) { int x = ; }",
+		"int f(void) { if (x { } }",
+		"int\nf(void)\n{\nbogus!\n}",
+	}
+	for _, src := range inputs {
+		_, err := Parse(src)
+		if err == nil {
+			continue
+		}
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Fatalf("error type %T for %q", err, src)
+		}
+		lines := strings.Count(src, "\n") + 1
+		if pe.Line < 1 || pe.Line > lines {
+			t.Fatalf("error line %d outside 1..%d for %q", pe.Line, lines, src)
+		}
+	}
+}

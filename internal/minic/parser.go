@@ -1,0 +1,562 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/lang"
+	"repro/internal/lexer"
+)
+
+// ParseError is a syntax error with a source line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse parses a MiniC translation unit.
+func Parse(src string) (*Program, error) {
+	toks := lexer.Code(lexer.Tokenize(src, lang.MiniC))
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.atEOF() {
+		if err := p.parseTopLevel(prog); err != nil {
+			return nil, err
+		}
+	}
+	if err := check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []lexer.Token
+	pos  int
+}
+
+func (p *parser) atEOF() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() lexer.Token {
+	if p.atEOF() {
+		return lexer.Token{Kind: lexer.EOF, Line: p.lastLine()}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) peekAt(off int) lexer.Token {
+	if p.pos+off >= len(p.toks) {
+		return lexer.Token{Kind: lexer.EOF, Line: p.lastLine()}
+	}
+	return p.toks[p.pos+off]
+}
+
+func (p *parser) lastLine() int {
+	if len(p.toks) == 0 {
+		return 1
+	}
+	return p.toks[len(p.toks)-1].Line
+}
+
+func (p *parser) next() lexer.Token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(text string) (lexer.Token, error) {
+	t := p.peek()
+	if t.Text != text {
+		return t, p.errf(t.Line, "expected %q, found %q", text, t.Text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectIdent() (lexer.Token, error) {
+	t := p.peek()
+	if t.Kind != lexer.Ident {
+		return t, p.errf(t.Line, "expected identifier, found %q", t.Text)
+	}
+	return p.next(), nil
+}
+
+// parseTopLevel parses one function definition or global declaration.
+func (p *parser) parseTopLevel(prog *Program) error {
+	t := p.peek()
+	if t.Text != "int" && t.Text != "void" {
+		return p.errf(t.Line, "expected declaration, found %q", t.Text)
+	}
+	// Lookahead: "int name (" is a function, otherwise a global decl.
+	if p.peekAt(1).Kind == lexer.Ident && p.peekAt(2).Text == "(" {
+		fn, err := p.parseFunc()
+		if err != nil {
+			return err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+		return nil
+	}
+	if t.Text == "void" {
+		return p.errf(t.Line, "void globals are not allowed")
+	}
+	d, err := p.parseDecl()
+	if err != nil {
+		return err
+	}
+	prog.Globals = append(prog.Globals, d)
+	return nil
+}
+
+func (p *parser) parseFunc() (*FuncDecl, error) {
+	retTok := p.next() // int or void
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: nameTok.Text, Line: retTok.Line}
+	for p.peek().Text != ")" {
+		if p.peek().Text == "void" && p.peekAt(1).Text == ")" {
+			p.next()
+			break
+		}
+		if _, err := p.expect("int"); err != nil {
+			return nil, err
+		}
+		param, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, param.Text)
+		if p.peek().Text == "," {
+			p.next()
+			continue
+		}
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	open, err := p.expect("{")
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Line: open.Line}
+	for p.peek().Text != "}" {
+		if p.atEOF() {
+			return nil, p.errf(open.Line, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // consume }
+	return b, nil
+}
+
+// parseDecl parses "int name [ '[' N ']' ] [ '=' expr ] ';'".
+func (p *parser) parseDecl() (*DeclStmt, error) {
+	intTok, err := p.expect("int")
+	if err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclStmt{Name: nameTok.Text, Line: intTok.Line}
+	if p.peek().Text == "[" {
+		p.next()
+		sizeTok := p.peek()
+		if sizeTok.Kind != lexer.Number {
+			return nil, p.errf(sizeTok.Line, "array size must be a literal, found %q", sizeTok.Text)
+		}
+		n, err := strconv.Atoi(sizeTok.Text)
+		if err != nil || n <= 0 {
+			return nil, p.errf(sizeTok.Line, "bad array size %q", sizeTok.Text)
+		}
+		p.next()
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		d.Size = n
+	}
+	if p.peek().Text == "=" {
+		if d.Size > 0 {
+			return nil, p.errf(p.peek().Line, "array initializers are not supported")
+		}
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	switch t.Text {
+	case "{":
+		return p.parseBlock()
+	case "int":
+		return p.parseDecl()
+	case "if":
+		return p.parseIf()
+	case "while":
+		return p.parseWhile()
+	case "for":
+		return p.parseFor()
+	case "return":
+		p.next()
+		r := &ReturnStmt{Line: t.Line}
+		if p.peek().Text != ";" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.Value = e
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case "break":
+		p.next()
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.Line}, nil
+	case "continue":
+		p.next()
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.Line}, nil
+	}
+	s, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseSimpleStmt parses an assignment, compound assignment, increment, or
+// call, without the trailing semicolon (for use in for-clauses too).
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	t := p.peek()
+	if t.Kind != lexer.Ident {
+		return nil, p.errf(t.Line, "expected statement, found %q", t.Text)
+	}
+	// Call statement: ident '(' ...
+	if p.peekAt(1).Text == "(" {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call, ok := e.(*CallExpr)
+		if !ok {
+			return nil, p.errf(t.Line, "expression statement must be a call")
+		}
+		return &ExprStmt{X: call, Line: t.Line}, nil
+	}
+	// LValue.
+	name := p.next()
+	var target LValue = &VarRef{Name: name.Text, Line: name.Line}
+	if p.peek().Text == "[" {
+		p.next()
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		target = &IndexExpr{Name: name.Text, Index: idx, Line: name.Line}
+	}
+	op := p.next()
+	switch op.Text {
+	case "=":
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: target, Value: v, Line: name.Line}, nil
+	case "+=", "-=", "*=", "/=", "%=":
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		bin := &BinaryExpr{Op: op.Text[:1], L: lvalueExpr(target), R: v, Line: name.Line}
+		return &AssignStmt{Target: target, Value: bin, Line: name.Line}, nil
+	case "++", "--":
+		binOp := "+"
+		if op.Text == "--" {
+			binOp = "-"
+		}
+		bin := &BinaryExpr{Op: binOp, L: lvalueExpr(target), R: &NumLit{Value: 1, Line: name.Line}, Line: name.Line}
+		return &AssignStmt{Target: target, Value: bin, Line: name.Line}, nil
+	default:
+		return nil, p.errf(op.Line, "expected assignment operator, found %q", op.Text)
+	}
+}
+
+// lvalueExpr reuses an LValue as a read expression.
+func lvalueExpr(lv LValue) Expr {
+	switch x := lv.(type) {
+	case *VarRef:
+		return &VarRef{Name: x.Name, Line: x.Line}
+	case *IndexExpr:
+		return &IndexExpr{Name: x.Name, Index: x.Index, Line: x.Line}
+	}
+	return nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmtAsBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Line: t.Line}
+	if p.peek().Text == "else" {
+		p.next()
+		els, err := p.parseStmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+// parseStmtAsBlock parses either a block or a single statement wrapped in a
+// synthetic block, so if/while bodies are uniform.
+func (p *parser) parseStmtAsBlock() (*Block, error) {
+	if p.peek().Text == "{" {
+		return p.parseBlock()
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &Block{Stmts: []Stmt{s}, Line: s.Pos()}, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	t := p.next() // while
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtAsBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Line: t.Line}, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	t := p.next() // for
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	f := &ForStmt{Line: t.Line}
+	if p.peek().Text != ";" {
+		var init Stmt
+		var err error
+		if p.peek().Text == "int" {
+			init, err = p.parseDecl() // consumes its own ';'
+			if err != nil {
+				return nil, err
+			}
+			f.Init = init
+		} else {
+			init, err = p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			f.Init = init
+			if _, err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	if p.peek().Text != ";" {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.Cond = cond
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if p.peek().Text != ")" {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Post = post
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtAsBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// Expression parsing: precedence climbing.
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, "<=": 4, ">": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	return p.parseBinary(1)
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek()
+		prec, ok := binPrec[op.Text]
+		if !ok || prec < minPrec || op.Kind != lexer.Operator {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op.Text, L: left, R: right, Line: op.Line}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.Text == "-" || t.Text == "!" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Text, X: x, Line: t.Line}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == lexer.Number:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 0, 64)
+		if err != nil {
+			return nil, p.errf(t.Line, "bad number %q", t.Text)
+		}
+		return &NumLit{Value: v, Line: t.Line}, nil
+	case t.Kind == lexer.Ident:
+		p.next()
+		switch p.peek().Text {
+		case "(":
+			p.next()
+			call := &CallExpr{Name: t.Text, Line: t.Line}
+			for p.peek().Text != ")" {
+				if p.atEOF() {
+					return nil, p.errf(t.Line, "unterminated call")
+				}
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.peek().Text == "," {
+					p.next()
+				}
+			}
+			p.next() // )
+			return call, nil
+		case "[":
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: t.Text, Index: idx, Line: t.Line}, nil
+		default:
+			return &VarRef{Name: t.Text, Line: t.Line}, nil
+		}
+	case t.Text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf(t.Line, "expected expression, found %q", t.Text)
+	}
+}

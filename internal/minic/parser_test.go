@@ -1,0 +1,287 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestParseMinimal(t *testing.T) {
+	p := mustParse(t, "int main(void) { return 0; }")
+	if len(p.Funcs) != 1 {
+		t.Fatalf("funcs = %d", len(p.Funcs))
+	}
+	f := p.Funcs[0]
+	if f.Name != "main" || len(f.Params) != 0 {
+		t.Fatalf("func = %+v", f)
+	}
+	if len(f.Body.Stmts) != 1 {
+		t.Fatalf("stmts = %d", len(f.Body.Stmts))
+	}
+	ret, ok := f.Body.Stmts[0].(*ReturnStmt)
+	if !ok {
+		t.Fatalf("stmt = %T", f.Body.Stmts[0])
+	}
+	if n, ok := ret.Value.(*NumLit); !ok || n.Value != 0 {
+		t.Fatalf("return value = %v", ExprString(ret.Value))
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	p := mustParse(t, "int add(int a, int b) { return a + b; }")
+	f := p.Funcs[0]
+	if len(f.Params) != 2 || f.Params[0] != "a" || f.Params[1] != "b" {
+		t.Fatalf("params = %v", f.Params)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := mustParse(t, "int f(int a, int b, int c) { return a + b * c; }")
+	ret := p.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	if got := ExprString(ret.Value); got != "(a + (b * c))" {
+		t.Fatalf("precedence = %s", got)
+	}
+	p = mustParse(t, "int f(int a, int b, int c) { return (a + b) * c; }")
+	ret = p.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	if got := ExprString(ret.Value); got != "((a + b) * c)" {
+		t.Fatalf("parens = %s", got)
+	}
+}
+
+func TestParseLogicalPrecedence(t *testing.T) {
+	p := mustParse(t, "int f(int a, int b) { return a < 1 && b > 2 || a == b; }")
+	ret := p.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	want := "(((a < 1) && (b > 2)) || (a == b))"
+	if got := ExprString(ret.Value); got != want {
+		t.Fatalf("got %s, want %s", got, want)
+	}
+}
+
+func TestParseUnary(t *testing.T) {
+	p := mustParse(t, "int f(int a) { return -a + !a; }")
+	ret := p.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	if got := ExprString(ret.Value); got != "(-a + !a)" {
+		t.Fatalf("unary = %s", got)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `
+int f(int x) {
+	int y = 0;
+	if (x > 0) {
+		y = 1;
+	} else {
+		y = 2;
+	}
+	while (y < 10) {
+		y = y + 1;
+	}
+	for (int i = 0; i < x; i++) {
+		y += i;
+	}
+	return y;
+}`
+	p := mustParse(t, src)
+	body := p.Funcs[0].Body.Stmts
+	if len(body) != 5 {
+		t.Fatalf("stmts = %d", len(body))
+	}
+	iff := body[1].(*IfStmt)
+	if iff.Else == nil {
+		t.Fatal("else missing")
+	}
+	forStmt := body[3].(*ForStmt)
+	if forStmt.Init == nil || forStmt.Cond == nil || forStmt.Post == nil {
+		t.Fatalf("for clauses = %+v", forStmt)
+	}
+}
+
+func TestParseSingleStatementBodies(t *testing.T) {
+	p := mustParse(t, "int f(int x) { if (x) return 1; else return 0; }")
+	iff := p.Funcs[0].Body.Stmts[0].(*IfStmt)
+	if len(iff.Then.Stmts) != 1 || len(iff.Else.Stmts) != 1 {
+		t.Fatalf("synthetic blocks broken: %+v", iff)
+	}
+}
+
+func TestParseCompoundAssign(t *testing.T) {
+	p := mustParse(t, "int f(int x) { x += 2; x *= 3; x--; return x; }")
+	body := p.Funcs[0].Body.Stmts
+	a := body[0].(*AssignStmt)
+	if got := ExprString(a.Value); got != "(x + 2)" {
+		t.Fatalf("+= desugars to %s", got)
+	}
+	dec := body[2].(*AssignStmt)
+	if got := ExprString(dec.Value); got != "(x - 1)" {
+		t.Fatalf("-- desugars to %s", got)
+	}
+}
+
+func TestParseArrays(t *testing.T) {
+	src := `
+int g(void) {
+	int buf[16];
+	buf[0] = 42;
+	buf[1] = buf[0] + 1;
+	return buf[1];
+}`
+	p := mustParse(t, src)
+	body := p.Funcs[0].Body.Stmts
+	d := body[0].(*DeclStmt)
+	if d.Size != 16 {
+		t.Fatalf("array size = %d", d.Size)
+	}
+	asn := body[1].(*AssignStmt)
+	if _, ok := asn.Target.(*IndexExpr); !ok {
+		t.Fatalf("target = %T", asn.Target)
+	}
+}
+
+func TestParseCalls(t *testing.T) {
+	src := `
+int f(int x) {
+	int r = helper(x, 2 * x);
+	log_value(r);
+	return r;
+}`
+	p := mustParse(t, src)
+	body := p.Funcs[0].Body.Stmts
+	d := body[0].(*DeclStmt)
+	call := d.Init.(*CallExpr)
+	if call.Name != "helper" || len(call.Args) != 2 {
+		t.Fatalf("call = %s", ExprString(call))
+	}
+	es := body[1].(*ExprStmt)
+	if es.X.(*CallExpr).Name != "log_value" {
+		t.Fatalf("expr stmt = %s", ExprString(es.X))
+	}
+}
+
+func TestParseGlobals(t *testing.T) {
+	p := mustParse(t, "int limit = 10;\nint table[4];\nint main(void) { return limit; }")
+	if len(p.Globals) != 2 {
+		t.Fatalf("globals = %d", len(p.Globals))
+	}
+	if p.Globals[1].Size != 4 {
+		t.Fatalf("global array size = %d", p.Globals[1].Size)
+	}
+}
+
+func TestParseBreakContinue(t *testing.T) {
+	src := `
+int f(int n) {
+	int s = 0;
+	while (1) {
+		if (s > n) break;
+		if (s % 2) { s++; continue; }
+		s += 2;
+	}
+	return s;
+}`
+	mustParse(t, src)
+}
+
+func TestParseComments(t *testing.T) {
+	src := "// leading\nint main(void) { /* inline */ return 0; }\n"
+	mustParse(t, src)
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"float main(void) { }", "expected declaration"},
+		{"int main(void) { return 0 }", `expected ";"`},
+		{"int main(void) { x = 1; }", "undeclared"},
+		{"int main(void) { int x; int x; }", "redeclared"},
+		{"int main(void) { break; }", "break outside loop"},
+		{"int main(void) { continue; }", "continue outside loop"},
+		{"int main(void) { int a[4]; a = 1; }", "without index"},
+		{"int main(void) { int a; a[0] = 1; }", "not an array"},
+		{"int main(void) { int a[4]; return a; }", "used as scalar"},
+		{"int main(void) { int a[0]; }", "bad array size"},
+		{"int main(void) { int a[4] = 1; }", "array initializers"},
+		{"int f(void) { } int f(void) { }", "duplicate function"},
+		{"int main(void) {", "unterminated block"},
+		{"int main(void) { return (1; }", `expected ")"`},
+		{"void x = 1;", "void globals"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", tc.src, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) error = %q, want containing %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	_, err := Parse("int main(void) {\n\n  bogus!\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type = %T", err)
+	}
+	if pe.Line != 3 {
+		t.Fatalf("error line = %d, want 3", pe.Line)
+	}
+}
+
+func TestParseScopesNested(t *testing.T) {
+	// Shadowing in an inner block is allowed; use after the block is not.
+	src := `
+int f(int x) {
+	if (x) {
+		int y = 1;
+		x = y;
+	}
+	return x;
+}`
+	mustParse(t, src)
+	bad := `
+int f(int x) {
+	if (x) {
+		int y = 1;
+	}
+	return y;
+}`
+	if _, err := Parse(bad); err == nil {
+		t.Fatal("out-of-scope use accepted")
+	}
+}
+
+func TestParseForScope(t *testing.T) {
+	// The for-init declaration is visible in cond/post/body but not after.
+	src := "int f(void) { for (int i = 0; i < 3; i++) { i += 1; } return 0; }"
+	mustParse(t, src)
+	bad := "int f(void) { for (int i = 0; i < 3; i++) { } return i; }"
+	if _, err := Parse(bad); err == nil {
+		t.Fatal("for-scope leak accepted")
+	}
+}
+
+func TestExprStringNil(t *testing.T) {
+	if ExprString(nil) != "<nil>" {
+		t.Fatal("nil expr string")
+	}
+}
+
+func TestParseCallToUndeclaredFunctionOK(t *testing.T) {
+	// External functions (taint sources/sinks) need no declaration.
+	mustParse(t, "int main(void) { int x = read_input(); send(x); return 0; }")
+}

@@ -1,0 +1,62 @@
+package ml
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func BenchmarkForestFit(b *testing.B) {
+	d := linearDataset(300, stats.NewRNG(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rf := &RandomForest{Trees: 10, Seed: uint64(i)}
+		if err := rf.Fit(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestPredict(b *testing.B) {
+	d := linearDataset(300, stats.NewRNG(2))
+	rf := &RandomForest{Trees: 25, Seed: 3}
+	if err := rf.Fit(d); err != nil {
+		b.Fatal(err)
+	}
+	row := d.X[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf.PredictClass(row)
+	}
+}
+
+func BenchmarkLogisticFit(b *testing.B) {
+	d := linearDataset(300, stats.NewRNG(4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lg := &Logistic{Epochs: 100}
+		if err := lg.Fit(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrossValidate(b *testing.B) {
+	d := linearDataset(200, stats.NewRNG(5))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CrossValidate(func() Classifier { return &GaussianNB{} },
+			d, 10, stats.NewRNG(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInfoGain(b *testing.B) {
+	d := linearDataset(300, stats.NewRNG(6))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		InfoGain(d, 10)
+	}
+}

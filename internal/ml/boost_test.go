@@ -1,0 +1,106 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestAdaBoostSolvesXor(t *testing.T) {
+	rng := stats.NewRNG(1)
+	train := xorDataset(400, rng)
+	test := xorDataset(200, rng)
+	ab := &AdaBoost{Rounds: 40, Seed: 2}
+	if err := ab.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	acc := Evaluate(ab, test).Accuracy
+	if acc < 0.9 {
+		t.Fatalf("AdaBoost XOR accuracy = %v", acc)
+	}
+}
+
+func TestAdaBoostBeatsSingleStump(t *testing.T) {
+	rng := stats.NewRNG(3)
+	train := xorDataset(400, rng)
+	test := xorDataset(200, rng)
+	stump := &DecisionTree{MaxDepth: 2, MinLeafSize: 1}
+	if err := stump.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	stumpAcc := Evaluate(stump, test).Accuracy
+	ab := &AdaBoost{Rounds: 40, Seed: 4}
+	if err := ab.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	boostAcc := Evaluate(ab, test).Accuracy
+	if boostAcc <= stumpAcc {
+		t.Fatalf("boosting did not help: stump %v vs boost %v", stumpAcc, boostAcc)
+	}
+}
+
+func TestAdaBoostProbabilities(t *testing.T) {
+	rng := stats.NewRNG(5)
+	d := linearDataset(200, rng)
+	ab := &AdaBoost{Rounds: 15, Seed: 6}
+	if err := ab.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range d.X[:20] {
+		p := ab.PredictProba(row)
+		if len(p) != 2 || math.Abs(p[0]+p[1]-1) > 1e-9 {
+			t.Fatalf("probs = %v", p)
+		}
+		if (p[1] > 0.5) != (ab.PredictClass(row) == 1) {
+			t.Fatal("proba and class disagree")
+		}
+	}
+}
+
+func TestAdaBoostBinaryOnly(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	Y := []float64{0, 1, 2}
+	d, err := NewDataset([]string{"x"}, []string{"a", "b", "c"}, X, Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (&AdaBoost{}).Fit(d); err == nil {
+		t.Fatal("3-class dataset accepted")
+	}
+}
+
+func TestAdaBoostSeparableStopsEarly(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {10}, {11}, {12}}
+	Y := []float64{0, 0, 0, 1, 1, 1}
+	d, _ := NewDataset([]string{"x"}, []string{"lo", "hi"}, X, Y)
+	ab := &AdaBoost{Rounds: 50, Seed: 7}
+	if err := ab.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if ab.FittedRounds() > 3 {
+		t.Fatalf("perfectly separable data used %d rounds", ab.FittedRounds())
+	}
+	for i, row := range X {
+		if ab.PredictClass(row) != int(Y[i]) {
+			t.Fatalf("misclassified %v", row)
+		}
+	}
+}
+
+func TestAdaBoostDeterministic(t *testing.T) {
+	d := xorDataset(150, stats.NewRNG(8))
+	a := &AdaBoost{Rounds: 10, Seed: 9}
+	b := &AdaBoost{Rounds: 10, Seed: 9}
+	if err := a.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range d.X[:30] {
+		if a.PredictClass(row) != b.PredictClass(row) {
+			t.Fatal("same seed, different predictions")
+		}
+	}
+}

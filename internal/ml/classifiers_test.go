@@ -1,0 +1,225 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestZeroRBaseline(t *testing.T) {
+	d := linearDataset(200, stats.NewRNG(1))
+	z := &ZeroR{}
+	if err := z.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(z, d)
+	counts := d.ClassCounts()
+	wantAcc := float64(counts[d.MajorityClass()]) / float64(d.N())
+	if math.Abs(ev.Accuracy-wantAcc) > 1e-12 {
+		t.Fatalf("ZeroR accuracy = %v, want majority frequency %v", ev.Accuracy, wantAcc)
+	}
+	probs := z.PredictProba(nil)
+	if math.Abs(probs[0]+probs[1]-1) > 1e-12 {
+		t.Fatalf("ZeroR probs = %v", probs)
+	}
+}
+
+func TestZeroRRejectsRegression(t *testing.T) {
+	d, _ := NewDataset([]string{"x"}, nil, [][]float64{{1}}, []float64{3.5})
+	if err := (&ZeroR{}).Fit(d); err == nil {
+		t.Fatal("ZeroR accepted regression dataset")
+	}
+}
+
+func TestNaiveBayesSeparable(t *testing.T) {
+	rng := stats.NewRNG(2)
+	train := linearDataset(400, rng)
+	test := linearDataset(200, rng)
+	nb := &GaussianNB{}
+	if err := nb.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(nb, test)
+	if ev.Accuracy < 0.85 {
+		t.Fatalf("NB accuracy = %v", ev.Accuracy)
+	}
+	if ev.AUC < 0.9 {
+		t.Fatalf("NB AUC = %v", ev.AUC)
+	}
+}
+
+func TestNaiveBayesProbsNormalized(t *testing.T) {
+	d := linearDataset(100, stats.NewRNG(3))
+	nb := &GaussianNB{}
+	if err := nb.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range d.X[:10] {
+		p := nb.PredictProba(row)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("prob out of range: %v", p)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probs sum to %v", sum)
+		}
+	}
+}
+
+func TestLogisticSeparable(t *testing.T) {
+	rng := stats.NewRNG(4)
+	train := linearDataset(400, rng)
+	test := linearDataset(200, rng)
+	lg := &Logistic{}
+	if err := lg.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(lg, test)
+	if ev.Accuracy < 0.9 {
+		t.Fatalf("logistic accuracy = %v", ev.Accuracy)
+	}
+	w := lg.Weights(1)
+	if len(w) != 3 {
+		t.Fatalf("weights = %v", w)
+	}
+	// The true boundary is 2*x0 - x1 > 0: signs must match after
+	// standardization (both features ~N(0,1) so scale is preserved).
+	if !(w[1] > 0 && w[2] < 0) {
+		t.Fatalf("weight signs wrong: %v", w)
+	}
+}
+
+func TestLogisticFailsXorButTreeSolvesIt(t *testing.T) {
+	rng := stats.NewRNG(5)
+	train := xorDataset(400, rng)
+	test := xorDataset(200, rng)
+	lg := &Logistic{}
+	if err := lg.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	linAcc := Evaluate(lg, test).Accuracy
+	tr := &DecisionTree{}
+	if err := tr.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	treeAcc := Evaluate(tr, test).Accuracy
+	if treeAcc < 0.95 {
+		t.Fatalf("tree accuracy on XOR = %v", treeAcc)
+	}
+	if linAcc > 0.7 {
+		t.Fatalf("linear model should fail XOR, got %v", linAcc)
+	}
+}
+
+func TestDecisionTreePure(t *testing.T) {
+	// A trivially separable dataset: one split suffices.
+	X := [][]float64{{1}, {2}, {3}, {10}, {11}, {12}}
+	Y := []float64{0, 0, 0, 1, 1, 1}
+	d, _ := NewDataset([]string{"x"}, []string{"lo", "hi"}, X, Y)
+	tr := &DecisionTree{MinLeafSize: 1}
+	if err := tr.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range X {
+		if tr.PredictClass(row) != int(Y[i]) {
+			t.Fatalf("misclassified %v", row)
+		}
+	}
+	if tr.Depth() > 2 {
+		t.Fatalf("depth = %d, want <= 2", tr.Depth())
+	}
+}
+
+func TestDecisionTreeMaxDepth(t *testing.T) {
+	d := xorDataset(200, stats.NewRNG(6))
+	tr := &DecisionTree{MaxDepth: 1, MinLeafSize: 1}
+	if err := tr.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > 2 {
+		t.Fatalf("depth = %d exceeds bound", tr.Depth())
+	}
+}
+
+func TestRandomForestBeatsSingleTreeOnNoise(t *testing.T) {
+	rng := stats.NewRNG(7)
+	// Noisy linear problem with distractor features.
+	mk := func(n int) *Dataset {
+		X := make([][]float64, n)
+		Y := make([]float64, n)
+		for i := range X {
+			x0 := rng.Normal(0, 1)
+			X[i] = []float64{x0, rng.Normal(0, 1), rng.Normal(0, 1), rng.Normal(0, 1)}
+			if x0+rng.Normal(0, 0.3) > 0 {
+				Y[i] = 1
+			}
+		}
+		d, _ := NewDataset([]string{"s", "n1", "n2", "n3"}, []string{"a", "b"}, X, Y)
+		return d
+	}
+	train := mk(300)
+	test := mk(300)
+	rf := &RandomForest{Trees: 15, Seed: 11}
+	if err := rf.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	acc := Evaluate(rf, test).Accuracy
+	if acc < 0.8 {
+		t.Fatalf("forest accuracy = %v", acc)
+	}
+}
+
+func TestRandomForestDeterministicWithSeed(t *testing.T) {
+	d := xorDataset(150, stats.NewRNG(8))
+	a := &RandomForest{Trees: 5, Seed: 42}
+	b := &RandomForest{Trees: 5, Seed: 42}
+	if err := a.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range d.X[:20] {
+		if a.PredictClass(row) != b.PredictClass(row) {
+			t.Fatal("same seed, different predictions")
+		}
+	}
+}
+
+func TestKNNClassifier(t *testing.T) {
+	rng := stats.NewRNG(9)
+	train := linearDataset(300, rng)
+	test := linearDataset(150, rng)
+	kn := &KNN{K: 7}
+	if err := kn.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Evaluate(kn, test).Accuracy; acc < 0.85 {
+		t.Fatalf("KNN accuracy = %v", acc)
+	}
+}
+
+func TestKNNHandlesSmallData(t *testing.T) {
+	X := [][]float64{{0}, {1}}
+	Y := []float64{0, 1}
+	d, _ := NewDataset([]string{"x"}, []string{"a", "b"}, X, Y)
+	kn := &KNN{K: 10} // larger than the dataset
+	if err := kn.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := kn.PredictClass([]float64{0.1}); got != 0 {
+		t.Fatalf("prediction = %d", got)
+	}
+}
+
+func TestTreeRequiresRngForSubset(t *testing.T) {
+	d := xorDataset(50, stats.NewRNG(10))
+	tr := &DecisionTree{FeatureSubset: 1}
+	if err := tr.Fit(d); err == nil {
+		t.Fatal("FeatureSubset without Rng accepted")
+	}
+}

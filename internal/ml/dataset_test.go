@@ -1,0 +1,181 @@
+package ml
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// xorDataset is a classic nonlinear problem: class = x0 XOR x1.
+func xorDataset(n int, rng *stats.RNG) *Dataset {
+	X := make([][]float64, n)
+	Y := make([]float64, n)
+	for i := range X {
+		a := rng.Intn(2)
+		b := rng.Intn(2)
+		X[i] = []float64{float64(a) + rng.Normal(0, 0.1), float64(b) + rng.Normal(0, 0.1)}
+		if a != b {
+			Y[i] = 1
+		}
+	}
+	d, err := NewDataset([]string{"a", "b"}, []string{"no", "yes"}, X, Y)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// linearDataset is linearly separable: class = (2*x0 - x1 > 0).
+func linearDataset(n int, rng *stats.RNG) *Dataset {
+	X := make([][]float64, n)
+	Y := make([]float64, n)
+	for i := range X {
+		x0 := rng.Normal(0, 1)
+		x1 := rng.Normal(0, 1)
+		X[i] = []float64{x0, x1}
+		if 2*x0-x1 > 0 {
+			Y[i] = 1
+		}
+	}
+	d, err := NewDataset([]string{"x0", "x1"}, []string{"neg", "pos"}, X, Y)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func TestNewDatasetValidation(t *testing.T) {
+	if _, err := NewDataset([]string{"a"}, nil, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("row/target mismatch accepted")
+	}
+	if _, err := NewDataset([]string{"a", "b"}, nil, [][]float64{{1}}, []float64{1}); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+	if _, err := NewDataset([]string{"a"}, []string{"x", "y"}, [][]float64{{1}}, []float64{2}); err == nil {
+		t.Fatal("out-of-range class accepted")
+	}
+	if _, err := NewDataset([]string{"a"}, []string{"x", "y"}, [][]float64{{1}}, []float64{0.5}); err == nil {
+		t.Fatal("fractional class accepted")
+	}
+}
+
+func TestDatasetBasics(t *testing.T) {
+	d := xorDataset(100, stats.NewRNG(1))
+	if d.N() != 100 || d.P() != 2 || d.NumClasses() != 2 {
+		t.Fatalf("shape = %d x %d, %d classes", d.N(), d.P(), d.NumClasses())
+	}
+	if !d.IsClassification() {
+		t.Fatal("should be classification")
+	}
+	counts := d.ClassCounts()
+	if counts[0]+counts[1] != 100 {
+		t.Fatalf("counts = %v", counts)
+	}
+	col := d.Column(0)
+	if len(col) != 100 {
+		t.Fatal("column length")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	d := xorDataset(10, stats.NewRNG(2))
+	c := d.Clone()
+	c.X[0][0] = 999
+	c.Y[0] = 0
+	if d.X[0][0] == 999 {
+		t.Fatal("clone aliases X")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := xorDataset(10, stats.NewRNG(3))
+	s := d.Subset([]int{0, 5, 9})
+	if s.N() != 3 {
+		t.Fatalf("subset N = %d", s.N())
+	}
+	if s.Y[1] != d.Y[5] {
+		t.Fatal("subset target mismatch")
+	}
+}
+
+func TestFoldsPartition(t *testing.T) {
+	d := xorDataset(103, stats.NewRNG(4))
+	folds := d.Folds(10, stats.NewRNG(5))
+	if len(folds) != 10 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := map[int]bool{}
+	total := 0
+	for _, f := range folds {
+		total += len(f)
+		for _, i := range f {
+			if seen[i] {
+				t.Fatalf("row %d in two folds", i)
+			}
+			seen[i] = true
+		}
+	}
+	if total != d.N() {
+		t.Fatalf("folds cover %d/%d rows", total, d.N())
+	}
+}
+
+func TestFoldsStratified(t *testing.T) {
+	// 90/10 imbalance: every fold should contain at least one minority row.
+	n := 200
+	X := make([][]float64, n)
+	Y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{float64(i)}
+		if i < 20 {
+			Y[i] = 1
+		}
+	}
+	d, err := NewDataset([]string{"x"}, []string{"a", "b"}, X, Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folds := d.Folds(10, stats.NewRNG(6))
+	for fi, f := range folds {
+		minority := 0
+		for _, i := range f {
+			if d.Y[i] == 1 {
+				minority++
+			}
+		}
+		if minority != 2 {
+			t.Fatalf("fold %d has %d minority rows, want 2", fi, minority)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := xorDataset(100, stats.NewRNG(7))
+	train, test := d.Split(0.25, stats.NewRNG(8))
+	if train.N()+test.N() != 100 {
+		t.Fatalf("split loses rows: %d + %d", train.N(), test.N())
+	}
+	if test.N() < 20 || test.N() > 30 {
+		t.Fatalf("test size = %d", test.N())
+	}
+}
+
+func TestBootstrap(t *testing.T) {
+	d := xorDataset(50, stats.NewRNG(9))
+	b := d.Bootstrap(50, stats.NewRNG(10))
+	if b.N() != 50 {
+		t.Fatalf("bootstrap N = %d", b.N())
+	}
+}
+
+func TestMajorityClass(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	Y := []float64{1, 1, 0}
+	d, err := NewDataset([]string{"x"}, []string{"a", "b"}, X, Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MajorityClass() != 1 {
+		t.Fatalf("majority = %d", d.MajorityClass())
+	}
+}

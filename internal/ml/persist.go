@@ -1,0 +1,265 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Classifier persistence: models serialize to a tagged JSON envelope so a
+// trained model survives across processes (the paper's "the prediction
+// model is trained offline").
+
+type envelope struct {
+	Kind    string          `json:"kind"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// nodeDTO is the serializable form of a decision-tree node.
+type nodeDTO struct {
+	Leaf      bool      `json:"leaf"`
+	Probs     []float64 `json:"probs,omitempty"`
+	Attr      int       `json:"attr,omitempty"`
+	Threshold float64   `json:"threshold,omitempty"`
+	Left      *nodeDTO  `json:"left,omitempty"`
+	Right     *nodeDTO  `json:"right,omitempty"`
+}
+
+func toDTO(n *treeNode) *nodeDTO {
+	if n == nil {
+		return nil
+	}
+	return &nodeDTO{
+		Leaf: n.leaf, Probs: n.probs,
+		Attr: n.attr, Threshold: n.threshold,
+		Left: toDTO(n.left), Right: toDTO(n.right),
+	}
+}
+
+func fromDTO(d *nodeDTO) *treeNode {
+	if d == nil {
+		return nil
+	}
+	return &treeNode{
+		leaf: d.Leaf, probs: d.Probs,
+		attr: d.Attr, threshold: d.Threshold,
+		left: fromDTO(d.Left), right: fromDTO(d.Right),
+	}
+}
+
+type zeroRDTO struct {
+	Majority int   `json:"majority"`
+	K        int   `json:"k"`
+	Counts   []int `json:"counts"`
+}
+
+type nbDTO struct {
+	K      int         `json:"k"`
+	Priors []float64   `json:"priors"`
+	Mean   [][]float64 `json:"mean"`
+	Var    [][]float64 `json:"var"`
+}
+
+type logisticDTO struct {
+	K    int         `json:"k"`
+	W    [][]float64 `json:"w"`
+	Mean []float64   `json:"mean"`
+	Std  []float64   `json:"std"`
+}
+
+type treeDTO struct {
+	K    int      `json:"k"`
+	Root *nodeDTO `json:"root"`
+}
+
+type forestDTO struct {
+	K     int       `json:"k"`
+	Trees []treeDTO `json:"trees"`
+}
+
+type boostDTO struct {
+	K      int       `json:"k"`
+	Alphas []float64 `json:"alphas"`
+	Stumps []treeDTO `json:"stumps"`
+}
+
+type knnDTO struct {
+	K       int         `json:"k"`
+	Mean    []float64   `json:"mean"`
+	Std     []float64   `json:"std"`
+	Attrs   []string    `json:"attrs"`
+	Classes []string    `json:"classes"`
+	X       [][]float64 `json:"x"`
+	Y       []float64   `json:"y"`
+}
+
+// MarshalClassifier serializes a trained classifier.
+func MarshalClassifier(c Classifier) ([]byte, error) {
+	var kind string
+	var payload any
+	switch m := c.(type) {
+	case *ZeroR:
+		kind = "zeror"
+		payload = zeroRDTO{Majority: m.Majority, K: m.K, Counts: m.counts}
+	case *GaussianNB:
+		kind = "naivebayes"
+		payload = nbDTO{K: m.K, Priors: m.Priors, Mean: m.Mean, Var: m.Var}
+	case *Logistic:
+		kind = "logistic"
+		if m.scaler == nil {
+			return nil, fmt.Errorf("ml: marshal of unfitted Logistic")
+		}
+		payload = logisticDTO{K: m.K, W: m.W, Mean: m.scaler.Mean, Std: m.scaler.Std}
+	case *DecisionTree:
+		kind = "tree"
+		if m.root == nil {
+			return nil, fmt.Errorf("ml: marshal of unfitted DecisionTree")
+		}
+		payload = treeDTO{K: m.k, Root: toDTO(m.root)}
+	case *RandomForest:
+		kind = "forest"
+		f := forestDTO{K: m.k}
+		for _, tr := range m.forest {
+			f.Trees = append(f.Trees, treeDTO{K: tr.k, Root: toDTO(tr.root)})
+		}
+		payload = f
+	case *AdaBoost:
+		kind = "boost"
+		if len(m.stumps) == 0 {
+			return nil, fmt.Errorf("ml: marshal of unfitted AdaBoost")
+		}
+		b := boostDTO{K: m.k, Alphas: m.alphas}
+		for _, s := range m.stumps {
+			b.Stumps = append(b.Stumps, treeDTO{K: s.k, Root: toDTO(s.root)})
+		}
+		payload = b
+	case *KNN:
+		kind = "knn"
+		if m.data == nil {
+			return nil, fmt.Errorf("ml: marshal of unfitted KNN")
+		}
+		payload = knnDTO{
+			K: m.k, Mean: m.scaler.Mean, Std: m.scaler.Std,
+			Attrs: m.data.AttrNames, Classes: m.data.ClassNames,
+			X: m.data.X, Y: m.data.Y,
+		}
+	default:
+		return nil, fmt.Errorf("ml: cannot marshal classifier %T", c)
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(envelope{Kind: kind, Payload: raw})
+}
+
+// UnmarshalClassifier restores a classifier serialized by MarshalClassifier.
+func UnmarshalClassifier(data []byte) (Classifier, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("ml: unmarshal envelope: %w", err)
+	}
+	switch env.Kind {
+	case "zeror":
+		var d zeroRDTO
+		if err := json.Unmarshal(env.Payload, &d); err != nil {
+			return nil, err
+		}
+		return &ZeroR{Majority: d.Majority, K: d.K, counts: d.Counts}, nil
+	case "naivebayes":
+		var d nbDTO
+		if err := json.Unmarshal(env.Payload, &d); err != nil {
+			return nil, err
+		}
+		return &GaussianNB{K: d.K, Priors: d.Priors, Mean: d.Mean, Var: d.Var}, nil
+	case "logistic":
+		var d logisticDTO
+		if err := json.Unmarshal(env.Payload, &d); err != nil {
+			return nil, err
+		}
+		return &Logistic{K: d.K, W: d.W, scaler: &Standardizer{Mean: d.Mean, Std: d.Std}}, nil
+	case "tree":
+		var d treeDTO
+		if err := json.Unmarshal(env.Payload, &d); err != nil {
+			return nil, err
+		}
+		return &DecisionTree{k: d.K, root: fromDTO(d.Root)}, nil
+	case "forest":
+		var d forestDTO
+		if err := json.Unmarshal(env.Payload, &d); err != nil {
+			return nil, err
+		}
+		rf := &RandomForest{k: d.K, Trees: len(d.Trees)}
+		for _, td := range d.Trees {
+			rf.forest = append(rf.forest, &DecisionTree{k: td.K, root: fromDTO(td.Root)})
+		}
+		return rf, nil
+	case "boost":
+		var d boostDTO
+		if err := json.Unmarshal(env.Payload, &d); err != nil {
+			return nil, err
+		}
+		ab := &AdaBoost{k: d.K, Rounds: len(d.Stumps), alphas: d.Alphas}
+		for _, td := range d.Stumps {
+			ab.stumps = append(ab.stumps, &DecisionTree{k: td.K, root: fromDTO(td.Root)})
+		}
+		return ab, nil
+	case "knn":
+		var d knnDTO
+		if err := json.Unmarshal(env.Payload, &d); err != nil {
+			return nil, err
+		}
+		ds, err := NewDataset(d.Attrs, d.Classes, d.X, d.Y)
+		if err != nil {
+			return nil, err
+		}
+		return &KNN{K: d.K, k: d.K, data: ds, scaler: &Standardizer{Mean: d.Mean, Std: d.Std}}, nil
+	default:
+		return nil, fmt.Errorf("ml: unknown classifier kind %q", env.Kind)
+	}
+}
+
+// Regressor persistence (linear models only; tree/KNN regressors are
+// training-session artifacts in this system).
+
+type linearDTO struct {
+	Coeffs []float64 `json:"coeffs"`
+	R2     float64   `json:"r2"`
+	N      int       `json:"n"`
+	Lambda float64   `json:"lambda"`
+}
+
+// MarshalRegressor serializes a fitted LinearRegressor.
+func MarshalRegressor(r Regressor) ([]byte, error) {
+	lr, ok := r.(*LinearRegressor)
+	if !ok {
+		return nil, fmt.Errorf("ml: cannot marshal regressor %T", r)
+	}
+	if len(lr.fit.Coeffs) == 0 {
+		return nil, fmt.Errorf("ml: marshal of unfitted LinearRegressor")
+	}
+	raw, err := json.Marshal(linearDTO{Coeffs: lr.fit.Coeffs, R2: lr.fit.R2, N: lr.fit.N, Lambda: lr.Lambda})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(envelope{Kind: "linear", Payload: raw})
+}
+
+// UnmarshalRegressor restores a regressor serialized by MarshalRegressor.
+func UnmarshalRegressor(data []byte) (Regressor, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("ml: unmarshal envelope: %w", err)
+	}
+	if env.Kind != "linear" {
+		return nil, fmt.Errorf("ml: unknown regressor kind %q", env.Kind)
+	}
+	var d linearDTO
+	if err := json.Unmarshal(env.Payload, &d); err != nil {
+		return nil, err
+	}
+	lr := &LinearRegressor{Lambda: d.Lambda}
+	lr.fit.Coeffs = d.Coeffs
+	lr.fit.R2 = d.R2
+	lr.fit.N = d.N
+	return lr, nil
+}

@@ -1,0 +1,76 @@
+package ml
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// roundTrip marshals, unmarshals, and checks prediction agreement on test
+// rows.
+func roundTrip(t *testing.T, c Classifier, test *Dataset) {
+	t.Helper()
+	data, err := MarshalClassifier(c)
+	if err != nil {
+		t.Fatalf("marshal %s: %v", c.Name(), err)
+	}
+	restored, err := UnmarshalClassifier(data)
+	if err != nil {
+		t.Fatalf("unmarshal %s: %v", c.Name(), err)
+	}
+	for i, row := range test.X {
+		if got, want := restored.PredictClass(row), c.PredictClass(row); got != want {
+			t.Fatalf("%s row %d: restored predicts %d, original %d", c.Name(), i, got, want)
+		}
+	}
+	// Probability agreement where supported.
+	if p1, ok := c.(Prober); ok {
+		p2 := restored.(Prober)
+		for _, row := range test.X[:5] {
+			a, b := p1.PredictProba(row), p2.PredictProba(row)
+			for k := range a {
+				if diff := a[k] - b[k]; diff > 1e-12 || diff < -1e-12 {
+					t.Fatalf("%s proba mismatch: %v vs %v", c.Name(), a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestPersistAllKinds(t *testing.T) {
+	rng := stats.NewRNG(1)
+	train := linearDataset(200, rng)
+	test := linearDataset(50, rng)
+	classifiers := []Classifier{
+		&ZeroR{},
+		&GaussianNB{},
+		&Logistic{Epochs: 50},
+		&DecisionTree{},
+		&RandomForest{Trees: 5, Seed: 3},
+		&KNN{K: 5},
+		&AdaBoost{Rounds: 8, Seed: 6},
+	}
+	for _, c := range classifiers {
+		if err := c.Fit(train); err != nil {
+			t.Fatalf("fit %s: %v", c.Name(), err)
+		}
+		roundTrip(t, c, test)
+	}
+}
+
+func TestPersistUnfittedErrors(t *testing.T) {
+	for _, c := range []Classifier{&Logistic{}, &DecisionTree{}, &KNN{}} {
+		if _, err := MarshalClassifier(c); err == nil {
+			t.Errorf("unfitted %T marshaled", c)
+		}
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := UnmarshalClassifier([]byte("{oops")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := UnmarshalClassifier([]byte(`{"kind":"quantum","payload":{}}`)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

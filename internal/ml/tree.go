@@ -1,0 +1,322 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// DecisionTree is a CART-style classifier: binary splits on numeric
+// attributes chosen by Gini impurity.
+type DecisionTree struct {
+	MaxDepth    int
+	MinLeafSize int
+	// FeatureSubset, when > 0, samples that many candidate attributes per
+	// split (used by RandomForest); 0 considers every attribute.
+	FeatureSubset int
+	// Rng drives feature subsampling; required when FeatureSubset > 0.
+	Rng *stats.RNG
+
+	root *treeNode
+	k    int
+}
+
+type treeNode struct {
+	// Leaf fields.
+	leaf  bool
+	probs []float64
+	// Split fields.
+	attr      int
+	threshold float64
+	left      *treeNode // x[attr] <= threshold
+	right     *treeNode
+}
+
+// Name implements Classifier.
+func (t *DecisionTree) Name() string { return "DecisionTree" }
+
+func (t *DecisionTree) defaults() {
+	if t.MaxDepth == 0 {
+		t.MaxDepth = 12
+	}
+	if t.MinLeafSize == 0 {
+		t.MinLeafSize = 2
+	}
+}
+
+// Fit grows the tree.
+func (t *DecisionTree) Fit(d *Dataset) error {
+	if !d.IsClassification() || d.N() == 0 {
+		return fmt.Errorf("ml: DecisionTree needs a non-empty classification dataset")
+	}
+	if t.FeatureSubset > 0 && t.Rng == nil {
+		return fmt.Errorf("ml: FeatureSubset requires Rng")
+	}
+	t.defaults()
+	t.k = d.NumClasses()
+	idx := make([]int, d.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.grow(d, idx, 0)
+	return nil
+}
+
+func (t *DecisionTree) leafNode(d *Dataset, idx []int) *treeNode {
+	probs := make([]float64, t.k)
+	for _, i := range idx {
+		probs[int(d.Y[i])]++
+	}
+	for c := range probs {
+		probs[c] /= float64(len(idx))
+	}
+	return &treeNode{leaf: true, probs: probs}
+}
+
+func (t *DecisionTree) grow(d *Dataset, idx []int, depth int) *treeNode {
+	if len(idx) <= t.MinLeafSize || depth >= t.MaxDepth || pure(d, idx) {
+		return t.leafNode(d, idx)
+	}
+	attr, thr, gain := t.bestSplit(d, idx)
+	if gain <= 1e-12 {
+		return t.leafNode(d, idx)
+	}
+	var left, right []int
+	for _, i := range idx {
+		if d.X[i][attr] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return t.leafNode(d, idx)
+	}
+	return &treeNode{
+		attr:      attr,
+		threshold: thr,
+		left:      t.grow(d, left, depth+1),
+		right:     t.grow(d, right, depth+1),
+	}
+}
+
+func pure(d *Dataset, idx []int) bool {
+	if len(idx) == 0 {
+		return true
+	}
+	first := d.Y[idx[0]]
+	for _, i := range idx[1:] {
+		if d.Y[i] != first {
+			return false
+		}
+	}
+	return true
+}
+
+// bestSplit scans candidate attributes and thresholds for the largest Gini
+// impurity decrease.
+func (t *DecisionTree) bestSplit(d *Dataset, idx []int) (attr int, thr float64, gain float64) {
+	parentGini := gini(d, idx, t.k)
+	attrs := t.candidateAttrs(d.P())
+	bestGain := 0.0
+	bestAttr, bestThr := -1, 0.0
+	for _, j := range attrs {
+		// Candidate thresholds: midpoints between distinct sorted values.
+		vals := make([]float64, len(idx))
+		for i, r := range idx {
+			vals[i] = d.X[r][j]
+		}
+		sortFloats(vals)
+		for v := 1; v < len(vals); v++ {
+			if vals[v] == vals[v-1] {
+				continue
+			}
+			mid := (vals[v] + vals[v-1]) / 2
+			var nl, nr int
+			lCounts := make([]int, t.k)
+			rCounts := make([]int, t.k)
+			for _, r := range idx {
+				if d.X[r][j] <= mid {
+					nl++
+					lCounts[int(d.Y[r])]++
+				} else {
+					nr++
+					rCounts[int(d.Y[r])]++
+				}
+			}
+			if nl == 0 || nr == 0 {
+				continue
+			}
+			g := parentGini -
+				(float64(nl)*giniCounts(lCounts, nl)+float64(nr)*giniCounts(rCounts, nr))/float64(len(idx))
+			if g > bestGain {
+				bestGain, bestAttr, bestThr = g, j, mid
+			}
+		}
+	}
+	return bestAttr, bestThr, bestGain
+}
+
+func (t *DecisionTree) candidateAttrs(p int) []int {
+	all := make([]int, p)
+	for i := range all {
+		all[i] = i
+	}
+	if t.FeatureSubset <= 0 || t.FeatureSubset >= p {
+		return all
+	}
+	t.Rng.Shuffle(p, func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:t.FeatureSubset]
+}
+
+func gini(d *Dataset, idx []int, k int) float64 {
+	counts := make([]int, k)
+	for _, i := range idx {
+		counts[int(d.Y[i])]++
+	}
+	return giniCounts(counts, len(idx))
+}
+
+func giniCounts(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		g -= p * p
+	}
+	return g
+}
+
+func sortFloats(xs []float64) {
+	// Insertion sort is fine for split-candidate lists; quicksort for larger.
+	if len(xs) > 64 {
+		quickSort(xs)
+		return
+	}
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func quickSort(xs []float64) {
+	if len(xs) < 2 {
+		return
+	}
+	pivot := xs[len(xs)/2]
+	lo, hi := 0, len(xs)-1
+	for lo <= hi {
+		for xs[lo] < pivot {
+			lo++
+		}
+		for xs[hi] > pivot {
+			hi--
+		}
+		if lo <= hi {
+			xs[lo], xs[hi] = xs[hi], xs[lo]
+			lo++
+			hi--
+		}
+	}
+	quickSort(xs[:hi+1])
+	quickSort(xs[lo:])
+}
+
+// PredictProba walks the tree.
+func (t *DecisionTree) PredictProba(x []float64) []float64 {
+	n := t.root
+	for !n.leaf {
+		if x[n.attr] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.probs
+}
+
+// PredictClass returns the leaf majority.
+func (t *DecisionTree) PredictClass(x []float64) int {
+	return argmax(t.PredictProba(x))
+}
+
+// Depth returns the tree height (leaves have depth 1).
+func (t *DecisionTree) Depth() int {
+	var h func(n *treeNode) int
+	h = func(n *treeNode) int {
+		if n == nil || n.leaf {
+			return 1
+		}
+		return 1 + int(math.Max(float64(h(n.left)), float64(h(n.right))))
+	}
+	return h(t.root)
+}
+
+// RandomForest bags FeatureSubset-sampled decision trees.
+type RandomForest struct {
+	Trees       int
+	MaxDepth    int
+	MinLeafSize int
+	Seed        uint64
+
+	forest []*DecisionTree
+	k      int
+}
+
+// Name implements Classifier.
+func (rf *RandomForest) Name() string { return "RandomForest" }
+
+// Fit trains the ensemble on bootstrap resamples.
+func (rf *RandomForest) Fit(d *Dataset) error {
+	if !d.IsClassification() || d.N() == 0 {
+		return fmt.Errorf("ml: RandomForest needs a non-empty classification dataset")
+	}
+	if rf.Trees == 0 {
+		rf.Trees = 25
+	}
+	if rf.MaxDepth == 0 {
+		rf.MaxDepth = 10
+	}
+	rf.k = d.NumClasses()
+	rng := stats.NewRNG(rf.Seed + 0x5eed)
+	subset := int(math.Sqrt(float64(d.P()))) + 1
+	rf.forest = nil
+	for i := 0; i < rf.Trees; i++ {
+		tr := &DecisionTree{
+			MaxDepth:      rf.MaxDepth,
+			MinLeafSize:   rf.MinLeafSize,
+			FeatureSubset: subset,
+			Rng:           rng.Split(),
+		}
+		boot := d.Bootstrap(d.N(), rng)
+		if err := tr.Fit(boot); err != nil {
+			return err
+		}
+		rf.forest = append(rf.forest, tr)
+	}
+	return nil
+}
+
+// PredictProba averages tree probabilities.
+func (rf *RandomForest) PredictProba(x []float64) []float64 {
+	out := make([]float64, rf.k)
+	for _, tr := range rf.forest {
+		p := tr.PredictProba(x)
+		for c := range out {
+			out[c] += p[c]
+		}
+	}
+	for c := range out {
+		out[c] /= float64(len(rf.forest))
+	}
+	return out
+}
+
+// PredictClass returns the ensemble vote.
+func (rf *RandomForest) PredictClass(x []float64) int {
+	return argmax(rf.PredictProba(x))
+}

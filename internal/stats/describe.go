@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 if len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the minimum of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs, interpolating between the two middle
+// values for even-length input. It panics on an empty slice.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) of xs using linear
+// interpolation between order statistics. It panics on an empty slice or an
+// out-of-range q.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: Quantile with q outside [0, 1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// It panics if the lengths differ, and returns 0 when either input has zero
+// variance.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Pearson with mismatched lengths")
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation between xs and ys.
+func Spearman(xs, ys []float64) float64 {
+	return Pearson(Ranks(xs), Ranks(ys))
+}
+
+// Ranks returns the fractional ranks of xs (ties receive the average rank).
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j].
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Histogram buckets xs into n equal-width bins spanning [min, max] and
+// returns the per-bin counts. Values equal to max land in the last bin.
+func Histogram(xs []float64, n int) []int {
+	if n <= 0 {
+		panic("stats: Histogram with non-positive bin count")
+	}
+	counts := make([]int, n)
+	if len(xs) == 0 {
+		return counts
+	}
+	lo, hi := Min(xs), Max(xs)
+	if lo == hi {
+		counts[0] = len(xs)
+		return counts
+	}
+	w := (hi - lo) / float64(n)
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b >= n {
+			b = n - 1
+		}
+		counts[b]++
+	}
+	return counts
+}
+
+// Log10 returns log10 applied elementwise. Non-positive values are clamped
+// to the smallest positive input to keep log-log plots well defined.
+func Log10(xs []float64) []float64 {
+	minPos := math.Inf(1)
+	for _, x := range xs {
+		if x > 0 && x < minPos {
+			minPos = x
+		}
+	}
+	if math.IsInf(minPos, 1) {
+		minPos = 1
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			x = minPos
+		}
+		out[i] = math.Log10(x)
+	}
+	return out
+}

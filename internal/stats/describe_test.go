@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("Variance = %v, want 4", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Fatalf("StdDev = %v, want 2", s)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %v", m)
+	}
+	if v := Variance([]float64{3}); v != 0 {
+		t.Fatalf("Variance of singleton = %v", v)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if m := Min(xs); m != -1 {
+		t.Fatalf("Min = %v", m)
+	}
+	if m := Max(xs); m != 5 {
+		t.Fatalf("Max = %v", m)
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("Median odd = %v", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("Median even = %v", m)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("Q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("Q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Fatalf("Q.25 = %v", q)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if r := Pearson(xs, ys); !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("Pearson = %v, want 1", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if r := Pearson(xs, neg); !almostEqual(r, -1, 1e-12) {
+		t.Fatalf("Pearson = %v, want -1", r)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	if r := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); r != 0 {
+		t.Fatalf("Pearson with constant input = %v, want 0", r)
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 3 + int(seed%40)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Normal(0, 1)
+			ys[i] = r.Normal(0, 1)
+		}
+		c := Pearson(xs, ys)
+		return c >= -1-1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 10, 100, 1000, 10000} // monotone but nonlinear
+	if r := Spearman(xs, ys); !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("Spearman = %v, want 1", r)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	counts := Histogram(xs, 2)
+	if counts[0]+counts[1] != len(xs) {
+		t.Fatalf("histogram loses mass: %v", counts)
+	}
+	if counts[0] != 5 || counts[1] != 5 {
+		t.Fatalf("histogram = %v, want [5 5]", counts)
+	}
+}
+
+func TestHistogramConstantInput(t *testing.T) {
+	counts := Histogram([]float64{2, 2, 2}, 4)
+	if counts[0] != 3 {
+		t.Fatalf("constant histogram = %v", counts)
+	}
+}
+
+func TestHistogramPreservesMass(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := int(seed%100) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Normal(0, 5)
+		}
+		total := 0
+		for _, c := range Histogram(xs, 7) {
+			total += c
+		}
+		return total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLog10Clamping(t *testing.T) {
+	out := Log10([]float64{100, 0, 10})
+	if out[0] != 2 || out[2] != 1 {
+		t.Fatalf("Log10 = %v", out)
+	}
+	// The zero is clamped to the smallest positive value (10 -> log = 1).
+	if out[1] != 1 {
+		t.Fatalf("Log10 zero clamp = %v, want 1", out[1])
+	}
+}

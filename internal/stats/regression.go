@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearFit holds the result of a simple (one-predictor) least-squares fit
+// y = Intercept + Slope*x.
+type LinearFit struct {
+	Intercept float64
+	Slope     float64
+	R2        float64 // coefficient of determination
+	N         int     // number of points fitted
+}
+
+// FitLinear computes the ordinary-least-squares line through (xs, ys).
+// It panics if the slices differ in length or have fewer than two points.
+func FitLinear(xs, ys []float64) LinearFit {
+	if len(xs) != len(ys) {
+		panic("stats: FitLinear with mismatched lengths")
+	}
+	if len(xs) < 2 {
+		panic("stats: FitLinear needs at least two points")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		// Vertical data: fall back to a flat line at the mean.
+		return LinearFit{Intercept: my, Slope: 0, R2: 0, N: len(xs)}
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := intercept + slope*xs[i]
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - my) * (ys[i] - my)
+	}
+	r2 := 0.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Intercept: intercept, Slope: slope, R2: r2, N: len(xs)}
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 {
+	return f.Intercept + f.Slope*x
+}
+
+// String renders the fit in the form the paper reports for Figure 2.
+func (f LinearFit) String() string {
+	return fmt.Sprintf("y = %.2f + %.2f x (R^2 = %.2f%%, n = %d)",
+		f.Intercept, f.Slope, f.R2*100, f.N)
+}
+
+// MultiFit holds a multiple-regression fit y = b0 + sum_i b[i]*x[i].
+type MultiFit struct {
+	Coeffs []float64 // Coeffs[0] is the intercept
+	R2     float64
+	N      int
+}
+
+// FitMultiple computes an OLS multiple regression of ys on the rows of X
+// (each row is one observation's predictor vector) via the normal equations,
+// solved with Gaussian elimination and partial pivoting. A ridge term lambda
+// (>= 0) may be supplied to stabilize near-singular systems.
+func FitMultiple(X [][]float64, ys []float64, lambda float64) (MultiFit, error) {
+	n := len(X)
+	if n == 0 || n != len(ys) {
+		return MultiFit{}, fmt.Errorf("stats: FitMultiple with %d rows and %d targets", n, len(ys))
+	}
+	p := len(X[0])
+	for i, row := range X {
+		if len(row) != p {
+			return MultiFit{}, fmt.Errorf("stats: FitMultiple row %d has %d columns, want %d", i, len(row), p)
+		}
+	}
+	d := p + 1 // +1 for the intercept column
+	// Build A = Z'Z + lambda*I and b = Z'y where Z = [1 | X].
+	A := make([][]float64, d)
+	for i := range A {
+		A[i] = make([]float64, d)
+	}
+	b := make([]float64, d)
+	z := make([]float64, d)
+	for r := 0; r < n; r++ {
+		z[0] = 1
+		copy(z[1:], X[r])
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				A[i][j] += z[i] * z[j]
+			}
+			b[i] += z[i] * ys[r]
+		}
+	}
+	for i := 1; i < d; i++ { // do not penalize the intercept
+		A[i][i] += lambda
+	}
+	coeffs, err := SolveLinear(A, b)
+	if err != nil {
+		return MultiFit{}, err
+	}
+	my := Mean(ys)
+	var ssRes, ssTot float64
+	for r := 0; r < n; r++ {
+		pred := coeffs[0]
+		for j := 0; j < p; j++ {
+			pred += coeffs[j+1] * X[r][j]
+		}
+		ssRes += (ys[r] - pred) * (ys[r] - pred)
+		ssTot += (ys[r] - my) * (ys[r] - my)
+	}
+	r2 := 0.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return MultiFit{Coeffs: coeffs, R2: r2, N: n}, nil
+}
+
+// Predict evaluates the fitted hyperplane at x.
+func (f MultiFit) Predict(x []float64) float64 {
+	pred := f.Coeffs[0]
+	for j := 0; j < len(x) && j+1 < len(f.Coeffs); j++ {
+		pred += f.Coeffs[j+1] * x[j]
+	}
+	return pred
+}
+
+// SolveLinear solves the square linear system A x = b using Gaussian
+// elimination with partial pivoting. A and b are not modified.
+func SolveLinear(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("stats: SolveLinear with %dx? matrix and %d-vector", n, len(b))
+	}
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(A[i]) != n {
+			return nil, fmt.Errorf("stats: SolveLinear row %d has %d columns, want %d", i, len(A[i]), n)
+		}
+		m[i] = append([]float64(nil), A[i]...)
+		m[i] = append(m[i], b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("stats: SolveLinear singular matrix at column %d", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := m[r][n]
+		for c := r + 1; c < n; c++ {
+			s -= m[r][c] * x[c]
+		}
+		x[r] = s / m[r][r]
+	}
+	return x, nil
+}

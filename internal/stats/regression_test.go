@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	f := FitLinear(xs, ys)
+	if !almostEqual(f.Intercept, 1, 1e-9) || !almostEqual(f.Slope, 2, 1e-9) {
+		t.Fatalf("fit = %+v", f)
+	}
+	if !almostEqual(f.R2, 1, 1e-9) {
+		t.Fatalf("R2 = %v, want 1", f.R2)
+	}
+	if got := f.Predict(10); !almostEqual(got, 21, 1e-9) {
+		t.Fatalf("Predict(10) = %v", got)
+	}
+}
+
+func TestFitLinearNoise(t *testing.T) {
+	r := NewRNG(99)
+	n := 5000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Range(0, 10)
+		ys[i] = 0.17 + 0.39*xs[i] + r.Normal(0, 1)
+	}
+	f := FitLinear(xs, ys)
+	if math.Abs(f.Slope-0.39) > 0.02 {
+		t.Fatalf("slope = %v, want ~0.39", f.Slope)
+	}
+	if math.Abs(f.Intercept-0.17) > 0.1 {
+		t.Fatalf("intercept = %v, want ~0.17", f.Intercept)
+	}
+	if f.R2 <= 0 || f.R2 >= 1 {
+		t.Fatalf("R2 = %v, want in (0,1)", f.R2)
+	}
+}
+
+func TestFitLinearConstantX(t *testing.T) {
+	f := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if f.Slope != 0 || f.Intercept != 2 {
+		t.Fatalf("degenerate fit = %+v", f)
+	}
+}
+
+func TestFitLinearString(t *testing.T) {
+	f := LinearFit{Intercept: 0.17, Slope: 0.39, R2: 0.2466, N: 164}
+	s := f.String()
+	if !strings.Contains(s, "0.17") || !strings.Contains(s, "0.39") || !strings.Contains(s, "24.66%") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// Property: OLS residuals are orthogonal to the predictor and sum to zero.
+func TestFitLinearResidualProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 5 + int(seed%50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Normal(0, 3)
+			ys[i] = r.Normal(0, 3)
+		}
+		fit := FitLinear(xs, ys)
+		var sumRes, dot float64
+		for i := range xs {
+			res := ys[i] - fit.Predict(xs[i])
+			sumRes += res
+			dot += res * xs[i]
+		}
+		scale := float64(n)
+		return math.Abs(sumRes) < 1e-6*scale && math.Abs(dot) < 1e-5*scale*10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	A := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, err := SolveLinear(A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-9) {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	A := [][]float64{{1, 2}, {2, 4}}
+	if _, err := SolveLinear(A, []float64{1, 2}); err == nil {
+		t.Fatal("expected error on singular matrix")
+	}
+}
+
+func TestSolveLinearDoesNotMutate(t *testing.T) {
+	A := [][]float64{{4, 1}, {1, 3}}
+	b := []float64{1, 2}
+	if _, err := SolveLinear(A, b); err != nil {
+		t.Fatal(err)
+	}
+	if A[0][0] != 4 || A[1][0] != 1 || b[0] != 1 {
+		t.Fatal("SolveLinear mutated its inputs")
+	}
+}
+
+func TestFitMultipleExact(t *testing.T) {
+	// y = 1 + 2a + 3b
+	X := [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 3}}
+	ys := []float64{1, 3, 4, 6, 14}
+	f, err := FitMultiple(X, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if !almostEqual(f.Coeffs[i], want[i], 1e-8) {
+			t.Fatalf("coeffs = %v, want %v", f.Coeffs, want)
+		}
+	}
+	if !almostEqual(f.R2, 1, 1e-9) {
+		t.Fatalf("R2 = %v", f.R2)
+	}
+	if got := f.Predict([]float64{5, 5}); !almostEqual(got, 26, 1e-8) {
+		t.Fatalf("Predict = %v", got)
+	}
+}
+
+func TestFitMultipleRidgeShrinks(t *testing.T) {
+	r := NewRNG(5)
+	n := 200
+	X := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range X {
+		x := r.Normal(0, 1)
+		X[i] = []float64{x}
+		ys[i] = 5 * x
+	}
+	plain, err := FitMultiple(X, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ridge, err := FitMultiple(X, ys, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ridge.Coeffs[1]) >= math.Abs(plain.Coeffs[1]) {
+		t.Fatalf("ridge did not shrink: plain %v ridge %v", plain.Coeffs[1], ridge.Coeffs[1])
+	}
+}
+
+func TestFitMultipleErrors(t *testing.T) {
+	if _, err := FitMultiple(nil, nil, 0); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	if _, err := FitMultiple([][]float64{{1}, {1, 2}}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("expected error on ragged rows")
+	}
+}

@@ -1,0 +1,117 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1Totals(t *testing.T) {
+	papers := GenerateCorpus(1)
+	counts := Run(papers)
+	if got := counts.Total(MethodLoC); got != TotalLoC {
+		t.Errorf("LoC papers = %d, want %d", got, TotalLoC)
+	}
+	if got := counts.Total(MethodCVECount); got != TotalCVE {
+		t.Errorf("CVE papers = %d, want %d", got, TotalCVE)
+	}
+	if got := counts.Total(MethodFormal); got != TotalFormal {
+		t.Errorf("formal papers = %d, want %d", got, TotalFormal)
+	}
+}
+
+func TestFigure1Ordering(t *testing.T) {
+	// The paper's headline: LoC dominates, CVE counting second, formal
+	// verification a distant third.
+	counts := Run(GenerateCorpus(1))
+	if !(counts.Total(MethodLoC) > counts.Total(MethodCVECount) &&
+		counts.Total(MethodCVECount) > counts.Total(MethodFormal)) {
+		t.Fatalf("ordering broken: %d/%d/%d",
+			counts.Total(MethodLoC), counts.Total(MethodCVECount), counts.Total(MethodFormal))
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := GenerateCorpus(7)
+	b := GenerateCorpus(7)
+	if len(a) != len(b) {
+		t.Fatal("corpus size differs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("paper %d differs", i)
+		}
+	}
+}
+
+func TestEveryVenueRepresented(t *testing.T) {
+	counts := Run(GenerateCorpus(1))
+	for _, v := range Venues {
+		total := 0
+		for _, m := range []Method{MethodLoC, MethodCVECount, MethodFormal, MethodOther} {
+			total += counts.ByMethod[m][v]
+		}
+		if total == 0 {
+			t.Errorf("venue %s has no papers", v)
+		}
+	}
+}
+
+func TestClassifyPhrases(t *testing.T) {
+	cases := []struct {
+		abstract string
+		want     Method
+	}{
+		{"our trusted computing base is only 9000 lines of code", MethodLoC},
+		{"the design shrinks to 400 LoC total", MethodLoC},
+		{"we analyzed 50 CVE reports against the target", MethodCVECount},
+		{"we formally verified the implementation in Coq", MethodFormal},
+		{"a machine-checked proof establishes functional correctness", MethodFormal},
+		{"a fast storage stack for NVMe devices", MethodOther},
+	}
+	for _, tc := range cases {
+		if got := Classify(Paper{Abstract: tc.abstract}); got != tc.want {
+			t.Errorf("Classify(%q) = %v, want %v", tc.abstract, got, tc.want)
+		}
+	}
+}
+
+func TestFormalDominatesOtherSignals(t *testing.T) {
+	p := Paper{Abstract: "we formally verified the 10000 lines of code kernel"}
+	if Classify(p) != MethodFormal {
+		t.Fatal("formal phrase should dominate")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	counts := Run(GenerateCorpus(1))
+	out := counts.Render()
+	for _, want := range []string{"CCS", "PLDI", "SOSP", "ASPLOS", "EuroSys", "TOTAL", "384", "116", "31"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPerVenueSplitsSumToTotals(t *testing.T) {
+	for m, want := range map[Method]int{MethodLoC: TotalLoC, MethodCVECount: TotalCVE, MethodFormal: TotalFormal} {
+		sum := 0
+		for _, v := range Venues {
+			sum += perVenue[m][v]
+		}
+		if sum != want {
+			t.Errorf("%v split sums to %d, want %d", m, sum, want)
+		}
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	if !strings.Contains(MethodLoC.String(), "Lines of Code") {
+		t.Error("LoC label")
+	}
+	if !strings.Contains(MethodFormal.String(), "formally verified") {
+		t.Error("formal label")
+	}
+	if Method(99).String() != "Other" {
+		t.Error("unknown method label")
+	}
+}

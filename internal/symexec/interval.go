@@ -1,0 +1,284 @@
+// Package symexec implements bounded symbolic execution over the IR with an
+// interval constraint domain. It enumerates feasible control-flow paths
+// under a declared input range and *counts models* — the number of input
+// assignments compatible with each path's branch constraints. This supplies
+// the paper's §4.1 feature "the number of different execution paths in a
+// program that can be triggered by specific ranges of inputs", built without
+// an external solver ecosystem.
+package symexec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is an inclusive integer range [Lo, Hi]. The empty interval is
+// represented by Lo > Hi.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Bound is the magnitude used for "unknown" values. Keeping it well below
+// MaxInt64 lets interval arithmetic saturate without overflow checks on
+// every operation.
+const Bound = int64(1) << 40
+
+// Top returns the unknown-value interval.
+func Top() Interval { return Interval{Lo: -Bound, Hi: Bound} }
+
+// Single returns the singleton interval {v}.
+func Single(v int64) Interval { return Interval{Lo: v, Hi: v} }
+
+// Empty reports whether the interval contains no values.
+func (iv Interval) Empty() bool { return iv.Lo > iv.Hi }
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v int64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Width returns the number of values in the interval as a float64.
+func (iv Interval) Width() float64 {
+	if iv.Empty() {
+		return 0
+	}
+	return float64(iv.Hi) - float64(iv.Lo) + 1
+}
+
+// Intersect returns the intersection.
+func (iv Interval) Intersect(o Interval) Interval {
+	return Interval{Lo: maxI(iv.Lo, o.Lo), Hi: minI(iv.Hi, o.Hi)}
+}
+
+// Join returns the convex hull.
+func (iv Interval) Join(o Interval) Interval {
+	if iv.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return iv
+	}
+	return Interval{Lo: minI(iv.Lo, o.Lo), Hi: maxI(iv.Hi, o.Hi)}
+}
+
+// String renders "[lo, hi]".
+func (iv Interval) String() string {
+	if iv.Empty() {
+		return "[empty]"
+	}
+	return fmt.Sprintf("[%d, %d]", iv.Lo, iv.Hi)
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// clamp saturates v into [-Bound, Bound].
+func clamp(v float64) int64 {
+	if v > float64(Bound) {
+		return Bound
+	}
+	if v < -float64(Bound) {
+		return -Bound
+	}
+	return int64(v)
+}
+
+// Add returns the interval sum, saturating.
+func (iv Interval) Add(o Interval) Interval {
+	if iv.Empty() || o.Empty() {
+		return Interval{Lo: 1, Hi: 0}
+	}
+	return Interval{Lo: clamp(float64(iv.Lo) + float64(o.Lo)), Hi: clamp(float64(iv.Hi) + float64(o.Hi))}
+}
+
+// Sub returns the interval difference, saturating.
+func (iv Interval) Sub(o Interval) Interval {
+	if iv.Empty() || o.Empty() {
+		return Interval{Lo: 1, Hi: 0}
+	}
+	return Interval{Lo: clamp(float64(iv.Lo) - float64(o.Hi)), Hi: clamp(float64(iv.Hi) - float64(o.Lo))}
+}
+
+// Mul returns the interval product, saturating.
+func (iv Interval) Mul(o Interval) Interval {
+	if iv.Empty() || o.Empty() {
+		return Interval{Lo: 1, Hi: 0}
+	}
+	cands := []float64{
+		float64(iv.Lo) * float64(o.Lo),
+		float64(iv.Lo) * float64(o.Hi),
+		float64(iv.Hi) * float64(o.Lo),
+		float64(iv.Hi) * float64(o.Hi),
+	}
+	lo, hi := cands[0], cands[0]
+	for _, c := range cands[1:] {
+		lo = math.Min(lo, c)
+		hi = math.Max(hi, c)
+	}
+	return Interval{Lo: clamp(lo), Hi: clamp(hi)}
+}
+
+// Div returns a sound over-approximation of integer division. Division by an
+// interval containing zero widens toward Top (C semantics are undefined; the
+// symbolic executor separately flags it).
+func (iv Interval) Div(o Interval) Interval {
+	if iv.Empty() || o.Empty() {
+		return Interval{Lo: 1, Hi: 0}
+	}
+	if o.Lo <= 0 && o.Hi >= 0 {
+		return Top()
+	}
+	cands := []float64{
+		float64(iv.Lo) / float64(o.Lo),
+		float64(iv.Lo) / float64(o.Hi),
+		float64(iv.Hi) / float64(o.Lo),
+		float64(iv.Hi) / float64(o.Hi),
+	}
+	lo, hi := cands[0], cands[0]
+	for _, c := range cands[1:] {
+		lo = math.Min(lo, c)
+		hi = math.Max(hi, c)
+	}
+	return Interval{Lo: clamp(math.Floor(lo)), Hi: clamp(math.Ceil(hi))}
+}
+
+// Mod returns a sound over-approximation of the remainder.
+func (iv Interval) Mod(o Interval) Interval {
+	if iv.Empty() || o.Empty() {
+		return Interval{Lo: 1, Hi: 0}
+	}
+	m := maxI(absI(o.Lo), absI(o.Hi))
+	if m == 0 {
+		return Top()
+	}
+	lo := int64(0)
+	if iv.Lo < 0 {
+		lo = -(m - 1)
+	}
+	hi := int64(0)
+	if iv.Hi > 0 {
+		hi = m - 1
+	}
+	// x % y == x exactly when |x| is below the *smallest* possible |y|.
+	var mMin int64
+	switch {
+	case o.Lo > 0:
+		mMin = o.Lo
+	case o.Hi < 0:
+		mMin = -o.Hi
+	default:
+		mMin = 0 // divisor range spans zero: no tightening
+	}
+	if mMin > 0 && iv.Hi < mMin && iv.Lo > -mMin {
+		return iv
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+func absI(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Neg returns the negated interval.
+func (iv Interval) Neg() Interval {
+	if iv.Empty() {
+		return iv
+	}
+	return Interval{Lo: -iv.Hi, Hi: -iv.Lo}
+}
+
+// Truth classifies the interval as a branch condition.
+type Truth int
+
+// Truth values.
+const (
+	MaybeTrue Truth = iota // contains zero and nonzero
+	AlwaysTrue
+	AlwaysFalse
+)
+
+// TruthOf classifies iv as a condition (nonzero = true).
+func TruthOf(iv Interval) Truth {
+	if iv.Empty() {
+		return AlwaysFalse
+	}
+	if iv.Lo == 0 && iv.Hi == 0 {
+		return AlwaysFalse
+	}
+	if !iv.Contains(0) {
+		return AlwaysTrue
+	}
+	return MaybeTrue
+}
+
+// Compare evaluates a comparison over intervals, returning the boolean
+// result interval ([0,0], [1,1], or [0,1]).
+func Compare(op string, l, r Interval) Interval {
+	if l.Empty() || r.Empty() {
+		return Interval{Lo: 1, Hi: 0}
+	}
+	definitely := func(b bool) Interval {
+		if b {
+			return Single(1)
+		}
+		return Single(0)
+	}
+	maybe := Interval{Lo: 0, Hi: 1}
+	switch op {
+	case "<":
+		if l.Hi < r.Lo {
+			return definitely(true)
+		}
+		if l.Lo >= r.Hi {
+			return definitely(false)
+		}
+	case "<=":
+		if l.Hi <= r.Lo {
+			return definitely(true)
+		}
+		if l.Lo > r.Hi {
+			return definitely(false)
+		}
+	case ">":
+		if l.Lo > r.Hi {
+			return definitely(true)
+		}
+		if l.Hi <= r.Lo {
+			return definitely(false)
+		}
+	case ">=":
+		if l.Lo >= r.Hi {
+			return definitely(true)
+		}
+		if l.Hi < r.Lo {
+			return definitely(false)
+		}
+	case "==":
+		if l.Lo == l.Hi && r.Lo == r.Hi && l.Lo == r.Lo {
+			return definitely(true)
+		}
+		if l.Hi < r.Lo || l.Lo > r.Hi {
+			return definitely(false)
+		}
+	case "!=":
+		if l.Hi < r.Lo || l.Lo > r.Hi {
+			return definitely(true)
+		}
+		if l.Lo == l.Hi && r.Lo == r.Hi && l.Lo == r.Lo {
+			return definitely(false)
+		}
+	}
+	return maybe
+}

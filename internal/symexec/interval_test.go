@@ -1,0 +1,211 @@
+package symexec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{Lo: 1, Hi: 5}
+	if iv.Empty() || !iv.Contains(3) || iv.Contains(6) {
+		t.Fatal("basic membership broken")
+	}
+	if iv.Width() != 5 {
+		t.Fatalf("width = %v", iv.Width())
+	}
+	if Single(7).Width() != 1 {
+		t.Fatal("singleton width")
+	}
+	empty := Interval{Lo: 2, Hi: 1}
+	if !empty.Empty() || empty.Width() != 0 {
+		t.Fatal("empty interval broken")
+	}
+}
+
+func TestIntervalIntersectJoin(t *testing.T) {
+	a := Interval{Lo: 0, Hi: 10}
+	b := Interval{Lo: 5, Hi: 15}
+	got := a.Intersect(b)
+	if got.Lo != 5 || got.Hi != 10 {
+		t.Fatalf("intersect = %v", got)
+	}
+	j := a.Join(b)
+	if j.Lo != 0 || j.Hi != 15 {
+		t.Fatalf("join = %v", j)
+	}
+	disjoint := Interval{Lo: 20, Hi: 30}
+	if !a.Intersect(disjoint).Empty() {
+		t.Fatal("disjoint intersect not empty")
+	}
+	if e := (Interval{Lo: 1, Hi: 0}).Join(a); e != a {
+		t.Fatalf("join with empty = %v", e)
+	}
+}
+
+func TestIntervalArithmetic(t *testing.T) {
+	a := Interval{Lo: 1, Hi: 3}
+	b := Interval{Lo: -2, Hi: 2}
+	if got := a.Add(b); got.Lo != -1 || got.Hi != 5 {
+		t.Fatalf("add = %v", got)
+	}
+	if got := a.Sub(b); got.Lo != -1 || got.Hi != 5 {
+		t.Fatalf("sub = %v", got)
+	}
+	if got := a.Mul(b); got.Lo != -6 || got.Hi != 6 {
+		t.Fatalf("mul = %v", got)
+	}
+	if got := a.Neg(); got.Lo != -3 || got.Hi != -1 {
+		t.Fatalf("neg = %v", got)
+	}
+}
+
+func TestIntervalDivByZeroWidens(t *testing.T) {
+	a := Interval{Lo: 10, Hi: 20}
+	z := Interval{Lo: -1, Hi: 1}
+	if got := a.Div(z); got != Top() {
+		t.Fatalf("div by zero-containing = %v", got)
+	}
+	if got := a.Div(Single(2)); got.Lo != 5 || got.Hi != 10 {
+		t.Fatalf("div = %v", got)
+	}
+}
+
+func TestIntervalSaturation(t *testing.T) {
+	big := Interval{Lo: Bound - 10, Hi: Bound}
+	sum := big.Add(big)
+	if sum.Hi != Bound {
+		t.Fatalf("saturation failed: %v", sum)
+	}
+	prod := big.Mul(big)
+	if prod.Hi != Bound {
+		t.Fatalf("mul saturation failed: %v", prod)
+	}
+}
+
+// Property: interval arithmetic is sound — the result of the concrete
+// operation on members stays inside the abstract result.
+func TestIntervalSoundnessProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		mk := func() Interval {
+			a := int64(r.IntRange(-50, 50))
+			b := int64(r.IntRange(-50, 50))
+			if a > b {
+				a, b = b, a
+			}
+			return Interval{Lo: a, Hi: b}
+		}
+		x, y := mk(), mk()
+		cx := int64(r.IntRange(int(x.Lo), int(x.Hi)))
+		cy := int64(r.IntRange(int(y.Lo), int(y.Hi)))
+		if !x.Add(y).Contains(cx + cy) {
+			return false
+		}
+		if !x.Sub(y).Contains(cx - cy) {
+			return false
+		}
+		if !x.Mul(y).Contains(cx * cy) {
+			return false
+		}
+		if cy != 0 {
+			if !x.Div(y).Contains(cx / cy) {
+				return false
+			}
+			if !x.Mod(y).Contains(cx % cy) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruthOf(t *testing.T) {
+	if TruthOf(Single(0)) != AlwaysFalse {
+		t.Fatal("zero should be false")
+	}
+	if TruthOf(Single(5)) != AlwaysTrue {
+		t.Fatal("nonzero should be true")
+	}
+	if TruthOf(Interval{Lo: -1, Hi: 1}) != MaybeTrue {
+		t.Fatal("mixed should be maybe")
+	}
+	if TruthOf(Interval{Lo: 1, Hi: 0}) != AlwaysFalse {
+		t.Fatal("empty should be false")
+	}
+}
+
+func TestCompareDefinite(t *testing.T) {
+	a := Interval{Lo: 0, Hi: 5}
+	b := Interval{Lo: 10, Hi: 20}
+	if Compare("<", a, b) != Single(1) {
+		t.Fatal("a < b should be definite")
+	}
+	if Compare(">", a, b) != Single(0) {
+		t.Fatal("a > b should be definitely false")
+	}
+	if Compare("==", a, b) != Single(0) {
+		t.Fatal("disjoint == should be false")
+	}
+	if Compare("!=", a, b) != Single(1) {
+		t.Fatal("disjoint != should be true")
+	}
+	if Compare("==", Single(3), Single(3)) != Single(1) {
+		t.Fatal("equal singletons")
+	}
+	over := Interval{Lo: 3, Hi: 12}
+	if got := Compare("<", a, over); got.Lo != 0 || got.Hi != 1 {
+		t.Fatalf("overlap compare = %v", got)
+	}
+}
+
+// Property: Compare agrees with concrete comparison on singletons.
+func TestCompareSingletonProperty(t *testing.T) {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		a := int64(r.IntRange(-20, 20))
+		b := int64(r.IntRange(-20, 20))
+		for _, op := range ops {
+			var want bool
+			switch op {
+			case "<":
+				want = a < b
+			case "<=":
+				want = a <= b
+			case ">":
+				want = a > b
+			case ">=":
+				want = a >= b
+			case "==":
+				want = a == b
+			case "!=":
+				want = a != b
+			}
+			got := Compare(op, Single(a), Single(b))
+			if want && got != Single(1) {
+				return false
+			}
+			if !want && got != Single(0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	if (Interval{Lo: 1, Hi: 2}).String() != "[1, 2]" {
+		t.Fatal("string format")
+	}
+	if (Interval{Lo: 1, Hi: 0}).String() != "[empty]" {
+		t.Fatal("empty string format")
+	}
+}

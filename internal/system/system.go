@@ -1,0 +1,229 @@
+// Package system extends the per-application metric to whole systems — the
+// paper's §5.3 future-work question: "can we use the same approach of
+// evaluating application programs to evaluate whole systems? We expect that
+// total system security is dependent upon the weakest link, although
+// factors such as which applications are network-facing have a role as
+// well."
+//
+// A system image is a set of components (the application plus its
+// supporting infrastructure), each with a scored report, an exposure level,
+// and a privilege level. The aggregate combines:
+//
+//   - the weakest-link principle: the exposure-weighted worst component
+//     dominates;
+//   - containment: an attack graph over the components bounds how far an
+//     initial compromise of an exposed component can escalate.
+package system
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/attackgraph"
+	"repro/internal/core"
+)
+
+// Exposure classifies how reachable a component is to attackers.
+type Exposure int
+
+// Exposure levels, most exposed first.
+const (
+	ExposureInternet Exposure = iota // network-facing (§5.3's "network-facing")
+	ExposureInternal                 // reachable from other components only
+	ExposureLocal                    // local interfaces only
+)
+
+// String names the exposure.
+func (e Exposure) String() string {
+	switch e {
+	case ExposureInternet:
+		return "internet"
+	case ExposureInternal:
+		return "internal"
+	case ExposureLocal:
+		return "local"
+	}
+	return "?"
+}
+
+// exposureWeight scales a component's risk contribution.
+func exposureWeight(e Exposure) float64 {
+	switch e {
+	case ExposureInternet:
+		return 1.0
+	case ExposureInternal:
+		return 0.6
+	case ExposureLocal:
+		return 0.3
+	default:
+		return 0.5
+	}
+}
+
+// Component is one program in the image.
+type Component struct {
+	Name     string
+	Report   *core.Report
+	Exposure Exposure
+	// Privileged marks components running with elevated privilege (root
+	// daemons, kernel modules) — a compromise there is a full compromise.
+	Privileged bool
+	// DependsOn lists components this one can talk to (the containment
+	// edges for escalation modeling).
+	DependsOn []string
+}
+
+// Image is a whole system image.
+type Image struct {
+	Name       string
+	Components []Component
+}
+
+// Evaluation is the whole-system verdict.
+type Evaluation struct {
+	Image string
+	// WeakestLink is the component with the highest exposure-weighted risk.
+	WeakestLink string
+	// WeakestRisk is that component's weighted risk in [0, 100].
+	WeakestRisk float64
+	// SystemRisk aggregates weighted risks with a soft-max (the weakest
+	// link dominates but co-located risk still accumulates).
+	SystemRisk float64
+	// EscalationDepth is the shortest chain from an internet-exposed
+	// component to a privileged one under the containment graph
+	// (-1 when no privileged component is reachable).
+	EscalationDepth int
+	// PrivilegedReachable reports whether any privileged component is
+	// reachable from the outside at all.
+	PrivilegedReachable bool
+	// PerComponent lists weighted risks, highest first.
+	PerComponent []ComponentRisk
+}
+
+// ComponentRisk is one component's contribution.
+type ComponentRisk struct {
+	Name     string
+	Raw      float64
+	Weighted float64
+	Exposure Exposure
+}
+
+// Evaluate aggregates the image.
+func Evaluate(img *Image) (*Evaluation, error) {
+	if len(img.Components) == 0 {
+		return nil, fmt.Errorf("system: image %q has no components", img.Name)
+	}
+	byName := map[string]*Component{}
+	for i := range img.Components {
+		byName[img.Components[i].Name] = &img.Components[i]
+	}
+	for _, c := range img.Components {
+		for _, dep := range c.DependsOn {
+			if _, ok := byName[dep]; !ok {
+				return nil, fmt.Errorf("system: component %q depends on unknown %q", c.Name, dep)
+			}
+		}
+	}
+
+	ev := &Evaluation{Image: img.Name, EscalationDepth: -1}
+	// Weighted risks and the weakest link.
+	softSum := 0.0
+	const sharpness = 8.0 // soft-max exponent: high = closer to pure max
+	for _, c := range img.Components {
+		raw := 0.0
+		if c.Report != nil {
+			raw = c.Report.RiskScore
+		}
+		weighted := raw * exposureWeight(c.Exposure)
+		ev.PerComponent = append(ev.PerComponent, ComponentRisk{
+			Name: c.Name, Raw: raw, Weighted: weighted, Exposure: c.Exposure,
+		})
+		softSum += math.Pow(weighted/100, sharpness)
+		if weighted > ev.WeakestRisk {
+			ev.WeakestRisk = weighted
+			ev.WeakestLink = c.Name
+		}
+	}
+	sort.SliceStable(ev.PerComponent, func(i, j int) bool {
+		return ev.PerComponent[i].Weighted > ev.PerComponent[j].Weighted
+	})
+	ev.SystemRisk = 100 * math.Pow(softSum, 1/sharpness)
+	if ev.SystemRisk > 100 {
+		ev.SystemRisk = 100
+	}
+
+	// Containment: build the attack graph over components. A component's
+	// compromisability scales with its risk score; edges follow DependsOn.
+	n := attackgraph.NewNetwork(buildHosts(img)...)
+	for _, c := range img.Components {
+		if c.Exposure == ExposureInternet {
+			n.Connect("@attacker", c.Name)
+		}
+		for _, dep := range c.DependsOn {
+			n.Connect(c.Name, dep)
+		}
+	}
+	goal := ""
+	for _, c := range img.Components {
+		if c.Privileged {
+			goal = c.Name
+			break
+		}
+	}
+	if goal != "" {
+		a := attackgraph.Analyze(n, attackgraph.State{"@attacker": attackgraph.PrivRoot}, goal, attackgraph.PrivUser)
+		ev.PrivilegedReachable = a.GoalReachable
+		ev.EscalationDepth = a.MinSteps
+	}
+	return ev, nil
+}
+
+// buildHosts maps components to attack-graph hosts. A component is
+// exploitable when its predicted risk is non-trivial; the vulnerability
+// requires only user privilege on the attacking side.
+func buildHosts(img *Image) []attackgraph.Host {
+	hosts := []attackgraph.Host{{Name: "@attacker"}}
+	for _, c := range img.Components {
+		h := attackgraph.Host{Name: c.Name}
+		risk := 0.0
+		if c.Report != nil {
+			risk = c.Report.RiskScore
+		}
+		if risk >= 40 { // predicted-vulnerable components are exploitable
+			grants := attackgraph.PrivUser
+			if c.Privileged {
+				grants = attackgraph.PrivRoot
+			}
+			h.Services = append(h.Services, attackgraph.Service{
+				Name: c.Name + "-svc",
+				Vulns: []attackgraph.Vuln{{
+					ID:           "PREDICTED-" + strings.ToUpper(c.Name),
+					RequiresPriv: attackgraph.PrivUser,
+					GrantsPriv:   grants,
+				}},
+			})
+		}
+		hosts = append(hosts, h)
+	}
+	return hosts
+}
+
+// String renders the evaluation.
+func (ev *Evaluation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "System evaluation: %s\n", ev.Image)
+	fmt.Fprintf(&sb, "  system risk:  %.1f/100 (weakest link: %s at %.1f)\n",
+		ev.SystemRisk, ev.WeakestLink, ev.WeakestRisk)
+	if ev.PrivilegedReachable {
+		fmt.Fprintf(&sb, "  escalation:   privileged component reachable in %d exploit step(s)\n", ev.EscalationDepth)
+	} else {
+		sb.WriteString("  escalation:   no privileged component reachable from the outside\n")
+	}
+	for _, c := range ev.PerComponent {
+		fmt.Fprintf(&sb, "  %-16s raw %5.1f  weighted %5.1f  (%s)\n",
+			c.Name, c.Raw, c.Weighted, c.Exposure)
+	}
+	return sb.String()
+}

@@ -1,0 +1,155 @@
+package system
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func report(risk float64) *core.Report {
+	return &core.Report{RiskScore: risk}
+}
+
+func sampleImage() *Image {
+	return &Image{
+		Name: "web-stack",
+		Components: []Component{
+			{Name: "nginx", Report: report(70), Exposure: ExposureInternet, DependsOn: []string{"app"}},
+			{Name: "app", Report: report(55), Exposure: ExposureInternal, DependsOn: []string{"db", "agent"}},
+			{Name: "db", Report: report(30), Exposure: ExposureInternal},
+			{Name: "agent", Report: report(80), Exposure: ExposureLocal, Privileged: true},
+		},
+	}
+}
+
+func TestEvaluateWeakestLink(t *testing.T) {
+	ev, err := Evaluate(sampleImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nginx: 70*1.0 = 70; agent: 80*0.3 = 24; app: 55*0.6 = 33.
+	if ev.WeakestLink != "nginx" {
+		t.Fatalf("weakest link = %s", ev.WeakestLink)
+	}
+	if ev.WeakestRisk != 70 {
+		t.Fatalf("weakest risk = %v", ev.WeakestRisk)
+	}
+	// Soft-max stays at or above the weakest link, at or below 100.
+	if ev.SystemRisk < ev.WeakestRisk || ev.SystemRisk > 100 {
+		t.Fatalf("system risk = %v", ev.SystemRisk)
+	}
+}
+
+func TestEvaluateEscalationChain(t *testing.T) {
+	ev, err := Evaluate(sampleImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// attacker -> nginx (risk 70 >= 40) -> app (55) -> agent (80, root):
+	// 3 exploit steps.
+	if !ev.PrivilegedReachable {
+		t.Fatal("privileged component should be reachable")
+	}
+	if ev.EscalationDepth != 3 {
+		t.Fatalf("escalation depth = %d, want 3", ev.EscalationDepth)
+	}
+}
+
+func TestEvaluateContainmentBlocksEscalation(t *testing.T) {
+	img := sampleImage()
+	// Cut the app -> agent dependency: no path to the privileged component.
+	img.Components[1].DependsOn = []string{"db"}
+	ev, err := Evaluate(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.PrivilegedReachable {
+		t.Fatal("escalation should be contained")
+	}
+	if ev.EscalationDepth != -1 {
+		t.Fatalf("depth = %d", ev.EscalationDepth)
+	}
+}
+
+func TestEvaluateLowRiskComponentsNotExploitable(t *testing.T) {
+	img := sampleImage()
+	// Harden nginx below the exploitability threshold: the chain breaks at
+	// the first hop even though the topology is unchanged.
+	img.Components[0].Report = report(20)
+	ev, err := Evaluate(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.PrivilegedReachable {
+		t.Fatal("hardened front end should block the chain")
+	}
+}
+
+func TestEvaluateExposureWeighting(t *testing.T) {
+	// The same risk is worse when internet-facing (§5.3: "which
+	// applications are network-facing have a role").
+	internet := &Image{Name: "a", Components: []Component{
+		{Name: "svc", Report: report(60), Exposure: ExposureInternet},
+	}}
+	local := &Image{Name: "b", Components: []Component{
+		{Name: "svc", Report: report(60), Exposure: ExposureLocal},
+	}}
+	evA, err := Evaluate(internet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evB, err := Evaluate(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evA.SystemRisk <= evB.SystemRisk {
+		t.Fatalf("exposure weighting broken: %v vs %v", evA.SystemRisk, evB.SystemRisk)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(&Image{Name: "empty"}); err == nil {
+		t.Fatal("empty image evaluated")
+	}
+	bad := &Image{Name: "bad", Components: []Component{
+		{Name: "a", Report: report(10), DependsOn: []string{"ghost"}},
+	}}
+	if _, err := Evaluate(bad); err == nil {
+		t.Fatal("dangling dependency accepted")
+	}
+}
+
+func TestEvaluateString(t *testing.T) {
+	ev, err := Evaluate(sampleImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ev.String()
+	for _, want := range []string{"web-stack", "weakest link: nginx", "nginx", "agent"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEvaluatePerComponentSorted(t *testing.T) {
+	ev, err := Evaluate(sampleImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ev.PerComponent); i++ {
+		if ev.PerComponent[i].Weighted > ev.PerComponent[i-1].Weighted {
+			t.Fatalf("components not sorted: %+v", ev.PerComponent)
+		}
+	}
+}
+
+func TestExposureStrings(t *testing.T) {
+	if ExposureInternet.String() != "internet" || ExposureLocal.String() != "local" {
+		t.Fatal("exposure names")
+	}
+	if Exposure(9).String() != "?" {
+		t.Fatal("unknown exposure")
+	}
+}

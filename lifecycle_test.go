@@ -1,0 +1,130 @@
+package secmetric
+
+// Lifecycle integration test: the full production workflow across process
+// boundaries — generate the corpus, persist the CVE database, reload it,
+// train, persist the model, reload it, analyze real source from disk, and
+// gate a change — every artifact passing through its serialized form.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/cvedb"
+	"repro/internal/langgen"
+)
+
+func TestFullLifecycle(t *testing.T) {
+	dir := t.TempDir()
+
+	// 1. Generate and persist the CVE database.
+	c, err := corpus.Generate(corpus.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbPath := filepath.Join(dir, "corpus.json")
+	f, err := os.Create(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DB.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Reload and verify the ground truth survived.
+	rf, err := os.Open(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	db, err := cvedb.Load(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumApps() != 164 || db.NumRecords() != 5975 {
+		t.Fatalf("reloaded db: %d apps, %d records", db.NumApps(), db.NumRecords())
+	}
+	// Hypothesis labels recomputed from the reloaded database must agree
+	// with the in-memory corpus.
+	for _, a := range c.Apps[:10] {
+		orig, err := c.DB.StatsFor(a.App.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reloaded, err := db.StatsFor(a.App.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if orig.HighSeverity != reloaded.HighSeverity ||
+			orig.NetworkVector != reloaded.NetworkVector ||
+			orig.StackOverflow != reloaded.StackOverflow {
+			t.Fatalf("%s labels drifted across persistence", a.App.Name)
+		}
+	}
+
+	// 3. Train and persist the model.
+	model, err := Train(c, TrainConfig{Kind: KindForest, Folds: 3, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPath := filepath.Join(dir, "model.json")
+	if err := SaveModel(model, modelPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Reload the model in a "new process" and analyze source from disk.
+	loaded, err := LoadModel(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := langgen.DefaultSpec()
+	spec.Seed = 4242
+	spec.VulnDensity = 0.8
+	tree := langgen.Generate(spec)
+	srcDir := filepath.Join(dir, "src")
+	for _, file := range tree.Files {
+		full := filepath.Join(srcDir, file.Path)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(file.Content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fv, err := AnalyzeDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := loaded.Score("lifecycle", fv)
+	if rep.RiskScore <= 0 || rep.RiskScore > 100 {
+		t.Fatalf("risk = %v", rep.RiskScore)
+	}
+
+	// 5. Gate a "change": the same codebase with the vulnerabilities
+	// removed must score no higher.
+	cleanSpec := spec
+	cleanSpec.VulnDensity = 0
+	cleanTree := langgen.Generate(cleanSpec)
+	cleanFV := AnalyzeTree(cleanTree)
+	cmp := loaded.Compare("dirty", fv, "clean", cleanFV)
+	if cmp.DeltaRisk > 0 {
+		t.Fatalf("removing vulnerabilities raised risk: %s", cmp.Verdict())
+	}
+
+	// 6. Focus planning with the reloaded model.
+	plan, err := loaded.FocusFiles(cleanTree, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, e := range plan.Entries {
+		total += e.Allocated
+	}
+	if total != 20 {
+		t.Fatalf("focus budget = %d", total)
+	}
+}

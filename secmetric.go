@@ -1,0 +1,146 @@
+// Package secmetric is the public facade of the clairvoyant
+// security-evaluation library, a reproduction of Jain, Tsai, and Porter,
+// "A Clairvoyant Approach to Evaluating Software (In)Security" (HotOS '17).
+//
+// The workflow mirrors the paper's Figure 4:
+//
+//	corpus, _ := secmetric.DefaultCorpus()          // CVE ground truth
+//	model, _ := secmetric.TrainDefault(corpus)      // offline training, 10-fold CV
+//	features, _ := secmetric.AnalyzeDir("./mycode") // the automated testbed
+//	report := model.Score("mycode", features)       // hypothesis predictions
+//	fmt.Println(report)
+//
+// and the CI-gate comparison of §5.3:
+//
+//	cmp := model.Compare("v1", oldFeatures, "v2", newFeatures)
+//	fmt.Println(cmp.Verdict())
+package secmetric
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/metrics"
+	"repro/internal/system"
+)
+
+// Re-exported types: the facade's vocabulary.
+type (
+	// Model is a trained prediction model (one classifier per hypothesis
+	// plus a vulnerability-count regressor).
+	Model = core.Model
+	// Report is the security evaluation of one codebase.
+	Report = core.Report
+	// Comparison is the risk delta between two versions of a codebase.
+	Comparison = core.Comparison
+	// FeatureVector is a named code-property vector.
+	FeatureVector = metrics.FeatureVector
+	// Corpus is the CVE training corpus.
+	Corpus = corpus.Corpus
+	// TrainConfig selects the classifier family, fold count, and feature
+	// selection for training.
+	TrainConfig = core.TrainConfig
+	// Tree is an in-memory source tree.
+	Tree = metrics.Tree
+)
+
+// Classifier kinds accepted by Train.
+const (
+	KindZeroR      = core.KindZeroR
+	KindNaiveBayes = core.KindNaiveBayes
+	KindLogistic   = core.KindLogistic
+	KindTree       = core.KindTree
+	KindForest     = core.KindForest
+	KindKNN        = core.KindKNN
+)
+
+// DefaultCorpus generates the paper-calibrated synthetic CVE corpus:
+// 164 applications (126 C, 20 C++, 6 Python, 12 Java), 5,975
+// vulnerabilities, five-year histories, and Figure 2's regression
+// statistics.
+func DefaultCorpus() (*Corpus, error) {
+	return corpus.Generate(corpus.DefaultParams())
+}
+
+// TrainDefault trains the default model (random forest, 10-fold cross
+// validation) on the corpus.
+func TrainDefault(c *Corpus) (*Model, error) {
+	return Train(c, core.DefaultTrainConfig())
+}
+
+// Train trains a model with explicit configuration.
+func Train(c *Corpus, cfg TrainConfig) (*Model, error) {
+	return core.Train(core.NewTestbed(c), cfg)
+}
+
+// AnalyzeDir loads a source tree from disk and runs the full testbed over
+// it: line counts, cyclomatic complexity, Halstead measures, smells, attack
+// surface, lint, taint analysis, and symbolic execution.
+func AnalyzeDir(dir string) (FeatureVector, error) {
+	tree, err := metrics.LoadTree(dir)
+	if err != nil {
+		return nil, fmt.Errorf("secmetric: %w", err)
+	}
+	if len(tree.Files) == 0 {
+		return nil, fmt.Errorf("secmetric: no source files under %s", dir)
+	}
+	return core.ExtractFeatures(tree), nil
+}
+
+// AnalyzeTree runs the testbed over an in-memory tree.
+func AnalyzeTree(tree *Tree) FeatureVector {
+	return core.ExtractFeatures(tree)
+}
+
+// SaveModel writes a trained model to path.
+func SaveModel(m *Model, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("secmetric: %w", err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModel reads a model written by SaveModel. Loaded models score and
+// compare codebases but cannot be retrained.
+func LoadModel(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("secmetric: %w", err)
+	}
+	defer f.Close()
+	return core.LoadModel(f)
+}
+
+// Whole-system evaluation (§5.3 future work) re-exports.
+type (
+	// SystemImage is a whole system: the application plus its supporting
+	// infrastructure, each component scored independently.
+	SystemImage = system.Image
+	// SystemComponent is one program in the image.
+	SystemComponent = system.Component
+	// SystemEvaluation is the weakest-link + containment verdict.
+	SystemEvaluation = system.Evaluation
+	// FocusPlan apportions a deep-analysis budget over files by risk.
+	FocusPlan = core.FocusPlan
+)
+
+// Component exposure levels.
+const (
+	ExposureInternet = system.ExposureInternet
+	ExposureInternal = system.ExposureInternal
+	ExposureLocal    = system.ExposureLocal
+)
+
+// EvaluateImage aggregates per-component reports into a whole-system
+// verdict: the weakest exposed link dominates, and an attack graph over
+// the component dependencies bounds privilege escalation.
+func EvaluateImage(img *SystemImage) (*SystemEvaluation, error) {
+	return system.Evaluate(img)
+}

@@ -1,0 +1,113 @@
+package secmetric
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/langgen"
+)
+
+var (
+	once       sync.Once
+	facadeCorp *Corpus
+	facadeMdl  *Model
+	setupErr   error
+)
+
+func setup(t *testing.T) (*Corpus, *Model) {
+	t.Helper()
+	once.Do(func() {
+		facadeCorp, setupErr = DefaultCorpus()
+		if setupErr != nil {
+			return
+		}
+		facadeMdl, setupErr = Train(facadeCorp, TrainConfig{Kind: KindLogistic, Folds: 5, Seed: 12})
+	})
+	if setupErr != nil {
+		t.Fatal(setupErr)
+	}
+	return facadeCorp, facadeMdl
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	_, model := setup(t)
+	spec := langgen.DefaultSpec()
+	spec.Seed = 404
+	tree := langgen.Generate(spec)
+	fv := AnalyzeTree(tree)
+	rep := model.Score(tree.Name, fv)
+	if rep.RiskScore < 0 || rep.RiskScore > 100 {
+		t.Fatalf("risk score = %v", rep.RiskScore)
+	}
+	if len(rep.Risks) != 5 {
+		t.Fatalf("risks = %d", len(rep.Risks))
+	}
+}
+
+func TestFacadeAnalyzeDir(t *testing.T) {
+	dir := t.TempDir()
+	src := `
+int main(void) {
+	char buf[8];
+	gets(buf);
+	return 0;
+}`
+	if err := os.WriteFile(filepath.Join(dir, "main.c"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fv, err := AnalyzeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fv["kloc"] <= 0 {
+		t.Fatal("kloc missing")
+	}
+	if fv["lint_warnings"] == 0 {
+		t.Fatal("gets() not flagged")
+	}
+}
+
+func TestFacadeAnalyzeDirEmpty(t *testing.T) {
+	if _, err := AnalyzeDir(t.TempDir()); err == nil {
+		t.Fatal("empty dir analyzed")
+	}
+	if _, err := AnalyzeDir("/no/such/dir"); err == nil {
+		t.Fatal("missing dir analyzed")
+	}
+}
+
+func TestFacadeModelFileRoundTrip(t *testing.T) {
+	corp, model := setup(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := SaveModel(model, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := corp.Apps[0]
+	orig := model.Score(a.App.Name, a.Features)
+	rest := loaded.Score(a.App.Name, a.Features)
+	if orig.RiskScore != rest.RiskScore {
+		t.Fatalf("scores differ after file round trip: %v vs %v",
+			orig.RiskScore, rest.RiskScore)
+	}
+}
+
+func TestFacadeCompare(t *testing.T) {
+	_, model := setup(t)
+	clean := langgen.DefaultSpec()
+	clean.Seed = 777
+	clean.VulnDensity = 0
+	dirty := clean
+	dirty.VulnDensity = 1
+	cleanFV := AnalyzeTree(langgen.Generate(clean))
+	dirtyFV := AnalyzeTree(langgen.Generate(dirty))
+	cmp := model.Compare("clean", cleanFV, "dirty", dirtyFV)
+	if cmp.DeltaRisk <= 0 {
+		t.Fatalf("injected vulnerabilities lowered risk: %s", cmp.Verdict())
+	}
+}
