@@ -8,8 +8,11 @@ package secmetric
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -217,6 +220,45 @@ func BenchmarkTestbedExtraction(b *testing.B) {
 		if fv["kloc"] <= 0 {
 			b.Fatal("extraction failed")
 		}
+	}
+}
+
+// BenchmarkAnalyzeDirWarmCache times AnalyzeDir with a warm feature cache
+// — the steady-state per-commit cost when no file changed — and reports
+// the cold-over-warm speedup.
+func BenchmarkAnalyzeDirWarmCache(b *testing.B) {
+	spec := langgen.DefaultSpec()
+	spec.Files = 8
+	spec.FuncsPerFile = 10
+	tree := langgen.Generate(spec)
+	dir := b.TempDir()
+	for _, f := range tree.Files {
+		p := filepath.Join(dir, filepath.FromSlash(f.Path))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(f.Content), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cfg := AnalyzeConfig{CacheDir: filepath.Join(b.TempDir(), "featcache")}
+	start := time.Now()
+	if _, err := AnalyzeDirWith(dir, cfg); err != nil {
+		b.Fatal(err)
+	}
+	coldDur := time.Since(start)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fv, err := AnalyzeDirWith(dir, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fv["kloc"] <= 0 {
+			b.Fatal("extraction failed")
+		}
+	}
+	if b.Elapsed() > 0 {
+		b.ReportMetric(coldDur.Seconds()/(b.Elapsed().Seconds()/float64(b.N)), "cold/warm")
 	}
 }
 

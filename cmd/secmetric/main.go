@@ -56,7 +56,16 @@ func run(args []string) error {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: secmetric {analyze <dir> | score [-model m.json] [-json] <dir> | compare [-model m.json] <old> <new> | focus [-model m.json] [-budget N] <dir> | hotspots [-top N] <dir> | image [-model m.json] <manifest.json>}")
+	return fmt.Errorf("usage: secmetric {analyze <dir> | score [-model m.json] [-json] <dir> | compare [-model m.json] <old> <new> | focus [-model m.json] [-budget N] <dir> | hotspots [-top N] <dir> | image [-model m.json] <manifest.json>} [-jobs N] [-cache dir]")
+}
+
+// analyzeOpts registers the shared extraction flags (-jobs, -cache) on a
+// subcommand's flag set and returns the config they populate.
+func analyzeOpts(fs *flag.FlagSet) *secmetric.AnalyzeConfig {
+	cfg := &secmetric.AnalyzeConfig{}
+	fs.IntVar(&cfg.Jobs, "jobs", 0, "deep-analysis worker pool size (0 = all cores)")
+	fs.StringVar(&cfg.CacheDir, "cache", "", "persistent feature-cache directory (analyses skip unchanged files)")
+	return cfg
 }
 
 func cmdHotspots(args []string) error {
@@ -102,6 +111,7 @@ type imageManifest struct {
 func cmdImage(args []string) error {
 	fs := flag.NewFlagSet("image", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "trained model file (from trainctl)")
+	acfg := analyzeOpts(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,7 +135,7 @@ func cmdImage(args []string) error {
 	}
 	img := &secmetric.SystemImage{Name: man.Name}
 	for _, c := range man.Components {
-		fv, err := secmetric.AnalyzeDir(c.Dir)
+		fv, err := secmetric.AnalyzeDirWith(c.Dir, *acfg)
 		if err != nil {
 			return fmt.Errorf("component %s: %w", c.Name, err)
 		}
@@ -190,13 +200,14 @@ func cmdFocus(args []string) error {
 
 func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	acfg := analyzeOpts(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("analyze needs exactly one directory")
 	}
-	fv, err := secmetric.AnalyzeDir(fs.Arg(0))
+	fv, err := secmetric.AnalyzeDirWith(fs.Arg(0), *acfg)
 	if err != nil {
 		return err
 	}
@@ -227,13 +238,14 @@ func cmdScore(args []string) error {
 	fs := flag.NewFlagSet("score", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "trained model file (from trainctl)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON (for CI integration)")
+	acfg := analyzeOpts(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("score needs exactly one directory")
 	}
-	fv, err := secmetric.AnalyzeDir(fs.Arg(0))
+	fv, err := secmetric.AnalyzeDirWith(fs.Arg(0), *acfg)
 	if err != nil {
 		return err
 	}
@@ -254,17 +266,20 @@ func cmdScore(args []string) error {
 func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "trained model file (from trainctl)")
+	acfg := analyzeOpts(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
 		return fmt.Errorf("compare needs exactly two directories")
 	}
-	oldFV, err := secmetric.AnalyzeDir(fs.Arg(0))
+	// With -cache, the two versions share one cache, so only the files
+	// that changed between them are deep-analyzed twice.
+	oldFV, err := secmetric.AnalyzeDirWith(fs.Arg(0), *acfg)
 	if err != nil {
 		return err
 	}
-	newFV, err := secmetric.AnalyzeDir(fs.Arg(1))
+	newFV, err := secmetric.AnalyzeDirWith(fs.Arg(1), *acfg)
 	if err != nil {
 		return err
 	}

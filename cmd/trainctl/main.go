@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	trainctl [-kind forest] [-folds 10] [-topk 0] [-seed 17] [-out model.json]
+//	trainctl [-kind forest] [-folds 10] [-topk 0] [-seed 17] [-jobs 0] [-out model.json]
 package main
 
 import (
@@ -30,6 +30,7 @@ func run() error {
 	folds := flag.Int("folds", 10, "cross-validation folds")
 	topk := flag.Int("topk", 0, "keep only the top-k features by information gain (0 = all)")
 	seed := flag.Uint64("seed", 17, "training seed")
+	jobs := flag.Int("jobs", 0, "training worker pool size (0 = all cores; the model is identical for any value)")
 	out := flag.String("out", "model.json", "model output path")
 	arff := flag.String("arff", "", "also export the many_vulns training set as Weka ARFF")
 	tune := flag.Bool("tune", false, "grid-search random-forest hyperparameters first")
@@ -72,6 +73,7 @@ func run() error {
 		Folds:       *folds,
 		TopFeatures: *topk,
 		Seed:        *seed,
+		Jobs:        *jobs,
 	}
 	fmt.Printf("training %s with %d-fold cross validation...\n", *kind, *folds)
 	model, err := secmetric.Train(c, cfg)

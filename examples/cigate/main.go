@@ -85,11 +85,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	oldFV, err := secmetric.AnalyzeDir(v1)
+	// Both versions share one content-addressed feature cache, so only the
+	// files the change actually touched are deep-analyzed twice — the
+	// incremental re-evaluation §5.3 asks for on every commit.
+	cfg := secmetric.AnalyzeConfig{CacheDir: filepath.Join(workdir, "featcache")}
+	oldFV, err := secmetric.AnalyzeDirWith(v1, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	newFV, err := secmetric.AnalyzeDir(v2)
+	newFV, err := secmetric.AnalyzeDirWith(v2, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

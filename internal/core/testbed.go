@@ -3,13 +3,13 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 
 	"repro/internal/callgraph"
 	"repro/internal/corpus"
 	"repro/internal/dataflow"
+	"repro/internal/featcache"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/lang"
@@ -209,15 +209,31 @@ func (tb *Testbed) LoCOnlyDataset(h Hypothesis) (*ml.Dataset, error) {
 	return nil, fmt.Errorf("core: kloc column missing")
 }
 
-// fileEnrichment is the deep-analysis result of one file.
+// fileEnrichment is the deep-analysis result of one file. The exported
+// fields make it a stable JSON record for the feature cache.
 type fileEnrichment struct {
-	taintedSinks  int
-	feasiblePaths float64
-	maxFanOut     int
-	maxDepth      int
-	covSum        float64
-	covRuns       int
-	dynPaths      int
+	TaintedSinks  int     `json:"tainted_sinks"`
+	FeasiblePaths float64 `json:"feasible_paths"`
+	MaxFanOut     int     `json:"max_fan_out"`
+	MaxDepth      int     `json:"max_depth"`
+	CovSum        float64 `json:"cov_sum"`
+	CovRuns       int     `json:"cov_runs"`
+	DynPaths      int     `json:"dyn_paths"`
+}
+
+// AnalysisVersion identifies the deep-analysis implementation baked into
+// enrichFile and its substrates. It is mixed into every feature-cache key,
+// so bumping it invalidates all cached enrichments; bump it whenever any
+// analysis that feeds fileEnrichment changes behavior.
+const AnalysisVersion = "enrich-v1"
+
+// ExtractConfig tunes the testbed's extraction pipeline.
+type ExtractConfig struct {
+	// Jobs bounds the per-file worker pool; <= 0 uses every core.
+	Jobs int
+	// Cache, when non-nil, memoizes per-file deep-analysis results keyed
+	// by content hash, so only files whose bytes changed are re-analyzed.
+	Cache *featcache.Cache
 }
 
 // ExtractFeatures runs the full static-analysis testbed over a source tree:
@@ -226,63 +242,81 @@ type fileEnrichment struct {
 // sampled dynamic traces) for files that parse as MiniC. The per-file deep
 // analyses are independent, so they run on a bounded worker pool.
 func ExtractFeatures(tree *metrics.Tree) metrics.FeatureVector {
+	return ExtractFeaturesWith(tree, ExtractConfig{})
+}
+
+// ExtractFeaturesWith is ExtractFeatures with an explicit pool bound and
+// optional content-addressed cache. The aggregation is order-independent
+// (sums and maxes), so the result is identical for any Jobs value.
+func ExtractFeaturesWith(tree *metrics.Tree, cfg ExtractConfig) metrics.FeatureVector {
 	fv := metrics.Extract(tree)
 
 	rep := lint.Check(tree)
 	fv[metrics.FeatLintWarnings] = float64(rep.Total())
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(tree.Files) {
-		workers = len(tree.Files)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	jobs := make(chan metrics.File)
-	results := make(chan fileEnrichment)
+	enriched := make([]fileEnrichment, len(tree.Files))
+	workers := ml.EffectiveJobs(cfg.Jobs, len(tree.Files))
+	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for f := range jobs {
-				results <- enrichFile(f)
+			for i := range jobs {
+				enriched[i] = enrichFileCached(tree.Files[i], cfg.Cache)
 			}
 		}()
 	}
-	go func() {
-		for _, f := range tree.Files {
-			jobs <- f
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
+	for i := range tree.Files {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 
 	var agg fileEnrichment
-	for r := range results {
-		agg.taintedSinks += r.taintedSinks
-		agg.feasiblePaths += r.feasiblePaths
-		if r.maxFanOut > agg.maxFanOut {
-			agg.maxFanOut = r.maxFanOut
+	for _, r := range enriched {
+		agg.TaintedSinks += r.TaintedSinks
+		agg.FeasiblePaths += r.FeasiblePaths
+		if r.MaxFanOut > agg.MaxFanOut {
+			agg.MaxFanOut = r.MaxFanOut
 		}
-		if r.maxDepth > agg.maxDepth {
-			agg.maxDepth = r.maxDepth
+		if r.MaxDepth > agg.MaxDepth {
+			agg.MaxDepth = r.MaxDepth
 		}
-		agg.covSum += r.covSum
-		agg.covRuns += r.covRuns
-		agg.dynPaths += r.dynPaths
+		agg.CovSum += r.CovSum
+		agg.CovRuns += r.CovRuns
+		agg.DynPaths += r.DynPaths
 	}
 
-	fv[metrics.FeatTaintedSinks] = float64(agg.taintedSinks)
-	fv[metrics.FeatFeasiblePaths] = math.Log10(1 + agg.feasiblePaths)
-	fv[metrics.FeatCallFanOut] = float64(agg.maxFanOut)
-	fv[metrics.FeatCallDepth] = float64(agg.maxDepth)
-	if agg.covRuns > 0 {
-		fv[metrics.FeatDynBranchCov] = agg.covSum / float64(agg.covRuns)
+	fv[metrics.FeatTaintedSinks] = float64(agg.TaintedSinks)
+	fv[metrics.FeatFeasiblePaths] = math.Log10(1 + agg.FeasiblePaths)
+	fv[metrics.FeatCallFanOut] = float64(agg.MaxFanOut)
+	fv[metrics.FeatCallDepth] = float64(agg.MaxDepth)
+	if agg.CovRuns > 0 {
+		fv[metrics.FeatDynBranchCov] = agg.CovSum / float64(agg.CovRuns)
 	}
-	fv[metrics.FeatDynUniquePaths] = math.Log10(1 + float64(agg.dynPaths))
+	fv[metrics.FeatDynUniquePaths] = math.Log10(1 + float64(agg.DynPaths))
 	return fv
+}
+
+// enrichFileCached consults the cache before running the deep analyses.
+// The key covers the analysis version, the file language, and the file
+// bytes — the complete input of enrichFile — so a hit is always safe to
+// reuse and any content change is a miss.
+func enrichFileCached(f metrics.File, cache *featcache.Cache) fileEnrichment {
+	if cache == nil {
+		return enrichFile(f)
+	}
+	key := featcache.Key(AnalysisVersion, f.Language.String(), f.Content)
+	var out fileEnrichment
+	if cache.GetJSON(key, &out) {
+		return out
+	}
+	out = enrichFile(f)
+	// A failed write only costs a future re-analysis; the result is
+	// still correct, so cache errors are deliberately not fatal.
+	_ = cache.PutJSON(key, out)
+	return out
 }
 
 // enrichFile runs the deep analyses over one file; files that do not parse
@@ -301,22 +335,22 @@ func enrichFile(f metrics.File) fileEnrichment {
 	if err != nil {
 		return out
 	}
-	out.taintedSinks = dataflow.CountTaintedSinks(lowered)
+	out.TaintedSinks = dataflow.CountTaintedSinks(lowered)
 	cfg := symexec.DefaultConfig()
 	for _, fn := range lowered.Funcs {
-		out.feasiblePaths += float64(symexec.Explore(fn, cfg).FeasiblePaths)
+		out.FeasiblePaths += float64(symexec.Explore(fn, cfg).FeasiblePaths)
 	}
 	cg := callgraph.Build(lowered)
-	out.maxFanOut = cg.MaxFanOut()
-	out.maxDepth = cg.Depth()
+	out.MaxFanOut = cg.MaxFanOut()
+	out.MaxDepth = cg.Depth()
 	for _, root := range cg.Roots() {
 		prof, err := interp.ProfileFunc(lowered, root, 24, 0xd1ce)
 		if err != nil {
 			continue
 		}
-		out.covSum += prof.BranchCoverage
-		out.covRuns++
-		out.dynPaths += prof.UniquePaths
+		out.CovSum += prof.BranchCoverage
+		out.CovRuns++
+		out.DynPaths += prof.UniquePaths
 	}
 	return out
 }

@@ -56,6 +56,11 @@ type TrainConfig struct {
 	// features before training.
 	TopFeatures int
 	Seed        uint64
+	// Jobs bounds the training worker pools (hypothesis fan-out, CV folds,
+	// forest trees); <= 0 uses every core. The trained model is
+	// bit-identical for any Jobs value: all seed-derived randomness is
+	// consumed in a fixed order before any fan-out.
+	Jobs int
 }
 
 // DefaultTrainConfig mirrors Weka defaults: 10-fold CV, random forest.
@@ -97,19 +102,34 @@ type Model struct {
 }
 
 // Train runs the Figure 4 training phase over the corpus for the standard
-// hypotheses plus HypManyVulns.
+// hypotheses plus HypManyVulns. Hypotheses train concurrently on a pool
+// bounded by cfg.Jobs; the per-hypothesis RNGs are split from the seed in
+// hypothesis order before the fan-out, so the model is identical to a
+// sequential (Jobs = 1) run.
 func Train(tb *Testbed, cfg TrainConfig) (*Model, error) {
+	if _, err := NewClassifier(cfg.Kind); err != nil {
+		return nil, err
+	}
 	hyps := append(StandardHypotheses(), HypManyVulns)
 	tb.FitImputation()
 	m := &Model{Config: cfg, Transformer: tb.Transformer}
 	rng := stats.NewRNG(cfg.Seed)
-	for _, h := range hyps {
-		hm, err := TrainHypothesis(tb, h, cfg, rng.Split())
-		if err != nil {
-			return nil, fmt.Errorf("core: training %s: %w", h.Name, err)
-		}
-		m.Hypotheses = append(m.Hypotheses, hm)
+	rngs := make([]*stats.RNG, len(hyps))
+	for i := range hyps {
+		rngs[i] = rng.Split()
 	}
+	hms := make([]*HypothesisModel, len(hyps))
+	if err := ml.ParallelFor(len(hyps), cfg.Jobs, func(i int) error {
+		hm, err := TrainHypothesis(tb, hyps[i], cfg, rngs[i])
+		if err != nil {
+			return fmt.Errorf("core: training %s: %w", hyps[i].Name, err)
+		}
+		hms[i] = hm
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	m.Hypotheses = hms
 	// Count regression.
 	reg, err := tb.RegressionDataset()
 	if err != nil {
@@ -127,6 +147,11 @@ func Train(tb *Testbed, cfg TrainConfig) (*Model, error) {
 
 // TrainHypothesis trains and cross-validates one hypothesis classifier.
 func TrainHypothesis(tb *Testbed, h Hypothesis, cfg TrainConfig, rng *stats.RNG) (*HypothesisModel, error) {
+	// Validate the kind once up front so the classifier factory below can
+	// never fail mid-fold.
+	if _, err := NewClassifier(cfg.Kind); err != nil {
+		return nil, err
+	}
 	ds, err := tb.DatasetFor(h)
 	if err != nil {
 		return nil, err
@@ -141,13 +166,10 @@ func TrainHypothesis(tb *Testbed, h Hypothesis, cfg TrainConfig, rng *stats.RNG)
 	if folds < 2 {
 		folds = 10
 	}
-	cv, err := ml.CrossValidate(func() ml.Classifier {
-		c, err := NewClassifier(cfg.Kind)
-		if err != nil {
-			panic(err) // kind validated below before first use
-		}
+	cv, err := ml.CrossValidateJobs(func() ml.Classifier {
+		c, _ := NewClassifier(cfg.Kind) // kind validated at the top
 		return c
-	}, ds, folds, rng)
+	}, ds, folds, rng, cfg.Jobs)
 	if err != nil {
 		return nil, err
 	}

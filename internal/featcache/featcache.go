@@ -1,0 +1,155 @@
+// Package featcache is a content-addressed, persistent cache for per-file
+// analysis results. The paper's §5.3 workflow re-runs the automated
+// testbed on every code change; the deep analyses (symbolic execution,
+// taint tracking, call-graph profiling) dominate that cost, and their
+// results depend only on the bytes of one file. Keying each result by a
+// hash of (analysis version, file content) lets an incremental run skip
+// every file whose bytes did not change since the last run.
+//
+// Entries live both in memory (for repeated analyses inside one process)
+// and, when a directory is configured, on disk as one small file per
+// entry, sharded by the first byte of the key. Disk writes are atomic
+// (temp file + rename) so a crashed or concurrent run can never leave a
+// truncated entry a later run would trust; unreadable or corrupt entries
+// simply read as misses.
+package featcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a concurrency-safe content-addressed store. The zero value is
+// unusable; construct with Open or NewMemory.
+type Cache struct {
+	dir string // "" means memory-only
+
+	mu  sync.RWMutex
+	mem map[string][]byte
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewMemory returns a process-local cache with no disk backing.
+func NewMemory() *Cache {
+	return &Cache{mem: map[string][]byte{}}
+}
+
+// Open returns a cache persisted under dir, creating it if needed. An
+// empty dir yields a memory-only cache.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		return NewMemory(), nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("featcache: %w", err)
+	}
+	return &Cache{dir: dir, mem: map[string][]byte{}}, nil
+}
+
+// Key derives the content address of one analysis result: a SHA-256 over
+// the analysis version and each part, length-prefixed so distinct part
+// boundaries can never collide.
+func Key(version string, parts ...string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d:%s", len(version), version)
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:%s", len(p), p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// path shards entries by the first key byte to keep directories small.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key[2:]+".json")
+}
+
+// Get returns the cached bytes for key, checking memory first and then
+// disk. A disk hit is promoted into memory.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.RLock()
+	data, ok := c.mem[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return data, true
+	}
+	if c.dir != "" {
+		if data, err := os.ReadFile(c.path(key)); err == nil {
+			c.mu.Lock()
+			c.mem[key] = data
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return data, true
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores data under key in memory and, when disk-backed, atomically
+// on disk.
+func (c *Cache) Put(key string, data []byte) error {
+	c.mu.Lock()
+	c.mem[key] = append([]byte(nil), data...)
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("featcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".put-*")
+	if err != nil {
+		return fmt.Errorf("featcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("featcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("featcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("featcache: %w", err)
+	}
+	return nil
+}
+
+// GetJSON decodes the entry for key into v. Corrupt entries read as
+// misses.
+func (c *Cache) GetJSON(key string, v any) bool {
+	data, ok := c.Get(key)
+	if !ok {
+		return false
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return false
+	}
+	return true
+}
+
+// PutJSON stores v as JSON under key.
+func (c *Cache) PutJSON(key string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("featcache: %w", err)
+	}
+	return c.Put(key, data)
+}
+
+// Stats reports lifetime hit and miss counts for this Cache value.
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,141 @@
+package featcache
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestKeyDistinguishesVersionAndParts(t *testing.T) {
+	base := Key("v1", "minic", "int main(void) {}")
+	if base != Key("v1", "minic", "int main(void) {}") {
+		t.Fatal("identical inputs must hash identically")
+	}
+	if base == Key("v2", "minic", "int main(void) {}") {
+		t.Fatal("analysis-version bump must change the key")
+	}
+	if base == Key("v1", "minic", "int main(void) { return 1; }") {
+		t.Fatal("content change must change the key")
+	}
+	if base == Key("v1", "c", "int main(void) {}") {
+		t.Fatal("language change must change the key")
+	}
+	// Length prefixes keep part boundaries unambiguous.
+	if Key("v", "ab", "c") == Key("v", "a", "bc") {
+		t.Fatal("part boundaries must not collide")
+	}
+}
+
+func TestMemoryHitAndMiss(t *testing.T) {
+	c := NewMemory()
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := c.Get("k")
+	if !ok || string(data) != "v" {
+		t.Fatalf("get = %q, %v", data, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestDiskPersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	key := Key("v1", "content")
+	c1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.PutJSON(key, map[string]int{"paths": 7}); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh Cache over the same directory — a later process — hits.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]int
+	if !c2.GetJSON(key, &got) || got["paths"] != 7 {
+		t.Fatalf("disk entry not recovered: %v", got)
+	}
+}
+
+func TestVersionBumpInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := "int f(void) { return 0; }"
+	if err := c.Put(Key("v1", content), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(Key("v2", content)); ok {
+		t.Fatal("version-bumped key must miss")
+	}
+}
+
+func TestCorruptEntryReadsAsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("v1", "x")
+	if err := c.PutJSON(key, 42); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the on-disk entry, then read through a fresh cache so the
+	// memory layer cannot mask it.
+	p := filepath.Join(dir, key[:2], key[2:]+".json")
+	if err := os.WriteFile(p, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v int
+	if c2.GetJSON(key, &v) {
+		t.Fatal("corrupt entry decoded as a hit")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := Key("v1", string(rune('a'+i%4)))
+			for j := 0; j < 20; j++ {
+				_ = c.Put(key, []byte{byte(i)})
+				c.Get(key)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestOpenEmptyDirIsMemoryOnly(t *testing.T) {
+	c, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("memory-only cache lost its entry")
+	}
+}

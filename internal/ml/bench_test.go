@@ -2,6 +2,7 @@ package ml
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -14,6 +15,29 @@ func BenchmarkForestFit(b *testing.B) {
 		if err := rf.Fit(d); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkForestFitParallel times the all-cores fit and reports the
+// speedup over a single sequential (Jobs=1) fit of the same forest.
+func BenchmarkForestFitParallel(b *testing.B) {
+	d := linearDataset(300, stats.NewRNG(1))
+	start := time.Now()
+	seq := &RandomForest{Trees: 25, Seed: 9, Jobs: 1}
+	if err := seq.Fit(d); err != nil {
+		b.Fatal(err)
+	}
+	seqDur := time.Since(start)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf := &RandomForest{Trees: 25, Seed: 9}
+		if err := rf.Fit(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if b.Elapsed() > 0 {
+		b.ReportMetric(seqDur.Seconds()/(b.Elapsed().Seconds()/float64(b.N)), "speedup")
 	}
 }
 

@@ -175,17 +175,19 @@ func TestRandomForestBeatsSingleTreeOnNoise(t *testing.T) {
 
 func TestRandomForestDeterministicWithSeed(t *testing.T) {
 	d := xorDataset(150, stats.NewRNG(8))
-	a := &RandomForest{Trees: 5, Seed: 42}
+	// Same seed at different pool widths — including the sequential
+	// Jobs=1 reference — must yield identical predictions.
+	a := &RandomForest{Trees: 5, Seed: 42, Jobs: 1}
 	b := &RandomForest{Trees: 5, Seed: 42}
-	if err := a.Fit(d); err != nil {
-		t.Fatal(err)
-	}
-	if err := b.Fit(d); err != nil {
-		t.Fatal(err)
+	c := &RandomForest{Trees: 5, Seed: 42, Jobs: 4}
+	for _, rf := range []*RandomForest{a, b, c} {
+		if err := rf.Fit(d); err != nil {
+			t.Fatal(err)
+		}
 	}
 	for _, row := range d.X[:20] {
-		if a.PredictClass(row) != b.PredictClass(row) {
-			t.Fatal("same seed, different predictions")
+		if a.PredictClass(row) != b.PredictClass(row) || a.PredictClass(row) != c.PredictClass(row) {
+			t.Fatal("same seed, different predictions across pool widths")
 		}
 	}
 }

@@ -197,12 +197,21 @@ func (r *CVResult) String() string {
 }
 
 // CrossValidate runs stratified k-fold cross validation, refitting the
-// classifier supplied by mk for every fold.
+// classifier supplied by mk for every fold, with folds fitted concurrently
+// on every core. Equivalent to CrossValidateJobs with jobs = 0.
 func CrossValidate(mk func() Classifier, d *Dataset, k int, rng *stats.RNG) (*CVResult, error) {
+	return CrossValidateJobs(mk, d, k, rng, 0)
+}
+
+// CrossValidateJobs is CrossValidate with an explicit worker-pool bound
+// (jobs <= 0 uses every core). The fold partition is drawn from rng before
+// the fan-out and per-fold metrics pool in fold order afterwards, so the
+// result is identical for any jobs value. mk must be safe to call from
+// multiple goroutines (it is called once per fold).
+func CrossValidateJobs(mk func() Classifier, d *Dataset, k int, rng *stats.RNG, jobs int) (*CVResult, error) {
 	folds := d.Folds(k, rng)
-	res := &CVResult{Folds: k, Pooled: NewConfusionMatrix(d.ClassNames)}
-	used := 0
-	for fi := range folds {
+	evals := make([]*Evaluation, len(folds))
+	err := ParallelFor(len(folds), jobs, func(fi int) error {
 		test := d.Subset(folds[fi])
 		var trainIdx []int
 		for fj := range folds {
@@ -212,13 +221,24 @@ func CrossValidate(mk func() Classifier, d *Dataset, k int, rng *stats.RNG) (*CV
 		}
 		train := d.Subset(trainIdx)
 		if test.N() == 0 || train.N() == 0 {
-			continue
+			return nil
 		}
 		c := mk()
 		if err := c.Fit(train); err != nil {
-			return nil, fmt.Errorf("ml: fold %d: %w", fi, err)
+			return fmt.Errorf("ml: fold %d: %w", fi, err)
 		}
-		ev := Evaluate(c, test)
+		evals[fi] = Evaluate(c, test)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &CVResult{Folds: k, Pooled: NewConfusionMatrix(d.ClassNames)}
+	used := 0
+	for _, ev := range evals {
+		if ev == nil {
+			continue
+		}
 		res.Accuracy += ev.Accuracy
 		res.Precision += ev.Precision
 		res.Recall += ev.Recall

@@ -262,6 +262,11 @@ type RandomForest struct {
 	MaxDepth    int
 	MinLeafSize int
 	Seed        uint64
+	// Jobs bounds the tree-fitting worker pool; <= 0 uses every core. The
+	// fitted forest is bit-identical for any Jobs value because each
+	// tree's RNG and bootstrap sample are drawn sequentially from Seed
+	// before the fan-out.
+	Jobs int
 
 	forest []*DecisionTree
 	k      int
@@ -270,7 +275,10 @@ type RandomForest struct {
 // Name implements Classifier.
 func (rf *RandomForest) Name() string { return "RandomForest" }
 
-// Fit trains the ensemble on bootstrap resamples.
+// Fit trains the ensemble on bootstrap resamples. Trees fit concurrently
+// on a bounded worker pool; determinism is preserved by consuming all
+// seed-derived randomness (per-tree RNG splits and bootstrap indexes) in
+// tree order before any tree starts fitting.
 func (rf *RandomForest) Fit(d *Dataset) error {
 	if !d.IsClassification() || d.N() == 0 {
 		return fmt.Errorf("ml: RandomForest needs a non-empty classification dataset")
@@ -284,20 +292,24 @@ func (rf *RandomForest) Fit(d *Dataset) error {
 	rf.k = d.NumClasses()
 	rng := stats.NewRNG(rf.Seed + 0x5eed)
 	subset := int(math.Sqrt(float64(d.P()))) + 1
-	rf.forest = nil
-	for i := 0; i < rf.Trees; i++ {
-		tr := &DecisionTree{
+	trees := make([]*DecisionTree, rf.Trees)
+	boots := make([]*Dataset, rf.Trees)
+	for i := range trees {
+		trees[i] = &DecisionTree{
 			MaxDepth:      rf.MaxDepth,
 			MinLeafSize:   rf.MinLeafSize,
 			FeatureSubset: subset,
 			Rng:           rng.Split(),
 		}
-		boot := d.Bootstrap(d.N(), rng)
-		if err := tr.Fit(boot); err != nil {
-			return err
-		}
-		rf.forest = append(rf.forest, tr)
+		boots[i] = d.Bootstrap(d.N(), rng)
 	}
+	rf.forest = nil
+	if err := ParallelFor(rf.Trees, rf.Jobs, func(i int) error {
+		return trees[i].Fit(boots[i])
+	}); err != nil {
+		return err
+	}
+	rf.forest = trees
 	return nil
 }
 

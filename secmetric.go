@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/featcache"
 	"repro/internal/metrics"
 	"repro/internal/system"
 )
@@ -54,7 +55,19 @@ const (
 	KindTree       = core.KindTree
 	KindForest     = core.KindForest
 	KindKNN        = core.KindKNN
+	KindBoost      = core.KindBoost
 )
+
+// AnalyzeConfig tunes AnalyzeDirWith / AnalyzeTreeWith.
+type AnalyzeConfig struct {
+	// Jobs bounds the per-file deep-analysis worker pool; <= 0 uses every
+	// core. The extracted vector is identical for any value.
+	Jobs int
+	// CacheDir, when non-empty, persists per-file deep-analysis results
+	// keyed by content hash under this directory, so repeated analyses
+	// (per-commit CI runs, compare old/new) only pay for changed files.
+	CacheDir string
+}
 
 // DefaultCorpus generates the paper-calibrated synthetic CVE corpus:
 // 164 applications (126 C, 20 C++, 6 Python, 12 Java), 5,975
@@ -79,6 +92,12 @@ func Train(c *Corpus, cfg TrainConfig) (*Model, error) {
 // it: line counts, cyclomatic complexity, Halstead measures, smells, attack
 // surface, lint, taint analysis, and symbolic execution.
 func AnalyzeDir(dir string) (FeatureVector, error) {
+	return AnalyzeDirWith(dir, AnalyzeConfig{})
+}
+
+// AnalyzeDirWith is AnalyzeDir with an explicit worker-pool bound and
+// optional persistent feature cache.
+func AnalyzeDirWith(dir string, cfg AnalyzeConfig) (FeatureVector, error) {
 	tree, err := metrics.LoadTree(dir)
 	if err != nil {
 		return nil, fmt.Errorf("secmetric: %w", err)
@@ -86,12 +105,30 @@ func AnalyzeDir(dir string) (FeatureVector, error) {
 	if len(tree.Files) == 0 {
 		return nil, fmt.Errorf("secmetric: no source files under %s", dir)
 	}
-	return core.ExtractFeatures(tree), nil
+	return analyzeTree(tree, cfg)
 }
 
 // AnalyzeTree runs the testbed over an in-memory tree.
 func AnalyzeTree(tree *Tree) FeatureVector {
 	return core.ExtractFeatures(tree)
+}
+
+// AnalyzeTreeWith is AnalyzeTree with an explicit worker-pool bound and
+// optional persistent feature cache.
+func AnalyzeTreeWith(tree *Tree, cfg AnalyzeConfig) (FeatureVector, error) {
+	return analyzeTree(tree, cfg)
+}
+
+func analyzeTree(tree *Tree, cfg AnalyzeConfig) (FeatureVector, error) {
+	ecfg := core.ExtractConfig{Jobs: cfg.Jobs}
+	if cfg.CacheDir != "" {
+		cache, err := featcache.Open(cfg.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("secmetric: %w", err)
+		}
+		ecfg.Cache = cache
+	}
+	return core.ExtractFeaturesWith(tree, ecfg), nil
 }
 
 // SaveModel writes a trained model to path.

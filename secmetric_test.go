@@ -69,6 +69,54 @@ int main(void) {
 	}
 }
 
+func TestFacadeAnalyzeDirWithCache(t *testing.T) {
+	dir := t.TempDir()
+	src := `
+int copy(int dst, int n) {
+	int data = read_input();
+	memmove(dst, data, n);
+	return n;
+}`
+	if err := os.WriteFile(filepath.Join(dir, "io.mc"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := AnalyzeConfig{Jobs: 2, CacheDir: filepath.Join(t.TempDir(), "cache")}
+	cold, err := AnalyzeDirWith(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := AnalyzeDirWith(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range cold {
+		if warm[k] != v {
+			t.Fatalf("cached analysis drifted: %s = %v, want %v", k, warm[k], v)
+		}
+	}
+	// The cache directory holds at least one persisted entry.
+	entries, err := os.ReadDir(cfg.CacheDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cache dir empty (err=%v)", err)
+	}
+}
+
+func TestFacadeAnalyzeTreeWithMatchesAnalyzeTree(t *testing.T) {
+	spec := langgen.DefaultSpec()
+	spec.Seed = 99
+	tree := langgen.Generate(spec)
+	plain := AnalyzeTree(tree)
+	cfgd, err := AnalyzeTreeWith(tree, AnalyzeConfig{Jobs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range plain {
+		if cfgd[k] != v {
+			t.Fatalf("AnalyzeTreeWith drifted on %s: %v vs %v", k, cfgd[k], v)
+		}
+	}
+}
+
 func TestFacadeAnalyzeDirEmpty(t *testing.T) {
 	if _, err := AnalyzeDir(t.TempDir()); err == nil {
 		t.Fatal("empty dir analyzed")

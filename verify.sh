@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 verification: build, vet, and the full test suite under the race
+# detector, so every parallel path (training fan-out, CV folds, forest
+# trees, the extraction worker pool, and the feature cache) is race-checked
+# on every run.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "verify: OK"
