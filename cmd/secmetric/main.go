@@ -3,23 +3,31 @@
 //
 // Usage:
 //
-//	secmetric analyze  <dir>                      print the code-property vector
+//	secmetric analyze  [-diag] <dir>              print the code-property vector
 //	secmetric score    [-model m.json] [-json] <dir>  print the security report
 //	secmetric compare  [-model m.json] <old> <new>  print the risk delta
 //	secmetric focus    [-model m.json] [-budget N] <dir>  apportion deep analysis
 //	secmetric hotspots [-top N] <dir>             rank risky functions
 //	secmetric image    [-model m.json] <manifest.json>  whole-image evaluation
 //
+// Every analyzing subcommand accepts -jobs N (worker-pool bound), -cache dir
+// (incremental feature cache), and -file-timeout d (per-file deep-analysis
+// deadline; files that exceed it degrade to base metrics). Interrupting the
+// process (Ctrl-C) cancels the analysis pool cleanly.
+//
 // Without -model, a model is trained on the built-in corpus first (slower,
 // but zero-setup).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	secmetric "repro"
 	"repro/internal/metrics"
@@ -27,44 +35,48 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "secmetric:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) < 1 {
 		return usage()
 	}
 	switch args[0] {
 	case "analyze":
-		return cmdAnalyze(args[1:])
+		return cmdAnalyze(ctx, args[1:])
 	case "score":
-		return cmdScore(args[1:])
+		return cmdScore(ctx, args[1:])
 	case "compare":
-		return cmdCompare(args[1:])
+		return cmdCompare(ctx, args[1:])
 	case "focus":
 		return cmdFocus(args[1:])
 	case "hotspots":
 		return cmdHotspots(args[1:])
 	case "image":
-		return cmdImage(args[1:])
+		return cmdImage(ctx, args[1:])
 	default:
 		return usage()
 	}
 }
 
 func usage() error {
-	return fmt.Errorf("usage: secmetric {analyze <dir> | score [-model m.json] [-json] <dir> | compare [-model m.json] <old> <new> | focus [-model m.json] [-budget N] <dir> | hotspots [-top N] <dir> | image [-model m.json] <manifest.json>} [-jobs N] [-cache dir]")
+	return fmt.Errorf("usage: secmetric {analyze [-diag] <dir> | score [-model m.json] [-json] <dir> | compare [-model m.json] <old> <new> | focus [-model m.json] [-budget N] <dir> | hotspots [-top N] <dir> | image [-model m.json] <manifest.json>} [-jobs N] [-cache dir] [-file-timeout d]")
 }
 
-// analyzeOpts registers the shared extraction flags (-jobs, -cache) on a
-// subcommand's flag set and returns the config they populate.
+// analyzeOpts registers the shared extraction flags (-jobs, -cache,
+// -file-timeout) on a subcommand's flag set and returns the config they
+// populate.
 func analyzeOpts(fs *flag.FlagSet) *secmetric.AnalyzeConfig {
 	cfg := &secmetric.AnalyzeConfig{}
 	fs.IntVar(&cfg.Jobs, "jobs", 0, "deep-analysis worker pool size (0 = all cores)")
 	fs.StringVar(&cfg.CacheDir, "cache", "", "persistent feature-cache directory (analyses skip unchanged files)")
+	fs.DurationVar(&cfg.FileTimeout, "file-timeout", 0, "per-file deep-analysis deadline (0 = unbounded); files that exceed it degrade to base metrics")
 	return cfg
 }
 
@@ -108,7 +120,7 @@ type imageManifest struct {
 	} `json:"components"`
 }
 
-func cmdImage(args []string) error {
+func cmdImage(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("image", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "trained model file (from trainctl)")
 	acfg := analyzeOpts(fs)
@@ -135,7 +147,7 @@ func cmdImage(args []string) error {
 	}
 	img := &secmetric.SystemImage{Name: man.Name}
 	for _, c := range man.Components {
-		fv, err := secmetric.AnalyzeDirWith(c.Dir, *acfg)
+		fv, err := secmetric.AnalyzeDirWith(ctx, c.Dir, *acfg)
 		if err != nil {
 			return fmt.Errorf("component %s: %w", c.Name, err)
 		}
@@ -198,8 +210,9 @@ func cmdFocus(args []string) error {
 	return nil
 }
 
-func cmdAnalyze(args []string) error {
+func cmdAnalyze(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	diag := fs.Bool("diag", false, "print per-file analysis diagnostics after the vector")
 	acfg := analyzeOpts(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -207,7 +220,7 @@ func cmdAnalyze(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("analyze needs exactly one directory")
 	}
-	fv, err := secmetric.AnalyzeDirWith(fs.Arg(0), *acfg)
+	fv, d, err := secmetric.AnalyzeDirWithDiagnostics(ctx, fs.Arg(0), *acfg)
 	if err != nil {
 		return err
 	}
@@ -216,6 +229,9 @@ func cmdAnalyze(args []string) error {
 	fmt.Printf("Code properties of %s:\n", fs.Arg(0))
 	for _, n := range names {
 		fmt.Printf("  %-22s %12.3f\n", n, fv[n])
+	}
+	if *diag {
+		fmt.Print(d)
 	}
 	return nil
 }
@@ -234,7 +250,7 @@ func loadOrTrain(path string) (*secmetric.Model, error) {
 	return secmetric.TrainDefault(c)
 }
 
-func cmdScore(args []string) error {
+func cmdScore(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("score", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "trained model file (from trainctl)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON (for CI integration)")
@@ -245,7 +261,7 @@ func cmdScore(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("score needs exactly one directory")
 	}
-	fv, err := secmetric.AnalyzeDirWith(fs.Arg(0), *acfg)
+	fv, err := secmetric.AnalyzeDirWith(ctx, fs.Arg(0), *acfg)
 	if err != nil {
 		return err
 	}
@@ -263,7 +279,7 @@ func cmdScore(args []string) error {
 	return nil
 }
 
-func cmdCompare(args []string) error {
+func cmdCompare(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "trained model file (from trainctl)")
 	acfg := analyzeOpts(fs)
@@ -275,11 +291,11 @@ func cmdCompare(args []string) error {
 	}
 	// With -cache, the two versions share one cache, so only the files
 	// that changed between them are deep-analyzed twice.
-	oldFV, err := secmetric.AnalyzeDirWith(fs.Arg(0), *acfg)
+	oldFV, err := secmetric.AnalyzeDirWith(ctx, fs.Arg(0), *acfg)
 	if err != nil {
 		return err
 	}
-	newFV, err := secmetric.AnalyzeDirWith(fs.Arg(1), *acfg)
+	newFV, err := secmetric.AnalyzeDirWith(ctx, fs.Arg(1), *acfg)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -65,14 +66,29 @@ int main(void) {
 
 func TestCLIAnalyze(t *testing.T) {
 	dir := writeSrc(t, "main.c", cliSrc)
-	if err := run([]string{"analyze", dir}); err != nil {
+	if err := run(context.Background(), []string{"analyze", dir}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCLIAnalyzeDiag(t *testing.T) {
+	dir := writeSrc(t, "main.c", cliSrc)
+	// A second, unparseable file gives the diagnostics a parse-skip row.
+	if err := os.WriteFile(filepath.Join(dir, "bad.c"), []byte("int main( { nope\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"analyze", "-diag", "-file-timeout", "1m", "-jobs", "2", dir}
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"analyze", "-file-timeout", "bogus", dir}); err == nil {
+		t.Fatal("malformed -file-timeout accepted")
 	}
 }
 
 func TestCLIScore(t *testing.T) {
 	dir := writeSrc(t, "main.c", cliSrc)
-	if err := run([]string{"score", "-model", sharedModel(t), dir}); err != nil {
+	if err := run(context.Background(), []string{"score", "-model", sharedModel(t), dir}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -80,14 +96,14 @@ func TestCLIScore(t *testing.T) {
 func TestCLICompare(t *testing.T) {
 	old := writeSrc(t, "main.c", cliSrc)
 	clean := writeSrc(t, "main.c", "int main(void) { return 0; }\n")
-	if err := run([]string{"compare", "-model", sharedModel(t), old, clean}); err != nil {
+	if err := run(context.Background(), []string{"compare", "-model", sharedModel(t), old, clean}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCLIFocus(t *testing.T) {
 	dir := writeSrc(t, "main.c", cliSrc)
-	if err := run([]string{"focus", "-model", sharedModel(t), "-budget", "7", dir}); err != nil {
+	if err := run(context.Background(), []string{"focus", "-model", sharedModel(t), "-budget", "7", dir}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -103,7 +119,7 @@ func TestCLIErrors(t *testing.T) {
 		{"focus"},               // missing dir
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
 	}
@@ -115,24 +131,24 @@ func TestCLIBadModelFile(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("{not a model"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"score", "-model", bad, dir}); err == nil {
+	if err := run(context.Background(), []string{"score", "-model", bad, dir}); err == nil {
 		t.Fatal("corrupt model accepted")
 	}
 }
 
 func TestCLIHotspots(t *testing.T) {
 	dir := writeSrc(t, "main.c", cliSrc)
-	if err := run([]string{"hotspots", "-top", "3", dir}); err != nil {
+	if err := run(context.Background(), []string{"hotspots", "-top", "3", dir}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"hotspots", t.TempDir()}); err == nil {
+	if err := run(context.Background(), []string{"hotspots", t.TempDir()}); err == nil {
 		t.Fatal("empty dir produced hotspots")
 	}
 }
 
 func TestCLIScoreJSON(t *testing.T) {
 	dir := writeSrc(t, "main.c", cliSrc)
-	if err := run([]string{"score", "-model", sharedModel(t), "-json", dir}); err != nil {
+	if err := run(context.Background(), []string{"score", "-model", sharedModel(t), "-json", dir}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -151,7 +167,7 @@ func TestCLIImage(t *testing.T) {
 	if err := os.WriteFile(manifest, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"image", "-model", sharedModel(t), manifest}); err != nil {
+	if err := run(context.Background(), []string{"image", "-model", sharedModel(t), manifest}); err != nil {
 		t.Fatal(err)
 	}
 	// Bad manifest cases.
@@ -159,7 +175,7 @@ func TestCLIImage(t *testing.T) {
 	if err := os.WriteFile(bad, []byte(`{"name":"x","components":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"image", "-model", sharedModel(t), bad}); err == nil {
+	if err := run(context.Background(), []string{"image", "-model", sharedModel(t), bad}); err == nil {
 		t.Fatal("componentless manifest accepted")
 	}
 }

@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	secmetric "repro"
 	"repro/internal/core"
@@ -18,13 +21,17 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	// Ctrl-C / SIGTERM cancels the training pools cleanly instead of
+	// killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "trainctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	kind := flag.String("kind", string(core.KindForest),
 		"classifier kind: zeror|naivebayes|logistic|tree|forest|knn|boost")
 	folds := flag.Int("folds", 10, "cross-validation folds")
@@ -76,7 +83,7 @@ func run() error {
 		Jobs:        *jobs,
 	}
 	fmt.Printf("training %s with %d-fold cross validation...\n", *kind, *folds)
-	model, err := secmetric.Train(c, cfg)
+	model, err := secmetric.TrainContext(ctx, c, cfg)
 	if err != nil {
 		return err
 	}

@@ -6,10 +6,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	secmetric "repro"
 )
@@ -87,15 +89,35 @@ func main() {
 
 	// Both versions share one content-addressed feature cache, so only the
 	// files the change actually touched are deep-analyzed twice — the
-	// incremental re-evaluation §5.3 asks for on every commit.
-	cfg := secmetric.AnalyzeConfig{CacheDir: filepath.Join(workdir, "featcache")}
-	oldFV, err := secmetric.AnalyzeDirWith(v1, cfg)
+	// incremental re-evaluation §5.3 asks for on every commit. The
+	// per-file timeout keeps one pathological file from stalling the
+	// gate: such a file degrades to base metrics and is named in the
+	// diagnostics instead of hanging CI.
+	ctx := context.Background()
+	cfg := secmetric.AnalyzeConfig{
+		CacheDir:    filepath.Join(workdir, "featcache"),
+		FileTimeout: 30 * time.Second,
+	}
+	oldFV, oldDiag, err := secmetric.AnalyzeDirWithDiagnostics(ctx, v1, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	newFV, err := secmetric.AnalyzeDirWith(v2, cfg)
+	newFV, newDiag, err := secmetric.AnalyzeDirWithDiagnostics(ctx, v2, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	for _, d := range []struct {
+		name string
+		diag *secmetric.AnalysisDiagnostics
+	}{{"v1", oldDiag}, {"v2", newDiag}} {
+		fmt.Printf("[%s] %d file(s), cache %d hit(s)/%d miss(es)\n",
+			d.name, len(d.diag.Files), d.diag.CacheHits, d.diag.CacheMisses)
+		// A degraded file means the risk delta was computed from partial
+		// evidence — CI should see that in the log, not guess.
+		for _, f := range d.diag.Degraded() {
+			fmt.Printf("[%s] WARNING: %s degraded to base metrics (%s: %s)\n",
+				d.name, f.Path, f.Status, f.Detail)
+		}
 	}
 
 	cmp := model.Compare("v1", oldFV, "v2", newFV)

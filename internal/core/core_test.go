@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -110,7 +111,7 @@ func TestTrainHypothesisBeatsBaseline(t *testing.T) {
 func TestTrainFullModel(t *testing.T) {
 	tb := NewTestbed(getCorpus(t))
 	cfg := TrainConfig{Kind: KindLogistic, Folds: 5, Seed: 9}
-	m, err := Train(tb, cfg)
+	m, err := Train(context.Background(), tb, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestFeatureSelectionKeepsAccuracy(t *testing.T) {
 
 func TestScoreReport(t *testing.T) {
 	tb := NewTestbed(getCorpus(t))
-	m, err := Train(tb, TrainConfig{Kind: KindLogistic, Folds: 5, Seed: 1})
+	m, err := Train(context.Background(), tb, TrainConfig{Kind: KindLogistic, Folds: 5, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestScoreReport(t *testing.T) {
 
 func TestCompareVersions(t *testing.T) {
 	tb := NewTestbed(getCorpus(t))
-	m, err := Train(tb, TrainConfig{Kind: KindLogistic, Folds: 5, Seed: 2})
+	m, err := Train(context.Background(), tb, TrainConfig{Kind: KindLogistic, Folds: 5, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestStatsFromRecords(t *testing.T) {
 
 func TestPredictionBandOrdering(t *testing.T) {
 	tb := NewTestbed(getCorpus(t))
-	m, err := Train(tb, TrainConfig{Kind: KindLogistic, Folds: 3, Seed: 31})
+	m, err := Train(context.Background(), tb, TrainConfig{Kind: KindLogistic, Folds: 3, Seed: 31})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +297,9 @@ func TestPredictionBandOrdering(t *testing.T) {
 			t.Fatalf("%s band out of order: %v %v %v", a.App.Name,
 				rep.ExpectedVulnsLo, rep.ExpectedVulns, rep.ExpectedVulnsHi)
 		}
-		if rep.ExpectedVulnsLo <= 0 {
+		// log10(1+x) targets invert to 10^x - 1, so a very safe app's
+		// lower band legitimately touches zero.
+		if rep.ExpectedVulnsLo < 0 {
 			t.Fatalf("%s band lower bound = %v", a.App.Name, rep.ExpectedVulnsLo)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func focusModel(t *testing.T) *Model {
 	t.Helper()
-	m, err := Train(NewTestbed(getCorpus(t)), TrainConfig{Kind: KindLogistic, Folds: 3, Seed: 8})
+	m, err := Train(context.Background(), NewTestbed(getCorpus(t)), TrainConfig{Kind: KindLogistic, Folds: 3, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

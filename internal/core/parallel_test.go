@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestTrainParallelByteIdenticalModel(t *testing.T) {
 	c := getCorpus(t)
 	train := func(jobs int) []byte {
 		cfg := TrainConfig{Kind: KindForest, Folds: 3, Seed: 99, Jobs: jobs}
-		m, err := Train(NewTestbed(c), cfg)
+		m, err := Train(context.Background(), NewTestbed(c), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -37,7 +38,7 @@ func TestTrainParallelByteIdenticalModel(t *testing.T) {
 
 func TestTrainRejectsInvalidKindWithoutPanic(t *testing.T) {
 	c := getCorpus(t)
-	_, err := Train(NewTestbed(c), TrainConfig{Kind: ModelKind("bogus"), Folds: 2, Seed: 1})
+	_, err := Train(context.Background(), NewTestbed(c), TrainConfig{Kind: ModelKind("bogus"), Folds: 2, Seed: 1})
 	if err == nil || !strings.Contains(err.Error(), "unknown model kind") {
 		t.Fatalf("err = %v, want unknown-kind error", err)
 	}
@@ -58,7 +59,10 @@ func TestExtractFeaturesWithMatchesDefault(t *testing.T) {
 	tree := langgen.Generate(spec)
 	base := ExtractFeatures(tree)
 	for _, jobs := range []int{1, 4} {
-		got := ExtractFeaturesWith(tree, ExtractConfig{Jobs: jobs})
+		got, err := ExtractFeaturesWith(context.Background(), tree, ExtractConfig{Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, n := range metrics.FeatureNames {
 			if got[n] != base[n] {
 				t.Fatalf("jobs=%d: feature %s = %v, want %v", jobs, n, got[n], base[n])
@@ -77,13 +81,19 @@ func TestExtractFeaturesCacheHitMissAndInvalidation(t *testing.T) {
 	}
 	cfg := ExtractConfig{Cache: cache}
 
-	cold := ExtractFeaturesWith(tree, cfg)
+	cold, err := ExtractFeaturesWith(context.Background(), tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	_, coldMisses := cache.Stats()
 	if coldMisses == 0 {
 		t.Fatal("cold run recorded no misses")
 	}
 
-	warm := ExtractFeaturesWith(tree, cfg)
+	warm, err := ExtractFeaturesWith(context.Background(), tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hits, misses := cache.Stats()
 	if misses != coldMisses {
 		t.Fatalf("warm run re-analyzed: misses %d -> %d", coldMisses, misses)
@@ -100,7 +110,9 @@ func TestExtractFeaturesCacheHitMissAndInvalidation(t *testing.T) {
 	// Changing one file's bytes must re-analyze exactly that file.
 	changed := &metrics.Tree{Name: tree.Name, Files: append([]metrics.File(nil), tree.Files...)}
 	changed.Files[0].Content += "\nint added(void) { return 1; }\n"
-	ExtractFeaturesWith(changed, cfg)
+	if _, err := ExtractFeaturesWith(context.Background(), changed, cfg); err != nil {
+		t.Fatal(err)
+	}
 	_, afterChange := cache.Stats()
 	if afterChange != coldMisses+1 {
 		t.Fatalf("content change caused %d new misses, want 1", afterChange-coldMisses)
@@ -124,14 +136,20 @@ func TestExtractFeaturesCachePersistsAcrossCaches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first := ExtractFeaturesWith(tree, ExtractConfig{Cache: c1})
+	first, err := ExtractFeaturesWith(context.Background(), tree, ExtractConfig{Cache: c1})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// A second process over the same directory starts warm.
 	c2, err := featcache.Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second := ExtractFeaturesWith(tree, ExtractConfig{Cache: c2})
+	second, err := ExtractFeaturesWith(context.Background(), tree, ExtractConfig{Cache: c2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	hits, misses := c2.Stats()
 	if misses != 0 || hits == 0 {
 		t.Fatalf("second cache: %d hits, %d misses; want all hits", hits, misses)

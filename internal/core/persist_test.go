@@ -2,13 +2,14 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 )
 
 func TestModelSaveLoadRoundTrip(t *testing.T) {
 	tb := NewTestbed(getCorpus(t))
-	m, err := Train(tb, TrainConfig{Kind: KindForest, Folds: 3, Seed: 4})
+	m, err := Train(context.Background(), tb, TrainConfig{Kind: KindForest, Folds: 3, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

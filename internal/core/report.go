@@ -70,11 +70,13 @@ func (m *Model) Score(name string, fv metrics.FeatureVector) *Report {
 	}
 	if m.CountModel != nil {
 		pred := m.CountModel.Predict(row)
-		rep.ExpectedVulns = math.Pow(10, pred)
+		// RegressionDataset trains on log10(1+count), so the inverse is
+		// 10^x - 1, clamped at zero (counts are never negative).
+		rep.ExpectedVulns = math.Max(0, math.Pow(10, pred)-1)
 		// +-1.645 sigma in log space covers ~90% under normal residuals.
 		band := 1.645 * m.CountResidualStd
-		rep.ExpectedVulnsLo = math.Pow(10, pred-band)
-		rep.ExpectedVulnsHi = math.Pow(10, pred+band)
+		rep.ExpectedVulnsLo = math.Max(0, math.Pow(10, pred-band)-1)
+		rep.ExpectedVulnsHi = math.Max(0, math.Pow(10, pred+band)-1)
 	}
 	rep.Recommendations = recommend(rep)
 	return rep

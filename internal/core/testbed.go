@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/callgraph"
 	"repro/internal/corpus"
@@ -142,30 +144,37 @@ func (tb *Testbed) FitImputation() {
 }
 
 // DatasetFor builds the classification dataset of one hypothesis: one row
-// per corpus application, transformed features, ground-truth label.
+// per corpus application, transformed features, ground-truth label. A
+// corpus whose database is missing an application's records is corrupted,
+// and fails loudly here rather than silently labeling the app negative
+// (a poisoned label would degrade every model trained on the corpus).
 func (tb *Testbed) DatasetFor(h Hypothesis) (*ml.Dataset, error) {
 	if h.Label == nil {
 		// HypManyVulns binds its threshold to the corpus median.
 		median := tb.medianVulnCount()
-		return tb.datasetWith(func(a corpus.AppProfile) bool {
-			return float64(a.VulnCount) > median
+		return tb.datasetWith(func(a corpus.AppProfile) (bool, error) {
+			return float64(a.VulnCount) > median, nil
 		})
 	}
-	return tb.datasetWith(func(a corpus.AppProfile) bool {
+	return tb.datasetWith(func(a corpus.AppProfile) (bool, error) {
 		st, err := tb.Corpus.DB.StatsFor(a.App.Name)
 		if err != nil {
-			return false
+			return false, fmt.Errorf("core: corrupted corpus: %s has a profile but no CVE records: %w", a.App.Name, err)
 		}
-		return h.Label(st)
+		return h.Label(st), nil
 	})
 }
 
-func (tb *Testbed) datasetWith(label func(corpus.AppProfile) bool) (*ml.Dataset, error) {
+func (tb *Testbed) datasetWith(label func(corpus.AppProfile) (bool, error)) (*ml.Dataset, error) {
 	var X [][]float64
 	var Y []float64
 	for _, a := range tb.Corpus.Apps {
 		X = append(X, tb.Transform(a.Features))
-		if label(a) {
+		yes, err := label(a)
+		if err != nil {
+			return nil, err
+		}
+		if yes {
 			Y = append(Y, 1)
 		} else {
 			Y = append(Y, 0)
@@ -183,13 +192,16 @@ func (tb *Testbed) medianVulnCount() float64 {
 }
 
 // RegressionDataset builds the vulnerability-count regression dataset with
-// log10(count) targets.
+// log10(1+count) targets — the same convention the transformer applies to
+// volume-like features. The +1 keeps a zero-vulnerability application (legal
+// in imported corpora) at target 0 instead of -Inf; Model.Score inverts
+// with 10^x - 1.
 func (tb *Testbed) RegressionDataset() (*ml.Dataset, error) {
 	var X [][]float64
 	var Y []float64
 	for _, a := range tb.Corpus.Apps {
 		X = append(X, tb.Transform(a.Features))
-		Y = append(Y, math.Log10(float64(a.VulnCount)))
+		Y = append(Y, math.Log10(1+float64(a.VulnCount)))
 	}
 	return ml.NewDataset(append([]string(nil), metrics.FeatureNames...), nil, X, Y)
 }
@@ -234,6 +246,12 @@ type ExtractConfig struct {
 	// Cache, when non-nil, memoizes per-file deep-analysis results keyed
 	// by content hash, so only files whose bytes changed are re-analyzed.
 	Cache *featcache.Cache
+	// FileTimeout bounds one file's deep analysis; <= 0 disables the
+	// bound. A file that exceeds it degrades to base metrics only (zero
+	// enrichment) with a StatusTimeout diagnostic. Timed-out results are
+	// never written to the cache, so raising the timeout later re-runs
+	// the analysis.
+	FileTimeout time.Duration
 }
 
 // ExtractFeatures runs the full static-analysis testbed over a source tree:
@@ -242,19 +260,45 @@ type ExtractConfig struct {
 // sampled dynamic traces) for files that parse as MiniC. The per-file deep
 // analyses are independent, so they run on a bounded worker pool.
 func ExtractFeatures(tree *metrics.Tree) metrics.FeatureVector {
-	return ExtractFeaturesWith(tree, ExtractConfig{})
+	fv, _ := ExtractFeaturesWith(context.Background(), tree, ExtractConfig{})
+	return fv
 }
 
-// ExtractFeaturesWith is ExtractFeatures with an explicit pool bound and
-// optional content-addressed cache. The aggregation is order-independent
-// (sums and maxes), so the result is identical for any Jobs value.
-func ExtractFeaturesWith(tree *metrics.Tree, cfg ExtractConfig) metrics.FeatureVector {
+// ExtractFeaturesWith is ExtractFeatures with cancellation, an explicit
+// pool bound, an optional per-file deadline, and an optional
+// content-addressed cache. The aggregation is order-independent (sums and
+// maxes), so the result is identical for any Jobs value. The only error is
+// ctx's, when the run is canceled mid-pool.
+func ExtractFeaturesWith(ctx context.Context, tree *metrics.Tree, cfg ExtractConfig) (metrics.FeatureVector, error) {
+	fv, _, err := ExtractFeaturesDiagnostics(ctx, tree, cfg)
+	return fv, err
+}
+
+// ExtractFeaturesDiagnostics is ExtractFeaturesWith plus the per-file
+// account of what happened: every file's status (ok / parse-skip /
+// cache-hit / timeout / panic-contained) in tree order and the run's
+// feature-cache traffic. This is the graceful-degradation contract: a
+// panicking or runaway deep analysis costs one file's enrichment, never
+// the process, and the loss is recorded rather than silent.
+func ExtractFeaturesDiagnostics(ctx context.Context, tree *metrics.Tree, cfg ExtractConfig) (metrics.FeatureVector, *AnalysisDiagnostics, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	fv := metrics.Extract(tree)
 
 	rep := lint.Check(tree)
 	fv[metrics.FeatLintWarnings] = float64(rep.Total())
 
+	var hits0, misses0 uint64
+	if cfg.Cache != nil {
+		hits0, misses0 = cfg.Cache.Stats()
+	}
+
 	enriched := make([]fileEnrichment, len(tree.Files))
+	diag := &AnalysisDiagnostics{Files: make([]FileDiagnostic, len(tree.Files))}
 	workers := ml.EffectiveJobs(cfg.Jobs, len(tree.Files))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -263,15 +307,31 @@ func ExtractFeaturesWith(tree *metrics.Tree, cfg ExtractConfig) metrics.FeatureV
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				enriched[i] = enrichFileCached(tree.Files[i], cfg.Cache)
+				if ctx.Err() != nil {
+					// Canceled: drain the queue without analyzing; the
+					// run's output is discarded below.
+					continue
+				}
+				f := tree.Files[i]
+				enr, status, detail := enrichFileCached(ctx, f, cfg)
+				enriched[i] = enr
+				diag.Files[i] = FileDiagnostic{Path: f.Path, Status: status, Detail: detail}
 			}
 		}()
 	}
+dispatch:
 	for i := range tree.Files {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	var agg fileEnrichment
 	for _, r := range enriched {
@@ -296,44 +356,116 @@ func ExtractFeaturesWith(tree *metrics.Tree, cfg ExtractConfig) metrics.FeatureV
 		fv[metrics.FeatDynBranchCov] = agg.CovSum / float64(agg.CovRuns)
 	}
 	fv[metrics.FeatDynUniquePaths] = math.Log10(1 + float64(agg.DynPaths))
-	return fv
+
+	if cfg.Cache != nil {
+		hits, misses := cfg.Cache.Stats()
+		diag.CacheHits, diag.CacheMisses = hits-hits0, misses-misses0
+	}
+	return fv, diag, nil
 }
 
 // enrichFileCached consults the cache before running the deep analyses.
 // The key covers the analysis version, the file language, and the file
 // bytes — the complete input of enrichFile — so a hit is always safe to
-// reuse and any content change is a miss.
-func enrichFileCached(f metrics.File, cache *featcache.Cache) fileEnrichment {
-	if cache == nil {
-		return enrichFile(f)
+// reuse and any content change is a miss. Only completed analyses (ok or
+// parse-skip, both deterministic in the file bytes) are written back: a
+// timed-out or panic-contained zero is a degraded result, and caching it
+// would make the degradation permanent even after the timeout is raised
+// or the analyzer bug fixed.
+func enrichFileCached(ctx context.Context, f metrics.File, cfg ExtractConfig) (fileEnrichment, FileStatus, string) {
+	if cfg.Cache == nil {
+		return enrichFileBounded(ctx, f, cfg.FileTimeout)
 	}
 	key := featcache.Key(AnalysisVersion, f.Language.String(), f.Content)
 	var out fileEnrichment
-	if cache.GetJSON(key, &out) {
-		return out
+	if cfg.Cache.GetJSON(key, &out) {
+		return out, StatusCacheHit, ""
 	}
-	out = enrichFile(f)
-	// A failed write only costs a future re-analysis; the result is
-	// still correct, so cache errors are deliberately not fatal.
-	_ = cache.PutJSON(key, out)
-	return out
+	out, status, detail := enrichFileBounded(ctx, f, cfg.FileTimeout)
+	if status == StatusOK || status == StatusParseSkip {
+		// A failed write only costs a future re-analysis; the result is
+		// still correct, so cache errors are deliberately not fatal.
+		_ = cfg.Cache.PutJSON(key, out)
+	}
+	return out, status, detail
+}
+
+// enrichFileBounded applies the per-file deadline. The analysis itself is
+// not preemptible, so a timed-out analysis keeps running on its goroutine
+// until it finishes on its own; its result is discarded and the file
+// degrades to a zero enrichment immediately. Without a deadline the
+// analysis runs inline on the worker.
+func enrichFileBounded(ctx context.Context, f metrics.File, timeout time.Duration) (fileEnrichment, FileStatus, string) {
+	if timeout <= 0 {
+		return enrichFileSafe(f)
+	}
+	type result struct {
+		enr    fileEnrichment
+		status FileStatus
+		detail string
+	}
+	ch := make(chan result, 1) // buffered: the late finisher must not leak forever
+	go func() {
+		enr, status, detail := enrichFileSafe(f)
+		ch <- result{enr, status, detail}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.enr, r.status, r.detail
+	case <-timer.C:
+		return fileEnrichment{}, StatusTimeout, fmt.Sprintf("deep analysis exceeded %v; degraded to base metrics", timeout)
+	case <-ctx.Done():
+		// The whole run is being canceled; the caller discards this
+		// result, so the status only needs to be non-ok.
+		return fileEnrichment{}, StatusTimeout, ctx.Err().Error()
+	}
+}
+
+// enrichTestHook, when non-nil, runs at the top of every file's deep
+// analysis inside the recover() boundary. It exists so tests can inject
+// panics and stalls into the pipeline without a pathological input file;
+// production code never sets it.
+var enrichTestHook func(f metrics.File)
+
+// enrichFileSafe is the panic boundary of the pipeline: a bug anywhere in
+// the deep analyses (symexec, dataflow, callgraph, interp, stats
+// preconditions) is contained to this file, which degrades to a zero
+// enrichment with a StatusPanic diagnostic instead of killing the process.
+// The degradation is deterministic — the same file panics the same way at
+// any pool width — so the determinism contract of ExtractFeaturesWith
+// survives containment.
+func enrichFileSafe(f metrics.File) (enr fileEnrichment, status FileStatus, detail string) {
+	defer func() {
+		if r := recover(); r != nil {
+			enr = fileEnrichment{}
+			status = StatusPanic
+			detail = fmt.Sprintf("deep analysis panicked: %v", r)
+		}
+	}()
+	if enrichTestHook != nil {
+		enrichTestHook(f)
+	}
+	return enrichFile(f)
 }
 
 // enrichFile runs the deep analyses over one file; files that do not parse
-// as MiniC contribute nothing (real C rarely parses as MiniC; the token
-// metrics already cover it).
-func enrichFile(f metrics.File) fileEnrichment {
+// as MiniC contribute nothing beyond the base metrics (real C rarely parses
+// as MiniC; the token metrics already cover it), and report parse-skip so
+// the omission is visible in the diagnostics.
+func enrichFile(f metrics.File) (fileEnrichment, FileStatus, string) {
 	var out fileEnrichment
 	if f.Language != lang.MiniC && f.Language != lang.C {
-		return out
+		return out, StatusOK, ""
 	}
 	prog, err := minic.Parse(f.Content)
 	if err != nil {
-		return out
+		return out, StatusParseSkip, fmt.Sprintf("not parsed as MiniC: %v", err)
 	}
 	lowered, err := ir.Lower(prog)
 	if err != nil {
-		return out
+		return out, StatusParseSkip, fmt.Sprintf("IR lowering failed: %v", err)
 	}
 	out.TaintedSinks = dataflow.CountTaintedSinks(lowered)
 	cfg := symexec.DefaultConfig()
@@ -352,5 +484,5 @@ func enrichFile(f metrics.File) fileEnrichment {
 		out.CovRuns++
 		out.DynPaths += prof.UniquePaths
 	}
-	return out
+	return out, StatusOK, ""
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/metrics"
@@ -105,8 +106,12 @@ type Model struct {
 // hypotheses plus HypManyVulns. Hypotheses train concurrently on a pool
 // bounded by cfg.Jobs; the per-hypothesis RNGs are split from the seed in
 // hypothesis order before the fan-out, so the model is identical to a
-// sequential (Jobs = 1) run.
-func Train(tb *Testbed, cfg TrainConfig) (*Model, error) {
+// sequential (Jobs = 1) run. Canceling ctx drains the pool cleanly and
+// returns ctx's error (first-error-wins, matching ml.ParallelForCtx).
+func Train(ctx context.Context, tb *Testbed, cfg TrainConfig) (*Model, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if _, err := NewClassifier(cfg.Kind); err != nil {
 		return nil, err
 	}
@@ -119,7 +124,7 @@ func Train(tb *Testbed, cfg TrainConfig) (*Model, error) {
 		rngs[i] = rng.Split()
 	}
 	hms := make([]*HypothesisModel, len(hyps))
-	if err := ml.ParallelFor(len(hyps), cfg.Jobs, func(i int) error {
+	if err := ml.ParallelForCtx(ctx, len(hyps), cfg.Jobs, func(i int) error {
 		hm, err := TrainHypothesis(tb, hyps[i], cfg, rngs[i])
 		if err != nil {
 			return fmt.Errorf("core: training %s: %w", hyps[i].Name, err)
@@ -131,6 +136,9 @@ func Train(tb *Testbed, cfg TrainConfig) (*Model, error) {
 	}
 	m.Hypotheses = hms
 	// Count regression.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	reg, err := tb.RegressionDataset()
 	if err != nil {
 		return nil, err

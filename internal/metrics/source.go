@@ -43,7 +43,8 @@ func NewTree(name string, files ...File) *Tree {
 }
 
 // LoadTree walks dir and loads every file with a recognized source
-// extension. Hidden directories (dot-prefixed) are skipped.
+// extension. Hidden entries (dot-prefixed directories and files alike) are
+// skipped.
 func LoadTree(dir string) (*Tree, error) {
 	t := &Tree{Name: filepath.Base(dir)}
 	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
@@ -54,6 +55,9 @@ func LoadTree(dir string) (*Tree, error) {
 			if strings.HasPrefix(d.Name(), ".") && path != dir {
 				return filepath.SkipDir
 			}
+			return nil
+		}
+		if strings.HasPrefix(d.Name(), ".") {
 			return nil
 		}
 		l := lang.FromPath(path)

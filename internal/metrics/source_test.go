@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadTreeSkipsHiddenEntries is the satellite fix for dot-files: editor
+// swap files and tooling droppings like .hidden.c must be skipped exactly as
+// dot-directories already are.
+func TestLoadTreeSkipsHiddenEntries(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("main.c", "int main(void) { return 0; }\n")
+	write(".hidden.c", "int should_not_load(void) { return 1; }\n")
+	write(".git/trap.c", "int inside_dot_dir(void) { return 2; }\n")
+	write("sub/util.c", "int util(void) { return 3; }\n")
+	write("sub/.swap.c", "int editor_swap(void) { return 4; }\n")
+
+	tree, err := LoadTree(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"main.c", filepath.Join("sub", "util.c")}
+	if len(tree.Files) != len(want) {
+		var got []string
+		for _, f := range tree.Files {
+			got = append(got, f.Path)
+		}
+		t.Fatalf("loaded %v, want %v", got, want)
+	}
+	for i, f := range tree.Files {
+		if f.Path != want[i] {
+			t.Fatalf("file %d = %s, want %s", i, f.Path, want[i])
+		}
+	}
+}
+
+// TestExtractEmptyTreeFinite: the per-file averages in the feature assembly
+// must not divide by zero — an empty tree yields an all-finite vector.
+func TestExtractEmptyTreeFinite(t *testing.T) {
+	fv := Extract(NewTree("empty"))
+	for _, n := range FeatureNames {
+		v, ok := fv[n]
+		if !ok {
+			t.Fatalf("feature %s missing", n)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("feature %s = %v on empty tree", n, v)
+		}
+	}
+}

@@ -8,6 +8,31 @@ import (
 	"repro/internal/stats"
 )
 
+// FuzzParse is the native fuzz target behind verify.sh's fuzz smoke: the
+// parser must never panic on any input — it either produces an AST or a
+// ParseError. The seeds cover the grammar's main constructs plus byte soup.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"int main(void) { return 0; }",
+		"int f(int x) { if (x > 0) { return x; } return -x; }",
+		"int g(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }",
+		"int h(void) { int a[4]; while (a[0] < 10) { a[0] = a[0] + 1; break; } return a[0]; }",
+		"int main( { this does not parse",
+		"@@@ not c at all (((",
+		"int\nf(void)\n{\nbogus!\n}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		_, _ = Parse(src)
+	})
+}
+
 // Property: the parser never panics and never loops on arbitrary byte soup —
 // it either produces an AST or a ParseError.
 func TestParseRobustnessRandomBytes(t *testing.T) {

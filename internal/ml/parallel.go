@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -31,12 +32,27 @@ func EffectiveJobs(jobs, n int) int {
 // pre-split per index *before* the call, never from a generator shared
 // across indexes; then results are independent of scheduling order.
 func ParallelFor(n, jobs int, fn func(i int) error) error {
+	return ParallelForCtx(context.Background(), n, jobs, fn)
+}
+
+// ParallelForCtx is ParallelFor with cancellation. When ctx is canceled the
+// dispatcher stops handing out new indexes, already-running calls finish,
+// and the pool drains cleanly before the function returns.
+//
+// Error priority keeps the first-error-wins rule: a real error from the
+// lowest failing index beats the context error (exactly what a sequential
+// loop that checks ctx between iterations would have returned first);
+// a run that was cut short only by cancellation returns ctx.Err().
+func ParallelForCtx(ctx context.Context, n, jobs int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	jobs = EffectiveJobs(jobs, n)
 	if jobs == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -51,12 +67,22 @@ func ParallelFor(n, jobs int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					// Drain without running: the run is already doomed,
+					// but the dispatcher may still be blocked on send.
+					continue
+				}
 				errs[i] = fn(i)
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -67,5 +93,5 @@ func ParallelFor(n, jobs int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }

@@ -2,6 +2,8 @@ package ml
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"sync/atomic"
@@ -110,8 +112,65 @@ func TestCrossValidateJobsPropagatesFoldError(t *testing.T) {
 	}
 }
 
+func TestParallelForCtxPreCanceledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, jobs := range []int{1, 4} {
+		var ran int32
+		err := ParallelForCtx(ctx, 20, jobs, func(i int) error {
+			atomic.AddInt32(&ran, 1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("jobs=%d: err = %v, want context.Canceled", jobs, err)
+		}
+		if n := atomic.LoadInt32(&ran); n != 0 {
+			t.Fatalf("jobs=%d: %d indexes ran under a pre-canceled context", jobs, n)
+		}
+	}
+}
+
+func TestParallelForCtxCancelMidRunDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran int32
+	err := ParallelForCtx(ctx, 200, 4, func(i int) error {
+		if atomic.AddInt32(&ran, 1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The pool drains without running the full range: only indexes already
+	// in flight when cancel landed may still execute.
+	if n := atomic.LoadInt32(&ran); n >= 200 {
+		t.Fatalf("cancellation did not stop dispatch: %d of 200 ran", n)
+	}
+}
+
+func TestParallelForCtxFirstErrorBeatsCancel(t *testing.T) {
+	// A real error at the lowest failing index wins over the context error,
+	// exactly as a sequential loop would have reported it first.
+	for _, jobs := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		err := ParallelForCtx(ctx, 20, jobs, func(i int) error {
+			if i == 3 {
+				cancel()
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+		cancel()
+		if err == nil || err.Error() != "boom at 3" {
+			t.Fatalf("jobs=%d: err = %v, want boom at 3", jobs, err)
+		}
+	}
+}
+
 type failingClassifier struct{}
 
-func (f *failingClassifier) Fit(d *Dataset) error          { return fmt.Errorf("boom") }
-func (f *failingClassifier) PredictClass(x []float64) int  { return 0 }
-func (f *failingClassifier) Name() string                  { return "failing" }
+func (f *failingClassifier) Fit(d *Dataset) error         { return fmt.Errorf("boom") }
+func (f *failingClassifier) PredictClass(x []float64) int { return 0 }
+func (f *failingClassifier) Name() string                 { return "failing" }

@@ -17,8 +17,10 @@
 package secmetric
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -45,6 +47,23 @@ type (
 	TrainConfig = core.TrainConfig
 	// Tree is an in-memory source tree.
 	Tree = metrics.Tree
+	// AnalysisDiagnostics is the per-file account of an analysis run:
+	// which files completed, which were skipped, timed out, or had a
+	// panicking deep analysis contained, plus feature-cache traffic.
+	AnalysisDiagnostics = core.AnalysisDiagnostics
+	// FileDiagnostic is one file's analysis outcome.
+	FileDiagnostic = core.FileDiagnostic
+	// FileStatus classifies a file's analysis outcome.
+	FileStatus = core.FileStatus
+)
+
+// Per-file analysis statuses reported in AnalysisDiagnostics.
+const (
+	StatusOK        = core.StatusOK
+	StatusParseSkip = core.StatusParseSkip
+	StatusTimeout   = core.StatusTimeout
+	StatusPanic     = core.StatusPanic
+	StatusCacheHit  = core.StatusCacheHit
 )
 
 // Classifier kinds accepted by Train.
@@ -67,6 +86,10 @@ type AnalyzeConfig struct {
 	// keyed by content hash under this directory, so repeated analyses
 	// (per-commit CI runs, compare old/new) only pay for changed files.
 	CacheDir string
+	// FileTimeout bounds one file's deep analysis; <= 0 (the default)
+	// disables the bound. A file that exceeds it degrades to base metrics
+	// only and is recorded in the diagnostics as StatusTimeout.
+	FileTimeout time.Duration
 }
 
 // DefaultCorpus generates the paper-calibrated synthetic CVE corpus:
@@ -85,27 +108,44 @@ func TrainDefault(c *Corpus) (*Model, error) {
 
 // Train trains a model with explicit configuration.
 func Train(c *Corpus, cfg TrainConfig) (*Model, error) {
-	return core.Train(core.NewTestbed(c), cfg)
+	return TrainContext(context.Background(), c, cfg)
+}
+
+// TrainContext is Train with cancellation: canceling ctx drains the
+// training worker pools cleanly and returns ctx's error.
+func TrainContext(ctx context.Context, c *Corpus, cfg TrainConfig) (*Model, error) {
+	return core.Train(ctx, core.NewTestbed(c), cfg)
 }
 
 // AnalyzeDir loads a source tree from disk and runs the full testbed over
 // it: line counts, cyclomatic complexity, Halstead measures, smells, attack
 // surface, lint, taint analysis, and symbolic execution.
 func AnalyzeDir(dir string) (FeatureVector, error) {
-	return AnalyzeDirWith(dir, AnalyzeConfig{})
+	return AnalyzeDirWith(context.Background(), dir, AnalyzeConfig{})
 }
 
-// AnalyzeDirWith is AnalyzeDir with an explicit worker-pool bound and
-// optional persistent feature cache.
-func AnalyzeDirWith(dir string, cfg AnalyzeConfig) (FeatureVector, error) {
+// AnalyzeDirWith is AnalyzeDir with cancellation, an explicit worker-pool
+// bound, an optional per-file deadline, and an optional persistent feature
+// cache.
+func AnalyzeDirWith(ctx context.Context, dir string, cfg AnalyzeConfig) (FeatureVector, error) {
+	fv, _, err := AnalyzeDirWithDiagnostics(ctx, dir, cfg)
+	return fv, err
+}
+
+// AnalyzeDirWithDiagnostics is AnalyzeDirWith plus the per-file account of
+// the run: every file's status (ok / parse-skip / cache-hit / timeout /
+// panic-contained) and the feature-cache traffic. Files whose deep
+// analysis panicked or timed out degrade to base metrics instead of
+// failing the run; the diagnostics name them.
+func AnalyzeDirWithDiagnostics(ctx context.Context, dir string, cfg AnalyzeConfig) (FeatureVector, *AnalysisDiagnostics, error) {
 	tree, err := metrics.LoadTree(dir)
 	if err != nil {
-		return nil, fmt.Errorf("secmetric: %w", err)
+		return nil, nil, fmt.Errorf("secmetric: %w", err)
 	}
 	if len(tree.Files) == 0 {
-		return nil, fmt.Errorf("secmetric: no source files under %s", dir)
+		return nil, nil, fmt.Errorf("secmetric: no source files under %s", dir)
 	}
-	return analyzeTree(tree, cfg)
+	return analyzeTree(ctx, tree, cfg)
 }
 
 // AnalyzeTree runs the testbed over an in-memory tree.
@@ -113,22 +153,34 @@ func AnalyzeTree(tree *Tree) FeatureVector {
 	return core.ExtractFeatures(tree)
 }
 
-// AnalyzeTreeWith is AnalyzeTree with an explicit worker-pool bound and
-// optional persistent feature cache.
-func AnalyzeTreeWith(tree *Tree, cfg AnalyzeConfig) (FeatureVector, error) {
-	return analyzeTree(tree, cfg)
+// AnalyzeTreeWith is AnalyzeTree with cancellation, an explicit worker-pool
+// bound, an optional per-file deadline, and an optional persistent feature
+// cache. Unlike AnalyzeTree it rejects an empty tree, exactly as
+// AnalyzeDirWith rejects a directory with no source files.
+func AnalyzeTreeWith(ctx context.Context, tree *Tree, cfg AnalyzeConfig) (FeatureVector, error) {
+	fv, _, err := AnalyzeTreeWithDiagnostics(ctx, tree, cfg)
+	return fv, err
 }
 
-func analyzeTree(tree *Tree, cfg AnalyzeConfig) (FeatureVector, error) {
-	ecfg := core.ExtractConfig{Jobs: cfg.Jobs}
+// AnalyzeTreeWithDiagnostics is AnalyzeTreeWith plus the per-file account
+// of the run; see AnalyzeDirWithDiagnostics.
+func AnalyzeTreeWithDiagnostics(ctx context.Context, tree *Tree, cfg AnalyzeConfig) (FeatureVector, *AnalysisDiagnostics, error) {
+	if len(tree.Files) == 0 {
+		return nil, nil, fmt.Errorf("secmetric: no source files in tree %q", tree.Name)
+	}
+	return analyzeTree(ctx, tree, cfg)
+}
+
+func analyzeTree(ctx context.Context, tree *Tree, cfg AnalyzeConfig) (FeatureVector, *AnalysisDiagnostics, error) {
+	ecfg := core.ExtractConfig{Jobs: cfg.Jobs, FileTimeout: cfg.FileTimeout}
 	if cfg.CacheDir != "" {
 		cache, err := featcache.Open(cfg.CacheDir)
 		if err != nil {
-			return nil, fmt.Errorf("secmetric: %w", err)
+			return nil, nil, fmt.Errorf("secmetric: %w", err)
 		}
 		ecfg.Cache = cache
 	}
-	return core.ExtractFeaturesWith(tree, ecfg), nil
+	return core.ExtractFeaturesDiagnostics(ctx, tree, ecfg)
 }
 
 // SaveModel writes a trained model to path.

@@ -1,10 +1,12 @@
 package secmetric
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/langgen"
 )
@@ -81,11 +83,11 @@ int copy(int dst, int n) {
 		t.Fatal(err)
 	}
 	cfg := AnalyzeConfig{Jobs: 2, CacheDir: filepath.Join(t.TempDir(), "cache")}
-	cold, err := AnalyzeDirWith(dir, cfg)
+	cold, err := AnalyzeDirWith(context.Background(), dir, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := AnalyzeDirWith(dir, cfg)
+	warm, err := AnalyzeDirWith(context.Background(), dir, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +108,7 @@ func TestFacadeAnalyzeTreeWithMatchesAnalyzeTree(t *testing.T) {
 	spec.Seed = 99
 	tree := langgen.Generate(spec)
 	plain := AnalyzeTree(tree)
-	cfgd, err := AnalyzeTreeWith(tree, AnalyzeConfig{Jobs: 3})
+	cfgd, err := AnalyzeTreeWith(context.Background(), tree, AnalyzeConfig{Jobs: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,6 +116,55 @@ func TestFacadeAnalyzeTreeWithMatchesAnalyzeTree(t *testing.T) {
 		if cfgd[k] != v {
 			t.Fatalf("AnalyzeTreeWith drifted on %s: %v vs %v", k, cfgd[k], v)
 		}
+	}
+}
+
+func TestFacadeAnalyzeTreeWithRejectsEmptyTree(t *testing.T) {
+	// Mirrors AnalyzeDirWith's empty-directory rejection: the two entry
+	// points must agree instead of one silently producing a hollow vector.
+	empty := &Tree{Name: "empty"}
+	if _, err := AnalyzeTreeWith(context.Background(), empty, AnalyzeConfig{}); err == nil {
+		t.Fatal("AnalyzeTreeWith accepted an empty tree")
+	}
+	if _, _, err := AnalyzeTreeWithDiagnostics(context.Background(), empty, AnalyzeConfig{}); err == nil {
+		t.Fatal("AnalyzeTreeWithDiagnostics accepted an empty tree")
+	}
+}
+
+func TestFacadeAnalyzeDirWithDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"good.mc": "int main(void) { return 0; }\n",
+		"bad.c":   "int main( { this does not parse\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := AnalyzeConfig{
+		CacheDir:    filepath.Join(t.TempDir(), "cache"),
+		FileTimeout: time.Minute,
+	}
+	_, cold, err := AnalyzeDirWithDiagnostics(context.Background(), dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Files) != 2 {
+		t.Fatalf("diagnostics cover %d files, want 2", len(cold.Files))
+	}
+	if got := cold.Counts()[StatusParseSkip]; got != 1 {
+		t.Fatalf("parse-skip count = %d, want 1 (bad.c)", got)
+	}
+	if cold.CacheMisses != 2 || cold.CacheHits != 0 {
+		t.Fatalf("cold cache traffic = %d hits / %d misses, want 0 / 2", cold.CacheHits, cold.CacheMisses)
+	}
+	_, warm, err := AnalyzeDirWithDiagnostics(context.Background(), dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits != 2 || warm.Counts()[StatusCacheHit] != 2 {
+		t.Fatalf("warm run = %v with %d hit(s), want all cache hits", warm.Counts(), warm.CacheHits)
 	}
 }
 

@@ -1,8 +1,10 @@
 #!/bin/sh
-# Tier-1 verification: build, vet, and the full test suite under the race
-# detector, so every parallel path (training fan-out, CV folds, forest
-# trees, the extraction worker pool, and the feature cache) is race-checked
-# on every run.
+# Tier-1 verification: build, vet, the full test suite under the race
+# detector (every parallel path — training fan-out, CV folds, forest
+# trees, the extraction worker pool, the feature cache, and the
+# cancellation/panic-containment paths — is race-checked on every run),
+# and a short native-fuzz smoke over the MiniC parser, the panic source
+# the containment layer most needs to hold against.
 set -eu
 
 cd "$(dirname "$0")"
@@ -14,6 +16,9 @@ echo "== go vet =="
 go vet ./...
 
 echo "== go test -race =="
-go test -race ./...
+go test -race -timeout 5m ./...
+
+echo "== fuzz smoke (FuzzParse, 10s) =="
+go test -run Fuzz -fuzz FuzzParse -fuzztime 10s ./internal/minic
 
 echo "verify: OK"
