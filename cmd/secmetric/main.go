@@ -8,6 +8,7 @@
 //	secmetric compare  [-model m.json] <old> <new>  print the risk delta
 //	secmetric focus    [-model m.json] [-budget N] <dir>  apportion deep analysis
 //	secmetric hotspots [-top N] <dir>             rank risky functions
+//	secmetric findings [-min sev] [-json] <dir>   print the CWE-tagged findings
 //	secmetric image    [-model m.json] <manifest.json>  whole-image evaluation
 //
 // Every analyzing subcommand accepts -jobs N (worker-pool bound), -cache dir
@@ -58,6 +59,8 @@ func run(ctx context.Context, args []string) error {
 		return cmdFocus(args[1:])
 	case "hotspots":
 		return cmdHotspots(args[1:])
+	case "findings":
+		return cmdFindings(args[1:])
 	case "image":
 		return cmdImage(ctx, args[1:])
 	default:
@@ -66,7 +69,7 @@ func run(ctx context.Context, args []string) error {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: secmetric {analyze [-diag] <dir> | score [-model m.json] [-json] <dir> | compare [-model m.json] <old> <new> | focus [-model m.json] [-budget N] <dir> | hotspots [-top N] <dir> | image [-model m.json] <manifest.json>} [-jobs N] [-cache dir] [-file-timeout d]")
+	return fmt.Errorf("usage: secmetric {analyze [-diag] <dir> | score [-model m.json] [-json] <dir> | compare [-model m.json] <old> <new> | focus [-model m.json] [-budget N] <dir> | hotspots [-top N] <dir> | findings [-min sev] [-json] <dir> | image [-model m.json] <manifest.json>} [-jobs N] [-cache dir] [-file-timeout d]")
 }
 
 // analyzeOpts registers the shared extraction flags (-jobs, -cache,
@@ -105,6 +108,55 @@ func cmdHotspots(args []string) error {
 			h.Function.Length, h.Function.MaxNesting, h.UnsafeHits, h.Score)
 	}
 	return nil
+}
+
+func cmdFindings(args []string) error {
+	fs := flag.NewFlagSet("findings", flag.ContinueOnError)
+	minSev := fs.String("min", "info", "lowest severity to report (info|low|medium|high|critical)")
+	asJSON := fs.Bool("json", false, "emit the findings as JSON (for CI integration)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("findings needs exactly one directory")
+	}
+	sev, err := parseSeverity(*minSev)
+	if err != nil {
+		return err
+	}
+	rep, err := secmetric.CollectFindingsDir(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep = rep.MinSeverity(sev)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	if rep.Total() == 0 {
+		fmt.Printf("no findings at or above severity %s in %s\n", sev, fs.Arg(0))
+		return nil
+	}
+	fmt.Print(rep)
+	return nil
+}
+
+func parseSeverity(s string) (secmetric.FindingSeverity, error) {
+	switch s {
+	case "info", "":
+		return secmetric.SevInfo, nil
+	case "low":
+		return secmetric.SevLow, nil
+	case "medium":
+		return secmetric.SevMedium, nil
+	case "high":
+		return secmetric.SevHigh, nil
+	case "critical":
+		return secmetric.SevCritical, nil
+	default:
+		return 0, fmt.Errorf("unknown severity %q", s)
+	}
 }
 
 // imageManifest is the JSON deployment descriptor for whole-image

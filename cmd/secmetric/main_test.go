@@ -108,15 +108,50 @@ func TestCLIFocus(t *testing.T) {
 	}
 }
 
+func TestCLIFindings(t *testing.T) {
+	// The wrapped source makes every flow cross-function; the findings
+	// subcommand must still surface the CWE-121 copy.
+	dir := writeSrc(t, "main.c", `
+int fetch(void) {
+	int p = recv(0);
+	return p;
+}
+int main(void) {
+	int buf = 0;
+	int req = fetch();
+	strcpy(buf, req);
+	return 0;
+}`)
+	for _, args := range [][]string{
+		{"findings", dir},
+		{"findings", "-min", "high", dir},
+		{"findings", "-json", dir},
+		{"findings", "-min", "critical", dir}, // filters everything: "no findings" path
+	} {
+		if err := run(context.Background(), args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+	rep, err := secmetric.CollectFindingsDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CountCWE(121) == 0 {
+		t.Fatalf("wrapped-source strcpy not surfaced as CWE-121:\n%s", rep)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	cases := [][]string{
-		{},                      // no subcommand
-		{"unknown"},             // bad subcommand
-		{"analyze"},             // missing dir
-		{"analyze", "/no/dir"},  // missing path
-		{"score"},               // missing dir
-		{"compare", "just-one"}, // wrong arity
-		{"focus"},               // missing dir
+		{},                                 // no subcommand
+		{"unknown"},                        // bad subcommand
+		{"analyze"},                        // missing dir
+		{"analyze", "/no/dir"},             // missing path
+		{"score"},                          // missing dir
+		{"compare", "just-one"},            // wrong arity
+		{"focus"},                          // missing dir
+		{"findings"},                       // missing dir
+		{"findings", "-min", "bogus", "x"}, // bad severity
 	}
 	for _, args := range cases {
 		if err := run(context.Background(), args); err == nil {

@@ -179,6 +179,95 @@ func (g *Graph) Depth() int {
 	return max
 }
 
+// SCCs returns the strongly connected components of the call graph in
+// bottom-up (callee-before-caller) order: every function a component calls
+// outside itself belongs to an earlier component. Within a component,
+// functions appear in program order. Singleton components are returned for
+// non-recursive functions, so the concatenation of all components is a
+// permutation of Functions(). This is the processing order for summary-based
+// interprocedural analyses: by the time a component is visited, every callee
+// summary outside the component is final, and only cycles need a fixpoint.
+func (g *Graph) SCCs() [][]string {
+	// Iterative Tarjan. The visit order (program order, callees in sorted
+	// order) is deterministic, so the component order is too.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var comps [][]string
+
+	type frame struct {
+		fn string
+		ci int // next callee index to explore
+	}
+	for _, root := range g.order {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		work := []frame{{fn: root}}
+		for len(work) > 0 {
+			fr := &work[len(work)-1]
+			if fr.ci == 0 {
+				index[fr.fn] = next
+				low[fr.fn] = next
+				next++
+				stack = append(stack, fr.fn)
+				onStack[fr.fn] = true
+			}
+			advanced := false
+			callees := g.Callees[fr.fn]
+			for fr.ci < len(callees) {
+				c := callees[fr.ci]
+				fr.ci++
+				if _, seen := index[c]; !seen {
+					work = append(work, frame{fn: c})
+					advanced = true
+					break
+				}
+				if onStack[c] && low[c] < low[fr.fn] {
+					low[fr.fn] = low[c]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// fr is exhausted: pop it, fold its lowlink into the parent.
+			fn := fr.fn
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := &work[len(work)-1]
+				if low[fn] < low[parent.fn] {
+					low[parent.fn] = low[fn]
+				}
+			}
+			if low[fn] == index[fn] {
+				var comp []string
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					comp = append(comp, top)
+					if top == fn {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	// Within a component, restore program order for determinism that does
+	// not depend on Tarjan's pop order.
+	pos := map[string]int{}
+	for i, fn := range g.order {
+		pos[fn] = i
+	}
+	for _, comp := range comps {
+		sort.Slice(comp, func(i, j int) bool { return pos[comp[i]] < pos[comp[j]] })
+	}
+	return comps
+}
+
 // Roots returns defined functions nobody defined calls (entry candidates).
 func (g *Graph) Roots() []string {
 	var out []string

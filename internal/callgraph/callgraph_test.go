@@ -154,3 +154,70 @@ func TestFunctionsOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestSCCsAcyclic(t *testing.T) {
+	g := build(t, sample)
+	comps := g.SCCs()
+	// Every component is a singleton, and the concatenation is a
+	// permutation of Functions() in bottom-up order.
+	seen := map[string]int{}
+	for i, c := range comps {
+		if len(c) != 1 {
+			t.Fatalf("acyclic graph produced multi-node component %v", c)
+		}
+		seen[c[0]] = i
+	}
+	if len(seen) != len(g.Functions()) {
+		t.Fatalf("SCCs cover %d functions, want %d", len(seen), len(g.Functions()))
+	}
+	// Callee-before-caller: leaf < middle < top.
+	if !(seen["leaf"] < seen["middle"] && seen["middle"] < seen["top"]) {
+		t.Fatalf("bottom-up order violated: %v", comps)
+	}
+}
+
+func TestSCCsCycle(t *testing.T) {
+	g := build(t, `
+int sink_helper(int x) { return x; }
+int ping(int n) { return pong(n - 1); }
+int pong(int n) { return ping(n) + sink_helper(n); }
+int main(void) { return ping(3); }
+`)
+	comps := g.SCCs()
+	var cycle []string
+	pos := map[string]int{}
+	for i, c := range comps {
+		for _, fn := range c {
+			pos[fn] = i
+		}
+		if len(c) > 1 {
+			if cycle != nil {
+				t.Fatalf("multiple cycles found: %v", comps)
+			}
+			cycle = c
+		}
+	}
+	if len(cycle) != 2 || cycle[0] != "ping" || cycle[1] != "pong" {
+		t.Fatalf("cycle = %v, want [ping pong] in program order", cycle)
+	}
+	// sink_helper is called from the cycle, so it comes earlier; main calls
+	// into the cycle, so it comes later.
+	if !(pos["sink_helper"] < pos["ping"] && pos["ping"] < pos["main"]) {
+		t.Fatalf("condensation order violated: %v", comps)
+	}
+}
+
+func TestSCCsDeterministic(t *testing.T) {
+	first := build(t, sample).SCCs()
+	for i := 0; i < 20; i++ {
+		again := build(t, sample).SCCs()
+		if len(again) != len(first) {
+			t.Fatalf("component count varies")
+		}
+		for j := range first {
+			if len(first[j]) != len(again[j]) || first[j][0] != again[j][0] {
+				t.Fatalf("component order varies: %v vs %v", first, again)
+			}
+		}
+	}
+}

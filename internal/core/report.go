@@ -128,8 +128,10 @@ type Comparison struct {
 	DeltaRisk float64
 	// PerHypothesis probability movements, largest magnitude first.
 	Movements []RiskMovement
-	// FeatureDeltas are the raw code-property changes behind the movement.
+	// FeatureDeltas are the raw code-property changes behind the movement,
+	// truncated to the largest few; DroppedDeltas counts the rest.
 	FeatureDeltas []metrics.FeatureDelta
+	DroppedDeltas int
 }
 
 // RiskMovement is one hypothesis' probability change.
@@ -162,6 +164,7 @@ func (m *Model) Compare(oldName string, oldFV metrics.FeatureVector, newName str
 	})
 	cmp.FeatureDeltas = oldFV.Diff(newFV, 1e-9)
 	if len(cmp.FeatureDeltas) > 10 {
+		cmp.DroppedDeltas = len(cmp.FeatureDeltas) - 10
 		cmp.FeatureDeltas = cmp.FeatureDeltas[:10]
 	}
 	return cmp
@@ -194,6 +197,9 @@ func (c *Comparison) String() string {
 		sb.WriteString("  Largest code-property changes:\n")
 		for _, d := range c.FeatureDeltas {
 			fmt.Fprintf(&sb, "   %-20s %.2f -> %.2f\n", d.Name, d.Old, d.New)
+		}
+		if c.DroppedDeltas > 0 {
+			fmt.Fprintf(&sb, "   (+%d more)\n", c.DroppedDeltas)
 		}
 	}
 	return sb.String()

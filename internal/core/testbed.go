@@ -10,8 +10,10 @@ import (
 
 	"repro/internal/callgraph"
 	"repro/internal/corpus"
+	"repro/internal/cwe"
 	"repro/internal/dataflow"
 	"repro/internal/featcache"
+	"repro/internal/findings"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/lang"
@@ -67,6 +69,9 @@ func DefaultTransformer() *Transformer {
 			metrics.FeatRASQ, metrics.FeatChurn, metrics.FeatDevelopers,
 			metrics.FeatTaintedSinks, metrics.FeatLintWarnings,
 			metrics.FeatCallFanOut, metrics.FeatCallDepth,
+			metrics.FeatInterTaintedSinks, metrics.FeatTaintDepthMax,
+			metrics.FeatCWE121Findings, metrics.FeatCWE134Findings,
+			metrics.FeatCWE78Findings,
 		},
 	}
 }
@@ -231,13 +236,23 @@ type fileEnrichment struct {
 	CovSum        float64 `json:"cov_sum"`
 	CovRuns       int     `json:"cov_runs"`
 	DynPaths      int     `json:"dyn_paths"`
+	// Interprocedural taint + CWE-mapped findings (summed / maxed across
+	// files like the fields above).
+	InterSinks    int `json:"inter_sinks"`
+	TaintMaxChain int `json:"taint_max_chain"`
+	CWE121        int `json:"cwe121"`
+	CWE134        int `json:"cwe134"`
+	CWE78         int `json:"cwe78"`
 }
 
 // AnalysisVersion identifies the deep-analysis implementation baked into
 // enrichFile and its substrates. It is mixed into every feature-cache key,
 // so bumping it invalidates all cached enrichments; bump it whenever any
-// analysis that feeds fileEnrichment changes behavior.
-const AnalysisVersion = "enrich-v1"
+// analysis that feeds fileEnrichment changes behavior (see DESIGN.md's
+// AnalysisVersion bump policy).
+//
+// v2: interprocedural taint engine + CWE-mapped findings counts.
+const AnalysisVersion = "enrich-v2"
 
 // ExtractConfig tunes the testbed's extraction pipeline.
 type ExtractConfig struct {
@@ -346,6 +361,13 @@ dispatch:
 		agg.CovSum += r.CovSum
 		agg.CovRuns += r.CovRuns
 		agg.DynPaths += r.DynPaths
+		agg.InterSinks += r.InterSinks
+		if r.TaintMaxChain > agg.TaintMaxChain {
+			agg.TaintMaxChain = r.TaintMaxChain
+		}
+		agg.CWE121 += r.CWE121
+		agg.CWE134 += r.CWE134
+		agg.CWE78 += r.CWE78
 	}
 
 	fv[metrics.FeatTaintedSinks] = float64(agg.TaintedSinks)
@@ -356,6 +378,11 @@ dispatch:
 		fv[metrics.FeatDynBranchCov] = agg.CovSum / float64(agg.CovRuns)
 	}
 	fv[metrics.FeatDynUniquePaths] = math.Log10(1 + float64(agg.DynPaths))
+	fv[metrics.FeatInterTaintedSinks] = float64(agg.InterSinks)
+	fv[metrics.FeatTaintDepthMax] = float64(agg.TaintMaxChain)
+	fv[metrics.FeatCWE121Findings] = float64(agg.CWE121)
+	fv[metrics.FeatCWE134Findings] = float64(agg.CWE134)
+	fv[metrics.FeatCWE78Findings] = float64(agg.CWE78)
 
 	if cfg.Cache != nil {
 		hits, misses := cfg.Cache.Stats()
@@ -451,11 +478,30 @@ func enrichFileSafe(f metrics.File) (enr fileEnrichment, status FileStatus, deta
 }
 
 // enrichFile runs the deep analyses over one file; files that do not parse
-// as MiniC contribute nothing beyond the base metrics (real C rarely parses
-// as MiniC; the token metrics already cover it), and report parse-skip so
-// the omission is visible in the diagnostics.
+// as MiniC contribute the CWE-mapped token-rule findings but nothing else
+// beyond the base metrics (real C rarely parses as MiniC; the token metrics
+// already cover it), and report parse-skip so the omission is visible in the
+// diagnostics.
 func enrichFile(f metrics.File) (fileEnrichment, FileStatus, string) {
 	var out fileEnrichment
+	// The findings layer applies to every file: token-level lint rules need
+	// no parse, and the IR-based producers gate themselves on parseability.
+	fa := findings.AnalyzeFile(f)
+	out.InterSinks = fa.InterTaintSinks
+	out.TaintMaxChain = fa.TaintMaxChain
+	for _, fd := range fa.Findings {
+		if fd.CWE == 0 {
+			continue
+		}
+		switch {
+		case cwe.IsA(fd.CWE, 121):
+			out.CWE121++
+		case cwe.IsA(fd.CWE, 134):
+			out.CWE134++
+		case cwe.IsA(fd.CWE, 78):
+			out.CWE78++
+		}
+	}
 	if f.Language != lang.MiniC && f.Language != lang.C {
 		return out, StatusOK, ""
 	}

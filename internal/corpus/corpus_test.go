@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cvedb"
 	"repro/internal/lang"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 )
 
@@ -192,6 +193,50 @@ func TestCorpusHypothesisLabelsPopulated(t *testing.T) {
 	frac := float64(highSev) / 5975
 	if frac < 0.05 || frac > 0.8 {
 		t.Fatalf("high-severity fraction = %v", frac)
+	}
+}
+
+func TestCorpusEmitsExactlyFeatureNames(t *testing.T) {
+	// The generative model and the real extractor must agree on the feature
+	// schema: every app's vector has exactly the canonical names, no more,
+	// no fewer — otherwise trained models silently ignore real measurements.
+	c := defaultCorpus(t)
+	want := map[string]bool{}
+	for _, n := range metrics.FeatureNames {
+		want[n] = true
+	}
+	for i, a := range c.Apps {
+		if len(a.Features) != len(metrics.FeatureNames) {
+			t.Fatalf("app %d emits %d features, want %d", i, len(a.Features), len(metrics.FeatureNames))
+		}
+		for k := range a.Features {
+			if !want[k] {
+				t.Fatalf("app %d emits unknown feature %q", i, k)
+			}
+		}
+	}
+	// The interprocedural/CWE features must carry signal somewhere in the
+	// corpus (all-zero columns would be dead weight for the classifiers),
+	// and the memory-unsafety ones must vanish on managed languages.
+	moved := map[string]bool{}
+	for _, a := range c.Apps {
+		for _, n := range []string{
+			metrics.FeatInterTaintedSinks, metrics.FeatTaintDepthMax,
+			metrics.FeatCWE121Findings, metrics.FeatCWE134Findings,
+			metrics.FeatCWE78Findings,
+		} {
+			if a.Features[n] > 0 {
+				moved[n] = true
+			}
+		}
+		if a.App.Language.Managed() {
+			if a.Features[metrics.FeatCWE121Findings] != 0 || a.Features[metrics.FeatCWE134Findings] != 0 {
+				t.Fatalf("%s (%v) has memory-unsafety findings", a.App.Name, a.App.Language)
+			}
+		}
+	}
+	if len(moved) != 5 {
+		t.Fatalf("dead feature columns: only %v carry signal", moved)
 	}
 }
 

@@ -95,6 +95,27 @@ func genFeatures(a *AppProfile, rng *stats.RNG) metrics.FeatureVector {
 	fv[metrics.FeatDynBranchCov] = clamp01(0.45 / math.Sqrt(hygiene) * noise(0.15))
 	fv[metrics.FeatDynUniquePaths] = math.Log10(1+a.App.Cyclomatic*0.05) * noise(0.15)
 
+	// Interprocedural taint and CWE-mapped findings, mirroring what the
+	// findings engine measures: cross-function flows add to (and therefore
+	// exceed) the intraprocedural sink count; chain length is bounded by
+	// call-graph depth; per-weakness evidence tracks the API family it is
+	// derived from, scaled by the same quality residual. Memory-unsafe
+	// weaknesses (CWE-121/134) vanish on managed languages.
+	fv[metrics.FeatInterTaintedSinks] = math.Round((fv[metrics.FeatTaintedSinks]*1.3 +
+		fv[metrics.FeatNetworkCalls]*0.02) * noise(0.25))
+	if fv[metrics.FeatInterTaintedSinks] > 0 {
+		fv[metrics.FeatTaintDepthMax] = math.Max(1,
+			math.Round(fv[metrics.FeatCallDepth]*(0.4+0.4*rng.Float64())))
+	}
+	if !a.App.Language.Managed() {
+		fv[metrics.FeatCWE121Findings] = math.Round(fv[metrics.FeatUnsafeCalls] * 0.12 *
+			math.Exp(0.5*q) * noise(0.3))
+		fv[metrics.FeatCWE134Findings] = math.Round(fv[metrics.FeatFormatCalls] * 0.04 *
+			hygiene * noise(0.4))
+	}
+	fv[metrics.FeatCWE78Findings] = math.Round(fv[metrics.FeatProcessSpawns] * 0.25 *
+		math.Exp(0.6*q) * noise(0.4))
+
 	return fv
 }
 

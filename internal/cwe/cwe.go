@@ -111,6 +111,8 @@ var entries = []Entry{
 	{ID: 502, Name: "Deserialization of Untrusted Data", Class: ClassInput},
 	{ID: 611, Name: "Improper Restriction of XML External Entity Reference", Parent: 20, Class: ClassInput},
 	{ID: 798, Name: "Use of Hard-coded Credentials", Class: ClassAuth},
+	{ID: 369, Name: "Divide By Zero", Class: ClassInput},
+	{ID: 676, Name: "Use of Potentially Dangerous Function", Class: ClassMemory, ManagedSafe: true},
 }
 
 var byID = func() map[ID]Entry {

@@ -1,0 +1,198 @@
+package findings
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cwe"
+	"repro/internal/lint"
+	"repro/internal/metrics"
+)
+
+// vulnSrc has a cross-function source->sink flow (recv in main, strcpy in
+// the callee), a tainted spawn, and a non-literal printf.
+const vulnSrc = `
+int copy_into(int dst, int s) {
+	strcpy(dst, s);
+	return 0;
+}
+int main(void) {
+	int buf = 0;
+	int pkt = recv(0);
+	copy_into(buf, pkt);
+	system(pkt);
+	return 0;
+}`
+
+func tree(name, src string) *metrics.Tree {
+	return metrics.NewTree(name, metrics.File{Path: name + ".c", Content: src})
+}
+
+func TestCollectCrossFunctionCWE121(t *testing.T) {
+	rep := Collect(tree("vuln", vulnSrc))
+	if rep.CountCWE(121) == 0 {
+		t.Fatalf("cross-function unchecked copy not tagged CWE-121:\n%s", rep)
+	}
+	if rep.CountCWE(78) == 0 {
+		t.Fatalf("tainted spawn not tagged CWE-78:\n%s", rep)
+	}
+	// CWE-121 is-a CWE-119, so the parent count includes it.
+	if rep.CountCWE(119) < rep.CountCWE(121) {
+		t.Fatalf("IsA rollup broken: 119=%d < 121=%d", rep.CountCWE(119), rep.CountCWE(121))
+	}
+	// The cross-function finding carries the call-chain message.
+	found := false
+	for _, f := range rep.Findings {
+		if f.Rule == "taint-unchecked-copy" && strings.Contains(f.Message, "via 1 call") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no depth-annotated finding:\n%s", rep)
+	}
+}
+
+func TestAnalyzeFileAggregates(t *testing.T) {
+	fa := AnalyzeFile(metrics.File{Path: "vuln.c", Content: vulnSrc})
+	if fa.InterTaintSinks < 2 {
+		t.Fatalf("InterTaintSinks = %d, want >= 2 (strcpy + system)", fa.InterTaintSinks)
+	}
+	if fa.TaintMaxChain != 2 {
+		t.Fatalf("TaintMaxChain = %d, want 2 (main -> copy_into)", fa.TaintMaxChain)
+	}
+}
+
+func TestLintFindingsMapped(t *testing.T) {
+	// gets() is an unsafe call (CWE-676) and printf(var) a format string
+	// issue (CWE-134) even before any taint reasoning.
+	rep := Collect(tree("lint", `
+int main(void) {
+	int buf = 0;
+	gets(buf);
+	printf(buf);
+	return 0;
+}`))
+	if rep.CountCWE(676) == 0 {
+		t.Fatalf("unsafe call not tagged CWE-676:\n%s", rep)
+	}
+	if rep.CountCWE(134) == 0 {
+		t.Fatalf("format string not tagged CWE-134:\n%s", rep)
+	}
+}
+
+func TestAbsintFindingsMapped(t *testing.T) {
+	rep := Collect(tree("abs", `
+int main(int n) {
+	int arr[8];
+	int x = arr[n - 300];
+	int y = 10 / n;
+	return x + y;
+}`))
+	if rep.CountCWE(119) == 0 {
+		t.Fatalf("possible negative index not tagged CWE-119:\n%s", rep)
+	}
+	if rep.CountCWE(369) == 0 {
+		t.Fatalf("possible div-by-zero not tagged CWE-369:\n%s", rep)
+	}
+}
+
+func TestUnmappedRulesKept(t *testing.T) {
+	rep := Collect(tree("goto", `
+int main(void) {
+	goto done;
+done:
+	return 0;
+}`))
+	// goto-use has no CWE mapping but must stay in the stream.
+	found := false
+	for _, f := range rep.Findings {
+		if f.Rule == "lint/"+string(lint.RuleGotoUse) {
+			found = true
+			if f.CWE != 0 {
+				t.Fatalf("goto-use mapped to CWE-%d, want unmapped", f.CWE)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("goto-use finding missing:\n%s", rep)
+	}
+}
+
+func TestEveryLintRuleHasMapping(t *testing.T) {
+	rules := []lint.Rule{
+		lint.RuleUnsafeCall, lint.RuleFormatString, lint.RuleAssignInCondition,
+		lint.RuleUncheckedAlloc, lint.RuleEmptyCatch, lint.RuleGotoUse,
+		lint.RuleDeadStore, lint.RuleDivByZeroRisk, lint.RuleInfiniteLoop,
+		lint.RuleMissingReturn, lint.RuleDeepExpression, lint.RuleLongParameterList,
+	}
+	for _, r := range rules {
+		if _, ok := LintRules[r]; !ok {
+			t.Errorf("lint rule %q has no findings mapping", r)
+		}
+	}
+}
+
+func TestMappedCWEsExistInTaxonomy(t *testing.T) {
+	for sink, r := range SinkRules {
+		if _, ok := cwe.Lookup(r.id); !ok {
+			t.Errorf("sink %s maps to unknown CWE-%d", sink, r.id)
+		}
+	}
+	for rule, m := range LintRules {
+		if m.ID != 0 {
+			if _, ok := cwe.Lookup(m.ID); !ok {
+				t.Errorf("lint rule %s maps to unknown CWE-%d", rule, m.ID)
+			}
+		}
+	}
+	for kind, m := range AbsintRules {
+		if _, ok := cwe.Lookup(m.ID); !ok {
+			t.Errorf("absint kind %s maps to unknown CWE-%d", kind, m.ID)
+		}
+	}
+}
+
+func TestMinSeverity(t *testing.T) {
+	rep := Collect(tree("vuln", vulnSrc))
+	high := rep.MinSeverity(SevHigh)
+	if high.Total() == 0 || high.Total() >= rep.Total() {
+		t.Fatalf("MinSeverity(high): %d of %d", high.Total(), rep.Total())
+	}
+	for _, f := range high.Findings {
+		if f.Severity < SevHigh {
+			t.Fatalf("low-severity finding survived the filter: %+v", f)
+		}
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	first := Collect(tree("vuln", vulnSrc))
+	for i := 0; i < 10; i++ {
+		again := Collect(tree("vuln", vulnSrc))
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("findings differ across runs")
+		}
+	}
+	if first.String() != Collect(tree("vuln", vulnSrc)).String() {
+		t.Fatalf("rendered report differs across runs")
+	}
+}
+
+func TestNonParsingFileTokenRulesOnly(t *testing.T) {
+	// A file that does not parse as MiniC still yields token-level lint
+	// findings, and no deep findings.
+	fa := AnalyzeFile(metrics.File{Path: "broken.c", Content: "int main( { gets(x); \n"})
+	if fa.InterTaintSinks != 0 || fa.TaintMaxChain != 0 {
+		t.Fatalf("deep aggregates on unparseable file: %+v", fa)
+	}
+	found := false
+	for _, f := range fa.Findings {
+		if f.Rule == "lint/"+string(lint.RuleUnsafeCall) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("token lint findings missing on unparseable file: %+v", fa.Findings)
+	}
+}

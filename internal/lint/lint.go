@@ -7,6 +7,7 @@ package lint
 
 import (
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/lexer"
@@ -271,7 +272,7 @@ func (r *Report) String() string {
 	for _, w := range r.Warnings {
 		sb.WriteString(w.File)
 		sb.WriteString(":")
-		sb.WriteString(itoa(w.Line))
+		sb.WriteString(strconv.Itoa(w.Line))
 		sb.WriteString(": [")
 		sb.WriteString(string(w.Rule))
 		sb.WriteString("] ")
@@ -279,26 +280,4 @@ func (r *Report) String() string {
 		sb.WriteString("\n")
 	}
 	return sb.String()
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	neg := v < 0
-	if neg {
-		v = -v
-	}
-	var buf [20]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	if neg {
-		i--
-		buf[i] = '-'
-	}
-	return string(buf[i:])
 }

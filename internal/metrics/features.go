@@ -64,6 +64,15 @@ const (
 	// sampled branch coverage and executed path diversity.
 	FeatDynBranchCov   = "dyn_branch_cov"
 	FeatDynUniquePaths = "dyn_unique_paths_log10"
+	// Interprocedural taint (summary propagation over the call graph) and
+	// the CWE-mapped findings layer: per-weakness-class evidence counts,
+	// the signals the per-hypothesis classifiers ("does this app contain
+	// CWE-121?") actually discriminate on.
+	FeatInterTaintedSinks = "interproc_tainted_sinks"
+	FeatTaintDepthMax     = "taint_path_depth_max" // functions on the longest source->sink chain
+	FeatCWE121Findings    = "cwe121_findings"      // stack-overflow evidence (unchecked copies)
+	FeatCWE134Findings    = "cwe134_findings"      // format-string evidence
+	FeatCWE78Findings     = "cwe78_findings"       // command-injection evidence (tainted spawns)
 )
 
 // FeatureNames is the canonical ordered list of every feature.
@@ -80,6 +89,8 @@ var FeatureNames = []string{
 	FeatChurn, FeatDevelopers, FeatAgeYears,
 	FeatTaintedSinks, FeatFeasiblePaths, FeatLintWarnings, FeatAttackDepth,
 	FeatCallFanOut, FeatCallDepth, FeatDynBranchCov, FeatDynUniquePaths,
+	FeatInterTaintedSinks, FeatTaintDepthMax,
+	FeatCWE121Findings, FeatCWE134Findings, FeatCWE78Findings,
 }
 
 // Extract runs every static extractor over the tree and assembles the

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/featcache"
+	"repro/internal/findings"
 	"repro/internal/metrics"
 	"repro/internal/system"
 )
@@ -205,6 +206,45 @@ func LoadModel(path string) (*Model, error) {
 	}
 	defer f.Close()
 	return core.LoadModel(f)
+}
+
+// Findings-layer re-exports: the unified, CWE-mapped security-findings
+// stream merging interprocedural taint, lint, and abstract interpretation.
+type (
+	// Finding is one piece of security evidence, tagged with the weakness
+	// class (CWE) it evidences.
+	Finding = findings.Finding
+	// FindingsReport is the per-tree findings stream with per-CWE tallies.
+	FindingsReport = findings.Report
+	// FindingSeverity ranks findings for triage.
+	FindingSeverity = findings.Severity
+)
+
+// Finding severity levels, lowest first.
+const (
+	SevInfo     = findings.SevInfo
+	SevLow      = findings.SevLow
+	SevMedium   = findings.SevMedium
+	SevHigh     = findings.SevHigh
+	SevCritical = findings.SevCritical
+)
+
+// CollectFindings runs every findings producer over an in-memory tree.
+func CollectFindings(tree *Tree) *FindingsReport {
+	return findings.Collect(tree)
+}
+
+// CollectFindingsDir loads a source tree from disk and collects its
+// CWE-mapped findings stream.
+func CollectFindingsDir(dir string) (*FindingsReport, error) {
+	tree, err := metrics.LoadTree(dir)
+	if err != nil {
+		return nil, fmt.Errorf("secmetric: %w", err)
+	}
+	if len(tree.Files) == 0 {
+		return nil, fmt.Errorf("secmetric: no source files under %s", dir)
+	}
+	return findings.Collect(tree), nil
 }
 
 // Whole-system evaluation (§5.3 future work) re-exports.

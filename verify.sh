@@ -9,6 +9,14 @@ set -eu
 
 cd "$(dirname "$0")"
 
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo "== go build =="
 go build ./...
 
@@ -20,5 +28,16 @@ go test -race -timeout 5m ./...
 
 echo "== fuzz smoke (FuzzParse, 10s) =="
 go test -run Fuzz -fuzz FuzzParse -fuzztime 10s ./internal/minic
+
+echo "== findings smoke (examples/vulnapp) =="
+out=$(go run ./cmd/secmetric findings examples/vulnapp)
+echo "$out"
+case "$out" in
+*CWE-121*) ;;
+*)
+	echo "findings smoke: expected a CWE-121 finding in examples/vulnapp" >&2
+	exit 1
+	;;
+esac
 
 echo "verify: OK"
