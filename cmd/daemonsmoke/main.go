@@ -1,0 +1,292 @@
+// Command daemonsmoke is the end-to-end acceptance harness verify.sh runs
+// against a live secmetricd. It drives the daemon exactly like external
+// tooling would — over HTTP through pkg/client — and asserts the serving
+// contract:
+//
+//	-mode full (default):
+//	  * /healthz answers ok
+//	  * N concurrent /v1/score requests all succeed and return reports
+//	    byte-identical to each other and to a `secmetric score -json` CLI
+//	    run over the same directory and model (-cli file)
+//	  * /v1/findings returns a non-empty findings stream
+//	  * /v1/analyze succeeds
+//	  * /metrics exposes the request counters and cache traffic
+//	  * /v1/models/reload succeeds and re-lists the models
+//	  * a request with a 1 ms budget over a large synthetic tree fails
+//	    with the daemon's deadline signal (504) — and the process stays
+//	    alive (healthz still answers)
+//
+//	-mode burst:
+//	  * a burst of concurrent /v1/score requests against a tightly
+//	    provisioned daemon (workers=1, queue=1) yields at least one 429
+//	    rejection and at least one success, and every success is
+//	    byte-identical — backpressure sheds load instead of queueing
+//	    without bound, and shed load never corrupts served results
+//
+// Exit status 0 means every assertion held.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/pkg/api"
+	"repro/pkg/client"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("daemonsmoke: ")
+	var (
+		addr     = flag.String("addr", "", "daemon address (host:port)")
+		dir      = flag.String("dir", "examples/vulnapp", "source directory to score")
+		cliFile  = flag.String("cli", "", "file holding `secmetric score -json` output to compare against")
+		mode     = flag.String("mode", "full", "full | burst")
+		requests = flag.Int("requests", 8, "concurrent requests per phase")
+		replicas = flag.Int("replicas", 300, "file replicas in the large synthetic tree (deadline/burst phases)")
+	)
+	flag.Parse()
+	if *addr == "" {
+		log.Fatal("-addr is required")
+	}
+	c := client.New("http://" + *addr)
+	ctx := context.Background()
+	var err error
+	switch *mode {
+	case "full":
+		err = runFull(ctx, c, *dir, *cliFile, *requests, *replicas)
+	case "burst":
+		err = runBurst(ctx, c, *dir, *requests, *replicas)
+	default:
+		err = fmt.Errorf("unknown -mode %q", *mode)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("daemonsmoke: OK (" + *mode + ")")
+}
+
+// canon re-marshals any JSON-representable value with sorted keys and
+// fixed indentation, so two values are byte-identical iff they are equal.
+func canon(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	var x any
+	if err := json.Unmarshal(raw, &x); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(x, "", " ")
+}
+
+// bigTree replicates dir's files with distinct paths AND distinct contents
+// (a unique trailing comment), so the content-addressed cache cannot
+// shortcut the work — the analysis cost scales with replicas.
+func bigTree(dir string, replicas int) (api.Tree, error) {
+	base, err := client.TreeFromDir(dir)
+	if err != nil {
+		return api.Tree{}, err
+	}
+	out := api.Tree{Name: "bigtree"}
+	for i := 0; i < replicas; i++ {
+		for _, f := range base.Files {
+			out.Files = append(out.Files, api.File{
+				Path:    fmt.Sprintf("r%04d/%s", i, f.Path),
+				Content: f.Content + fmt.Sprintf("\n// replica %d\n", i),
+			})
+		}
+	}
+	return out, nil
+}
+
+func runFull(ctx context.Context, c *client.Client, dir, cliFile string, requests, replicas int) error {
+	// 1. Liveness.
+	h, err := c.Health(ctx)
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if h.Status != "ok" || len(h.Models) == 0 {
+		return fmt.Errorf("healthz: status %q, models %v", h.Status, h.Models)
+	}
+	log.Printf("healthz ok: models=%v default=%q", h.Models, h.DefaultModel)
+
+	// 2. Concurrent scores, byte-identical to each other and to the CLI.
+	tree, err := client.TreeFromDir(dir)
+	if err != nil {
+		return err
+	}
+	reports := make([][]byte, requests)
+	errs := make([]error, requests)
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := c.Score(ctx, api.ScoreRequest{Tree: tree})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			reports[i], errs[i] = canon(resp.Report)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("concurrent score %d: %w", i, err)
+		}
+	}
+	for i := 1; i < requests; i++ {
+		if string(reports[i]) != string(reports[0]) {
+			return fmt.Errorf("concurrent score %d returned different report bytes than score 0", i)
+		}
+	}
+	log.Printf("%d concurrent scores byte-identical", requests)
+	if cliFile != "" {
+		cliRaw, err := os.ReadFile(cliFile)
+		if err != nil {
+			return err
+		}
+		var cliRep any
+		if err := json.Unmarshal(cliRaw, &cliRep); err != nil {
+			return fmt.Errorf("parse %s: %w", cliFile, err)
+		}
+		want, err := canon(cliRep)
+		if err != nil {
+			return err
+		}
+		if string(reports[0]) != string(want) {
+			return fmt.Errorf("daemon report differs from CLI report (%s)", cliFile)
+		}
+		log.Printf("daemon report byte-identical to CLI run")
+	}
+
+	// 3. Findings: 200 + non-empty.
+	fr, err := c.Findings(ctx, api.FindingsRequest{Tree: tree})
+	if err != nil {
+		return fmt.Errorf("findings: %w", err)
+	}
+	if fr.Report == nil || fr.Report.Total() == 0 {
+		return fmt.Errorf("findings: empty report for %s", dir)
+	}
+	log.Printf("findings: %d finding(s)", fr.Report.Total())
+
+	// 4. Analyze.
+	ar, err := c.Analyze(ctx, api.AnalyzeRequest{Tree: tree})
+	if err != nil {
+		return fmt.Errorf("analyze: %w", err)
+	}
+	if len(ar.Features) == 0 {
+		return fmt.Errorf("analyze: empty feature vector")
+	}
+
+	// 5. Metrics exposition.
+	m, err := c.RawMetrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	for _, want := range []string{
+		"secmetricd_requests_total",
+		"secmetricd_request_duration_seconds_bucket",
+		"secmetricd_in_flight_requests",
+		"secmetricd_featcache_hits_total",
+		"secmetricd_models_loaded",
+	} {
+		if !strings.Contains(m, want) {
+			return fmt.Errorf("metrics: missing series %s", want)
+		}
+	}
+	log.Printf("metrics exposition ok (%d bytes)", len(m))
+
+	// 6. Hot reload.
+	rl, err := c.Reload(ctx)
+	if err != nil {
+		return fmt.Errorf("reload: %w", err)
+	}
+	if len(rl.Models) == 0 {
+		return fmt.Errorf("reload: no models after reload")
+	}
+	log.Printf("reload ok: models=%v", rl.Models)
+
+	// 7. Deadline: a 1 ms budget over a large tree must trip the
+	// daemon's timeout path, not kill the process.
+	big, err := bigTree(dir, replicas)
+	if err != nil {
+		return err
+	}
+	_, err = c.Score(ctx, api.ScoreRequest{Tree: big, TimeoutMS: 1})
+	if err == nil {
+		return fmt.Errorf("deadline: 1ms score of %d files unexpectedly succeeded", len(big.Files))
+	}
+	if !client.IsDeadline(err) {
+		return fmt.Errorf("deadline: want the daemon's 504 signal, got: %w", err)
+	}
+	if _, err := c.Health(ctx); err != nil {
+		return fmt.Errorf("daemon unhealthy after deadline trip: %w", err)
+	}
+	log.Printf("deadline trip returned 504 and the daemon stayed up")
+	return nil
+}
+
+func runBurst(ctx context.Context, c *client.Client, dir string, requests, replicas int) error {
+	big, err := bigTree(dir, replicas)
+	if err != nil {
+		return err
+	}
+	type result struct {
+		report []byte
+		err    error
+	}
+	results := make([]result, requests)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := c.Score(ctx, api.ScoreRequest{Tree: big})
+			if err != nil {
+				results[i] = result{err: err}
+				return
+			}
+			b, err := canon(resp.Report)
+			results[i] = result{report: b, err: err}
+		}(i)
+	}
+	close(start) // release the whole burst at once
+	wg.Wait()
+
+	var ok, rejected int
+	var first []byte
+	for i, r := range results {
+		switch {
+		case r.err == nil:
+			ok++
+			if first == nil {
+				first = r.report
+			} else if string(r.report) != string(first) {
+				return fmt.Errorf("burst: successful response %d differs from the first", i)
+			}
+		case client.IsQueueFull(r.err):
+			rejected++
+		default:
+			return fmt.Errorf("burst request %d: unexpected error: %w", i, r.err)
+		}
+	}
+	log.Printf("burst of %d: %d served, %d rejected with 429", requests, ok, rejected)
+	if ok == 0 {
+		return fmt.Errorf("burst: no request succeeded")
+	}
+	if rejected == 0 {
+		return fmt.Errorf("burst: no request was rejected with 429 (queue not enforcing backpressure?)")
+	}
+	return nil
+}

@@ -120,7 +120,7 @@ func cmdFindings(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("findings needs exactly one directory")
 	}
-	sev, err := parseSeverity(*minSev)
+	sev, err := secmetric.ParseSeverity(*minSev)
 	if err != nil {
 		return err
 	}
@@ -140,23 +140,6 @@ func cmdFindings(args []string) error {
 	}
 	fmt.Print(rep)
 	return nil
-}
-
-func parseSeverity(s string) (secmetric.FindingSeverity, error) {
-	switch s {
-	case "info", "":
-		return secmetric.SevInfo, nil
-	case "low":
-		return secmetric.SevLow, nil
-	case "medium":
-		return secmetric.SevMedium, nil
-	case "high":
-		return secmetric.SevHigh, nil
-	case "critical":
-		return secmetric.SevCritical, nil
-	default:
-		return 0, fmt.Errorf("unknown severity %q", s)
-	}
 }
 
 // imageManifest is the JSON deployment descriptor for whole-image

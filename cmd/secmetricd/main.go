@@ -1,0 +1,173 @@
+// Command secmetricd is the clairvoyance-as-a-service scoring daemon: it
+// loads one or more trained models at startup and serves the paper's
+// "evaluate every change" loop (§5.3, Fig. 4) over HTTP, so developer
+// tooling queries a long-lived process instead of paying model load and
+// corpus training per invocation.
+//
+// Endpoints:
+//
+//	POST /v1/score          security report of a JSON-encoded source tree
+//	POST /v1/analyze        raw code-property vector
+//	POST /v1/findings       CWE-mapped findings stream
+//	POST /v1/compare        risk delta between two versions (the CI gate)
+//	POST /v1/models/reload  re-read the model sources, swap atomically
+//	GET  /healthz           liveness plus registry summary
+//	GET  /metrics           Prometheus text exposition
+//
+// Usage:
+//
+//	secmetricd [-addr :8321] [-model m.json ...] [-model-dir dir]
+//	           [-train-default] [-workers N] [-queue N]
+//	           [-request-timeout d] [-jobs N] [-file-timeout d]
+//	           [-cache dir] [-addr-file f] [-drain-timeout d]
+//
+// Model sources: every -model file registers under its basename (or an
+// explicit NAME=PATH), and every *.json in -model-dir registers under its
+// basename. With -train-default and no sources, a logistic model is
+// trained on the built-in corpus at startup. A model whose feature schema
+// does not match this build is refused at startup and at reload.
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight requests
+// finish (bounded by -drain-timeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	secmetric "repro"
+	"repro/internal/featcache"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("secmetricd: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8321", "listen address (host:port; port 0 picks an ephemeral port)")
+		addrFile     = flag.String("addr-file", "", "write the bound address to this file after listening (for ephemeral ports)")
+		modelDir     = flag.String("model-dir", "", "directory of *.json models, each registered under its basename")
+		trainDefault = flag.Bool("train-default", false, "train a logistic model on the built-in corpus when no model source is given")
+		workers      = flag.Int("workers", 0, "max concurrent analyses (0 = all cores)")
+		queue        = flag.Int("queue", 64, "max admitted requests waiting for a worker; overflow is rejected with 429")
+		reqTimeout   = flag.Duration("request-timeout", 2*time.Minute, "hard per-request deadline; requests may tighten it via timeout_ms")
+		jobs         = flag.Int("jobs", 0, "per-request extraction pool width (0 = all cores)")
+		fileTimeout  = flag.Duration("file-timeout", 0, "per-file deep-analysis deadline (0 = unbounded)")
+		cacheDir     = flag.String("cache", "", "persistent feature-cache directory shared by all requests (empty = in-memory)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
+	)
+	modelFiles := map[string]string{}
+	flag.Func("model", "model file to serve, repeatable; `path` or NAME=PATH (name defaults to the basename)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok {
+			path = v
+			name = strings.TrimSuffix(filepath.Base(v), ".json")
+		}
+		if name == "" || path == "" {
+			return fmt.Errorf("bad -model %q", v)
+		}
+		if _, dup := modelFiles[name]; dup {
+			return fmt.Errorf("duplicate model name %q", name)
+		}
+		modelFiles[name] = path
+		return nil
+	})
+	flag.Parse()
+
+	cache, err := featcache.Open(*cacheDir)
+	if err != nil {
+		return err
+	}
+
+	reg := server.NewRegistry(*modelDir, modelFiles)
+	switch {
+	case len(modelFiles) > 0 || *modelDir != "":
+		snap, err := reg.Load()
+		if err != nil {
+			return err
+		}
+		log.Printf("serving %d model(s): %s (default %q)",
+			len(snap.Models), strings.Join(snap.Names(), ", "), snap.Default)
+	case *trainDefault:
+		log.Printf("no model source; training the default logistic model on the built-in corpus...")
+		c, err := secmetric.DefaultCorpus()
+		if err != nil {
+			return err
+		}
+		m, err := secmetric.Train(c, secmetric.TrainConfig{Kind: secmetric.KindLogistic, Folds: 5, Seed: 17, Jobs: *jobs})
+		if err != nil {
+			return err
+		}
+		reg.Register("default", m)
+		log.Printf("trained and registered model %q", "default")
+	default:
+		return errors.New("no model source: pass -model, -model-dir, or -train-default")
+	}
+
+	srv := server.New(reg, server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *reqTimeout,
+		AnalyzeJobs:    *jobs,
+		FileTimeout:    *fileTimeout,
+		Cache:          cache,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		// Write-then-rename so a poller never reads a half-written address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(bound), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			return err
+		}
+	}
+	log.Printf("listening on %s", bound)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("signal received; draining in-flight requests (up to %v)...", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("drained cleanly")
+	return nil
+}

@@ -3,10 +3,19 @@
 // than the previous version of the code." Two versions of the same codebase
 // are written to disk, analyzed, and compared; the process exits nonzero
 // when the change raises risk, exactly how a CI job would gate a merge.
+//
+// The gate runs in one of two modes:
+//
+//   - library (default): train a model in-process and compare locally.
+//   - daemon (-daemon URL, or SECMETRICD_URL set): ship both trees to a
+//     running secmetricd over POST /v1/compare. The daemon owns the model
+//     and the shared feature cache, so the gate itself stays stateless and
+//     starts in milliseconds — the per-commit cost §5.3 cares about.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -14,6 +23,8 @@ import (
 	"time"
 
 	secmetric "repro"
+	"repro/pkg/api"
+	"repro/pkg/client"
 )
 
 // Version 1: bounds-checked input handling.
@@ -58,6 +69,10 @@ int main(void) {
 `
 
 func main() {
+	daemonURL := flag.String("daemon", os.Getenv("SECMETRICD_URL"),
+		"secmetricd base URL (e.g. http://127.0.0.1:8321); empty runs the gate in-process")
+	flag.Parse()
+
 	workdir, err := os.MkdirTemp("", "cigate")
 	if err != nil {
 		log.Fatal(err)
@@ -76,15 +91,61 @@ func main() {
 	v1 := write("v1", v1Source)
 	v2 := write("v2", v2Source)
 
-	corpus, err := secmetric.DefaultCorpus()
+	var cmp *secmetric.Comparison
+	if *daemonURL != "" {
+		cmp, err = compareViaDaemon(*daemonURL, v1, v2)
+	} else {
+		cmp, err = compareInProcess(workdir, v1, v2)
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	fmt.Print(cmp)
+	if cmp.DeltaRisk > 0 {
+		fmt.Println("\nCI gate: BLOCKING the merge — the change increases predicted risk.")
+		os.Exit(1)
+	}
+	fmt.Println("\nCI gate: change admitted.")
+}
+
+// compareViaDaemon ships both trees to a running secmetricd: no local
+// training, no local model file — the daemon's registry decides which model
+// evaluates the change, and its process-wide cache makes the second version
+// an incremental analysis.
+func compareViaDaemon(url, v1, v2 string) (*secmetric.Comparison, error) {
+	oldTree, err := client.TreeFromDir(v1)
+	if err != nil {
+		return nil, err
+	}
+	newTree, err := client.TreeFromDir(v2)
+	if err != nil {
+		return nil, err
+	}
+	c := client.New(url)
+	resp, err := c.Compare(context.Background(), api.CompareRequest{Old: oldTree, New: newTree})
+	if err != nil {
+		if client.IsQueueFull(err) {
+			return nil, fmt.Errorf("daemon is at capacity, retry the gate: %w", err)
+		}
+		return nil, err
+	}
+	fmt.Printf("[daemon] model %q evaluated the change\n", resp.Model)
+	reportDiagnostics("v1", resp.OldDiagnostics)
+	reportDiagnostics("v2", resp.NewDiagnostics)
+	return resp.Comparison, nil
+}
+
+func compareInProcess(workdir, v1, v2 string) (*secmetric.Comparison, error) {
+	corpus, err := secmetric.DefaultCorpus()
+	if err != nil {
+		return nil, err
 	}
 	model, err := secmetric.Train(corpus, secmetric.TrainConfig{
 		Kind: secmetric.KindLogistic, Folds: 5, Seed: 5,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 
 	// Both versions share one content-addressed feature cache, so only the
@@ -100,31 +161,27 @@ func main() {
 	}
 	oldFV, oldDiag, err := secmetric.AnalyzeDirWithDiagnostics(ctx, v1, cfg)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	newFV, newDiag, err := secmetric.AnalyzeDirWithDiagnostics(ctx, v2, cfg)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	for _, d := range []struct {
-		name string
-		diag *secmetric.AnalysisDiagnostics
-	}{{"v1", oldDiag}, {"v2", newDiag}} {
-		fmt.Printf("[%s] %d file(s), cache %d hit(s)/%d miss(es)\n",
-			d.name, len(d.diag.Files), d.diag.CacheHits, d.diag.CacheMisses)
-		// A degraded file means the risk delta was computed from partial
-		// evidence — CI should see that in the log, not guess.
-		for _, f := range d.diag.Degraded() {
-			fmt.Printf("[%s] WARNING: %s degraded to base metrics (%s: %s)\n",
-				d.name, f.Path, f.Status, f.Detail)
-		}
-	}
+	reportDiagnostics("v1", oldDiag)
+	reportDiagnostics("v2", newDiag)
+	return model.Compare("v1", oldFV, "v2", newFV), nil
+}
 
-	cmp := model.Compare("v1", oldFV, "v2", newFV)
-	fmt.Print(cmp)
-	if cmp.DeltaRisk > 0 {
-		fmt.Println("\nCI gate: BLOCKING the merge — the change increases predicted risk.")
-		os.Exit(1)
+func reportDiagnostics(name string, diag *secmetric.AnalysisDiagnostics) {
+	if diag == nil {
+		return
 	}
-	fmt.Println("\nCI gate: change admitted.")
+	fmt.Printf("[%s] %d file(s), cache %d hit(s)/%d miss(es)\n",
+		name, len(diag.Files), diag.CacheHits, diag.CacheMisses)
+	// A degraded file means the risk delta was computed from partial
+	// evidence — CI should see that in the log, not guess.
+	for _, f := range diag.Degraded() {
+		fmt.Printf("[%s] WARNING: %s degraded to base metrics (%s: %s)\n",
+			name, f.Path, f.Status, f.Detail)
+	}
 }

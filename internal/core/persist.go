@@ -2,14 +2,24 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"slices"
 
+	"repro/internal/metrics"
 	"repro/internal/ml"
 )
 
 // Serialized model format, versioned for forward compatibility.
 const modelFormatVersion = 1
+
+// ErrFeatureSchema marks a model whose persisted feature schema does not
+// match this build's metrics.FeatureNames. Scoring with such a model would
+// silently misalign columns (the transformer and every classifier index
+// rows by FeatureNames position), so loading refuses instead. Retrain the
+// model, or load it with the binary revision that wrote it.
+var ErrFeatureSchema = errors.New("model feature schema does not match this build")
 
 type hypothesisDTO struct {
 	Name       string             `json:"name"`
@@ -24,8 +34,12 @@ type hypothesisDTO struct {
 }
 
 type modelDTO struct {
-	Version     int                  `json:"version"`
-	Kind        ModelKind            `json:"kind"`
+	Version int       `json:"version"`
+	Kind    ModelKind `json:"kind"`
+	// Schema records the full feature-name column order the model was
+	// trained against; LoadModel refuses a model whose schema differs from
+	// the running build's metrics.FeatureNames.
+	Schema      []string             `json:"schema"`
 	Transformer *Transformer         `json:"transformer"`
 	Hypotheses  []hypothesisDTO      `json:"hypotheses"`
 	CountModel  json.RawMessage      `json:"count_model,omitempty"`
@@ -38,6 +52,7 @@ func (m *Model) Save(w io.Writer) error {
 	dto := modelDTO{
 		Version:     modelFormatVersion,
 		Kind:        m.Config.Kind,
+		Schema:      append([]string(nil), metrics.FeatureNames...),
 		Transformer: m.Transformer,
 		CountEval:   m.CountEval,
 		CountStd:    m.CountResidualStd,
@@ -84,6 +99,9 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if dto.Version != modelFormatVersion {
 		return nil, fmt.Errorf("core: unsupported model version %d", dto.Version)
 	}
+	if err := validateSchema(dto.Schema); err != nil {
+		return nil, err
+	}
 	if dto.Transformer == nil {
 		return nil, fmt.Errorf("core: model missing transformer")
 	}
@@ -116,4 +134,28 @@ func LoadModel(r io.Reader) (*Model, error) {
 		m.CountModel = reg
 	}
 	return m, nil
+}
+
+// validateSchema compares a persisted feature schema against the running
+// build's metrics.FeatureNames. A model saved before the schema field
+// existed (pre-enrich-v2 era) carries no schema; that is indistinguishable
+// from a stale column order, so it is refused the same way.
+func validateSchema(schema []string) error {
+	if len(schema) == 0 {
+		return fmt.Errorf("core: model records no feature schema (saved by an older build): %w", ErrFeatureSchema)
+	}
+	if slices.Equal(schema, metrics.FeatureNames) {
+		return nil
+	}
+	if len(schema) != len(metrics.FeatureNames) {
+		return fmt.Errorf("core: model has %d features, this build has %d: %w",
+			len(schema), len(metrics.FeatureNames), ErrFeatureSchema)
+	}
+	for i, name := range schema {
+		if name != metrics.FeatureNames[i] {
+			return fmt.Errorf("core: feature column %d is %q in the model but %q in this build: %w",
+				i, name, metrics.FeatureNames[i], ErrFeatureSchema)
+		}
+	}
+	return nil
 }

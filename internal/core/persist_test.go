@@ -3,8 +3,12 @@ package core
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"math"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 func TestModelSaveLoadRoundTrip(t *testing.T) {
@@ -52,5 +56,86 @@ func TestLoadModelRejectsGarbage(t *testing.T) {
 	}
 	if _, err := LoadModel(bytes.NewBufferString(`{"version":1}`)); err == nil {
 		t.Fatal("transformerless model loaded")
+	}
+}
+
+// mutateSavedModel saves a freshly trained model, applies fn to its decoded
+// JSON object, and returns the re-encoded bytes.
+func mutateSavedModel(t *testing.T, fn func(dto map[string]json.RawMessage)) []byte {
+	t.Helper()
+	tb := NewTestbed(getCorpus(t))
+	m, err := Train(context.Background(), tb, TrainConfig{Kind: KindZeroR, Folds: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dto map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &dto); err != nil {
+		t.Fatal(err)
+	}
+	fn(dto)
+	out, err := json.Marshal(dto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestLoadModelRecordsAndAcceptsSchema(t *testing.T) {
+	raw := mutateSavedModel(t, func(dto map[string]json.RawMessage) {
+		var schema []string
+		if err := json.Unmarshal(dto["schema"], &schema); err != nil {
+			t.Fatalf("saved model has no decodable schema: %v", err)
+		}
+		if len(schema) != len(metrics.FeatureNames) || schema[0] != metrics.FeatureNames[0] {
+			t.Fatalf("saved schema %v does not match FeatureNames", schema)
+		}
+	})
+	if _, err := LoadModel(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("matching schema rejected: %v", err)
+	}
+}
+
+func TestLoadModelRejectsMissingSchema(t *testing.T) {
+	raw := mutateSavedModel(t, func(dto map[string]json.RawMessage) {
+		delete(dto, "schema")
+	})
+	_, err := LoadModel(bytes.NewReader(raw))
+	if !errors.Is(err, ErrFeatureSchema) {
+		t.Fatalf("err = %v, want ErrFeatureSchema", err)
+	}
+}
+
+func TestLoadModelRejectsSchemaMismatch(t *testing.T) {
+	// Wrong length: a model trained before a feature was added.
+	truncated := mutateSavedModel(t, func(dto map[string]json.RawMessage) {
+		schema := append([]string(nil), metrics.FeatureNames[:len(metrics.FeatureNames)-1]...)
+		raw, err := json.Marshal(schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dto["schema"] = raw
+	})
+	_, err := LoadModel(bytes.NewReader(truncated))
+	if !errors.Is(err, ErrFeatureSchema) {
+		t.Fatalf("truncated schema: err = %v, want ErrFeatureSchema", err)
+	}
+
+	// Same length, permuted columns: silent misalignment if accepted.
+	permuted := mutateSavedModel(t, func(dto map[string]json.RawMessage) {
+		schema := append([]string(nil), metrics.FeatureNames...)
+		schema[0], schema[1] = schema[1], schema[0]
+		raw, err := json.Marshal(schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dto["schema"] = raw
+	})
+	_, err = LoadModel(bytes.NewReader(permuted))
+	if !errors.Is(err, ErrFeatureSchema) {
+		t.Fatalf("permuted schema: err = %v, want ErrFeatureSchema", err)
 	}
 }

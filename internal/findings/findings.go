@@ -41,6 +41,46 @@ func (s Severity) MarshalJSON() ([]byte, error) {
 	return json.Marshal(s.String())
 }
 
+// UnmarshalJSON accepts the named form MarshalJSON emits (and, for
+// tolerance, the raw ordinal), so JSON reports round-trip through typed
+// clients.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		var n int
+		if err2 := json.Unmarshal(data, &n); err2 == nil {
+			*s = Severity(n)
+			return nil
+		}
+		return err
+	}
+	v, err := ParseSeverity(name)
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// ParseSeverity parses a level name as rendered by String; the empty
+// string parses as SevInfo (report everything).
+func ParseSeverity(name string) (Severity, error) {
+	switch strings.ToLower(name) {
+	case "", "info":
+		return SevInfo, nil
+	case "low":
+		return SevLow, nil
+	case "medium":
+		return SevMedium, nil
+	case "high":
+		return SevHigh, nil
+	case "critical":
+		return SevCritical, nil
+	default:
+		return 0, fmt.Errorf("findings: unknown severity %q", name)
+	}
+}
+
 // String names the level.
 func (s Severity) String() string {
 	switch s {

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	secmetric "repro"
+)
+
+// Snapshot is one immutable generation of the model registry. Every
+// request resolves its model from the snapshot current at admission and
+// keeps scoring against it even if a reload swaps the registry mid-flight,
+// so a hot-reload can never hand a request a torn or half-replaced model.
+type Snapshot struct {
+	// Models maps registry names to loaded models. The map is never
+	// mutated after the snapshot is published.
+	Models map[string]*secmetric.Model
+	// Default is the name served when a request names no model: the entry
+	// literally named "default" when present, otherwise the
+	// lexicographically first name.
+	Default string
+}
+
+// Get resolves a model by name; the empty name selects the default. It
+// returns the resolved name so responses can echo which model served them.
+func (s *Snapshot) Get(name string) (*secmetric.Model, string, bool) {
+	if name == "" {
+		name = s.Default
+	}
+	m, ok := s.Models[name]
+	return m, name, ok
+}
+
+// Names lists the registered model names, sorted.
+func (s *Snapshot) Names() []string {
+	out := make([]string, 0, len(s.Models))
+	for n := range s.Models {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Registry is the daemon's model store: models loaded from a directory
+// (every *.json file, named by basename) and/or explicitly named files,
+// published as atomic snapshots. Load is all-or-nothing — one unreadable
+// or schema-mismatched model file fails the whole reload and the previous
+// snapshot keeps serving — so the registry can never get stuck half-new.
+type Registry struct {
+	dir   string
+	files map[string]string // explicit name -> path sources
+
+	writeMu sync.Mutex // serializes Load/Register; readers never block
+	snap    atomic.Pointer[Snapshot]
+	reloads atomic.Uint64
+}
+
+// NewRegistry builds a registry over a model directory (may be empty) and
+// explicit name->path sources (may be nil). Call Load to populate it, or
+// Register to install in-memory models directly.
+func NewRegistry(dir string, files map[string]string) *Registry {
+	r := &Registry{dir: dir, files: map[string]string{}}
+	for n, p := range files {
+		r.files[n] = p
+	}
+	r.snap.Store(&Snapshot{Models: map[string]*secmetric.Model{}})
+	return r
+}
+
+// Snapshot returns the current generation. The returned value is immutable;
+// hold it for the duration of one request.
+func (r *Registry) Snapshot() *Snapshot { return r.snap.Load() }
+
+// Reloads counts successful Load calls.
+func (r *Registry) Reloads() uint64 { return r.reloads.Load() }
+
+// Load (re)reads every model source and atomically publishes the new
+// snapshot. Models already registered via Register survive the reload
+// unless a file source shadows their name. A model whose feature schema
+// does not match this build (secmetric.ErrFeatureSchema) is refused, which
+// fails the whole load.
+func (r *Registry) Load() (*Snapshot, error) {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+
+	models := map[string]*secmetric.Model{}
+	// In-memory registrations (e.g. a startup-trained default) are not
+	// file-backed; carry them forward so a reload cannot drop them.
+	for n, m := range r.snap.Load().Models {
+		if _, fromFile := r.files[n]; !fromFile {
+			models[n] = m
+		}
+	}
+	load := func(name, path string) error {
+		m, err := secmetric.LoadModel(path)
+		if err != nil {
+			return fmt.Errorf("server: refusing model %q (%s): %w", name, path, err)
+		}
+		models[name] = m
+		return nil
+	}
+	for name, path := range r.files {
+		if err := load(name, path); err != nil {
+			return nil, err
+		}
+	}
+	if r.dir != "" {
+		entries, err := os.ReadDir(r.dir)
+		if err != nil {
+			return nil, fmt.Errorf("server: model dir: %w", err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") || strings.HasPrefix(e.Name(), ".") {
+				continue
+			}
+			name := strings.TrimSuffix(e.Name(), ".json")
+			if err := load(name, filepath.Join(r.dir, e.Name())); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(models) == 0 {
+		return nil, errors.New("server: no models to register (empty model dir and no model files)")
+	}
+	snap := &Snapshot{Models: models, Default: defaultName(models)}
+	r.snap.Store(snap)
+	r.reloads.Add(1)
+	return snap, nil
+}
+
+// Register installs an in-memory model under name, copy-on-write: a fresh
+// snapshot is published, readers of the old one are unaffected.
+func (r *Registry) Register(name string, m *secmetric.Model) {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	old := r.snap.Load()
+	models := make(map[string]*secmetric.Model, len(old.Models)+1)
+	for n, om := range old.Models {
+		models[n] = om
+	}
+	models[name] = m
+	r.snap.Store(&Snapshot{Models: models, Default: defaultName(models)})
+}
+
+func defaultName(models map[string]*secmetric.Model) string {
+	if _, ok := models["default"]; ok {
+		return "default"
+	}
+	best := ""
+	for n := range models {
+		if best == "" || n < best {
+			best = n
+		}
+	}
+	return best
+}

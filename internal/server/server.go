@@ -1,0 +1,422 @@
+// Package server implements secmetricd's HTTP serving layer: the paper's
+// §5.3 loop — "the classifier can give the developer an evaluation ... of
+// every change" — as a long-lived daemon instead of a batch CLI. One
+// process loads trained models at startup, holds a shared content-addressed
+// feature cache, and serves scoring, analysis, findings, and comparison
+// over JSON-encoded source trees.
+//
+// The serving path reuses the library machinery end-to-end: each request
+// runs through core.ExtractFeaturesDiagnostics (the same engine behind
+// secmetric.AnalyzeTreeWithDiagnostics) under a per-request
+// context.Context deadline, on a bounded worker pool with an explicit
+// queue-depth limit. A request that arrives when the queue is full is
+// rejected immediately with 429 — bounded memory under overload — and one
+// that outlives its deadline fails with 504 without harming the process.
+// Models live in a Registry of atomic snapshots, so POST /v1/models/reload
+// swaps the whole model set at once while in-flight requests finish on the
+// snapshot they started with.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	secmetric "repro"
+	"repro/internal/core"
+	"repro/internal/featcache"
+	"repro/internal/findings"
+	"repro/internal/lang"
+	"repro/internal/metrics"
+	"repro/pkg/api"
+)
+
+// Config tunes the serving pipeline.
+type Config struct {
+	// Workers bounds how many requests may analyze concurrently; <= 0 uses
+	// GOMAXPROCS. Each admitted request holds one slot for its whole
+	// analysis.
+	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a slot on
+	// top of the Workers running ones; further requests are rejected with
+	// 429. Negative means 0 (no waiting room).
+	QueueDepth int
+	// RequestTimeout is the hard per-request deadline; <= 0 defaults to
+	// 2 minutes. A request's timeout_ms field can tighten it, never extend.
+	RequestTimeout time.Duration
+	// AnalyzeJobs bounds the per-file extraction pool inside one request;
+	// <= 0 uses every core.
+	AnalyzeJobs int
+	// FileTimeout bounds one file's deep analysis (see
+	// secmetric.AnalyzeConfig.FileTimeout).
+	FileTimeout time.Duration
+	// Cache is the shared process-wide feature cache; nil uses a fresh
+	// in-memory cache.
+	Cache *featcache.Cache
+}
+
+// Server is the HTTP daemon. Construct with New, mount Handler.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	cache *featcache.Cache
+	tel   *telemetry
+	sem   chan struct{}
+	slots int
+	start time.Time
+
+	// testHookAcquired, when non-nil, runs on the request goroutine right
+	// after a worker slot is acquired and before any analysis. Tests use
+	// it to hold slots open (backpressure) or outlive deadlines; production
+	// code never sets it.
+	testHookAcquired func(endpoint string)
+}
+
+// New builds a server over a populated registry.
+func New(reg *Registry, cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 2 * time.Minute
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = featcache.NewMemory()
+	}
+	return &Server{
+		cfg:   cfg,
+		reg:   reg,
+		cache: cache,
+		tel:   newTelemetry(),
+		sem:   make(chan struct{}, cfg.Workers),
+		slots: cfg.Workers,
+		start: time.Now(),
+	}
+}
+
+// Handler mounts the daemon's routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("POST /v1/score", s.instrument("score", s.handleScore))
+	mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	mux.HandleFunc("POST /v1/findings", s.instrument("findings", s.handleFindings))
+	mux.HandleFunc("POST /v1/compare", s.instrument("compare", s.handleCompare))
+	mux.HandleFunc("POST /v1/models/reload", s.instrument("reload", s.handleReload))
+	return mux
+}
+
+// statusRecorder captures the response code for the request counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with latency and status accounting.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		h(rec, r)
+		s.tel.observe(endpoint, rec.code, time.Since(t0).Seconds())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, api.Error{Code: code, Error: msg})
+}
+
+// requestTimeout resolves the effective deadline: the server maximum,
+// tightened by a positive timeout_ms.
+func (s *Server) requestTimeout(timeoutMS int64) time.Duration {
+	d := s.cfg.RequestTimeout
+	if timeoutMS > 0 {
+		if req := time.Duration(timeoutMS) * time.Millisecond; req < d {
+			d = req
+		}
+	}
+	return d
+}
+
+// withSlot runs fn under the admission discipline: queue-depth check (429
+// on overflow), bounded worker pool, per-request deadline (504 on expiry,
+// whether it hits while waiting for a slot or mid-analysis). fn gets the
+// deadline-bearing context and must return the analysis error, if any.
+func (s *Server) withSlot(w http.ResponseWriter, r *http.Request, endpoint string, timeoutMS int64, fn func(ctx context.Context) error) {
+	q := s.tel.queued.Add(1)
+	defer s.tel.queued.Add(-1)
+	if int(q) > s.slots+s.cfg.QueueDepth {
+		s.tel.queueFull.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, api.CodeQueueFull,
+			fmt.Sprintf("queue full: %d running, %d waiting", s.slots, s.cfg.QueueDepth))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(timeoutMS))
+	defer cancel()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		writeErr(w, http.StatusGatewayTimeout, api.CodeDeadline,
+			"deadline exceeded while waiting for a worker slot")
+		return
+	}
+	s.tel.inFlight.Add(1)
+	defer func() {
+		s.tel.inFlight.Add(-1)
+		<-s.sem
+	}()
+	if s.testHookAcquired != nil {
+		s.testHookAcquired(endpoint)
+	}
+	if ctx.Err() != nil {
+		writeErr(w, http.StatusGatewayTimeout, api.CodeDeadline, "deadline exceeded before analysis started")
+		return
+	}
+	if err := fn(ctx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeErr(w, http.StatusGatewayTimeout, api.CodeDeadline, err.Error())
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+	}
+}
+
+// analyze runs the full extraction pipeline for one request against the
+// shared feature cache.
+func (s *Server) analyze(ctx context.Context, tree *metrics.Tree) (secmetric.FeatureVector, *secmetric.AnalysisDiagnostics, error) {
+	return core.ExtractFeaturesDiagnostics(ctx, tree, core.ExtractConfig{
+		Jobs:        s.cfg.AnalyzeJobs,
+		Cache:       s.cache,
+		FileTimeout: s.cfg.FileTimeout,
+	})
+}
+
+// toTree converts a wire tree to the analyzer's representation, applying
+// the same discipline as the CLI's directory loader: languages inferred
+// from extensions, dot-files and unrecognized extensions skipped, files
+// sorted by path. An empty result (nothing analyzable) is an error.
+func toTree(t api.Tree) (*metrics.Tree, error) {
+	name := t.Name
+	if name == "" {
+		name = "tree"
+	}
+	out := &metrics.Tree{Name: name}
+	for _, f := range t.Files {
+		if f.Path == "" {
+			return nil, errors.New("file with empty path")
+		}
+		if strings.HasPrefix(path.Base(f.Path), ".") {
+			continue
+		}
+		l := lang.FromPath(f.Path)
+		if l == lang.Unknown {
+			continue
+		}
+		out.Files = append(out.Files, metrics.File{Path: f.Path, Language: l, Content: f.Content})
+	}
+	if len(out.Files) == 0 {
+		return nil, fmt.Errorf("no analyzable source files in tree %q", name)
+	}
+	sort.Slice(out.Files, func(i, j int) bool { return out.Files[i].Path < out.Files[j].Path })
+	for i := 1; i < len(out.Files); i++ {
+		if out.Files[i].Path == out.Files[i-1].Path {
+			return nil, fmt.Errorf("duplicate file path %q", out.Files[i].Path)
+		}
+	}
+	return out, nil
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "decode request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	var req api.ScoreRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	tree, err := toTree(req.Tree)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	model, name, ok := s.reg.Snapshot().Get(req.Model)
+	if !ok {
+		writeErr(w, http.StatusNotFound, api.CodeUnknownModel, fmt.Sprintf("unknown model %q", req.Model))
+		return
+	}
+	s.withSlot(w, r, "score", req.TimeoutMS, func(ctx context.Context) error {
+		fv, diag, err := s.analyze(ctx, tree)
+		if err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusOK, api.ScoreResponse{
+			Model:       name,
+			Report:      model.Score(req.Tree.Name, fv),
+			Diagnostics: diag,
+		})
+		return nil
+	})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req api.AnalyzeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	tree, err := toTree(req.Tree)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	s.withSlot(w, r, "analyze", req.TimeoutMS, func(ctx context.Context) error {
+		fv, diag, err := s.analyze(ctx, tree)
+		if err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusOK, api.AnalyzeResponse{Features: fv, Diagnostics: diag})
+		return nil
+	})
+}
+
+func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
+	var req api.FindingsRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	tree, err := toTree(req.Tree)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	sev, err := findings.ParseSeverity(req.MinSeverity)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	s.withSlot(w, r, "findings", req.TimeoutMS, func(ctx context.Context) error {
+		rep := secmetric.CollectFindings(tree).MinSeverity(sev)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		writeJSON(w, http.StatusOK, api.FindingsResponse{Report: rep})
+		return nil
+	})
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req api.CompareRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	oldTree, err := toTree(req.Old)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "old: "+err.Error())
+		return
+	}
+	newTree, err := toTree(req.New)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "new: "+err.Error())
+		return
+	}
+	model, name, ok := s.reg.Snapshot().Get(req.Model)
+	if !ok {
+		writeErr(w, http.StatusNotFound, api.CodeUnknownModel, fmt.Sprintf("unknown model %q", req.Model))
+		return
+	}
+	s.withSlot(w, r, "compare", req.TimeoutMS, func(ctx context.Context) error {
+		// Both versions run inside one slot against the shared cache, so
+		// only the files the change touched are deep-analyzed twice.
+		oldFV, oldDiag, err := s.analyze(ctx, oldTree)
+		if err != nil {
+			return err
+		}
+		newFV, newDiag, err := s.analyze(ctx, newTree)
+		if err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusOK, api.CompareResponse{
+			Model:          name,
+			Comparison:     model.Compare(req.Old.Name, oldFV, req.New.Name, newFV),
+			OldDiagnostics: oldDiag,
+			NewDiagnostics: newDiag,
+		})
+		return nil
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.reg.Load()
+	if err != nil {
+		// The previous snapshot keeps serving; the caller learns exactly
+		// which model file was refused and why.
+		writeErr(w, http.StatusInternalServerError, api.CodeReloadFailed, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, api.ReloadResponse{Models: snap.Names(), DefaultModel: snap.Default})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	writeJSON(w, http.StatusOK, api.Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Models:        snap.Names(),
+		DefaultModel:  snap.Default,
+		InFlight:      s.tel.inFlight.Load(),
+		Queued:        s.tel.queued.Load(),
+		Reloads:       s.reg.Reloads(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.tel.write(w)
+	hits, misses := s.cache.Stats()
+	fmt.Fprintln(w, "# HELP secmetricd_featcache_hits_total Shared feature-cache hits.")
+	fmt.Fprintln(w, "# TYPE secmetricd_featcache_hits_total counter")
+	fmt.Fprintf(w, "secmetricd_featcache_hits_total %d\n", hits)
+	fmt.Fprintln(w, "# HELP secmetricd_featcache_misses_total Shared feature-cache misses.")
+	fmt.Fprintln(w, "# TYPE secmetricd_featcache_misses_total counter")
+	fmt.Fprintf(w, "secmetricd_featcache_misses_total %d\n", misses)
+	fmt.Fprintln(w, "# HELP secmetricd_models_loaded Models in the current registry snapshot.")
+	fmt.Fprintln(w, "# TYPE secmetricd_models_loaded gauge")
+	fmt.Fprintf(w, "secmetricd_models_loaded %d\n", len(s.reg.Snapshot().Models))
+	fmt.Fprintln(w, "# HELP secmetricd_model_reloads_total Successful registry loads since start.")
+	fmt.Fprintln(w, "# TYPE secmetricd_model_reloads_total counter")
+	fmt.Fprintf(w, "secmetricd_model_reloads_total %d\n", s.reg.Reloads())
+	fmt.Fprintln(w, "# HELP secmetricd_uptime_seconds Seconds since the daemon started.")
+	fmt.Fprintln(w, "# TYPE secmetricd_uptime_seconds gauge")
+	fmt.Fprintf(w, "secmetricd_uptime_seconds %g\n", time.Since(s.start).Seconds())
+}

@@ -1,0 +1,131 @@
+// Package api defines the JSON wire contract of secmetricd, the
+// clairvoyance-as-a-service scoring daemon: request and response envelopes
+// for the analyzing endpoints (/v1/score, /v1/analyze, /v1/findings,
+// /v1/compare), the operational endpoints (/healthz, /v1/models/reload),
+// and the error envelope every non-2xx response carries. Both the server
+// (internal/server) and the typed client (pkg/client) build against these
+// types, so the contract lives in exactly one place.
+package api
+
+import (
+	secmetric "repro"
+)
+
+// File is one source file of a tree shipped for analysis. The language is
+// inferred server-side from the path extension, exactly as the CLI's
+// directory loader infers it; files with unrecognized extensions and
+// dot-files are skipped the same way.
+type File struct {
+	Path    string `json:"path"`
+	Content string `json:"content"`
+}
+
+// Tree is a JSON-encoded source tree, the unit every analyzing endpoint
+// accepts. Name becomes the report's subject line.
+type Tree struct {
+	Name  string `json:"name"`
+	Files []File `json:"files"`
+}
+
+// ScoreRequest asks POST /v1/score for the security report of one tree.
+type ScoreRequest struct {
+	// Model names a registry entry; empty selects the daemon's default.
+	Model string `json:"model,omitempty"`
+	Tree  Tree   `json:"tree"`
+	// TimeoutMS optionally tightens this request's deadline below the
+	// server's configured maximum; it can never extend it. A request that
+	// exceeds its deadline fails with status 504.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ScoreResponse carries the evaluation plus the per-file account of how the
+// analysis went (degraded files, cache traffic).
+type ScoreResponse struct {
+	// Model is the resolved registry name the report was scored with.
+	Model       string                         `json:"model"`
+	Report      *secmetric.Report              `json:"report"`
+	Diagnostics *secmetric.AnalysisDiagnostics `json:"diagnostics,omitempty"`
+}
+
+// AnalyzeRequest asks POST /v1/analyze for the raw code-property vector,
+// with no model involved.
+type AnalyzeRequest struct {
+	Tree      Tree  `json:"tree"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// AnalyzeResponse is the extracted feature vector.
+type AnalyzeResponse struct {
+	Features    secmetric.FeatureVector        `json:"features"`
+	Diagnostics *secmetric.AnalysisDiagnostics `json:"diagnostics,omitempty"`
+}
+
+// FindingsRequest asks POST /v1/findings for the CWE-mapped findings
+// stream of one tree.
+type FindingsRequest struct {
+	Tree Tree `json:"tree"`
+	// MinSeverity filters the stream ("info", "low", "medium", "high",
+	// "critical"); empty reports everything.
+	MinSeverity string `json:"min_severity,omitempty"`
+	TimeoutMS   int64  `json:"timeout_ms,omitempty"`
+}
+
+// FindingsResponse is the filtered findings stream.
+type FindingsResponse struct {
+	Report *secmetric.FindingsReport `json:"report"`
+}
+
+// CompareRequest asks POST /v1/compare for the risk delta between two
+// versions of a codebase — the paper's per-change CI gate, served. Both
+// versions are analyzed against the daemon's shared feature cache, so only
+// the files that differ are deep-analyzed twice.
+type CompareRequest struct {
+	Model     string `json:"model,omitempty"`
+	Old       Tree   `json:"old"`
+	New       Tree   `json:"new"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// CompareResponse is the comparison plus both analyses' diagnostics.
+type CompareResponse struct {
+	Model          string                         `json:"model"`
+	Comparison     *secmetric.Comparison          `json:"comparison"`
+	OldDiagnostics *secmetric.AnalysisDiagnostics `json:"old_diagnostics,omitempty"`
+	NewDiagnostics *secmetric.AnalysisDiagnostics `json:"new_diagnostics,omitempty"`
+}
+
+// Health is GET /healthz's body.
+type Health struct {
+	Status        string   `json:"status"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	Models        []string `json:"models"`
+	DefaultModel  string   `json:"default_model"`
+	InFlight      int64    `json:"in_flight"`
+	Queued        int64    `json:"queued"`
+	Reloads       uint64   `json:"model_reloads"`
+}
+
+// ReloadResponse is POST /v1/models/reload's body after a successful swap.
+type ReloadResponse struct {
+	Models       []string `json:"models"`
+	DefaultModel string   `json:"default_model"`
+}
+
+// Error is the envelope of every non-2xx response.
+type Error struct {
+	// Code is a stable machine-readable reason: "bad_request",
+	// "unknown_model", "queue_full", "deadline", "reload_failed",
+	// "internal".
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// Stable error codes.
+const (
+	CodeBadRequest   = "bad_request"
+	CodeUnknownModel = "unknown_model"
+	CodeQueueFull    = "queue_full"
+	CodeDeadline     = "deadline"
+	CodeReloadFailed = "reload_failed"
+	CodeInternal     = "internal"
+)

@@ -1,0 +1,196 @@
+// Package client is the typed HTTP client for secmetricd. It speaks the
+// pkg/api wire contract, surfaces the daemon's backpressure and deadline
+// signals as inspectable errors (IsQueueFull, IsDeadline), and converts
+// on-disk source trees with the same loader the CLI uses — so a gate that
+// links the library today can switch to the daemon by swapping one call.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/pkg/api"
+)
+
+// Client talks to one secmetricd instance.
+type Client struct {
+	base string
+	// HTTP is the underlying client; replace it to set transport-level
+	// timeouts or test doubles. Defaults to http.DefaultClient (the
+	// daemon, not the transport, bounds request time).
+	HTTP *http.Client
+}
+
+// New builds a client for a base URL like "http://127.0.0.1:8321".
+func New(baseURL string) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), HTTP: http.DefaultClient}
+}
+
+// APIError is a non-2xx daemon response: the HTTP status plus the wire
+// envelope's stable code and message.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("secmetricd: %s (http %d, code %s)", e.Message, e.StatusCode, e.Code)
+}
+
+// IsQueueFull reports whether err is the daemon's 429 backpressure signal;
+// the request was never admitted and is safe to retry after a pause.
+func IsQueueFull(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests
+}
+
+// IsDeadline reports whether err is the daemon's 504 deadline signal: the
+// request exceeded its (or the server's) time budget.
+func IsDeadline(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusGatewayTimeout
+}
+
+// Score asks the daemon to analyze and score one tree.
+func (c *Client) Score(ctx context.Context, req api.ScoreRequest) (*api.ScoreResponse, error) {
+	var out api.ScoreResponse
+	if err := c.post(ctx, "/v1/score", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Analyze asks for the raw code-property vector of one tree.
+func (c *Client) Analyze(ctx context.Context, req api.AnalyzeRequest) (*api.AnalyzeResponse, error) {
+	var out api.AnalyzeResponse
+	if err := c.post(ctx, "/v1/analyze", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Findings asks for the CWE-mapped findings stream of one tree.
+func (c *Client) Findings(ctx context.Context, req api.FindingsRequest) (*api.FindingsResponse, error) {
+	var out api.FindingsResponse
+	if err := c.post(ctx, "/v1/findings", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Compare asks for the risk delta between two versions.
+func (c *Client) Compare(ctx context.Context, req api.CompareRequest) (*api.CompareResponse, error) {
+	var out api.CompareResponse
+	if err := c.post(ctx, "/v1/compare", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Reload asks the daemon to re-read its model sources and swap the
+// registry snapshot.
+func (c *Client) Reload(ctx context.Context) (*api.ReloadResponse, error) {
+	var out api.ReloadResponse
+	if err := c.post(ctx, "/v1/models/reload", struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health fetches GET /healthz.
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	var out api.Health
+	if err := c.get(ctx, "/healthz", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RawMetrics fetches the GET /metrics text exposition.
+func (c *Client) RawMetrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{StatusCode: resp.StatusCode, Code: api.CodeInternal, Message: string(body)}
+	}
+	return string(body), nil
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: encode request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var we api.Error
+		if err := json.NewDecoder(resp.Body).Decode(&we); err != nil || we.Error == "" {
+			we = api.Error{Code: api.CodeInternal, Error: fmt.Sprintf("http %d", resp.StatusCode)}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Code: we.Code, Message: we.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// TreeFromDir loads a source tree from disk into wire form using the same
+// loader as `secmetric score <dir>` (recognized extensions only, hidden
+// entries skipped, path-sorted). The tree's Name is the dir argument as
+// given, so a daemon score of the result is byte-identical to the CLI
+// score of the same directory with the same model.
+func TreeFromDir(dir string) (api.Tree, error) {
+	t, err := metrics.LoadTree(dir)
+	if err != nil {
+		return api.Tree{}, err
+	}
+	out := api.Tree{Name: dir}
+	for _, f := range t.Files {
+		out.Files = append(out.Files, api.File{Path: f.Path, Content: f.Content})
+	}
+	return out, nil
+}

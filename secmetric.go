@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
@@ -184,21 +185,44 @@ func analyzeTree(ctx context.Context, tree *Tree, cfg AnalyzeConfig) (FeatureVec
 	return core.ExtractFeaturesDiagnostics(ctx, tree, ecfg)
 }
 
-// SaveModel writes a trained model to path.
+// ErrFeatureSchema marks a model file whose feature schema does not match
+// this build's metrics.FeatureNames; LoadModel refuses such models rather
+// than silently misaligning columns at score time.
+var ErrFeatureSchema = core.ErrFeatureSchema
+
+// SaveModel writes a trained model to path. The write is atomic: the model
+// is serialized to a temporary file in the same directory and renamed into
+// place, so a crash mid-write can never leave a truncated model a later
+// LoadModel (or a serving daemon's hot-reload) would choke on, and a reader
+// racing the write sees either the old complete file or the new one.
 func SaveModel(m *Model, path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".model-*.json")
 	if err != nil {
 		return fmt.Errorf("secmetric: %w", err)
 	}
-	defer f.Close()
-	if err := m.Save(f); err != nil {
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := m.Save(tmp); err != nil {
+		tmp.Close()
 		return err
 	}
-	return f.Close()
+	// CreateTemp opens 0600; match the 0644 a plain create would have used.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return fmt.Errorf("secmetric: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("secmetric: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("secmetric: %w", err)
+	}
+	return nil
 }
 
 // LoadModel reads a model written by SaveModel. Loaded models score and
-// compare codebases but cannot be retrained.
+// compare codebases but cannot be retrained. A model whose feature schema
+// does not match this build is refused with ErrFeatureSchema.
 func LoadModel(path string) (*Model, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -228,6 +252,12 @@ const (
 	SevHigh     = findings.SevHigh
 	SevCritical = findings.SevCritical
 )
+
+// ParseSeverity parses a severity level name ("info", "low", "medium",
+// "high", "critical"); the empty string parses as SevInfo.
+func ParseSeverity(name string) (FindingSeverity, error) {
+	return findings.ParseSeverity(name)
+}
 
 // CollectFindings runs every findings producer over an in-memory tree.
 func CollectFindings(tree *Tree) *FindingsReport {

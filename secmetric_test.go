@@ -2,6 +2,8 @@ package secmetric
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"sync"
@@ -193,6 +195,71 @@ func TestFacadeModelFileRoundTrip(t *testing.T) {
 	if orig.RiskScore != rest.RiskScore {
 		t.Fatalf("scores differ after file round trip: %v vs %v",
 			orig.RiskScore, rest.RiskScore)
+	}
+}
+
+func TestFacadeSaveModelAtomic(t *testing.T) {
+	_, model := setup(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+
+	// A save into a missing directory fails and leaves nothing behind at
+	// the target path.
+	if err := SaveModel(model, filepath.Join(dir, "nope", "model.json")); err == nil {
+		t.Fatal("save into a missing directory succeeded")
+	}
+
+	// A successful save leaves exactly the target file — no .model-* temp
+	// residue from the write-then-rename.
+	if err := SaveModel(model, path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "model.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("dir holds %v, want exactly model.json", names)
+	}
+
+	// Overwriting an existing model works and the result loads.
+	if err := SaveModel(model, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeLoadModelRefusesSchemaMismatch(t *testing.T) {
+	_, model := setup(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := SaveModel(model, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dto map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &dto); err != nil {
+		t.Fatal(err)
+	}
+	delete(dto, "schema")
+	stale, err := json.Marshal(dto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadModel(path)
+	if !errors.Is(err, ErrFeatureSchema) {
+		t.Fatalf("err = %v, want ErrFeatureSchema", err)
 	}
 }
 

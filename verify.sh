@@ -4,7 +4,10 @@
 # trees, the extraction worker pool, the feature cache, and the
 # cancellation/panic-containment paths — is race-checked on every run),
 # and a short native-fuzz smoke over the MiniC parser, the panic source
-# the containment layer most needs to hold against.
+# the containment layer most needs to hold against. Ends with a live
+# secmetricd smoke: concurrent daemon scores must be byte-identical to a
+# CLI run, deadlines must 504 without killing the process, a tight queue
+# must shed load with 429s, and SIGTERM must drain cleanly.
 set -eu
 
 cd "$(dirname "$0")"
@@ -39,5 +42,73 @@ case "$out" in
 	exit 1
 	;;
 esac
+
+echo "== daemon smoke (secmetricd) =="
+smoketmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+	if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+		kill "$daemon_pid" 2>/dev/null || true
+	fi
+	rm -rf "$smoketmp"
+}
+trap cleanup EXIT
+
+go build -o "$smoketmp/" ./cmd/secmetric ./cmd/secmetricd ./cmd/daemonsmoke
+go run ./cmd/trainctl -kind logistic -folds 5 -seed 5 -out "$smoketmp/model.json" >/dev/null
+"$smoketmp/secmetric" score -model "$smoketmp/model.json" -json examples/vulnapp > "$smoketmp/cli.json"
+
+wait_addr() {
+	i=0
+	while [ ! -s "$smoketmp/addr" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "daemon smoke: daemon never wrote its address" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+# Phase 1: a normally provisioned daemon must serve concurrent scores
+# byte-identical to the CLI, answer findings/analyze/metrics/reload, trip
+# 504 on an impossible deadline without dying — then drain on SIGTERM.
+"$smoketmp/secmetricd" -addr 127.0.0.1:0 -addr-file "$smoketmp/addr" \
+	-model "$smoketmp/model.json" -workers 4 -queue 32 \
+	-cache "$smoketmp/featcache" > "$smoketmp/daemon.log" 2>&1 &
+daemon_pid=$!
+wait_addr
+"$smoketmp/daemonsmoke" -addr "$(cat "$smoketmp/addr")" \
+	-dir examples/vulnapp -cli "$smoketmp/cli.json"
+kill -TERM "$daemon_pid"
+if ! wait "$daemon_pid"; then
+	echo "daemon smoke: SIGTERM drain exited nonzero" >&2
+	cat "$smoketmp/daemon.log" >&2
+	exit 1
+fi
+daemon_pid=""
+grep -q "drained cleanly" "$smoketmp/daemon.log" || {
+	echo "daemon smoke: no clean-drain log line" >&2
+	cat "$smoketmp/daemon.log" >&2
+	exit 1
+}
+
+# Phase 2: a tightly provisioned daemon (1 worker, queue depth 1) must
+# shed a 16-request burst with 429s while still serving some requests.
+rm -f "$smoketmp/addr"
+"$smoketmp/secmetricd" -addr 127.0.0.1:0 -addr-file "$smoketmp/addr" \
+	-model "$smoketmp/model.json" -workers 1 -queue 1 \
+	-cache "$smoketmp/featcache2" > "$smoketmp/daemon2.log" 2>&1 &
+daemon_pid=$!
+wait_addr
+"$smoketmp/daemonsmoke" -addr "$(cat "$smoketmp/addr")" \
+	-dir examples/vulnapp -mode burst -requests 16
+kill -TERM "$daemon_pid"
+if ! wait "$daemon_pid"; then
+	echo "daemon smoke: burst daemon drain exited nonzero" >&2
+	cat "$smoketmp/daemon2.log" >&2
+	exit 1
+fi
+daemon_pid=""
 
 echo "verify: OK"
