@@ -10,7 +10,8 @@
 //	    run over the same directory and model (-cli file)
 //	  * /v1/findings returns a non-empty findings stream
 //	  * /v1/analyze succeeds
-//	  * /metrics exposes the request counters and cache traffic
+//	  * /metrics exposes the request counters, cache traffic, and
+//	    per-phase busy totals grown by the load above
 //	  * /v1/models/reload succeeds and re-lists the models
 //	  * a request with a 1 ms budget over a large synthetic tree fails
 //	    with the daemon's deadline signal (504) — and the process stays
@@ -33,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -198,12 +200,19 @@ func runFull(ctx context.Context, c *client.Client, dir, cliFile string, request
 		"secmetricd_in_flight_requests",
 		"secmetricd_featcache_hits_total",
 		"secmetricd_models_loaded",
+		`secmetricd_phase_seconds_total{phase=`,
+		`secmetricd_phase_spans_total{phase="request"}`,
 	} {
 		if !strings.Contains(m, want) {
 			return fmt.Errorf("metrics: missing series %s", want)
 		}
 	}
-	log.Printf("metrics exposition ok (%d bytes)", len(m))
+	// The traffic above must have grown the per-phase counters: every
+	// admitted request records at least its root "request" span.
+	if !phaseSpansPositive(m) {
+		return fmt.Errorf("metrics: phase_spans_total{phase=\"request\"} not positive after load:\n%s", m)
+	}
+	log.Printf("metrics exposition ok (%d bytes), phase counters grew", len(m))
 
 	// 6. Hot reload.
 	rl, err := c.Reload(ctx)
@@ -233,6 +242,19 @@ func runFull(ctx context.Context, c *client.Client, dir, cliFile string, request
 	}
 	log.Printf("deadline trip returned 504 and the daemon stayed up")
 	return nil
+}
+
+// phaseSpansPositive parses the request-phase span counter out of the
+// exposition and reports whether it is positive.
+func phaseSpansPositive(m string) bool {
+	const prefix = `secmetricd_phase_spans_total{phase="request"} `
+	for _, line := range strings.Split(m, "\n") {
+		if v, ok := strings.CutPrefix(line, prefix); ok {
+			n, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			return err == nil && n > 0
+		}
+	}
+	return false
 }
 
 func runBurst(ctx context.Context, c *client.Client, dir string, requests, replicas int) error {

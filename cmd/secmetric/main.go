@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	secmetric analyze  [-diag] <dir>              print the code-property vector
+//	secmetric analyze  [-diag] [-json] [-trace f] [-slowest N] <dir>  print the code-property vector
 //	secmetric score    [-model m.json] [-json] <dir>  print the security report
 //	secmetric compare  [-model m.json] <old> <new>  print the risk delta
 //	secmetric focus    [-model m.json] [-budget N] <dir>  apportion deep analysis
@@ -33,6 +33,7 @@ import (
 	secmetric "repro"
 	"repro/internal/metrics"
 	"repro/internal/system"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -69,7 +70,7 @@ func run(ctx context.Context, args []string) error {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: secmetric {analyze [-diag] <dir> | score [-model m.json] [-json] <dir> | compare [-model m.json] <old> <new> | focus [-model m.json] [-budget N] <dir> | hotspots [-top N] <dir> | findings [-min sev] [-json] <dir> | image [-model m.json] <manifest.json>} [-jobs N] [-cache dir] [-file-timeout d]")
+	return fmt.Errorf("usage: secmetric {analyze [-diag] [-json] [-trace f] [-slowest N] <dir> | score [-model m.json] [-json] <dir> | compare [-model m.json] <old> <new> | focus [-model m.json] [-budget N] <dir> | hotspots [-top N] <dir> | findings [-min sev] [-json] <dir> | image [-model m.json] <manifest.json>} [-jobs N] [-cache dir] [-file-timeout d]")
 }
 
 // analyzeOpts registers the shared extraction flags (-jobs, -cache,
@@ -248,6 +249,9 @@ func cmdFocus(args []string) error {
 func cmdAnalyze(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	diag := fs.Bool("diag", false, "print per-file analysis diagnostics after the vector")
+	asJSON := fs.Bool("json", false, "emit the vector (and -diag diagnostics) as JSON")
+	traceOut := fs.String("trace", "", "write a Chrome trace_event profile of the run to this file (open in Perfetto / chrome://tracing)")
+	slowest := fs.Int("slowest", 0, "print the N slowest files with a per-phase time breakdown")
 	acfg := analyzeOpts(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -255,18 +259,60 @@ func cmdAnalyze(ctx context.Context, args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("analyze needs exactly one directory")
 	}
+
+	// The tracer only exists when some output needs it; otherwise the
+	// context carries no span and the pipeline takes its nil fast path.
+	var tr *trace.Tracer
+	if *traceOut != "" || *slowest > 0 {
+		tr = trace.New("analyze")
+		ctx = trace.ContextWithSpan(ctx, tr.Root())
+	}
 	fv, d, err := secmetric.AnalyzeDirWithDiagnostics(ctx, fs.Arg(0), *acfg)
+	tr.Finish()
 	if err != nil {
 		return err
 	}
-	names := append([]string(nil), metrics.FeatureNames...)
-	sort.Strings(names)
-	fmt.Printf("Code properties of %s:\n", fs.Arg(0))
-	for _, n := range names {
-		fmt.Printf("  %-22s %12.3f\n", n, fv[n])
+	if *traceOut != "" {
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			return ferr
+		}
+		if ferr := tr.WriteTraceEvents(f); ferr != nil {
+			f.Close()
+			return ferr
+		}
+		if ferr := f.Close(); ferr != nil {
+			return ferr
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (load it in Perfetto or chrome://tracing)\n", *traceOut)
 	}
-	if *diag {
-		fmt.Print(d)
+
+	if *asJSON {
+		out := struct {
+			Features    secmetric.FeatureVector        `json:"features"`
+			Diagnostics *secmetric.AnalysisDiagnostics `json:"diagnostics,omitempty"`
+		}{Features: fv}
+		if *diag {
+			out.Diagnostics = d
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		names := append([]string(nil), metrics.FeatureNames...)
+		sort.Strings(names)
+		fmt.Printf("Code properties of %s:\n", fs.Arg(0))
+		for _, n := range names {
+			fmt.Printf("  %-22s %12.3f\n", n, fv[n])
+		}
+		if *diag {
+			fmt.Print(d)
+		}
+	}
+	if *slowest > 0 {
+		fmt.Print(trace.RenderSlowest(tr.SlowestFiles(*slowest)))
 	}
 	return nil
 }

@@ -3,8 +3,10 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -218,4 +220,92 @@ func TestCLIImage(t *testing.T) {
 func jsonStr(s string) string {
 	b, _ := json.Marshal(s)
 	return string(b)
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
+}
+
+// TestCLIAnalyzeTraceAndSlowest runs a traced analysis and checks both the
+// Perfetto export and the slowest-files table.
+func TestCLIAnalyzeTraceAndSlowest(t *testing.T) {
+	dir := writeSrc(t, "main.c", cliSrc)
+	if err := os.WriteFile(filepath.Join(dir, "two.c"), []byte("int f(int x) { return x + 1; }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	traceFile := filepath.Join(t.TempDir(), "out.json")
+	out := captureStdout(t, func() error {
+		return run(context.Background(), []string{"analyze", "-trace", traceFile, "-slowest", "2", dir})
+	})
+	if !strings.Contains(out, "file") || !strings.Contains(out, "main.c") {
+		t.Fatalf("slowest table missing file rows:\n%s", out)
+	}
+
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) < 4 {
+		t.Fatalf("trace has only %d events", len(tf.TraceEvents))
+	}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" || ev.Name == "" {
+			t.Fatalf("malformed event %+v", ev)
+		}
+	}
+}
+
+// TestCLIAnalyzeTracingDoesNotChangeOutput is the acceptance criterion:
+// the analyze output (vector and diagnostics, JSON-encoded) is
+// byte-identical whether or not a trace is being recorded.
+func TestCLIAnalyzeTracingDoesNotChangeOutput(t *testing.T) {
+	dir := writeSrc(t, "main.c", cliSrc)
+	if err := os.WriteFile(filepath.Join(dir, "bad.c"), []byte("int main( { nope\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []string{"1", "8"} {
+		plain := captureStdout(t, func() error {
+			return run(context.Background(), []string{"analyze", "-json", "-diag", "-jobs", jobs, dir})
+		})
+		traceFile := filepath.Join(t.TempDir(), "out.json")
+		traced := captureStdout(t, func() error {
+			return run(context.Background(), []string{"analyze", "-json", "-diag", "-jobs", jobs, "-trace", traceFile, dir})
+		})
+		if plain != traced {
+			t.Fatalf("jobs=%s: traced stdout differs from untraced:\n--- plain\n%s\n--- traced\n%s", jobs, plain, traced)
+		}
+		if strings.Contains(plain, `"trace"`) {
+			t.Fatalf("analyze output contains a trace key:\n%s", plain)
+		}
+	}
 }

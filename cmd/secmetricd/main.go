@@ -20,6 +20,11 @@
 //	           [-train-default] [-workers N] [-queue N]
 //	           [-request-timeout d] [-jobs N] [-file-timeout d]
 //	           [-cache dir] [-addr-file f] [-drain-timeout d]
+//	           [-max-body-bytes N] [-pprof addr]
+//
+// With -pprof, a second listener serves net/http/pprof on its own mux —
+// profiling never shares a port (or an exposure decision) with the scoring
+// API. Request bodies above -max-body-bytes are rejected with 413.
 //
 // Model sources: every -model file registers under its basename (or an
 // explicit NAME=PATH), and every *.json in -model-dir registers under its
@@ -39,6 +44,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -72,6 +78,8 @@ func run() error {
 		fileTimeout  = flag.Duration("file-timeout", 0, "per-file deep-analysis deadline (0 = unbounded)")
 		cacheDir     = flag.String("cache", "", "persistent feature-cache directory shared by all requests (empty = in-memory)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
+		maxBody      = flag.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "largest accepted request body in bytes; oversized bodies are rejected with 413")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	)
 	modelFiles := map[string]string{}
 	flag.Func("model", "model file to serve, repeatable; `path` or NAME=PATH (name defaults to the basename)", func(v string) error {
@@ -128,7 +136,23 @@ func run() error {
 		AnalyzeJobs:    *jobs,
 		FileTimeout:    *fileTimeout,
 		Cache:          cache,
+		MaxBodyBytes:   *maxBody,
 	})
+
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		log.Printf("pprof listening on %s", pln.Addr())
+		ps := newHTTPServer(pprofMux())
+		defer ps.Close()
+		go func() {
+			if err := ps.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -147,7 +171,7 @@ func run() error {
 	}
 	log.Printf("listening on %s", bound)
 
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := newHTTPServer(srv.Handler())
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -170,4 +194,34 @@ func run() error {
 	}
 	log.Printf("drained cleanly")
 	return nil
+}
+
+// newHTTPServer wraps a handler in an http.Server with slow-client
+// protections: a client that trickles its request headers (slow loris) is
+// cut off by ReadHeaderTimeout, and idle keep-alive connections are
+// reclaimed by IdleTimeout. Body reads are not bounded here — the
+// per-request deadline and -max-body-bytes own that — so a legitimately
+// large tree upload on a slow link still goes through.
+func newHTTPServer(h http.Handler) *http.Server {
+	return hardenedServer(h, 10*time.Second, 2*time.Minute)
+}
+
+func hardenedServer(h http.Handler, readHeader, idle time.Duration) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeader,
+		IdleTimeout:       idle,
+	}
+}
+
+// pprofMux serves the net/http/pprof handlers on a private mux, so enabling
+// profiling never touches http.DefaultServeMux or the API listener.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func serveHardened(t *testing.T, readHeader, idle time.Duration) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := hardenedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		fmt.Fprint(w, "ok")
+	}), readHeader, idle)
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+	return ln.Addr().String()
+}
+
+// TestSlowLorisHeadersCutOff is the slow-client regression: a connection
+// that trickles its request headers is closed once ReadHeaderTimeout
+// elapses, instead of holding a server goroutine hostage indefinitely.
+func TestSlowLorisHeadersCutOff(t *testing.T) {
+	addr := serveHardened(t, 150*time.Millisecond, time.Minute)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A request line but never the terminating blank line: headers stay
+	// forever incomplete from the server's point of view.
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: x\r\nX-Drip: ")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	if err == nil {
+		t.Fatal("server answered a request whose headers never completed")
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server still holding the slow-loris connection after ReadHeaderTimeout")
+	}
+	// err is io.EOF or a reset: the server cut the connection. Good.
+}
+
+// TestCompleteRequestWithinWindow is the other half: a prompt client on the
+// same hardened server is served normally.
+func TestCompleteRequestWithinWindow(t *testing.T) {
+	addr := serveHardened(t, 150*time.Millisecond, time.Minute)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(line, "200") {
+		t.Fatalf("status line = %q, want 200", line)
+	}
+}
+
+// TestPprofMuxServesIndex checks the private pprof mux answers without
+// touching http.DefaultServeMux.
+func TestPprofMuxServesIndex(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := newHTTPServer(pprofMux())
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: status %d body %.80s", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,100 @@
+// Command tracecheck validates a Chrome trace_event file produced by
+// `secmetric analyze -trace`: the file must be well-formed JSON in the
+// trace_event object format with a non-empty traceEvents array, and every
+// event must carry a name, the "X" (complete) phase, and non-negative
+// timestamps. verify.sh runs it as the trace smoke's assertion.
+//
+// Usage:
+//
+//	tracecheck <trace.json>            validate one trace
+//	tracecheck <a.json> <b.json>       additionally assert the two traces
+//	                                   are structurally identical: the same
+//	                                   ordered sequence of (name, args)
+//	                                   events, durations aside — the
+//	                                   determinism contract for the same
+//	                                   workload at different -jobs widths
+//
+// Exit status 0 means the trace would load in Perfetto / chrome://tracing.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	if len(os.Args) < 2 || len(os.Args) > 3 {
+		log.Fatal("usage: tracecheck <trace.json> [other.json]")
+	}
+	shapes := make([]string, 0, 2)
+	for _, path := range os.Args[1:] {
+		shape, err := check(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shapes = append(shapes, shape)
+	}
+	if len(shapes) == 2 && shapes[0] != shapes[1] {
+		log.Fatalf("%s and %s are structurally different:\n--- %s\n%s\n--- %s\n%s",
+			os.Args[1], os.Args[2], os.Args[1], shapes[0], os.Args[2], shapes[1])
+	}
+	if len(shapes) == 2 {
+		fmt.Println("tracecheck: traces structurally identical")
+	}
+}
+
+type event struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	TS   *float64        `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	PID  int             `json:"pid"`
+	TID  int             `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+// check validates one trace file and returns its durationless shape: the
+// ordered (name, args) sequence. Events are exported in a deterministic
+// tree walk, so the shape is comparable across runs; tids are excluded
+// (lane assignment depends on timing overlap).
+func check(path string) (string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var tf struct {
+		TraceEvents     []event `json:"traceEvents"`
+		DisplayTimeUnit string  `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		return "", fmt.Errorf("%s: not valid trace_event JSON: %w", path, err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return "", fmt.Errorf("%s: traceEvents is empty", path)
+	}
+	names := map[string]bool{}
+	shape := ""
+	for i, ev := range tf.TraceEvents {
+		switch {
+		case ev.Name == "":
+			return "", fmt.Errorf("%s: event %d has no name", path, i)
+		case ev.Ph != "X":
+			return "", fmt.Errorf("%s: event %d (%s): phase %q, want \"X\"", path, i, ev.Name, ev.Ph)
+		case ev.TS == nil || *ev.TS < 0:
+			return "", fmt.Errorf("%s: event %d (%s): missing or negative ts", path, i, ev.Name)
+		case ev.Dur == nil || *ev.Dur < 0:
+			return "", fmt.Errorf("%s: event %d (%s): missing or negative dur", path, i, ev.Name)
+		case ev.TID < 1:
+			return "", fmt.Errorf("%s: event %d (%s): tid %d, want >= 1", path, i, ev.Name, ev.TID)
+		}
+		names[ev.Name] = true
+		shape += ev.Name + " " + string(ev.Args) + "\n"
+	}
+	fmt.Printf("tracecheck: %s ok — %d events, %d distinct phases\n",
+		path, len(tf.TraceEvents), len(names))
+	return shape, nil
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/trace"
 )
 
 // FileStatus classifies how one file fared in the deep-analysis pipeline.
@@ -49,6 +51,12 @@ type AnalysisDiagnostics struct {
 	// (zero when no cache is configured).
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
+	// Trace is the span summary of the run — wall time, span count, and
+	// per-phase busy totals. It is attached only when the caller asked for
+	// tracing (a daemon request with trace=true); otherwise the field is
+	// absent and the serialized diagnostics are byte-identical to an
+	// untraced run's.
+	Trace *trace.Summary `json:"trace,omitempty"`
 }
 
 // Counts tallies files by status.

@@ -23,6 +23,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/stats"
 	"repro/internal/symexec"
+	"repro/internal/trace"
 )
 
 // Transformer maps raw feature vectors into model space. It is the part of
@@ -302,9 +303,21 @@ func ExtractFeaturesDiagnostics(ctx context.Context, tree *metrics.Tree, cfg Ext
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	fv := metrics.Extract(tree)
+	// Tracing is carried by the context; with no span attached every trace
+	// call below is a nil no-op and the run is byte-identical to an
+	// uninstrumented one. The sequential phases use Child (seqs 0 and 1);
+	// the parallel per-file spans use ChildAt with the file index offset
+	// past them, so the span tree is deterministic at any pool width.
+	ext := trace.SpanFromContext(ctx).Child("extract")
+	defer ext.End()
 
+	bs := ext.Child("base")
+	fv := metrics.Extract(tree)
+	bs.End()
+
+	ls := ext.Child("lint")
 	rep := lint.Check(tree)
+	ls.End()
 	fv[metrics.FeatLintWarnings] = float64(rep.Total())
 
 	var hits0, misses0 uint64
@@ -328,7 +341,11 @@ func ExtractFeaturesDiagnostics(ctx context.Context, tree *metrics.Tree, cfg Ext
 					continue
 				}
 				f := tree.Files[i]
-				enr, status, detail := enrichFileCached(ctx, f, cfg)
+				fs := ext.ChildAt(fileSpanSeqBase+i, trace.SpanNameFile)
+				fs.SetLabel(f.Path)
+				fs.Add("bytes", int64(len(f.Content)))
+				enr, status, detail := enrichFileCached(ctx, f, cfg, fs)
+				fs.End()
 				enriched[i] = enr
 				diag.Files[i] = FileDiagnostic{Path: f.Path, Status: status, Detail: detail}
 			}
@@ -391,6 +408,15 @@ dispatch:
 	return fv, diag, nil
 }
 
+// fileSpanSeqBase offsets per-file span sequence keys past the sequential
+// phases of the extract span (base = 0, lint = 1), keeping the two seq
+// ranges disjoint so render order is well-defined.
+const fileSpanSeqBase = 2
+
+// deepSpanSeq is the adopted deep-analysis subtree's sequence key under a
+// file span; the cache probe (when present) takes Child seq 0.
+const deepSpanSeq = 1
+
 // enrichFileCached consults the cache before running the deep analyses.
 // The key covers the analysis version, the file language, and the file
 // bytes — the complete input of enrichFile — so a hit is always safe to
@@ -399,16 +425,20 @@ dispatch:
 // timed-out or panic-contained zero is a degraded result, and caching it
 // would make the degradation permanent even after the timeout is raised
 // or the analyzer bug fixed.
-func enrichFileCached(ctx context.Context, f metrics.File, cfg ExtractConfig) (fileEnrichment, FileStatus, string) {
+func enrichFileCached(ctx context.Context, f metrics.File, cfg ExtractConfig, fs *trace.Span) (fileEnrichment, FileStatus, string) {
 	if cfg.Cache == nil {
-		return enrichFileBounded(ctx, f, cfg.FileTimeout)
+		return enrichFileBounded(ctx, f, cfg.FileTimeout, fs)
 	}
+	cs := fs.Child("cache")
 	key := featcache.Key(AnalysisVersion, f.Language.String(), f.Content)
 	var out fileEnrichment
-	if cfg.Cache.GetJSON(key, &out) {
+	hit := cfg.Cache.GetJSON(key, &out)
+	cs.End()
+	if hit {
+		fs.Add("cache_hit", 1)
 		return out, StatusCacheHit, ""
 	}
-	out, status, detail := enrichFileBounded(ctx, f, cfg.FileTimeout)
+	out, status, detail := enrichFileBounded(ctx, f, cfg.FileTimeout, fs)
 	if status == StatusOK || status == StatusParseSkip {
 		// A failed write only costs a future re-analysis; the result is
 		// still correct, so cache errors are deliberately not fatal.
@@ -422,9 +452,20 @@ func enrichFileCached(ctx context.Context, f metrics.File, cfg ExtractConfig) (f
 // until it finishes on its own; its result is discarded and the file
 // degrades to a zero enrichment immediately. Without a deadline the
 // analysis runs inline on the worker.
-func enrichFileBounded(ctx context.Context, f metrics.File, timeout time.Duration) (fileEnrichment, FileStatus, string) {
+//
+// The deep-analysis phases record into a detached span subtree that is
+// adopted into the file span only when the result is accepted. An
+// abandoned (timed-out or canceled) analysis keeps writing to its
+// detached subtree, which is never read again — so the runaway goroutine
+// can never race the trace exporter, at the cost of a timed-out file
+// losing its phase breakdown (its diagnostic already names it).
+func enrichFileBounded(ctx context.Context, f metrics.File, timeout time.Duration, fs *trace.Span) (fileEnrichment, FileStatus, string) {
+	deep := fs.Detached("deep")
 	if timeout <= 0 {
-		return enrichFileSafe(f)
+		enr, status, detail := enrichFileSafe(f, deep)
+		deep.End()
+		fs.Adopt(deep, deepSpanSeq)
+		return enr, status, detail
 	}
 	type result struct {
 		enr    fileEnrichment
@@ -433,13 +474,15 @@ func enrichFileBounded(ctx context.Context, f metrics.File, timeout time.Duratio
 	}
 	ch := make(chan result, 1) // buffered: the late finisher must not leak forever
 	go func() {
-		enr, status, detail := enrichFileSafe(f)
+		enr, status, detail := enrichFileSafe(f, deep)
+		deep.End() // before the send: adoption must never race recording
 		ch <- result{enr, status, detail}
 	}()
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case r := <-ch:
+		fs.Adopt(deep, deepSpanSeq)
 		return r.enr, r.status, r.detail
 	case <-timer.C:
 		return fileEnrichment{}, StatusTimeout, fmt.Sprintf("deep analysis exceeded %v; degraded to base metrics", timeout)
@@ -463,7 +506,7 @@ var enrichTestHook func(f metrics.File)
 // The degradation is deterministic — the same file panics the same way at
 // any pool width — so the determinism contract of ExtractFeaturesWith
 // survives containment.
-func enrichFileSafe(f metrics.File) (enr fileEnrichment, status FileStatus, detail string) {
+func enrichFileSafe(f metrics.File, sp *trace.Span) (enr fileEnrichment, status FileStatus, detail string) {
 	defer func() {
 		if r := recover(); r != nil {
 			enr = fileEnrichment{}
@@ -474,7 +517,7 @@ func enrichFileSafe(f metrics.File) (enr fileEnrichment, status FileStatus, deta
 	if enrichTestHook != nil {
 		enrichTestHook(f)
 	}
-	return enrichFile(f)
+	return enrichFile(f, sp)
 }
 
 // enrichFile runs the deep analyses over one file; files that do not parse
@@ -482,11 +525,13 @@ func enrichFileSafe(f metrics.File) (enr fileEnrichment, status FileStatus, deta
 // beyond the base metrics (real C rarely parses as MiniC; the token metrics
 // already cover it), and report parse-skip so the omission is visible in the
 // diagnostics.
-func enrichFile(f metrics.File) (fileEnrichment, FileStatus, string) {
+func enrichFile(f metrics.File, sp *trace.Span) (fileEnrichment, FileStatus, string) {
 	var out fileEnrichment
 	// The findings layer applies to every file: token-level lint rules need
 	// no parse, and the IR-based producers gate themselves on parseability.
+	fds := sp.Child("findings")
 	fa := findings.AnalyzeFile(f)
+	fds.End()
 	out.InterSinks = fa.InterTaintSinks
 	out.TaintMaxChain = fa.TaintMaxChain
 	for _, fd := range fa.Findings {
@@ -505,22 +550,32 @@ func enrichFile(f metrics.File) (fileEnrichment, FileStatus, string) {
 	if f.Language != lang.MiniC && f.Language != lang.C {
 		return out, StatusOK, ""
 	}
+	ps := sp.Child("parse")
 	prog, err := minic.Parse(f.Content)
 	if err != nil {
+		ps.End()
 		return out, StatusParseSkip, fmt.Sprintf("not parsed as MiniC: %v", err)
 	}
 	lowered, err := ir.Lower(prog)
+	ps.End()
 	if err != nil {
 		return out, StatusParseSkip, fmt.Sprintf("IR lowering failed: %v", err)
 	}
+	ts := sp.Child("taint")
 	out.TaintedSinks = dataflow.CountTaintedSinks(lowered)
+	ts.End()
+	ss := sp.Child("symexec")
 	cfg := symexec.DefaultConfig()
 	for _, fn := range lowered.Funcs {
 		out.FeasiblePaths += float64(symexec.Explore(fn, cfg).FeasiblePaths)
 	}
+	ss.End()
+	cs := sp.Child("callgraph")
 	cg := callgraph.Build(lowered)
 	out.MaxFanOut = cg.MaxFanOut()
 	out.MaxDepth = cg.Depth()
+	cs.End()
+	is := sp.Child("interp")
 	for _, root := range cg.Roots() {
 		prof, err := interp.ProfileFunc(lowered, root, 24, 0xd1ce)
 		if err != nil {
@@ -530,5 +585,6 @@ func enrichFile(f metrics.File) (fileEnrichment, FileStatus, string) {
 		out.CovRuns++
 		out.DynPaths += prof.UniquePaths
 	}
+	is.End()
 	return out, StatusOK, ""
 }

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// traceTree builds a multi-file MiniC tree large enough that a parallel
+// extraction actually interleaves workers. Cacheless on purpose: a shared
+// cache makes duplicate-content files race to it, which legitimately
+// changes span structure across widths.
+func traceTree(n int) *metrics.Tree {
+	files := make([]metrics.File, n)
+	for i := range files {
+		files[i] = metrics.File{
+			Path: fmt.Sprintf("f%02d.mc", i),
+			Content: fmt.Sprintf(`
+int limit_%d = %d;
+int work_%d(int x) {
+	int buf[%d];
+	if (x > limit_%d) { x = limit_%d; }
+	strcpy(buf[0], read_input());
+	return x + %d;
+}
+`, i, i, i, 8+i, i, i, i),
+		}
+	}
+	return metrics.NewTree("trace-tree", files...)
+}
+
+func runTraced(t *testing.T, tree *metrics.Tree, jobs int) (*trace.Tracer, metrics.FeatureVector, *AnalysisDiagnostics) {
+	t.Helper()
+	tr := trace.New("analyze")
+	ctx := trace.ContextWithSpan(context.Background(), tr.Root())
+	fv, diag, err := ExtractFeaturesDiagnostics(ctx, tree, ExtractConfig{Jobs: jobs})
+	tr.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, fv, diag
+}
+
+// TestTraceStructureDeterministicAcrossWidths is the determinism contract
+// on the real pipeline: the span tree's durationless rendering is
+// byte-identical whether one worker or eight extracted the tree.
+func TestTraceStructureDeterministicAcrossWidths(t *testing.T) {
+	tree := traceTree(12)
+	tr1, fv1, _ := runTraced(t, tree, 1)
+	tr8, fv8, _ := runTraced(t, tree, 8)
+
+	s1, s8 := tr1.StructureString(), tr8.StructureString()
+	if s1 != s8 {
+		t.Fatalf("span structure differs between -jobs 1 and -jobs 8:\n--- jobs=1\n%s\n--- jobs=8\n%s", s1, s8)
+	}
+	if !strings.Contains(s1, "file [f00.mc]") || !strings.Contains(s1, "file [f11.mc]") {
+		t.Fatalf("structure missing per-file spans:\n%s", s1)
+	}
+	for _, phase := range []string{"extract", "base", "lint", "deep", "parse", "taint", "symexec", "callgraph", "interp", "findings"} {
+		if !strings.Contains(s1, phase) {
+			t.Errorf("structure missing phase %q:\n%s", phase, s1)
+		}
+	}
+	if canonJSON(t, fv1) != canonJSON(t, fv8) {
+		t.Fatal("vectors differ across widths")
+	}
+}
+
+// TestTracedRunOutputIdenticalToUntraced is the zero-cost contract's other
+// half: attaching a tracer changes nothing about the extraction's outputs —
+// same vector, byte-identical serialized diagnostics.
+func TestTracedRunOutputIdenticalToUntraced(t *testing.T) {
+	tree := traceTree(6)
+	for _, jobs := range []int{1, 8} {
+		fvOff, diagOff, err := ExtractFeaturesDiagnostics(context.Background(), tree, ExtractConfig{Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, fvOn, diagOn := runTraced(t, tree, jobs)
+		if canonJSON(t, fvOff) != canonJSON(t, fvOn) {
+			t.Fatalf("jobs=%d: traced vector differs from untraced", jobs)
+		}
+		if canonJSON(t, diagOff) != canonJSON(t, diagOn) {
+			t.Fatalf("jobs=%d: traced diagnostics differ from untraced:\n%s\nvs\n%s",
+				jobs, canonJSON(t, diagOff), canonJSON(t, diagOn))
+		}
+		if strings.Contains(canonJSON(t, diagOn), `"trace"`) {
+			t.Fatalf("jobs=%d: extraction attached a trace summary on its own", jobs)
+		}
+	}
+}
+
+// TestTraceExportOnRealPipeline sanity-checks the Chrome export and the
+// slowest-files report against a real run.
+func TestTraceExportOnRealPipeline(t *testing.T) {
+	tree := traceTree(5)
+	tr, _, _ := runTraced(t, tree, 4)
+
+	var sb strings.Builder
+	if err := tr.WriteTraceEvents(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &tf); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) < 5 {
+		t.Fatalf("only %d events exported", len(tf.TraceEvents))
+	}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" || ev.Name == "" || ev.TS < 0 || ev.Dur < 0 {
+			t.Fatalf("malformed event %+v", ev)
+		}
+	}
+
+	slow := tr.SlowestFiles(3)
+	if len(slow) != 3 {
+		t.Fatalf("slowest = %d entries, want 3", len(slow))
+	}
+	for i := 1; i < len(slow); i++ {
+		if slow[i].Seconds > slow[i-1].Seconds {
+			t.Fatal("slowest files not sorted descending")
+		}
+	}
+	if !strings.HasPrefix(slow[0].Path, "f") {
+		t.Fatalf("slowest path = %q, want a file label", slow[0].Path)
+	}
+}
+
+func canonJSON(t *testing.T, v any) string {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}

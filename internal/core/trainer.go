@@ -7,6 +7,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/ml"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // ModelKind selects a classifier family.
@@ -116,7 +117,16 @@ func Train(ctx context.Context, tb *Testbed, cfg TrainConfig) (*Model, error) {
 		return nil, err
 	}
 	hyps := append(StandardHypotheses(), HypManyVulns)
+	// Span layout mirrors the extraction pipeline's discipline: the
+	// sequential impute phase uses Child (seq 0), the parallel
+	// per-hypothesis spans use ChildAt keyed by hypothesis index, and the
+	// trailing regression span is keyed past them — deterministic
+	// structure at any Jobs width.
+	tr := trace.SpanFromContext(ctx).Child("train")
+	defer tr.End()
+	is := tr.Child("impute")
 	tb.FitImputation()
+	is.End()
 	m := &Model{Config: cfg, Transformer: tb.Transformer}
 	rng := stats.NewRNG(cfg.Seed)
 	rngs := make([]*stats.RNG, len(hyps))
@@ -125,7 +135,10 @@ func Train(ctx context.Context, tb *Testbed, cfg TrainConfig) (*Model, error) {
 	}
 	hms := make([]*HypothesisModel, len(hyps))
 	if err := ml.ParallelForCtx(ctx, len(hyps), cfg.Jobs, func(i int) error {
+		hs := tr.ChildAt(1+i, "hypothesis")
+		hs.SetLabel(hyps[i].Name)
 		hm, err := TrainHypothesis(tb, hyps[i], cfg, rngs[i])
+		hs.End()
 		if err != nil {
 			return fmt.Errorf("core: training %s: %w", hyps[i].Name, err)
 		}
@@ -139,6 +152,8 @@ func Train(ctx context.Context, tb *Testbed, cfg TrainConfig) (*Model, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	rs := tr.ChildAt(1+len(hyps), "regression")
+	defer rs.End()
 	reg, err := tb.RegressionDataset()
 	if err != nil {
 		return nil, err

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // latencyBuckets are the fixed histogram bounds (seconds) of the request
@@ -26,9 +28,16 @@ type endpointStats struct {
 // histograms are mutex-guarded (exposition is low-rate and observation is
 // one map update per request); the admission-path gauges are atomics so
 // rejected requests never contend on the lock.
+// phaseStats accumulates one pipeline phase's totals across requests.
+type phaseStats struct {
+	seconds float64
+	spans   uint64
+}
+
 type telemetry struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
+	phases    map[string]*phaseStats
 
 	inFlight  atomic.Int64
 	queued    atomic.Int64
@@ -36,7 +45,31 @@ type telemetry struct {
 }
 
 func newTelemetry() *telemetry {
-	return &telemetry{endpoints: map[string]*endpointStats{}}
+	return &telemetry{
+		endpoints: map[string]*endpointStats{},
+		phases:    map[string]*phaseStats{},
+	}
+}
+
+// observePhases folds one finished request's per-phase busy totals into the
+// daemon-lifetime counters. Phase names come from the trace layer's bounded
+// taxonomy, so the label cardinality stays fixed no matter what trees
+// clients send.
+func (t *telemetry) observePhases(totals []trace.PhaseTotal) {
+	if len(totals) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, pt := range totals {
+		ps := t.phases[pt.Phase]
+		if ps == nil {
+			ps = &phaseStats{}
+			t.phases[pt.Phase] = ps
+		}
+		ps.seconds += pt.Seconds
+		ps.spans += uint64(pt.Count)
+	}
 }
 
 // observe records one finished request.
@@ -99,6 +132,22 @@ func (t *telemetry) write(w io.Writer) {
 		fmt.Fprintf(w, "secmetricd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", n, cum)
 		fmt.Fprintf(w, "secmetricd_request_duration_seconds_sum{endpoint=%q} %g\n", n, es.sum)
 		fmt.Fprintf(w, "secmetricd_request_duration_seconds_count{endpoint=%q} %d\n", n, es.count)
+	}
+
+	phaseNames := make([]string, 0, len(t.phases))
+	for n := range t.phases {
+		phaseNames = append(phaseNames, n)
+	}
+	sort.Strings(phaseNames)
+	fmt.Fprintln(w, "# HELP secmetricd_phase_seconds_total Busy seconds spent in each pipeline phase, summed over requests.")
+	fmt.Fprintln(w, "# TYPE secmetricd_phase_seconds_total counter")
+	for _, n := range phaseNames {
+		fmt.Fprintf(w, "secmetricd_phase_seconds_total{phase=%q} %g\n", n, t.phases[n].seconds)
+	}
+	fmt.Fprintln(w, "# HELP secmetricd_phase_spans_total Spans recorded per pipeline phase.")
+	fmt.Fprintln(w, "# TYPE secmetricd_phase_spans_total counter")
+	for _, n := range phaseNames {
+		fmt.Fprintf(w, "secmetricd_phase_spans_total{phase=%q} %d\n", n, t.phases[n].spans)
 	}
 
 	fmt.Fprintln(w, "# HELP secmetricd_in_flight_requests Requests currently holding a worker slot.")

@@ -35,6 +35,7 @@ import (
 	"repro/internal/findings"
 	"repro/internal/lang"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/pkg/api"
 )
 
@@ -60,7 +61,16 @@ type Config struct {
 	// Cache is the shared process-wide feature cache; nil uses a fresh
 	// in-memory cache.
 	Cache *featcache.Cache
+	// MaxBodyBytes caps a request body's size; a client that streams more
+	// is cut off and answered 413 instead of growing the daemon's heap
+	// without bound. <= 0 uses 32 MiB.
+	MaxBodyBytes int64
 }
+
+// DefaultMaxBodyBytes is the request-body cap applied when
+// Config.MaxBodyBytes is unset: 32 MiB, roomy for a JSON-encoded source
+// tree, far below anything that could OOM the process.
+const DefaultMaxBodyBytes = 32 << 20
 
 // Server is the HTTP daemon. Construct with New, mount Handler.
 type Server struct {
@@ -89,6 +99,9 @@ func New(reg *Registry, cfg Config) *Server {
 	}
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 2 * time.Minute
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	cache := cfg.Cache
 	if cache == nil {
@@ -166,6 +179,12 @@ func (s *Server) requestTimeout(timeoutMS int64) time.Duration {
 // on overflow), bounded worker pool, per-request deadline (504 on expiry,
 // whether it hits while waiting for a slot or mid-analysis). fn gets the
 // deadline-bearing context and must return the analysis error, if any.
+//
+// Every admitted request runs under a root span whose context fn receives,
+// so the library's extraction spans attach to it; when the request
+// finishes, the per-phase busy totals feed the phase_seconds_total metric.
+// Rejected (429) requests pay nothing: the tracer is created only after
+// admission.
 func (s *Server) withSlot(w http.ResponseWriter, r *http.Request, endpoint string, timeoutMS int64, fn func(ctx context.Context) error) {
 	q := s.tel.queued.Add(1)
 	defer s.tel.queued.Add(-1)
@@ -176,11 +195,20 @@ func (s *Server) withSlot(w http.ResponseWriter, r *http.Request, endpoint strin
 			fmt.Sprintf("queue full: %d running, %d waiting", s.slots, s.cfg.QueueDepth))
 		return
 	}
+	tr := trace.New("request")
+	tr.Root().SetLabel(endpoint)
+	defer func() {
+		tr.Finish()
+		s.tel.observePhases(tr.PhaseTotals())
+	}()
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(timeoutMS))
 	defer cancel()
+	ws := tr.Root().Child("wait")
 	select {
 	case s.sem <- struct{}{}:
+		ws.End()
 	case <-ctx.Done():
+		ws.End()
 		writeErr(w, http.StatusGatewayTimeout, api.CodeDeadline,
 			"deadline exceeded while waiting for a worker slot")
 		return
@@ -197,7 +225,7 @@ func (s *Server) withSlot(w http.ResponseWriter, r *http.Request, endpoint strin
 		writeErr(w, http.StatusGatewayTimeout, api.CodeDeadline, "deadline exceeded before analysis started")
 		return
 	}
-	if err := fn(ctx); err != nil {
+	if err := fn(trace.ContextWithSpan(ctx, tr.Root())); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			writeErr(w, http.StatusGatewayTimeout, api.CodeDeadline, err.Error())
 			return
@@ -251,10 +279,22 @@ func toTree(t api.Tree) (*metrics.Tree, error) {
 	return out, nil
 }
 
-func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+// decode reads the JSON request body under the configured size cap. A body
+// that exceeds the cap answers 413 with the stable body_too_large code —
+// the decoder surfaces *http.MaxBytesError the moment the reader passes
+// the limit, so a hostile client can stream gigabytes and the daemon still
+// buffers at most MaxBodyBytes of it.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, api.CodeBodyTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
 		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "decode request: "+err.Error())
 		return false
 	}
@@ -263,7 +303,7 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	var req api.ScoreRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	tree, err := toTree(req.Tree)
@@ -281,9 +321,15 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return err
 		}
+		sc := trace.SpanFromContext(ctx).Child("score")
+		rep := model.Score(req.Tree.Name, fv)
+		sc.End()
+		if req.Trace && diag != nil {
+			diag.Trace = trace.Summarize(trace.SpanFromContext(ctx))
+		}
 		writeJSON(w, http.StatusOK, api.ScoreResponse{
 			Model:       name,
-			Report:      model.Score(req.Tree.Name, fv),
+			Report:      rep,
 			Diagnostics: diag,
 		})
 		return nil
@@ -292,7 +338,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req api.AnalyzeRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	tree, err := toTree(req.Tree)
@@ -305,6 +351,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return err
 		}
+		if req.Trace && diag != nil {
+			diag.Trace = trace.Summarize(trace.SpanFromContext(ctx))
+		}
 		writeJSON(w, http.StatusOK, api.AnalyzeResponse{Features: fv, Diagnostics: diag})
 		return nil
 	})
@@ -312,7 +361,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
 	var req api.FindingsRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	tree, err := toTree(req.Tree)
@@ -326,7 +375,9 @@ func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.withSlot(w, r, "findings", req.TimeoutMS, func(ctx context.Context) error {
+		cs := trace.SpanFromContext(ctx).Child("collect")
 		rep := secmetric.CollectFindings(tree).MinSeverity(sev)
+		cs.End()
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
@@ -337,7 +388,7 @@ func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	var req api.CompareRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	oldTree, err := toTree(req.Old)
@@ -366,9 +417,17 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return err
 		}
+		cs := trace.SpanFromContext(ctx).Child("score")
+		cmp := model.Compare(req.Old.Name, oldFV, req.New.Name, newFV)
+		cs.End()
+		if req.Trace && newDiag != nil {
+			// One summary covers the whole request (both analyses); it
+			// rides on the new version's diagnostics.
+			newDiag.Trace = trace.Summarize(trace.SpanFromContext(ctx))
+		}
 		writeJSON(w, http.StatusOK, api.CompareResponse{
 			Model:          name,
-			Comparison:     model.Compare(req.Old.Name, oldFV, req.New.Name, newFV),
+			Comparison:     cmp,
 			OldDiagnostics: oldDiag,
 			NewDiagnostics: newDiag,
 		})

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// traceEvent is one Chrome trace_event entry ("X" complete events only).
+// The format is the JSON Object Format consumed by chrome://tracing and
+// Perfetto: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds since trace epoch
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTraceEvents renders the trace in Chrome trace_event format. Spans
+// still open render as ending at the latest timestamp seen in the trace.
+//
+// Lane layout: viewers stack same-tid events by nesting, which is only
+// correct when events on one tid are properly nested. A child runs inside
+// its parent by construction, so a child may share its parent's lane —
+// unless a sibling already occupies it for an overlapping interval, in
+// which case the child is bumped to a fresh lane (the parallel per-file
+// spans land on one lane per concurrently-busy worker, which is exactly
+// the picture a profiler wants).
+func (t *Tracer) WriteTraceEvents(w io.Writer) error {
+	if t == nil {
+		_, err := w.Write([]byte(`{"traceEvents":[],"displayTimeUnit":"ms"}` + "\n"))
+		return err
+	}
+	now := t.latest()
+	var events []traceEvent
+	nextLane := 2 // lane 1 belongs to the root
+	var walk func(s *Span, lane int, parentEnd time.Time)
+	walk = func(s *Span, lane int, parentEnd time.Time) {
+		label, end, counters, children := s.snapshot()
+		end = endOr(end, parentEnd)
+		var args map[string]any
+		if label != "" || len(counters) > 0 {
+			args = make(map[string]any, 1+len(counters))
+			if label != "" {
+				args["label"] = label
+			}
+			for _, c := range counters {
+				args[c.k] = c.v
+			}
+		}
+		events = append(events, traceEvent{
+			Name: s.name,
+			Ph:   "X",
+			TS:   float64(s.start.Sub(t.epoch)) / float64(time.Microsecond),
+			Dur:  float64(duration(s.start, end)) / float64(time.Microsecond),
+			PID:  1,
+			TID:  lane,
+			Args: args,
+		})
+		// laneBusy[l] is when lane l frees up among this span's children.
+		laneBusy := map[int]time.Time{}
+		for _, c := range children {
+			cl := lane
+			if busy, ok := laneBusy[cl]; ok && c.start.Before(busy) {
+				cl = nextLane
+				nextLane++
+			}
+			cEnd := endOr(c.peekEnd(), end)
+			laneBusy[cl] = cEnd
+			walk(c, cl, end)
+		}
+	}
+	walk(t.root, 1, now)
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// peekEnd reads the span's end under its lock.
+func (s *Span) peekEnd() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.end
+}
+
+// latest returns the maximum timestamp recorded anywhere in the trace —
+// the fallback end for spans still open at export time.
+func (t *Tracer) latest() time.Time {
+	max := t.epoch
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		_, end, _, children := s.snapshot()
+		if s.start.After(max) {
+			max = s.start
+		}
+		if !end.IsZero() && end.After(max) {
+			max = end
+		}
+		for _, c := range children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return max
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PhaseTotal is the aggregate of every span sharing one name (phase):
+// total busy seconds and span count. Phase names are a bounded taxonomy
+// (extract, file, cache, deep, parse, ...), so these totals are safe to
+// export as metric labels.
+type PhaseTotal struct {
+	Phase   string  `json:"phase"`
+	Seconds float64 `json:"seconds"`
+	Count   int     `json:"count"`
+}
+
+// Summary is the compact, JSON-embeddable digest of a span subtree — what
+// the daemon joins onto AnalysisDiagnostics when a request asks for
+// tracing: wall time, span count, and per-phase busy totals.
+type Summary struct {
+	WallSeconds float64      `json:"wall_seconds"`
+	Spans       int          `json:"spans"`
+	Phases      []PhaseTotal `json:"phases"`
+}
+
+// Summarize digests the subtree rooted at s. Open spans count as ending
+// now. A nil span summarizes to nil, so callers can unconditionally assign
+// the result into an omitempty field.
+func Summarize(s *Span) *Summary {
+	if s == nil {
+		return nil
+	}
+	now := time.Now()
+	totals := map[string]*PhaseTotal{}
+	spans := 0
+	var walk func(sp *Span, parentEnd time.Time)
+	walk = func(sp *Span, parentEnd time.Time) {
+		_, end, _, children := sp.snapshot()
+		end = endOr(end, parentEnd)
+		pt := totals[sp.name]
+		if pt == nil {
+			pt = &PhaseTotal{Phase: sp.name}
+			totals[sp.name] = pt
+		}
+		pt.Seconds += duration(sp.start, end).Seconds()
+		pt.Count++
+		spans++
+		for _, c := range children {
+			walk(c, end)
+		}
+	}
+	walk(s, now)
+	_, rootEnd, _, _ := s.snapshot()
+	out := &Summary{
+		WallSeconds: duration(s.start, endOr(rootEnd, now)).Seconds(),
+		Spans:       spans,
+	}
+	for _, pt := range totals {
+		out.Phases = append(out.Phases, *pt)
+	}
+	sort.Slice(out.Phases, func(i, j int) bool { return out.Phases[i].Phase < out.Phases[j].Phase })
+	return out
+}
+
+// PhaseTotals digests the whole trace; see Summarize.
+func (t *Tracer) PhaseTotals() []PhaseTotal {
+	if t == nil {
+		return nil
+	}
+	return Summarize(t.root).Phases
+}
+
+// SpanNameFile is the per-file span name the extraction pipeline uses; the
+// slowest-files report keys on it.
+const SpanNameFile = "file"
+
+// FileTiming is one file's cost in a trace: total span seconds plus the
+// per-phase breakdown of everything nested under it.
+type FileTiming struct {
+	Path    string
+	Seconds float64
+	Phases  []PhaseTotal
+}
+
+// SlowestFiles returns the n most expensive per-file spans (name
+// SpanNameFile, path in the label), slowest first; ties break by path so
+// the report is deterministic. n <= 0 returns every file.
+func (t *Tracer) SlowestFiles(n int) []FileTiming {
+	if t == nil {
+		return nil
+	}
+	now := t.latest()
+	var out []FileTiming
+	var walk func(s *Span, parentEnd time.Time)
+	walk = func(s *Span, parentEnd time.Time) {
+		label, end, _, children := s.snapshot()
+		end = endOr(end, parentEnd)
+		if s.name == SpanNameFile {
+			sum := Summarize(s)
+			// The file span itself is scaffolding in the breakdown; drop it.
+			phases := make([]PhaseTotal, 0, len(sum.Phases))
+			for _, p := range sum.Phases {
+				if p.Phase != SpanNameFile {
+					phases = append(phases, p)
+				}
+			}
+			out = append(out, FileTiming{
+				Path:    label,
+				Seconds: duration(s.start, end).Seconds(),
+				Phases:  phases,
+			})
+			return
+		}
+		for _, c := range children {
+			walk(c, end)
+		}
+	}
+	walk(t.root, now)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seconds != out[j].Seconds {
+			return out[i].Seconds > out[j].Seconds
+		}
+		return out[i].Path < out[j].Path
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// RenderSlowest formats a slowest-files table for terminal output.
+func RenderSlowest(files []FileTiming) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-40s %10s  %s\n", "file", "total", "phases")
+	for _, f := range files {
+		var phases []string
+		for _, p := range f.Phases {
+			phases = append(phases, fmt.Sprintf("%s=%.3fms", p.Phase, p.Seconds*1e3))
+		}
+		fmt.Fprintf(&sb, "%-40s %9.3fms  %s\n", f.Path, f.Seconds*1e3, strings.Join(phases, " "))
+	}
+	return sb.String()
+}

@@ -1,0 +1,298 @@
+// Package trace is the pipeline's lightweight span layer: monotonic
+// start/end timings with parent links, counter attachments, and a
+// deterministic tree structure, threaded through the hot path (tree load,
+// per-file extraction phases, training, request serving).
+//
+// Two properties shape the design:
+//
+//   - Zero cost when disabled. A nil *Tracer (and the nil *Span everything
+//     it hands out) is the off switch: every method no-ops on a nil
+//     receiver, so instrumented code pays one pointer check and zero
+//     allocations when no one asked for a trace. There is no global
+//     enable flag — presence of a span in the context is the signal.
+//
+//   - Deterministic structure under parallelism. Spans created by a worker
+//     pool attach to their parent with an explicit sequence key (the work
+//     item's index), and children are sorted by that key at render time,
+//     so the span tree is byte-identical at any pool width; only the
+//     recorded durations vary run to run. Structure (for tests) and
+//     timings (for humans) render through separate entry points.
+package trace
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer owns one trace: the root span plus the epoch all span timestamps
+// are measured from. A nil *Tracer is the disabled tracer.
+type Tracer struct {
+	epoch time.Time
+	root  *Span
+}
+
+// New starts a tracer whose root span is named name. The root starts now.
+func New(name string) *Tracer {
+	t := &Tracer{epoch: time.Now()}
+	t.root = &Span{name: name, start: t.epoch}
+	return t
+}
+
+// Root returns the root span (nil on a nil tracer).
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span. Export entry points treat still-open spans as
+// ending now, so Finish is idempotent housekeeping, not a requirement.
+func (t *Tracer) Finish() {
+	if t == nil {
+		return
+	}
+	t.root.End()
+}
+
+// Span is one timed region. Spans are created with Child/ChildAt/Detached,
+// closed with End, and annotated with Add (counters) and SetLabel (an
+// unbounded-cardinality tag, e.g. a file path, kept separate from the name
+// so the name stays a bounded phase taxonomy usable as a metric label).
+//
+// All methods are safe on a nil *Span and safe for concurrent use; a
+// parent's child list is mutex-guarded so pool workers may attach
+// concurrently.
+type Span struct {
+	name  string
+	label string
+	start time.Time
+	end   time.Time
+	seq   int
+
+	mu       sync.Mutex
+	nextSeq  int
+	counters map[string]int64
+	children []*Span
+}
+
+// Child starts a child span whose sequence key is the parent's internal
+// counter. Use it for sequential sections only: the counter makes creation
+// order the tree order, which is deterministic exactly when creation is
+// sequential. Parallel sections must use ChildAt with the work item's
+// index (and seqs disjoint from any Child-allocated ones).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	seq := s.nextSeq
+	s.nextSeq++
+	c := &Span{name: name, start: time.Now(), seq: seq}
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// ChildAt starts a child span with an explicit sequence key. Children are
+// sorted by key at render time, so workers creating siblings concurrently
+// still yield one deterministic tree.
+func (s *Span) ChildAt(seq int, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now(), seq: seq}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Detached starts a span that is NOT attached to s — only s's nil-ness
+// (tracing on/off) propagates. A worker whose result may be abandoned
+// (per-file deadline) records into a detached subtree and the accepting
+// side calls Adopt; an abandoned subtree is simply never adopted, so a
+// runaway goroutine can keep writing to it without racing the exporter.
+func (s *Span) Detached(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{name: name, start: time.Now(), seq: 0}
+}
+
+// Adopt attaches a finished detached subtree as a child at an explicit
+// sequence key. The caller must not Adopt a subtree another goroutine may
+// still be writing to.
+func (s *Span) Adopt(child *Span, seq int) {
+	if s == nil || child == nil {
+		return
+	}
+	child.seq = seq
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+}
+
+// End closes the span. Only the first End counts.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// SetLabel tags the span with an unbounded-cardinality annotation (a file
+// path, a model name). Labels render in exports but never become metric
+// labels.
+func (s *Span) SetLabel(label string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.label = label
+	s.mu.Unlock()
+}
+
+// Add accumulates a named counter on the span (cache hits, bytes, items).
+func (s *Span) Add(name string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counters == nil {
+		s.counters = map[string]int64{}
+	}
+	s.counters[name] += delta
+	s.mu.Unlock()
+}
+
+// snapshot returns a render-stable copy of the span's mutable state:
+// children sorted by (seq, name) and counters as a sorted slice.
+func (s *Span) snapshot() (label string, end time.Time, counters []counterKV, children []*Span) {
+	s.mu.Lock()
+	label = s.label
+	end = s.end
+	children = append([]*Span(nil), s.children...)
+	counters = make([]counterKV, 0, len(s.counters))
+	for k, v := range s.counters {
+		counters = append(counters, counterKV{k, v})
+	}
+	s.mu.Unlock()
+	sort.Slice(counters, func(i, j int) bool { return counters[i].k < counters[j].k })
+	sort.SliceStable(children, func(i, j int) bool {
+		if children[i].seq != children[j].seq {
+			return children[i].seq < children[j].seq
+		}
+		return children[i].name < children[j].name
+	})
+	return
+}
+
+type counterKV struct {
+	k string
+	v int64
+}
+
+// endOr returns the span's end, or fallback while the span is still open.
+func endOr(end, fallback time.Time) time.Time {
+	if end.IsZero() {
+		return fallback
+	}
+	return end
+}
+
+// duration returns the span's length, clamping negatives (an open span
+// rendered before its parent's fallback) to zero.
+func duration(start, end time.Time) time.Duration {
+	d := end.Sub(start)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// StructureString renders the span tree's durationless shape: names,
+// labels, counters, and child order, one span per line, indented by depth.
+// Two runs of the same workload at different pool widths must render
+// byte-identical structures — this is the determinism contract's test
+// surface.
+func (t *Tracer) StructureString() string {
+	if t == nil {
+		return ""
+	}
+	var sb strings.Builder
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		label, _, counters, children := s.snapshot()
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(s.name)
+		if label != "" {
+			sb.WriteString(" [")
+			sb.WriteString(label)
+			sb.WriteString("]")
+		}
+		for _, c := range counters {
+			sb.WriteString(" ")
+			sb.WriteString(c.k)
+			sb.WriteString("=")
+			writeInt(&sb, c.v)
+		}
+		sb.WriteString("\n")
+		for _, c := range children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.root, 0)
+	return sb.String()
+}
+
+func writeInt(sb *strings.Builder, v int64) {
+	var buf [20]byte
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	sb.Write(buf[i:])
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying s as the current span.
+// Attaching a nil span returns ctx unchanged, so the disabled path
+// allocates nothing.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the current span, or nil when the context
+// carries none — i.e. tracing is disabled for this call tree.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}

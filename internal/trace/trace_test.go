@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilTracerIsFree: every operation on the disabled tracer (nil
+// receiver all the way down) must be a safe no-op.
+func TestNilTracerIsFree(t *testing.T) {
+	var tr *Tracer
+	root := tr.Root()
+	if root != nil {
+		t.Fatal("nil tracer handed out a non-nil root")
+	}
+	c := root.Child("x")
+	if c != nil {
+		t.Fatal("nil span handed out a non-nil child")
+	}
+	c2 := root.ChildAt(3, "y")
+	d := root.Detached("z")
+	if c2 != nil || d != nil {
+		t.Fatal("nil span handed out non-nil children")
+	}
+	root.Adopt(d, 1)
+	root.Add("counter", 1)
+	root.SetLabel("label")
+	root.End()
+	tr.Finish()
+	if got := tr.StructureString(); got != "" {
+		t.Fatalf("nil tracer structure = %q, want empty", got)
+	}
+	if got := tr.PhaseTotals(); got != nil {
+		t.Fatalf("nil tracer phase totals = %v, want nil", got)
+	}
+	if got := tr.SlowestFiles(5); got != nil {
+		t.Fatalf("nil tracer slowest = %v, want nil", got)
+	}
+	if got := Summarize(nil); got != nil {
+		t.Fatalf("Summarize(nil) = %v, want nil", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("nil tracer export is not JSON: %v", err)
+	}
+}
+
+// TestContextPlumbing: a nil span attaches as a no-op; a real span round-trips.
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if got := ContextWithSpan(ctx, nil); got != ctx {
+		t.Fatal("attaching a nil span should return ctx unchanged (no allocation)")
+	}
+	if got := SpanFromContext(ctx); got != nil {
+		t.Fatal("empty context yielded a span")
+	}
+	tr := New("root")
+	ctx2 := ContextWithSpan(ctx, tr.Root())
+	if got := SpanFromContext(ctx2); got != tr.Root() {
+		t.Fatal("span did not round-trip through the context")
+	}
+}
+
+// buildSample builds one deterministic trace the way the extraction
+// pipeline does: sequential phases via Child, parallel per-file spans via
+// ChildAt with the file index, nested phases, counters, and an adopted
+// detached subtree.
+func buildSample(files int, workers int) *Tracer {
+	tr := New("analyze")
+	root := tr.Root()
+	load := root.Child("load")
+	load.End()
+	ext := root.Child("extract")
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fs := ext.ChildAt(2+i, SpanNameFile)
+				fs.SetLabel("src/file" + string(rune('a'+i)) + ".c")
+				fs.Add("bytes", int64(100*(i+1)))
+				deep := fs.Detached("deep")
+				p := deep.Child("parse")
+				p.End()
+				s := deep.Child("symexec")
+				s.End()
+				deep.End()
+				fs.Adopt(deep, 0)
+				fs.End()
+			}
+		}()
+	}
+	for i := 0; i < files; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	ext.End()
+	tr.Finish()
+	return tr
+}
+
+// TestStructureDeterministicAcrossWidths: the same workload at pool widths
+// 1 and 8 must produce byte-identical structures.
+func TestStructureDeterministicAcrossWidths(t *testing.T) {
+	a := buildSample(6, 1).StructureString()
+	b := buildSample(6, 8).StructureString()
+	if a != b {
+		t.Fatalf("structure differs across widths:\n--- jobs=1\n%s--- jobs=8\n%s", a, b)
+	}
+	for _, want := range []string{"analyze", "extract", "file [src/filea.c] bytes=100", "deep", "parse", "symexec"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("structure missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// TestTraceEventExport: the export must be well-formed trace_event JSON
+// with one complete event per span and sane timing fields.
+func TestTraceEventExport(t *testing.T) {
+	tr := buildSample(3, 2)
+	var buf bytes.Buffer
+	if err := tr.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not JSON: %v", err)
+	}
+	// analyze + load + extract + 3*(file + deep + parse + symexec)
+	if want := 3 + 3*4; len(f.TraceEvents) != want {
+		t.Fatalf("got %d events, want %d", len(f.TraceEvents), want)
+	}
+	labels := 0
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q: ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Name == "" || ev.TS < 0 || ev.Dur < 0 || ev.PID != 1 || ev.TID < 1 {
+			t.Fatalf("event malformed: %+v", ev)
+		}
+		if ev.Name == SpanNameFile {
+			if _, ok := ev.Args["label"]; !ok {
+				t.Fatalf("file event missing label arg: %+v", ev)
+			}
+			if _, ok := ev.Args["bytes"]; !ok {
+				t.Fatalf("file event missing bytes counter: %+v", ev)
+			}
+			labels++
+		}
+	}
+	if labels != 3 {
+		t.Fatalf("got %d labeled file events, want 3", labels)
+	}
+}
+
+// TestSummarize: phase totals must count every span by name, sorted.
+func TestSummarize(t *testing.T) {
+	tr := buildSample(4, 2)
+	sum := Summarize(tr.Root())
+	if sum.Spans != 3+4*4 {
+		t.Fatalf("spans = %d, want %d", sum.Spans, 3+4*4)
+	}
+	byName := map[string]PhaseTotal{}
+	for _, p := range sum.Phases {
+		byName[p.Phase] = p
+	}
+	if byName[SpanNameFile].Count != 4 || byName["parse"].Count != 4 || byName["extract"].Count != 1 {
+		t.Fatalf("unexpected phase counts: %+v", sum.Phases)
+	}
+	for i := 1; i < len(sum.Phases); i++ {
+		if sum.Phases[i-1].Phase >= sum.Phases[i].Phase {
+			t.Fatalf("phases not sorted: %+v", sum.Phases)
+		}
+	}
+	if sum.WallSeconds < 0 {
+		t.Fatalf("negative wall time: %v", sum.WallSeconds)
+	}
+}
+
+// TestSlowestFiles: the report must key on file spans, honor n, and be
+// deterministically ordered.
+func TestSlowestFiles(t *testing.T) {
+	tr := buildSample(5, 3)
+	all := tr.SlowestFiles(0)
+	if len(all) != 5 {
+		t.Fatalf("got %d files, want 5", len(all))
+	}
+	top := tr.SlowestFiles(2)
+	if len(top) != 2 {
+		t.Fatalf("got %d files, want 2", len(top))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Seconds < all[i].Seconds {
+			t.Fatalf("slowest not sorted desc: %+v", all)
+		}
+	}
+	for _, f := range all {
+		if f.Path == "" {
+			t.Fatalf("file timing missing path: %+v", f)
+		}
+		names := map[string]bool{}
+		for _, p := range f.Phases {
+			names[p.Phase] = true
+		}
+		if !names["parse"] || !names["deep"] || names[SpanNameFile] {
+			t.Fatalf("phase breakdown wrong for %s: %+v", f.Path, f.Phases)
+		}
+	}
+	if out := RenderSlowest(all); !strings.Contains(out, all[0].Path) {
+		t.Fatalf("rendered table missing path:\n%s", out)
+	}
+}
+
+// TestAdoptAbandonedSubtreeSafe: an un-adopted detached subtree must never
+// appear in the export, and writing to it after the parent is exported
+// must not affect the trace (the timeout-abandonment contract).
+func TestAdoptAbandonedSubtreeSafe(t *testing.T) {
+	tr := New("root")
+	fs := tr.Root().ChildAt(0, SpanNameFile)
+	fs.SetLabel("slow.c")
+	det := fs.Detached("deep")
+	fs.End() // timeout path: file span closes without adopting
+	tr.Finish()
+	before := tr.StructureString()
+	// Runaway goroutine keeps recording; the exported trace must not change.
+	late := det.Child("symexec")
+	late.End()
+	det.End()
+	if after := tr.StructureString(); after != before {
+		t.Fatalf("abandoned subtree leaked into the trace:\n%s\nvs\n%s", before, after)
+	}
+	if strings.Contains(before, "deep") {
+		t.Fatalf("un-adopted subtree rendered:\n%s", before)
+	}
+}

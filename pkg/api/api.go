@@ -36,6 +36,10 @@ type ScoreRequest struct {
 	// server's configured maximum; it can never extend it. A request that
 	// exceeds its deadline fails with status 504.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Trace asks the daemon to join a span summary (wall time, per-phase
+	// busy totals) onto the response diagnostics. Leaving it unset yields
+	// a response byte-identical to one from a daemon without tracing.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ScoreResponse carries the evaluation plus the per-file account of how the
@@ -52,6 +56,8 @@ type ScoreResponse struct {
 type AnalyzeRequest struct {
 	Tree      Tree  `json:"tree"`
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Trace joins a span summary onto the response diagnostics.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // AnalyzeResponse is the extracted feature vector.
@@ -84,6 +90,9 @@ type CompareRequest struct {
 	Old       Tree   `json:"old"`
 	New       Tree   `json:"new"`
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	// Trace joins one span summary covering both analyses onto the new
+	// version's diagnostics.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // CompareResponse is the comparison plus both analyses' diagnostics.
@@ -114,8 +123,8 @@ type ReloadResponse struct {
 // Error is the envelope of every non-2xx response.
 type Error struct {
 	// Code is a stable machine-readable reason: "bad_request",
-	// "unknown_model", "queue_full", "deadline", "reload_failed",
-	// "internal".
+	// "unknown_model", "queue_full", "deadline", "body_too_large",
+	// "reload_failed", "internal".
 	Code  string `json:"code"`
 	Error string `json:"error"`
 }
@@ -126,6 +135,7 @@ const (
 	CodeUnknownModel = "unknown_model"
 	CodeQueueFull    = "queue_full"
 	CodeDeadline     = "deadline"
+	CodeBodyTooLarge = "body_too_large"
 	CodeReloadFailed = "reload_failed"
 	CodeInternal     = "internal"
 )

@@ -14,23 +14,64 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/pkg/api"
 )
 
+// DefaultTimeout bounds a request round-trip when neither the caller's
+// context nor the request's timeout_ms sets a tighter one. It sits above
+// the daemon's default 2-minute request deadline, so a healthy daemon's
+// 504 always beats the client giving up, but a daemon that stops
+// responding entirely can no longer pin the caller forever.
+const DefaultTimeout = 3 * time.Minute
+
+// DeadlineGrace is how much longer than a request's timeout_ms the client
+// waits before abandoning the round-trip. The server trips its deadline
+// first and answers 504 with the stable "deadline" code; the grace keeps
+// the client listening long enough to receive that richer signal instead
+// of racing it with a bare context error.
+const DeadlineGrace = 5 * time.Second
+
 // Client talks to one secmetricd instance.
 type Client struct {
 	base string
 	// HTTP is the underlying client; replace it to set transport-level
-	// timeouts or test doubles. Defaults to http.DefaultClient (the
-	// daemon, not the transport, bounds request time).
+	// options or test doubles.
 	HTTP *http.Client
+	// Timeout bounds one request round-trip when the caller's context has
+	// no deadline of its own. A request carrying timeout_ms is instead
+	// bounded by timeout_ms + DeadlineGrace (the server-side 504 must win
+	// the race). Zero disables the client-side bound entirely.
+	Timeout time.Duration
 }
 
 // New builds a client for a base URL like "http://127.0.0.1:8321".
 func New(baseURL string) *Client {
-	return &Client{base: strings.TrimRight(baseURL, "/"), HTTP: http.DefaultClient}
+	return &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		HTTP:    &http.Client{},
+		Timeout: DefaultTimeout,
+	}
+}
+
+// deadlineCtx applies the client-side time bound: the caller's own
+// deadline always wins; otherwise timeout_ms (plus grace) or the
+// configured default. The returned cancel must run when the round-trip
+// finishes.
+func (c *Client) deadlineCtx(ctx context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	if _, has := ctx.Deadline(); has {
+		return ctx, func() {}
+	}
+	d := c.Timeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS)*time.Millisecond + DeadlineGrace
+	}
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
 }
 
 // APIError is a non-2xx daemon response: the HTTP status plus the wire
@@ -62,7 +103,7 @@ func IsDeadline(err error) bool {
 // Score asks the daemon to analyze and score one tree.
 func (c *Client) Score(ctx context.Context, req api.ScoreRequest) (*api.ScoreResponse, error) {
 	var out api.ScoreResponse
-	if err := c.post(ctx, "/v1/score", req, &out); err != nil {
+	if err := c.post(ctx, "/v1/score", req.TimeoutMS, req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -71,7 +112,7 @@ func (c *Client) Score(ctx context.Context, req api.ScoreRequest) (*api.ScoreRes
 // Analyze asks for the raw code-property vector of one tree.
 func (c *Client) Analyze(ctx context.Context, req api.AnalyzeRequest) (*api.AnalyzeResponse, error) {
 	var out api.AnalyzeResponse
-	if err := c.post(ctx, "/v1/analyze", req, &out); err != nil {
+	if err := c.post(ctx, "/v1/analyze", req.TimeoutMS, req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -80,7 +121,7 @@ func (c *Client) Analyze(ctx context.Context, req api.AnalyzeRequest) (*api.Anal
 // Findings asks for the CWE-mapped findings stream of one tree.
 func (c *Client) Findings(ctx context.Context, req api.FindingsRequest) (*api.FindingsResponse, error) {
 	var out api.FindingsResponse
-	if err := c.post(ctx, "/v1/findings", req, &out); err != nil {
+	if err := c.post(ctx, "/v1/findings", req.TimeoutMS, req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -89,7 +130,7 @@ func (c *Client) Findings(ctx context.Context, req api.FindingsRequest) (*api.Fi
 // Compare asks for the risk delta between two versions.
 func (c *Client) Compare(ctx context.Context, req api.CompareRequest) (*api.CompareResponse, error) {
 	var out api.CompareResponse
-	if err := c.post(ctx, "/v1/compare", req, &out); err != nil {
+	if err := c.post(ctx, "/v1/compare", req.TimeoutMS, req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -99,7 +140,7 @@ func (c *Client) Compare(ctx context.Context, req api.CompareRequest) (*api.Comp
 // registry snapshot.
 func (c *Client) Reload(ctx context.Context) (*api.ReloadResponse, error) {
 	var out api.ReloadResponse
-	if err := c.post(ctx, "/v1/models/reload", struct{}{}, &out); err != nil {
+	if err := c.post(ctx, "/v1/models/reload", 0, struct{}{}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -116,6 +157,8 @@ func (c *Client) Health(ctx context.Context) (*api.Health, error) {
 
 // RawMetrics fetches the GET /metrics text exposition.
 func (c *Client) RawMetrics(ctx context.Context) (string, error) {
+	ctx, cancel := c.deadlineCtx(ctx, 0)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
 	if err != nil {
 		return "", err
@@ -135,11 +178,13 @@ func (c *Client) RawMetrics(ctx context.Context) (string, error) {
 	return string(body), nil
 }
 
-func (c *Client) post(ctx context.Context, path string, in, out any) error {
+func (c *Client) post(ctx context.Context, path string, timeoutMS int64, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("client: encode request: %w", err)
 	}
+	ctx, cancel := c.deadlineCtx(ctx, timeoutMS)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return err
@@ -149,6 +194,8 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
+	ctx, cancel := c.deadlineCtx(ctx, 0)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return err

@@ -29,6 +29,7 @@ import (
 	"repro/internal/findings"
 	"repro/internal/metrics"
 	"repro/internal/system"
+	"repro/internal/trace"
 )
 
 // Re-exported types: the facade's vocabulary.
@@ -140,7 +141,9 @@ func AnalyzeDirWith(ctx context.Context, dir string, cfg AnalyzeConfig) (Feature
 // analysis panicked or timed out degrade to base metrics instead of
 // failing the run; the diagnostics name them.
 func AnalyzeDirWithDiagnostics(ctx context.Context, dir string, cfg AnalyzeConfig) (FeatureVector, *AnalysisDiagnostics, error) {
+	ls := trace.SpanFromContext(ctx).Child("load")
 	tree, err := metrics.LoadTree(dir)
+	ls.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("secmetric: %w", err)
 	}

@@ -43,6 +43,16 @@ case "$out" in
 	;;
 esac
 
+# Trace smoke: a traced analysis of examples/vulnapp must produce
+# well-formed, non-empty trace_event JSON, and the span structure must be
+# identical at -jobs 1 and -jobs 8 (cacheless; only durations may vary).
+echo "== trace smoke (analyze -trace on examples/vulnapp) =="
+tracetmp=$(mktemp -d)
+go run ./cmd/secmetric analyze -jobs 1 -trace "$tracetmp/j1.json" -slowest 3 examples/vulnapp
+go run ./cmd/secmetric analyze -jobs 8 -trace "$tracetmp/j8.json" examples/vulnapp > /dev/null
+go run ./cmd/tracecheck "$tracetmp/j1.json" "$tracetmp/j8.json"
+rm -rf "$tracetmp"
+
 echo "== daemon smoke (secmetricd) =="
 smoketmp=$(mktemp -d)
 daemon_pid=""
