@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	trainctl [-kind forest] [-folds 10] [-topk 0] [-seed 17] [-jobs 0] [-out model.json]
+//	trainctl [-kind forest] [-folds 10] [-topk 0] [-seed 17] [-jobs 0] [-out model.json] [-format json|binary|auto]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	secmetric "repro"
@@ -39,10 +40,23 @@ func run(ctx context.Context) error {
 	seed := flag.Uint64("seed", 17, "training seed")
 	jobs := flag.Int("jobs", 0, "training worker pool size (0 = all cores; the model is identical for any value)")
 	out := flag.String("out", "model.json", "model output path")
+	format := flag.String("format", "auto", "model encoding: json|binary|auto (auto picks binary for a .bin path)")
 	arff := flag.String("arff", "", "also export the many_vulns training set as Weka ARFF")
 	tune := flag.Bool("tune", false, "grid-search random-forest hyperparameters first")
 	flag.Parse()
 
+	save := secmetric.SaveModel
+	switch *format {
+	case "json":
+	case "binary":
+		save = secmetric.SaveModelBinary
+	case "auto":
+		if strings.HasSuffix(*out, ".bin") {
+			save = secmetric.SaveModelBinary
+		}
+	default:
+		return fmt.Errorf("unknown -format %q (want json, binary, or auto)", *format)
+	}
 	if _, err := core.NewClassifier(core.ModelKind(*kind)); err != nil {
 		return err
 	}
@@ -93,7 +107,7 @@ func run(ctx context.Context) error {
 	}
 	fmt.Printf("count regression: RMSE=%.3f MAE=%.3f R2=%.3f (log10 space)\n",
 		model.CountEval.RMSE, model.CountEval.MAE, model.CountEval.R2)
-	if err := secmetric.SaveModel(model, *out); err != nil {
+	if err := save(model, *out); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)

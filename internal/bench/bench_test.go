@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+func report(pairs ...any) *Report {
+	rep := &Report{}
+	for i := 0; i < len(pairs); i += 2 {
+		rep.Results = append(rep.Results, Result{
+			Name:    pairs[i].(string),
+			NsPerOp: pairs[i+1].(float64),
+		})
+	}
+	return rep
+}
+
+func TestCompareAndRegressed(t *testing.T) {
+	base := report("a", 100.0, "b", 200.0, "c", 300.0)
+	cur := report("a", 110.0, "b", 260.0, "d", 999.0) // b +30%, d not in base
+
+	regs := Compare(cur, base, 0.25)
+	if len(regs) != 1 {
+		t.Fatalf("Compare: got %d regressions, want 1: %v", len(regs), regs)
+	}
+	names := Regressed(cur, base, 0.25)
+	if !reflect.DeepEqual(names, []string{"b"}) {
+		t.Fatalf("Regressed: got %v, want [b]", names)
+	}
+	if names := Regressed(cur, base, 0.50); names != nil {
+		t.Fatalf("Regressed at 50%%: got %v, want none", names)
+	}
+}
+
+func TestReplace(t *testing.T) {
+	rep := report("a", 100.0, "b", 260.0, "c", 300.0)
+	Replace(rep, report("b", 205.0))
+	want := report("a", 100.0, "b", 205.0, "c", 300.0)
+	if !reflect.DeepEqual(rep.Results, want.Results) {
+		t.Fatalf("Replace: got %+v, want %+v", rep.Results, want.Results)
+	}
+}
+
+// TestRunOnly measures a single fast workload end-to-end, proving the Only
+// filter restricts the suite (the re-measurement path in `secmetric bench`)
+// without paying for the full run.
+func TestRunOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real measurement")
+	}
+	rep, err := Run(Options{
+		Quick: true,
+		Rev:   "test",
+		Dir:   "../../examples/vulnapp",
+		Only:  []string{"tokenize_file"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Name != "tokenize_file" {
+		t.Fatalf("Only filter: got %+v, want exactly tokenize_file", rep.Results)
+	}
+	if rep.Results[0].NsPerOp <= 0 || rep.Results[0].Iters < 3 {
+		t.Fatalf("tokenize_file measurement implausible: %+v", rep.Results[0])
+	}
+}

@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lexer"
+	"repro/internal/lint"
+	"repro/internal/metrics"
+	"repro/internal/ml"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// sink defeats dead-code elimination of benchmark bodies.
+var sink float64
+
+// workload is one named benchmark body over shared fixtures.
+type workload struct {
+	name string
+	fn   func()
+}
+
+// workloads holds the fixtures every benchmark body closes over. All of it
+// is built once in setupWorkloads so the timed loops measure steady-state
+// work only.
+type workloads struct {
+	src   string
+	langs metrics.File
+	tree  *metrics.Tree
+
+	fitData *ml.Dataset
+	serve   *ml.RandomForest
+	rows    [][]float64
+
+	model      *core.Model
+	modelJSON  []byte
+	modelBin   []byte
+	scoreInput metrics.FeatureVector
+}
+
+func setupWorkloads(dir string) (*workloads, error) {
+	seedTree, err := metrics.LoadTree(dir)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	if len(seedTree.Files) == 0 {
+		return nil, fmt.Errorf("bench: no source files under %s", dir)
+	}
+	seed := seedTree.Files[0]
+	w := &workloads{src: seed.Content, langs: seed}
+
+	// The extraction tree: TreeFiles replicas of the example file, named
+	// deterministically so the tree (and every derived feature) is stable.
+	w.tree = &metrics.Tree{Name: "bench"}
+	for i := 0; i < TreeFiles; i++ {
+		w.tree.Files = append(w.tree.Files, metrics.File{
+			Path:     fmt.Sprintf("f%02d%s", i, seed.Language.Extension()),
+			Language: seed.Language,
+			Content:  seed.Content,
+		})
+	}
+
+	w.fitData = syntheticDataset(FitRows, FitCols, benchSeed)
+
+	// The serving ensemble is round-tripped through its serialized form:
+	// forest_batch measures inference with a loaded model — the state the
+	// scoring daemon holds — not with a freshly fitted one.
+	fitted := &ml.RandomForest{Trees: ServeTrees, MaxDepth: ServeDepth, Seed: benchSeed, Jobs: 1}
+	if err := fitted.Fit(w.fitData); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	blob, err := ml.MarshalClassifier(fitted)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	loaded, err := ml.UnmarshalClassifier(blob)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	w.serve = loaded.(*ml.RandomForest)
+	w.rows = syntheticRows(BatchRows, FitCols, benchSeed+1)
+
+	w.model, err = syntheticModel()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := w.model.Save(&buf); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	w.modelJSON = buf.Bytes()
+	var bin bytes.Buffer
+	if err := w.model.SaveBinary(&bin); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	w.modelBin = bin.Bytes()
+	w.scoreInput = metrics.Extract(w.tree)
+	return w, nil
+}
+
+// syntheticDataset draws a two-class dataset with class-shifted Gaussian
+// columns, so tree splits have real signal to find.
+func syntheticDataset(n, p int, seed uint64) *ml.Dataset {
+	rng := stats.NewRNG(seed)
+	attrs := make([]string, p)
+	for j := range attrs {
+		attrs[j] = fmt.Sprintf("a%02d", j)
+	}
+	X := make([][]float64, n)
+	Y := make([]float64, n)
+	for i := range X {
+		class := i % 2
+		row := make([]float64, p)
+		for j := range row {
+			shift := 0.0
+			if class == 1 && j%3 == 0 {
+				shift = 1.5
+			}
+			row[j] = rng.Normal(shift, 1)
+		}
+		X[i] = row
+		Y[i] = float64(class)
+	}
+	d, err := ml.NewDataset(attrs, []string{"no", "yes"}, X, Y)
+	if err != nil {
+		panic(err) // shapes are constructed consistent above
+	}
+	return d
+}
+
+// syntheticRows draws standalone prediction rows.
+func syntheticRows(n, p int, seed uint64) [][]float64 {
+	rng := stats.NewRNG(seed)
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, p)
+		for j := range row {
+			row[j] = rng.Normal(0, 1.5)
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// syntheticModel builds a loadable, scoreable forest model without paying
+// for corpus generation: one ModelTrees-tree forest per standard
+// hypothesis over the full feature schema.
+func syntheticModel() (*core.Model, error) {
+	d := syntheticDataset(FitRows, len(metrics.FeatureNames), benchSeed+2)
+	names := append([]string(nil), metrics.FeatureNames...)
+	m := &core.Model{
+		Config:      core.TrainConfig{Kind: core.KindForest},
+		Transformer: core.DefaultTransformer(),
+	}
+	for i, h := range core.StandardHypotheses() {
+		rf := &ml.RandomForest{Trees: ModelTrees, MaxDepth: FitDepth, Seed: benchSeed + uint64(i), Jobs: 1}
+		if err := rf.Fit(d); err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+		m.Hypotheses = append(m.Hypotheses, &core.HypothesisModel{
+			Hypothesis: h,
+			Kind:       core.KindForest,
+			Classifier: rf,
+			Features:   names,
+			BaseRate:   0.5,
+		})
+	}
+	return m, nil
+}
+
+// list returns the workload battery in report order.
+func (w *workloads) list() []workload {
+	return []workload{
+		{"tokenize_file", func() {
+			toks := lexer.Tokenize(w.src, w.langs.Language)
+			sink += float64(len(toks))
+		}},
+		{"extract_base", func() {
+			fv := metrics.Extract(w.tree)
+			sink += fv[metrics.FeatKLoC]
+		}},
+		{"lint_tree", func() {
+			rep := lint.Check(w.tree)
+			sink += float64(rep.Total())
+		}},
+		{"analyze_full", func() {
+			fv := core.ExtractFeatures(w.tree)
+			sink += fv[metrics.FeatKLoC]
+		}},
+		{"forest_fit", func() {
+			rf := &ml.RandomForest{Trees: FitTrees, MaxDepth: FitDepth, Seed: benchSeed, Jobs: 1}
+			if err := rf.Fit(w.fitData); err != nil {
+				panic(err)
+			}
+			sink += float64(rf.PredictClass(w.rows[0]))
+		}},
+		{"forest_batch", func() {
+			sink += w.forestBatch()
+		}},
+		{"score", func() {
+			rep := w.model.Score("bench", w.scoreInput)
+			sink += rep.RiskScore
+		}},
+		{"model_load_json", func() {
+			m, err := core.LoadModel(bytes.NewReader(w.modelJSON))
+			if err != nil {
+				panic(err)
+			}
+			sink += float64(len(m.Hypotheses))
+		}},
+		{"model_load_bin", func() {
+			m, err := core.LoadModel(bytes.NewReader(w.modelBin))
+			if err != nil {
+				panic(err)
+			}
+			sink += float64(len(m.Hypotheses))
+		}},
+	}
+}
+
+// forestBatch predicts class probabilities for every benchmark row through
+// the compiled batch path and folds them into one number for the sink.
+func (w *workloads) forestBatch() float64 {
+	s := 0.0
+	for _, p := range w.serve.PredictProbaBatch(w.rows) {
+		s += p[1]
+	}
+	return s
+}
+
+// phaseTotals runs one traced, single-worker full analysis over the tree
+// and returns the per-phase busy totals.
+func (w *workloads) phaseTotals() []PhaseTotal {
+	tr := trace.New("bench")
+	ctx := trace.ContextWithSpan(context.Background(), tr.Root())
+	_, _, err := core.ExtractFeaturesDiagnostics(ctx, w.tree, core.ExtractConfig{Jobs: 1})
+	tr.Finish()
+	if err != nil {
+		return nil
+	}
+	var out []PhaseTotal
+	for _, p := range tr.PhaseTotals() {
+		out = append(out, PhaseTotal{Phase: p.Phase, Seconds: p.Seconds, Count: p.Count})
+	}
+	return out
+}

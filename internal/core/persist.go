@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +15,22 @@ import (
 
 // Serialized model format, versioned for forward compatibility.
 const modelFormatVersion = 1
+
+// binaryMagic opens every binary model file: "SMB" plus one version byte.
+// LoadModel sniffs it to pick the decode path, so JSON and binary models
+// load through the same entry point.
+const binaryMagic = "SMB1"
+
+// maxBinarySection bounds every length prefix in a binary model, so a
+// corrupt header cannot drive an arbitrary allocation before the payload is
+// rejected.
+const maxBinarySection = 1 << 28
+
+// ErrModelCorrupt marks a binary model whose header or sections are
+// truncated or internally inconsistent. Callers (the daemon's registry in
+// particular) check for it with errors.Is and keep serving their previous
+// snapshot.
+var ErrModelCorrupt = errors.New("core: corrupt or truncated binary model")
 
 // ErrFeatureSchema marks a model whose persisted feature schema does not
 // match this build's metrics.FeatureNames. Scoring with such a model would
@@ -89,13 +107,140 @@ func (m *Model) Save(w io.Writer) error {
 	return enc.Encode(dto)
 }
 
-// LoadModel restores a model saved with Save. The restored model scores and
+// SaveBinary writes the model in the compact binary container: the "SMB1"
+// magic, a length-prefixed JSON meta section (the modelDTO with classifier
+// blobs left out), then one length-prefixed ml binary classifier blob per
+// hypothesis, in meta order. Tree ensembles dominate model size, so they
+// serialize as flat little-endian node arrays instead of recursive JSON;
+// everything else (transformer, CV stats, the linear count model) stays
+// readable JSON in the meta section. LoadModel sniffs the magic, so both
+// formats load through the same call.
+func (m *Model) SaveBinary(w io.Writer) error {
+	dto := modelDTO{
+		Version:     modelFormatVersion,
+		Kind:        m.Config.Kind,
+		Schema:      append([]string(nil), metrics.FeatureNames...),
+		Transformer: m.Transformer,
+		CountEval:   m.CountEval,
+		CountStd:    m.CountResidualStd,
+	}
+	blobs := make([][]byte, 0, len(m.Hypotheses))
+	for _, hm := range m.Hypotheses {
+		blob, err := ml.MarshalClassifierBinary(hm.Classifier)
+		if err != nil {
+			return fmt.Errorf("core: saving %s: %w", hm.Hypothesis.Name, err)
+		}
+		blobs = append(blobs, blob)
+		h := hypothesisDTO{
+			Name:       hm.Hypothesis.Name,
+			Question:   hm.Hypothesis.Question,
+			Kind:       hm.Kind,
+			Features:   hm.Features,
+			Importance: hm.Importance,
+			BaseRate:   hm.BaseRate,
+		}
+		if hm.CV != nil {
+			h.CVAccuracy = hm.CV.Accuracy
+			h.CVAUC = hm.CV.AUC
+		}
+		dto.Hypotheses = append(dto.Hypotheses, h)
+	}
+	if m.CountModel != nil {
+		blob, err := ml.MarshalRegressor(m.CountModel)
+		if err != nil {
+			return fmt.Errorf("core: saving count model: %w", err)
+		}
+		dto.CountModel = blob
+	}
+	meta, err := json.Marshal(dto)
+	if err != nil {
+		return fmt.Errorf("core: encode model meta: %w", err)
+	}
+	buf := make([]byte, 0, len(binaryMagic)+4+len(meta))
+	buf = append(buf, binaryMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(meta)))
+	buf = append(buf, meta...)
+	for _, blob := range blobs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blob)))
+		buf = append(buf, blob...)
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// LoadModel restores a model saved with Save or SaveBinary, sniffing the
+// binary magic to pick the decode path. The restored model scores and
 // compares codebases; it cannot be retrained (no corpus attached).
 func LoadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(len(binaryMagic))
+	if err == nil && string(magic) == binaryMagic {
+		return loadBinaryModel(br)
+	}
+	if err == nil && string(magic[:3]) == binaryMagic[:3] {
+		return nil, fmt.Errorf("core: unsupported binary model version %q", magic)
+	}
 	var dto modelDTO
-	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+	if err := json.NewDecoder(br).Decode(&dto); err != nil {
 		return nil, fmt.Errorf("core: decode model: %w", err)
 	}
+	return modelFromDTO(dto, nil)
+}
+
+// loadBinaryModel decodes the binary container; br is positioned at the
+// magic. Truncation and garbage at any layer surface as ErrModelCorrupt so
+// callers can distinguish a bad file from a version or schema mismatch.
+func loadBinaryModel(br *bufio.Reader) (*Model, error) {
+	if _, err := br.Discard(len(binaryMagic)); err != nil {
+		return nil, fmt.Errorf("%w: short magic", ErrModelCorrupt)
+	}
+	meta, err := readSection(br, "meta")
+	if err != nil {
+		return nil, err
+	}
+	var dto modelDTO
+	if err := json.Unmarshal(meta, &dto); err != nil {
+		return nil, fmt.Errorf("%w: meta section: %v", ErrModelCorrupt, err)
+	}
+	clfs := make([]ml.Classifier, len(dto.Hypotheses))
+	for i, h := range dto.Hypotheses {
+		blob, err := readSection(br, "classifier")
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", h.Name, err)
+		}
+		clf, err := ml.UnmarshalClassifierBinary(blob)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrModelCorrupt, h.Name, err)
+		}
+		clfs[i] = clf
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after classifier sections", ErrModelCorrupt)
+	}
+	return modelFromDTO(dto, clfs)
+}
+
+// readSection reads one u32-length-prefixed section of the binary container.
+func readSection(br *bufio.Reader, what string) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated %s length", ErrModelCorrupt, what)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxBinarySection {
+		return nil, fmt.Errorf("%w: implausible %s length %d", ErrModelCorrupt, what, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("%w: truncated %s section", ErrModelCorrupt, what)
+	}
+	return buf, nil
+}
+
+// modelFromDTO validates the decoded header and assembles the Model. clfs
+// supplies the per-hypothesis classifiers for the binary container; the JSON
+// path passes nil and each hypothesisDTO carries its own envelope blob.
+func modelFromDTO(dto modelDTO, clfs []ml.Classifier) (*Model, error) {
 	if dto.Version != modelFormatVersion {
 		return nil, fmt.Errorf("core: unsupported model version %d", dto.Version)
 	}
@@ -111,10 +256,16 @@ func LoadModel(r io.Reader) (*Model, error) {
 		CountEval:        dto.CountEval,
 		CountResidualStd: dto.CountStd,
 	}
-	for _, h := range dto.Hypotheses {
-		clf, err := ml.UnmarshalClassifier(h.Classifier)
-		if err != nil {
-			return nil, fmt.Errorf("core: loading %s: %w", h.Name, err)
+	for i, h := range dto.Hypotheses {
+		var clf ml.Classifier
+		if clfs != nil {
+			clf = clfs[i]
+		} else {
+			var err error
+			clf, err = ml.UnmarshalClassifier(h.Classifier)
+			if err != nil {
+				return nil, fmt.Errorf("core: loading %s: %w", h.Name, err)
+			}
 		}
 		m.Hypotheses = append(m.Hypotheses, &HypothesisModel{
 			Hypothesis: Hypothesis{Name: h.Name, Question: h.Question},

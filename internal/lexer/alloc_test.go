@@ -1,0 +1,66 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+// allocSource mixes every token class the scanner handles, so the
+// steady-state assertions exercise the whole hot path.
+const allocSource = `#include <stdio.h>
+// leading comment
+/* block
+   comment */
+int limit = 0x2a;
+
+int handle(char *dst, int n) {
+	char *msg = "copy \"quoted\" text";
+	double scale = 1.5e-3;
+	if (n >= limit && msg != 0) {
+		n = limit << 1;
+	}
+	return n; // trailing
+}
+`
+
+// TestTokenizeSteadyStateAllocs pins the zero-alloc contract of the
+// extraction hot path: once the destination slices have grown to fit,
+// re-tokenizing a file allocates nothing. Tokenize itself stays O(1) per
+// file — one slice allocation, independent of token count.
+func TestTokenizeSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under the race detector")
+	}
+	src := strings.Repeat(allocSource, 8)
+	all := TokenizeInto(nil, src, lang.C)
+	code := CodeInto(nil, all)
+	if len(all) == 0 || len(code) == 0 {
+		t.Fatal("fixture produced no tokens")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		all = TokenizeInto(all[:0], src, lang.C)
+		code = CodeInto(code[:0], all)
+	})
+	if allocs != 0 {
+		t.Errorf("TokenizeInto+CodeInto steady state allocates %v times per file, want 0", allocs)
+	}
+
+	allocs = testing.AllocsPerRun(20, func() {
+		Tokenize(src, lang.C)
+	})
+	if allocs > 2 {
+		t.Errorf("Tokenize allocates %v times per file, want O(1) (<= 2)", allocs)
+	}
+}
+
+func BenchmarkTokenizeInto(b *testing.B) {
+	src := strings.Repeat(allocSource, 8)
+	var buf []Token
+	b.ReportAllocs()
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		buf = TokenizeInto(buf[:0], src, lang.C)
+	}
+}

@@ -2,6 +2,11 @@
 // and Python-like source text. It is the shared front end for the metric
 // extractors (cyclomatic complexity, Halstead measures, code smells, lint)
 // and is resilient to malformed input: it never fails, it only degrades.
+//
+// Tokens are index pairs into the shared source buffer rather than owned
+// substrings: a Token is 32 bytes, carries no per-token allocation, and
+// materializes its text lazily through Text(). The steady-state tokenize
+// path (TokenizeInto over a reused buffer) performs zero allocations.
 package lexer
 
 import (
@@ -12,7 +17,7 @@ import (
 )
 
 // Kind classifies a token.
-type Kind int
+type Kind int32
 
 // Token kinds.
 const (
@@ -26,6 +31,8 @@ const (
 	Punct // brackets, braces, separators
 	Preproc
 	Newline
+
+	numKinds
 )
 
 // String names the kind for diagnostics.
@@ -55,12 +62,28 @@ func (k Kind) String() string {
 	return "Unknown"
 }
 
-// Token is one lexical unit.
+// Token is one lexical unit: a [Start, End) byte range into the source
+// buffer it was scanned from. Text is materialized on demand; tokens built
+// without a source buffer (synthetic EOF markers) yield "".
 type Token struct {
-	Kind Kind
-	Text string
-	Line int // 1-based line of the token's first character
+	src   string
+	Start int32
+	End   int32
+	Line  int32 // 1-based line of the token's first character
+	Kind  Kind
 }
+
+// Text returns the token's source text as a zero-copy slice of the buffer
+// it was scanned from.
+func (t Token) Text() string {
+	if t.src == "" {
+		return ""
+	}
+	return t.src[t.Start:t.End]
+}
+
+// Len returns the token's length in bytes without materializing the text.
+func (t Token) Len() int { return int(t.End - t.Start) }
 
 // multi-character operators, longest first within each leading byte.
 var multiOps = []string{
@@ -74,7 +97,7 @@ type Lexer struct {
 	src    string
 	syntax lang.Syntax
 	pos    int
-	line   int
+	line   int32
 }
 
 // New returns a lexer for src using the lexical rules of language l.
@@ -82,53 +105,82 @@ func New(src string, l lang.Language) *Lexer {
 	return &Lexer{src: src, syntax: lang.SyntaxOf(l), line: 1}
 }
 
+// tokensPerByte is the preallocation density estimate: one token per three
+// source bytes comfortably covers dense C-family punctuation.
+const tokensPerByte = 3
+
 // Tokenize scans src to completion and returns all tokens (excluding EOF).
 // Comments and newlines are included so callers can reconstruct line
 // structure; filter with Filter if only code tokens are wanted.
 func Tokenize(src string, l lang.Language) []Token {
+	return TokenizeInto(make([]Token, 0, len(src)/tokensPerByte+8), src, l)
+}
+
+// TokenizeInto appends all of src's tokens (excluding EOF) to dst and
+// returns the extended slice. Callers that reuse dst across files — resetting
+// with dst[:0] — tokenize with zero steady-state allocations.
+func TokenizeInto(dst []Token, src string, l lang.Language) []Token {
 	lx := New(src, l)
-	var out []Token
 	for {
 		t := lx.Next()
 		if t.Kind == EOF {
-			return out
+			return dst
 		}
-		out = append(out, t)
+		dst = append(dst, t)
 	}
+}
+
+// kindMask packs token kinds into a bitmask (all kinds fit in a uint32).
+func kindMask(kinds ...Kind) uint32 {
+	var mask uint32
+	for _, k := range kinds {
+		mask |= 1 << uint32(k)
+	}
+	return mask
 }
 
 // Filter returns only the tokens of the given kinds.
 func Filter(toks []Token, kinds ...Kind) []Token {
-	want := map[Kind]bool{}
-	for _, k := range kinds {
-		want[k] = true
-	}
+	mask := kindMask(kinds...)
 	var out []Token
 	for _, t := range toks {
-		if want[t.Kind] {
+		if mask&(1<<uint32(t.Kind)) != 0 {
+			if out == nil {
+				out = make([]Token, 0, len(toks))
+			}
 			out = append(out, t)
 		}
 	}
 	return out
 }
+
+// codeMask drops comments and newlines.
+const codeMask = ^uint32(1<<uint32(Comment) | 1<<uint32(Newline))
 
 // Code returns the tokens that participate in program semantics (everything
 // except comments and newlines).
 func Code(toks []Token) []Token {
 	var out []Token
 	for _, t := range toks {
-		if t.Kind != Comment && t.Kind != Newline {
+		if codeMask&(1<<uint32(t.Kind)) != 0 {
+			if out == nil {
+				out = make([]Token, 0, len(toks))
+			}
 			out = append(out, t)
 		}
 	}
 	return out
 }
 
-func (lx *Lexer) peek() byte {
-	if lx.pos >= len(lx.src) {
-		return 0
+// CodeInto appends the semantic tokens of toks to dst and returns the
+// extended slice; reuse dst[:0] across files for zero-alloc filtering.
+func CodeInto(dst, toks []Token) []Token {
+	for _, t := range toks {
+		if codeMask&(1<<uint32(t.Kind)) != 0 {
+			dst = append(dst, t)
+		}
 	}
-	return lx.src[lx.pos]
+	return dst
 }
 
 func (lx *Lexer) peekAt(off int) byte {
@@ -140,6 +192,11 @@ func (lx *Lexer) peekAt(off int) byte {
 
 func (lx *Lexer) startsWith(s string) bool {
 	return strings.HasPrefix(lx.src[lx.pos:], s)
+}
+
+// tok builds a token spanning [start, lx.pos) on startLine.
+func (lx *Lexer) tok(k Kind, start int, startLine int32) Token {
+	return Token{src: lx.src, Kind: k, Start: int32(start), End: int32(lx.pos), Line: startLine}
 }
 
 // Next returns the next token, or an EOF token at the end of input.
@@ -154,7 +211,7 @@ func (lx *Lexer) Next() Token {
 		break
 	}
 	if lx.pos >= len(lx.src) {
-		return Token{Kind: EOF, Line: lx.line}
+		return Token{src: lx.src, Start: int32(lx.pos), End: int32(lx.pos), Kind: EOF, Line: lx.line}
 	}
 	start, startLine := lx.pos, lx.line
 	c := lx.src[lx.pos]
@@ -162,7 +219,7 @@ func (lx *Lexer) Next() Token {
 	if c == '\n' {
 		lx.pos++
 		lx.line++
-		return Token{Kind: Newline, Text: "\n", Line: startLine}
+		return lx.tok(Newline, start, startLine)
 	}
 
 	// Preprocessor lines (C/C++): '#' at the start of a (logical) line.
@@ -176,7 +233,7 @@ func (lx *Lexer) Next() Token {
 			}
 			lx.pos++
 		}
-		return Token{Kind: Preproc, Text: lx.src[start:lx.pos], Line: startLine}
+		return lx.tok(Preproc, start, startLine)
 	}
 
 	// Line comments.
@@ -185,7 +242,7 @@ func (lx *Lexer) Next() Token {
 			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
 				lx.pos++
 			}
-			return Token{Kind: Comment, Text: lx.src[start:lx.pos], Line: startLine}
+			return lx.tok(Comment, start, startLine)
 		}
 	}
 
@@ -201,7 +258,7 @@ func (lx *Lexer) Next() Token {
 		if lx.pos < len(lx.src) {
 			lx.pos += len(lx.syntax.BlockEnd)
 		}
-		return Token{Kind: Comment, Text: lx.src[start:lx.pos], Line: startLine}
+		return lx.tok(Comment, start, startLine)
 	}
 
 	// Triple-quoted strings (Python).
@@ -217,7 +274,7 @@ func (lx *Lexer) Next() Token {
 		if lx.pos < len(lx.src) {
 			lx.pos += 3
 		}
-		return Token{Kind: String, Text: lx.src[start:lx.pos], Line: startLine}
+		return lx.tok(String, start, startLine)
 	}
 
 	// Quoted strings/chars.
@@ -238,7 +295,7 @@ func (lx *Lexer) Next() Token {
 					break
 				}
 			}
-			return Token{Kind: String, Text: lx.src[start:lx.pos], Line: startLine}
+			return lx.tok(String, start, startLine)
 		}
 	}
 
@@ -261,7 +318,7 @@ func (lx *Lexer) Next() Token {
 			}
 			break
 		}
-		return Token{Kind: Number, Text: lx.src[start:lx.pos], Line: startLine}
+		return lx.tok(Number, start, startLine)
 	}
 
 	// Identifiers and keywords.
@@ -270,12 +327,11 @@ func (lx *Lexer) Next() Token {
 		for lx.pos < len(lx.src) && (isAlnum(lx.src[lx.pos]) || lx.src[lx.pos] == '_') {
 			lx.pos++
 		}
-		text := lx.src[start:lx.pos]
 		kind := Ident
-		if lx.syntax.Keywords[text] {
+		if lx.syntax.Keywords[lx.src[start:lx.pos]] {
 			kind = Keyword
 		}
-		return Token{Kind: kind, Text: text, Line: startLine}
+		return lx.tok(kind, start, startLine)
 	}
 
 	// Multi-character operators. Skip "//" which would have been a comment
@@ -284,18 +340,17 @@ func (lx *Lexer) Next() Token {
 	for _, op := range multiOps {
 		if lx.startsWith(op) {
 			lx.pos += len(op)
-			return Token{Kind: Operator, Text: op, Line: startLine}
+			return lx.tok(Operator, start, startLine)
 		}
 	}
 
 	// Single-character punctuation vs. operator.
 	lx.pos++
-	text := string(c)
 	switch c {
 	case '(', ')', '[', ']', '{', '}', ',', ';', ':':
-		return Token{Kind: Punct, Text: text, Line: startLine}
+		return lx.tok(Punct, start, startLine)
 	default:
-		return Token{Kind: Operator, Text: text, Line: startLine}
+		return lx.tok(Operator, start, startLine)
 	}
 }
 

@@ -20,7 +20,7 @@ func kindsOf(toks []Token) []Kind {
 func textsOf(toks []Token) []string {
 	out := make([]string, len(toks))
 	for i, t := range toks {
-		out[i] = t.Text
+		out[i] = t.Text()
 	}
 	return out
 }
@@ -40,8 +40,8 @@ func TestTokenizeSimpleC(t *testing.T) {
 		t.Fatalf("got %d tokens %v", len(toks), textsOf(toks))
 	}
 	for i, w := range want {
-		if toks[i].Kind != w.kind || toks[i].Text != w.text {
-			t.Fatalf("token %d = %v %q, want %v %q", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		if toks[i].Kind != w.kind || toks[i].Text() != w.text {
+			t.Fatalf("token %d = %v %q, want %v %q", i, toks[i].Kind, toks[i].Text(), w.kind, w.text)
 		}
 	}
 }
@@ -49,7 +49,7 @@ func TestTokenizeSimpleC(t *testing.T) {
 func TestLineComments(t *testing.T) {
 	toks := Tokenize("x = 1; // trailing\ny = 2;", lang.C)
 	comments := Filter(toks, Comment)
-	if len(comments) != 1 || !strings.HasPrefix(comments[0].Text, "//") {
+	if len(comments) != 1 || !strings.HasPrefix(comments[0].Text(), "//") {
 		t.Fatalf("comments = %v", textsOf(comments))
 	}
 	if comments[0].Line != 1 {
@@ -109,7 +109,7 @@ func TestPreprocessorContinuation(t *testing.T) {
 		t.Fatalf("continuation broken: %v", textsOf(pps))
 	}
 	idents := Filter(toks, Ident)
-	if len(idents) != 1 || idents[0].Text != "y" || idents[0].Line != 3 {
+	if len(idents) != 1 || idents[0].Text() != "y" || idents[0].Line != 3 {
 		t.Fatalf("line count after continuation: %+v", idents)
 	}
 }
@@ -117,7 +117,7 @@ func TestPreprocessorContinuation(t *testing.T) {
 func TestStringsWithEscapes(t *testing.T) {
 	toks := Tokenize(`printf("a \"quoted\" string");`, lang.C)
 	strs := Filter(toks, String)
-	if len(strs) != 1 || !strings.Contains(strs[0].Text, `\"quoted\"`) {
+	if len(strs) != 1 || !strings.Contains(strs[0].Text(), `\"quoted\"`) {
 		t.Fatalf("strings = %v", textsOf(strs))
 	}
 }
@@ -142,7 +142,7 @@ func TestUnterminatedStringStopsAtNewline(t *testing.T) {
 	idents := Filter(toks, Ident)
 	found := false
 	for _, tok := range idents {
-		if tok.Text == "next_line" {
+		if tok.Text() == "next_line" {
 			found = true
 		}
 	}
@@ -155,11 +155,11 @@ func TestTripleQuotedPython(t *testing.T) {
 	src := "x = \"\"\"multi\nline\ndoc\"\"\"\ny = 1"
 	toks := Tokenize(src, lang.Python)
 	strs := Filter(toks, String)
-	if len(strs) != 1 || !strings.Contains(strs[0].Text, "multi\nline") {
+	if len(strs) != 1 || !strings.Contains(strs[0].Text(), "multi\nline") {
 		t.Fatalf("triple quote broken: %v", textsOf(strs))
 	}
 	for _, tok := range toks {
-		if tok.Text == "y" && tok.Line != 4 {
+		if tok.Text() == "y" && tok.Line != 4 {
 			t.Fatalf("line after triple quote = %d, want 4", tok.Line)
 		}
 	}
@@ -174,8 +174,8 @@ func TestNumbers(t *testing.T) {
 		t.Fatalf("numbers = %v, want %v", textsOf(nums), want)
 	}
 	for i, w := range want {
-		if nums[i].Text != w {
-			t.Fatalf("number %d = %q, want %q", i, nums[i].Text, w)
+		if nums[i].Text() != w {
+			t.Fatalf("number %d = %q, want %q", i, nums[i].Text(), w)
 		}
 	}
 }
@@ -185,7 +185,7 @@ func TestMultiCharOperators(t *testing.T) {
 	toks := Tokenize(src, lang.C)
 	ops := map[string]bool{}
 	for _, tok := range Filter(toks, Operator) {
-		ops[tok.Text] = true
+		ops[tok.Text()] = true
 	}
 	for _, want := range []string{"==", "&&", "!=", "||", "<=", "+=", "->", "<<="} {
 		if !ops[want] {
@@ -202,7 +202,7 @@ func TestPythonFloorDivIsOperator(t *testing.T) {
 	}
 	found := false
 	for _, tok := range Filter(toks, Operator) {
-		if tok.Text == "//" {
+		if tok.Text() == "//" {
 			found = true
 		}
 	}
@@ -259,11 +259,11 @@ func TestLexerRobustness(t *testing.T) {
 			lines := 1 + strings.Count(string(buf), "\n")
 			prevLine := 1
 			for _, tok := range toks {
-				if tok.Line < prevLine || tok.Line > lines {
+				if int(tok.Line) < prevLine || int(tok.Line) > lines {
 					return false
 				}
-				prevLine = tok.Line
-				if tok.Kind != Newline && tok.Kind != EOF && tok.Text == "" {
+				prevLine = int(tok.Line)
+				if tok.Kind != Newline && tok.Kind != EOF && tok.Text() == "" {
 					return false
 				}
 			}

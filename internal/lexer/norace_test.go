@@ -1,0 +1,5 @@
+//go:build !race
+
+package lexer
+
+const raceEnabled = false

@@ -78,8 +78,13 @@ var unsafeCalls = map[string]bool{
 // Check runs every applicable rule over the tree.
 func Check(t *metrics.Tree) *Report {
 	rep := &Report{}
+	// Per-file scratch, reused across the tree so steady-state checking does
+	// not allocate token storage per file.
+	var all, code []lexer.Token
 	for _, f := range t.Files {
-		checkTokens(f, rep)
+		all = lexer.TokenizeInto(all[:0], f.Content, f.Language)
+		code = lexer.CodeInto(code[:0], all)
+		checkTokens(f, code, rep)
 		// The AST rules only apply to files that parse as MiniC.
 		if prog, err := minic.Parse(f.Content); err == nil {
 			checkAST(f.Path, prog, rep)
@@ -94,43 +99,43 @@ func Check(t *metrics.Tree) *Report {
 	return rep
 }
 
-func checkTokens(f metrics.File, rep *Report) {
-	toks := lexer.Code(lexer.Tokenize(f.Content, f.Language))
+// checkTokens runs the token rules over the file's semantic token stream.
+func checkTokens(f metrics.File, toks []lexer.Token, rep *Report) {
 	parenDepth := 0
 	condParen := -1 // depth at which an if/while condition opened
 	for i, tok := range toks {
 		switch tok.Kind {
 		case lexer.Keyword:
-			switch tok.Text {
+			switch tok.Text() {
 			case "goto":
-				rep.add(RuleGotoUse, f.Path, tok.Line, "goto considered harmful")
+				rep.add(RuleGotoUse, f.Path, int(tok.Line), "goto considered harmful")
 			case "if", "while":
-				if i+1 < len(toks) && toks[i+1].Text == "(" {
+				if i+1 < len(toks) && toks[i+1].Text() == "(" {
 					condParen = parenDepth + 1
 				}
 			case "catch":
 				// catch (...) { } with empty body
 				if j := matchEmptyCatch(toks, i); j >= 0 {
-					rep.add(RuleEmptyCatch, f.Path, tok.Line, "empty catch block swallows errors")
+					rep.add(RuleEmptyCatch, f.Path, int(tok.Line), "empty catch block swallows errors")
 				}
 			}
 		case lexer.Ident:
-			isCall := i+1 < len(toks) && toks[i+1].Text == "("
-			if isCall && unsafeCalls[tok.Text] {
-				rep.add(RuleUnsafeCall, f.Path, tok.Line, "call to unsafe API "+tok.Text)
+			isCall := i+1 < len(toks) && toks[i+1].Text() == "("
+			if isCall && unsafeCalls[tok.Text()] {
+				rep.add(RuleUnsafeCall, f.Path, int(tok.Line), "call to unsafe API "+tok.Text())
 			}
-			if isCall && (tok.Text == "printf" || tok.Text == "fprintf" || tok.Text == "syslog") {
-				if !firstArgIsLiteral(toks, i+1, tok.Text == "fprintf" || tok.Text == "syslog") {
-					rep.add(RuleFormatString, f.Path, tok.Line, "non-literal format string in "+tok.Text)
+			if isCall && (tok.Text() == "printf" || tok.Text() == "fprintf" || tok.Text() == "syslog") {
+				if !firstArgIsLiteral(toks, i+1, tok.Text() == "fprintf" || tok.Text() == "syslog") {
+					rep.add(RuleFormatString, f.Path, int(tok.Line), "non-literal format string in "+tok.Text())
 				}
 			}
-			if isCall && tok.Text == "malloc" {
+			if isCall && tok.Text() == "malloc" {
 				if !allocChecked(toks, i) {
-					rep.add(RuleUncheckedAlloc, f.Path, tok.Line, "malloc result not checked against NULL")
+					rep.add(RuleUncheckedAlloc, f.Path, int(tok.Line), "malloc result not checked against NULL")
 				}
 			}
 		case lexer.Punct:
-			switch tok.Text {
+			switch tok.Text() {
 			case "(":
 				parenDepth++
 			case ")":
@@ -140,36 +145,36 @@ func checkTokens(f metrics.File, rep *Report) {
 				}
 			}
 		case lexer.Operator:
-			if tok.Text == "=" && condParen > 0 && parenDepth >= condParen {
+			if tok.Text() == "=" && condParen > 0 && parenDepth >= condParen {
 				// Assignment directly inside an if/while condition.
-				rep.add(RuleAssignInCondition, f.Path, tok.Line, "assignment inside condition; did you mean ==?")
+				rep.add(RuleAssignInCondition, f.Path, int(tok.Line), "assignment inside condition; did you mean ==?")
 			}
 		}
 	}
 	checkDeepExpressions(f, toks, rep)
-	checkLongParams(f, rep)
+	checkLongParams(f, toks, rep)
 }
 
 // matchEmptyCatch reports the index of the '}' if toks[i] starts
 // "catch ( ... ) { }", else -1.
 func matchEmptyCatch(toks []lexer.Token, i int) int {
 	j := i + 1
-	if j >= len(toks) || toks[j].Text != "(" {
+	if j >= len(toks) || toks[j].Text() != "(" {
 		return -1
 	}
 	depth := 0
 	for ; j < len(toks); j++ {
-		if toks[j].Text == "(" {
+		if toks[j].Text() == "(" {
 			depth++
 		}
-		if toks[j].Text == ")" {
+		if toks[j].Text() == ")" {
 			depth--
 			if depth == 0 {
 				break
 			}
 		}
 	}
-	if j+2 < len(toks) && toks[j+1].Text == "{" && toks[j+2].Text == "}" {
+	if j+2 < len(toks) && toks[j+1].Text() == "{" && toks[j+2].Text() == "}" {
 		return j + 2
 	}
 	return -1
@@ -186,7 +191,7 @@ func firstArgIsLiteral(toks []lexer.Token, openParen int, skipOne bool) bool {
 		want = 1
 	}
 	for i := openParen; i < len(toks); i++ {
-		switch toks[i].Text {
+		switch toks[i].Text() {
 		case "(":
 			depth++
 			continue
@@ -214,17 +219,17 @@ func firstArgIsLiteral(toks []lexer.Token, openParen int, skipOne bool) bool {
 func allocChecked(toks []lexer.Token, callIdx int) bool {
 	// Identify the assigned variable: pattern "ident = malloc".
 	var varName string
-	if callIdx >= 2 && toks[callIdx-1].Text == "=" && toks[callIdx-2].Kind == lexer.Ident {
-		varName = toks[callIdx-2].Text
+	if callIdx >= 2 && toks[callIdx-1].Text() == "=" && toks[callIdx-2].Kind == lexer.Ident {
+		varName = toks[callIdx-2].Text()
 	}
 	if varName == "" {
 		return false
 	}
 	// Scan forward a bounded window for "if" ... varName.
 	for i := callIdx; i < len(toks) && i < callIdx+40; i++ {
-		if toks[i].Kind == lexer.Keyword && toks[i].Text == "if" {
+		if toks[i].Kind == lexer.Keyword && toks[i].Text() == "if" {
 			for j := i; j < len(toks) && j < i+12; j++ {
-				if toks[j].Kind == lexer.Ident && toks[j].Text == varName {
+				if toks[j].Kind == lexer.Ident && toks[j].Text() == varName {
 					return true
 				}
 			}
@@ -237,12 +242,12 @@ func checkDeepExpressions(f metrics.File, toks []lexer.Token, rep *Report) {
 	depth := 0
 	reported := map[int]bool{}
 	for _, tok := range toks {
-		switch tok.Text {
+		switch tok.Text() {
 		case "(":
 			depth++
-			if depth > 8 && !reported[tok.Line] {
-				reported[tok.Line] = true
-				rep.add(RuleDeepExpression, f.Path, tok.Line, "expression nested deeper than 8 levels")
+			if depth > 8 && !reported[int(tok.Line)] {
+				reported[int(tok.Line)] = true
+				rep.add(RuleDeepExpression, f.Path, int(tok.Line), "expression nested deeper than 8 levels")
 			}
 		case ")":
 			if depth > 0 {
@@ -254,8 +259,8 @@ func checkDeepExpressions(f metrics.File, toks []lexer.Token, rep *Report) {
 	}
 }
 
-func checkLongParams(f metrics.File, rep *Report) {
-	for _, fn := range metrics.Cyclomatic(f) {
+func checkLongParams(f metrics.File, toks []lexer.Token, rep *Report) {
+	for _, fn := range metrics.CyclomaticTokens(f, toks) {
 		if fn.Params > 6 {
 			rep.add(RuleLongParameterList, f.Path, fn.Line, "function "+fn.Name+" has too many parameters")
 		}

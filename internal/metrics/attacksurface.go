@@ -1,9 +1,5 @@
 package metrics
 
-import (
-	"repro/internal/lexer"
-)
-
 // AttackSurface is a RASQ-style (Relative Attack Surface Quotient, Howard et
 // al.) estimate: a weighted count of the resources an attacker can reach.
 // Each dimension is a count of syntactic evidence in the source; the Quotient
@@ -65,49 +61,7 @@ func set(words ...string) map[string]bool {
 // except entry points, which are function definitions named "main" or
 // prefixed "handle"/"serve".
 func AttackSurfaceOf(t *Tree) AttackSurface {
-	var as AttackSurface
-	for _, f := range t.Files {
-		toks := lexer.Code(lexer.Tokenize(f.Content, f.Language))
-		for i, tok := range toks {
-			if tok.Kind != lexer.Ident {
-				continue
-			}
-			isCall := i+1 < len(toks) && toks[i+1].Text == "("
-			if !isCall {
-				continue
-			}
-			switch {
-			case networkAPIs[tok.Text]:
-				as.NetworkEndpoints++
-			case fileAPIs[tok.Text]:
-				as.FileInputs++
-			case envAPIs[tok.Text]:
-				as.EnvInputs++
-			case procAPIs[tok.Text]:
-				as.ProcessSpawns++
-			case privAPIs[tok.Text]:
-				as.PrivilegeOps++
-			case unsafeAPIs[tok.Text]:
-				as.UnsafeAPIs++
-			case formatAPIs[tok.Text]:
-				as.FormatCalls++
-			}
-		}
-		for _, fn := range Cyclomatic(f) {
-			if fn.Name == "main" || hasPrefixAny(fn.Name, "handle", "serve", "on_") {
-				as.EntryPoints++
-			}
-		}
-	}
-	as.Quotient = rasqWeights.network*float64(as.NetworkEndpoints) +
-		rasqWeights.file*float64(as.FileInputs) +
-		rasqWeights.env*float64(as.EnvInputs) +
-		rasqWeights.proc*float64(as.ProcessSpawns) +
-		rasqWeights.priv*float64(as.PrivilegeOps) +
-		rasqWeights.unsafe*float64(as.UnsafeAPIs) +
-		rasqWeights.format*float64(as.FormatCalls) +
-		rasqWeights.entry*float64(as.EntryPoints)
-	return as
+	return scanTree(t).surface
 }
 
 func hasPrefixAny(s string, prefixes ...string) bool {

@@ -26,12 +26,27 @@ type FunctionMetrics struct {
 // operators '&&'/'||' (or Python's and/or), following the counting rule the
 // common tools (CCCC, Metrix++, lizard) use.
 func Cyclomatic(f File) []FunctionMetrics {
-	toks := lexer.Code(lexer.Tokenize(f.Content, f.Language))
+	return CyclomaticTokens(f, lexer.Code(lexer.Tokenize(f.Content, f.Language)))
+}
+
+// CyclomaticTokens is Cyclomatic over a pre-scanned semantic token stream
+// (the lexer.Code tokens of f.Content). Callers that already hold the file's
+// tokens avoid re-tokenizing; results are identical to Cyclomatic.
+func CyclomaticTokens(f File, code []lexer.Token) []FunctionMetrics {
+	return cyclomaticTokens(f, code, nil)
+}
+
+// cyclomaticTokens dispatches on block style; lines, when non-nil, must be
+// splitLines(f.Content) (indent languages only consult it).
+func cyclomaticTokens(f File, code []lexer.Token, lines []string) []FunctionMetrics {
 	syn := lang.SyntaxOf(f.Language)
 	if syn.IndentBlocks {
-		return cyclomaticIndent(f, toks, syn)
+		if lines == nil {
+			lines = splitLines(f.Content)
+		}
+		return cyclomaticIndent(f, code, syn, lines)
 	}
-	return cyclomaticBraces(f, toks, syn)
+	return cyclomaticBraces(f, code, syn)
 }
 
 // cyclomaticBraces scans a C/C++/Java token stream.
@@ -41,7 +56,7 @@ func cyclomaticBraces(f File, toks []lexer.Token, syn lang.Syntax) []FunctionMet
 	i := 0
 	for i < len(toks) {
 		t := toks[i]
-		switch t.Text {
+		switch t.Text() {
 		case "{":
 			depth++
 			i++
@@ -55,7 +70,7 @@ func cyclomaticBraces(f File, toks []lexer.Token, syn lang.Syntax) []FunctionMet
 		// depth <= 1 tolerates methods inside one class/namespace block).
 		if depth <= 1 && (t.Kind == lexer.Ident || t.Kind == lexer.Keyword) {
 			if name, params, bodyStart, ok := matchFunctionHeader(toks, i); ok {
-				fm := FunctionMetrics{Name: name, File: f.Path, Line: t.Line, Params: params, Cyclomatic: 1}
+				fm := FunctionMetrics{Name: name, File: f.Path, Line: int(t.Line), Params: params, Cyclomatic: 1}
 				end := scanBody(toks, bodyStart, syn, &fm)
 				out = append(out, fm)
 				i = end
@@ -79,25 +94,27 @@ func matchFunctionHeader(toks []lexer.Token, i int) (string, int, int, bool) {
 		t := toks[j]
 		if t.Kind == lexer.Ident {
 			lastIdent = j
-		} else if t.Kind != lexer.Keyword && t.Text != "*" && t.Text != "&" && t.Text != "::" {
-			break
+		} else if t.Kind != lexer.Keyword {
+			if s := t.Text(); s != "*" && s != "&" && s != "::" {
+				break
+			}
 		}
 		j++
 	}
-	if lastIdent < 0 || j >= len(toks) || toks[j].Text != "(" {
+	if lastIdent < 0 || j >= len(toks) || toks[j].Text() != "(" {
 		return "", 0, 0, false
 	}
-	if controlKeyword(toks[lastIdent].Text) {
+	if controlKeyword(toks[lastIdent].Text()) {
 		return "", 0, 0, false
 	}
-	name := toks[lastIdent].Text
+	name := toks[lastIdent].Text()
 	// Scan the parameter list.
 	depth := 0
 	params := 0
 	sawAny := false
 	k := j
 	for k < len(toks) {
-		switch toks[k].Text {
+		switch toks[k].Text() {
 		case "(":
 			depth++
 		case ")":
@@ -114,7 +131,7 @@ func matchFunctionHeader(toks []lexer.Token, i int) (string, int, int, bool) {
 				params++
 			}
 		default:
-			if depth == 1 && toks[k].Text != "void" {
+			if depth == 1 && toks[k].Text() != "void" {
 				sawAny = true
 			}
 		}
@@ -123,8 +140,8 @@ func matchFunctionHeader(toks []lexer.Token, i int) (string, int, int, bool) {
 	return "", 0, 0, false
 closed:
 	// Skip qualifiers between ')' and '{' (const, throws X, noexcept...).
-	for k < len(toks) && toks[k].Text != "{" {
-		if toks[k].Text == ";" || toks[k].Text == "(" || toks[k].Text == "}" {
+	for k < len(toks) && toks[k].Text() != "{" {
+		if s := toks[k].Text(); s == ";" || s == "(" || s == "}" {
 			return "", 0, 0, false // declaration, not definition
 		}
 		k++
@@ -152,25 +169,26 @@ func scanBody(toks []lexer.Token, start int, syn lang.Syntax, fm *FunctionMetric
 	i := start
 	for i < len(toks) {
 		t := toks[i]
+		text := t.Text()
 		switch {
-		case t.Text == "{":
+		case text == "{":
 			depth++
 			if depth-1 > nesting {
 				nesting = depth - 1
 			}
-		case t.Text == "}":
+		case text == "}":
 			depth--
 			if depth == 0 {
 				fm.MaxNesting = nesting
 				return i + 1
 			}
-		case t.Kind == lexer.Keyword && syn.DecisionKeywords[t.Text]:
+		case t.Kind == lexer.Keyword && syn.DecisionKeywords[text]:
 			// "do" pairs with "while"; avoid double counting do-while by
 			// not counting "do" when "while" is also a decision keyword.
-			if t.Text != "do" {
+			if text != "do" {
 				fm.Cyclomatic++
 			}
-		case t.Text == "&&" || t.Text == "||" || t.Text == "?":
+		case text == "&&" || text == "||" || text == "?":
 			fm.Cyclomatic++
 		}
 		fm.Length++
@@ -182,9 +200,8 @@ func scanBody(toks []lexer.Token, start int, syn lang.Syntax, fm *FunctionMetric
 
 // cyclomaticIndent scans a Python token stream using def/indentation.
 // Token streams do not carry column information, so nesting is tracked by
-// re-scanning source lines.
-func cyclomaticIndent(f File, toks []lexer.Token, syn lang.Syntax) []FunctionMetrics {
-	lines := splitLines(f.Content)
+// re-scanning source lines (passed in by the caller, split once per file).
+func cyclomaticIndent(f File, toks []lexer.Token, syn lang.Syntax, lines []string) []FunctionMetrics {
 	indentOf := func(lineNo int) int {
 		if lineNo-1 < 0 || lineNo-1 >= len(lines) {
 			return 0
@@ -205,21 +222,21 @@ func cyclomaticIndent(f File, toks []lexer.Token, syn lang.Syntax) []FunctionMet
 	var out []FunctionMetrics
 	for i := 0; i < len(toks); i++ {
 		t := toks[i]
-		if t.Kind != lexer.Keyword || !syn.FunctionKeywords[t.Text] {
+		if t.Kind != lexer.Keyword || !syn.FunctionKeywords[t.Text()] {
 			continue
 		}
 		if i+1 >= len(toks) || toks[i+1].Kind != lexer.Ident {
 			continue
 		}
-		fm := FunctionMetrics{Name: toks[i+1].Text, File: f.Path, Line: t.Line, Cyclomatic: 1}
-		defIndent := indentOf(t.Line)
+		fm := FunctionMetrics{Name: toks[i+1].Text(), File: f.Path, Line: int(t.Line), Cyclomatic: 1}
+		defIndent := indentOf(int(t.Line))
 		// Count parameters inside the def's parentheses.
 		j := i + 2
-		if j < len(toks) && toks[j].Text == "(" {
+		if j < len(toks) && toks[j].Text() == "(" {
 			depth := 0
 			sawAny := false
 			for ; j < len(toks); j++ {
-				switch toks[j].Text {
+				switch toks[j].Text() {
 				case "(":
 					depth++
 				case ")":
@@ -233,7 +250,7 @@ func cyclomaticIndent(f File, toks []lexer.Token, syn lang.Syntax) []FunctionMet
 						sawAny = true
 					}
 				}
-				if depth == 0 && toks[j].Text == ")" {
+				if depth == 0 && toks[j].Text() == ")" {
 					break
 				}
 			}
@@ -249,7 +266,7 @@ func cyclomaticIndent(f File, toks []lexer.Token, syn lang.Syntax) []FunctionMet
 			if tk.Line == t.Line {
 				continue
 			}
-			ind := indentOf(tk.Line)
+			ind := indentOf(int(tk.Line))
 			if ind <= defIndent {
 				break
 			}
@@ -257,7 +274,7 @@ func cyclomaticIndent(f File, toks []lexer.Token, syn lang.Syntax) []FunctionMet
 				maxIndent = ind
 			}
 			fm.Length++
-			if tk.Kind == lexer.Keyword && syn.DecisionKeywords[tk.Text] {
+			if tk.Kind == lexer.Keyword && syn.DecisionKeywords[tk.Text()] {
 				fm.Cyclomatic++
 			}
 		}
@@ -278,14 +295,6 @@ func cyclomaticIndent(f File, toks []lexer.Token, syn lang.Syntax) []FunctionMet
 // whole-tree total (the sum of per-function complexities, which is what
 // Figure 3's x-axis plots).
 func CyclomaticTree(t *Tree) ([]FunctionMetrics, int) {
-	var all []FunctionMetrics
-	total := 0
-	for _, f := range t.Files {
-		fns := Cyclomatic(f)
-		for _, fn := range fns {
-			total += fn.Cyclomatic
-		}
-		all = append(all, fns...)
-	}
-	return all, total
+	sc := scanTree(t)
+	return sc.fns, sc.cycloTotal
 }

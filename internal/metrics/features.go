@@ -95,27 +95,29 @@ var FeatureNames = []string{
 
 // Extract runs every static extractor over the tree and assembles the
 // feature vector. History and deep-analysis features default to zero; use
-// Set to enrich the vector afterwards.
+// Set to enrich the vector afterwards. Internally the tree is scanned in a
+// single pass — each file is tokenized exactly once and every extractor
+// family reads the shared token stream.
 func Extract(t *Tree) FeatureVector {
 	fv := FeatureVector{}
 	for _, name := range FeatureNames {
 		fv[name] = 0
 	}
 
-	total, _ := CountTree(t)
+	sc := scanTree(t)
+	total := sc.total
 	fv[FeatKLoC] = float64(total.Code) / 1000
 	fv[FeatFiles] = float64(len(t.Files))
 
-	primary := t.PrimaryLanguage()
+	primary := primaryFromCounts(sc.codePerLang)
 	if primary == lang.C || primary == lang.CPP || primary == lang.MiniC {
 		fv[FeatLanguageUnsafe] = 1
 	}
 
-	fns, cycloTotal := CyclomaticTree(t)
-	fv[FeatFunctions] = float64(len(fns))
-	fv[FeatCyclomaticTotal] = float64(cycloTotal)
+	fv[FeatFunctions] = float64(len(sc.fns))
+	fv[FeatCyclomaticTotal] = float64(sc.cycloTotal)
 
-	s := SmellsOf(t)
+	s := sc.smells
 	fv[FeatCommentRatio] = s.CommentRatio
 	fv[FeatAvgFunctionLen] = s.AvgFunctionLen
 	fv[FeatMaxFunctionLen] = float64(s.MaxFunctionLen)
@@ -131,12 +133,12 @@ func Extract(t *Tree) FeatureVector {
 	}
 	fv[FeatDupLines] = float64(s.DuplicateLines)
 
-	h := HalsteadTree(t)
+	h := sc.halstead
 	fv[FeatHalsteadVolume] = h.Volume
 	fv[FeatHalsteadEffort] = h.Effort
 	fv[FeatHalsteadBugs] = h.EstimatedBugs
 
-	as := AttackSurfaceOf(t)
+	as := sc.surface
 	fv[FeatNetworkCalls] = float64(as.NetworkEndpoints)
 	fv[FeatFileInputs] = float64(as.FileInputs)
 	fv[FeatEnvInputs] = float64(as.EnvInputs)

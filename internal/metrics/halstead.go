@@ -32,16 +32,26 @@ func HalsteadOf(f File) Halstead {
 func halsteadOfTokens(toks []lexer.Token) Halstead {
 	operators := map[string]int{}
 	operands := map[string]int{}
+	countHalstead(toks, operators, operands)
+	return halsteadFromMaps(operators, operands)
+}
+
+// countHalstead tallies each semantic token into the vocabulary maps.
+func countHalstead(toks []lexer.Token, operators, operands map[string]int) {
 	for _, t := range toks {
 		switch t.Kind {
 		case lexer.Keyword, lexer.Operator, lexer.Punct:
-			operators[t.Text]++
+			operators[t.Text()]++
 		case lexer.Ident, lexer.Number, lexer.String:
-			operands[t.Text]++
+			operands[t.Text()]++
 		case lexer.Preproc:
 			operators["#"]++
 		}
 	}
+}
+
+// halsteadFromMaps derives the measures from accumulated vocabulary maps.
+func halsteadFromMaps(operators, operands map[string]int) Halstead {
 	var h Halstead
 	h.DistinctOperators = len(operators)
 	h.DistinctOperands = len(operands)
@@ -65,12 +75,8 @@ func halsteadOfTokens(toks []lexer.Token) Halstead {
 	return h
 }
 
-// HalsteadTree computes the measures over a whole tree by pooling tokens,
-// so distinct counts reflect cross-file vocabulary reuse.
+// HalsteadTree computes the measures over a whole tree with shared
+// vocabulary maps, so distinct counts reflect cross-file vocabulary reuse.
 func HalsteadTree(t *Tree) Halstead {
-	var toks []lexer.Token
-	for _, f := range t.Files {
-		toks = append(toks, lexer.Code(lexer.Tokenize(f.Content, f.Language))...)
-	}
-	return halsteadOfTokens(toks)
+	return scanTree(t).halstead
 }

@@ -22,22 +22,26 @@ type Hotspot struct {
 // first.
 func Hotspots(t *Tree) []Hotspot {
 	var out []Hotspot
+	buf := scanPool.Get().(*scanBuf)
+	defer scanPool.Put(buf)
 	for _, f := range t.Files {
-		fns := Cyclomatic(f)
+		buf.all = lexer.TokenizeInto(buf.all[:0], f.Content, f.Language)
+		buf.code = lexer.CodeInto(buf.code[:0], buf.all)
+		fns := CyclomaticTokens(f, buf.code)
 		if len(fns) == 0 {
 			continue
 		}
 		// Count unsafe/format call sites per function by token position:
 		// functions are non-overlapping and sorted by starting line.
-		toks := lexer.Code(lexer.Tokenize(f.Content, f.Language))
+		toks := buf.code
 		unsafeLines := make([]int, 0, 8)
 		for i, tok := range toks {
 			if tok.Kind != lexer.Ident {
 				continue
 			}
-			if i+1 < len(toks) && toks[i+1].Text == "(" &&
-				(unsafeAPIs[tok.Text] || formatAPIs[tok.Text]) {
-				unsafeLines = append(unsafeLines, tok.Line)
+			if i+1 < len(toks) && toks[i+1].Text() == "(" &&
+				(unsafeAPIs[tok.Text()] || formatAPIs[tok.Text()]) {
+				unsafeLines = append(unsafeLines, int(tok.Line))
 			}
 		}
 		for idx, fn := range fns {

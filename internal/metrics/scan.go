@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/lang"
+	"repro/internal/lexer"
+)
+
+// This file is the single-pass extraction engine. The seed implementation
+// tokenized every file once per metric family (lines, cyclomatic, smells,
+// Halstead, attack surface — seven scans per file in a full Extract);
+// scanTree tokenizes each file exactly once into pooled scratch buffers and
+// feeds every family from the same token stream. Each public per-family
+// function (SmellsOf, HalsteadTree, AttackSurfaceOf, CyclomaticTree) is a
+// view over the same scan, so all of them — and Extract — emit values
+// identical to the per-family originals.
+
+// scanBuf is the pooled per-file scratch: the full token stream and its
+// semantic (comment/newline-free) filtering. Buffers are reset, not freed,
+// between files, so steady-state tokenization does not allocate.
+type scanBuf struct {
+	all  []lexer.Token
+	code []lexer.Token
+}
+
+var scanPool = sync.Pool{New: func() any { return new(scanBuf) }}
+
+// todoMarkers are the comment annotations counted as TODO debt.
+var todoMarkers = []string{"TODO", "FIXME", "XXX", "HACK"}
+
+// treeScan is everything Extract derives from token streams and line
+// counts, computed in one pass over the tree.
+type treeScan struct {
+	total       LineCount
+	codePerLang map[lang.Language]int
+	fns         []FunctionMetrics
+	cycloTotal  int
+	smells      Smells
+	halstead    Halstead
+	surface     AttackSurface
+}
+
+// scanTree runs the single-pass extractor over every file of the tree.
+func scanTree(t *Tree) treeScan {
+	sc := treeScan{codePerLang: make(map[lang.Language]int, 4)}
+	var commentLines, codeLines int
+	lineSeen := map[string]int{}
+	var totalLen, totalCyclo int
+	operators := map[string]int{}
+	operands := map[string]int{}
+
+	buf := scanPool.Get().(*scanBuf)
+	defer scanPool.Put(buf)
+
+	for _, f := range t.Files {
+		lc := CountLines(f)
+		sc.total.Add(lc)
+		sc.codePerLang[f.Language] += lc.Code
+		commentLines += lc.Comment
+		codeLines += lc.Code
+		if lc.Code > GodFileLines {
+			sc.smells.GodFiles++
+		}
+
+		lines := splitLines(f.Content)
+		for _, line := range lines {
+			if len(line) > LongLineChars {
+				sc.smells.LongLines++
+			}
+			trimmed := strings.TrimSpace(line)
+			if len(trimmed) > 10 && !strings.HasPrefix(trimmed, "//") && !strings.HasPrefix(trimmed, "#") {
+				lineSeen[trimmed]++
+			}
+		}
+
+		buf.all = lexer.TokenizeInto(buf.all[:0], f.Content, f.Language)
+		buf.code = lexer.CodeInto(buf.code[:0], buf.all)
+
+		// Smells over the full stream (comments carry TODO markers).
+		for _, tok := range buf.all {
+			switch tok.Kind {
+			case lexer.Comment:
+				up := strings.ToUpper(tok.Text())
+				for _, marker := range todoMarkers {
+					sc.smells.TodoCount += strings.Count(up, marker)
+				}
+			case lexer.Number:
+				if txt := tok.Text(); txt != "0" && txt != "1" && txt != "2" {
+					sc.smells.MagicNumbers++
+				}
+			}
+		}
+
+		// Halstead vocabulary over the semantic stream; the shared maps make
+		// distinct counts reflect cross-file reuse exactly as pooling all
+		// files' tokens did.
+		countHalstead(buf.code, operators, operands)
+
+		// Attack-surface call sites: a classified identifier followed by '('.
+		for i, tok := range buf.code {
+			if tok.Kind != lexer.Ident {
+				continue
+			}
+			if i+1 >= len(buf.code) || buf.code[i+1].Text() != "(" {
+				continue
+			}
+			name := tok.Text()
+			switch {
+			case networkAPIs[name]:
+				sc.surface.NetworkEndpoints++
+			case fileAPIs[name]:
+				sc.surface.FileInputs++
+			case envAPIs[name]:
+				sc.surface.EnvInputs++
+			case procAPIs[name]:
+				sc.surface.ProcessSpawns++
+			case privAPIs[name]:
+				sc.surface.PrivilegeOps++
+			case unsafeAPIs[name]:
+				sc.surface.UnsafeAPIs++
+			case formatAPIs[name]:
+				sc.surface.FormatCalls++
+			}
+		}
+
+		// Function structure, computed once and shared by the cyclomatic,
+		// smell, and entry-point views.
+		fns := cyclomaticTokens(f, buf.code, lines)
+		for _, fn := range fns {
+			sc.cycloTotal += fn.Cyclomatic
+			sc.smells.FunctionCount++
+			totalLen += fn.Length
+			totalCyclo += fn.Cyclomatic
+			if fn.Length > LongFunctionTokens {
+				sc.smells.LongFunctions++
+			}
+			if fn.MaxNesting > DeepNesting {
+				sc.smells.DeeplyNested++
+			}
+			if fn.Params > ManyParamsLimit {
+				sc.smells.ManyParams++
+			}
+			if fn.Length > sc.smells.MaxFunctionLen {
+				sc.smells.MaxFunctionLen = fn.Length
+			}
+			if fn.Cyclomatic > sc.smells.MaxCyclomatic {
+				sc.smells.MaxCyclomatic = fn.Cyclomatic
+			}
+			if fn.Name == "main" || hasPrefixAny(fn.Name, "handle", "serve", "on_") {
+				sc.surface.EntryPoints++
+			}
+		}
+		sc.fns = append(sc.fns, fns...)
+	}
+
+	for _, n := range lineSeen {
+		if n > 3 {
+			sc.smells.DuplicateLines += n
+		}
+	}
+	if commentLines+codeLines > 0 {
+		sc.smells.CommentRatio = float64(commentLines) / float64(commentLines+codeLines)
+	}
+	if sc.smells.FunctionCount > 0 {
+		sc.smells.AvgFunctionLen = float64(totalLen) / float64(sc.smells.FunctionCount)
+		sc.smells.AvgCyclomatic = float64(totalCyclo) / float64(sc.smells.FunctionCount)
+	}
+
+	sc.halstead = halsteadFromMaps(operators, operands)
+
+	sc.surface.Quotient = rasqWeights.network*float64(sc.surface.NetworkEndpoints) +
+		rasqWeights.file*float64(sc.surface.FileInputs) +
+		rasqWeights.env*float64(sc.surface.EnvInputs) +
+		rasqWeights.proc*float64(sc.surface.ProcessSpawns) +
+		rasqWeights.priv*float64(sc.surface.PrivilegeOps) +
+		rasqWeights.unsafe*float64(sc.surface.UnsafeAPIs) +
+		rasqWeights.format*float64(sc.surface.FormatCalls) +
+		rasqWeights.entry*float64(sc.surface.EntryPoints)
+
+	return sc
+}
+
+// primaryFromCounts picks the language with the most code lines, scanning
+// lang.All() in order so ties resolve deterministically.
+func primaryFromCounts(counts map[lang.Language]int) lang.Language {
+	best := lang.Unknown
+	bestN := -1
+	for _, l := range lang.All() {
+		if counts[l] > bestN {
+			best, bestN = l, counts[l]
+		}
+	}
+	if bestN <= 0 {
+		return lang.Unknown
+	}
+	return best
+}

@@ -1,11 +1,5 @@
 package metrics
 
-import (
-	"strings"
-
-	"repro/internal/lexer"
-)
-
 // Smells aggregates the "code smell" indicators (§3: lines of comments,
 // numbers of long methods, and similar symptoms of bad practice) for a tree.
 type Smells struct {
@@ -37,72 +31,5 @@ const (
 
 // SmellsOf computes every smell indicator for a tree.
 func SmellsOf(t *Tree) Smells {
-	var s Smells
-	var commentLines, codeLines int
-	lineSeen := map[string]int{}
-	var totalLen, totalCyclo int
-
-	for _, f := range t.Files {
-		lc := CountLines(f)
-		commentLines += lc.Comment
-		codeLines += lc.Code
-		if lc.Code > GodFileLines {
-			s.GodFiles++
-		}
-		for _, line := range splitLines(f.Content) {
-			if len(line) > LongLineChars {
-				s.LongLines++
-			}
-			trimmed := strings.TrimSpace(line)
-			if len(trimmed) > 10 && !strings.HasPrefix(trimmed, "//") && !strings.HasPrefix(trimmed, "#") {
-				lineSeen[trimmed]++
-			}
-		}
-		for _, tok := range lexer.Tokenize(f.Content, f.Language) {
-			switch tok.Kind {
-			case lexer.Comment:
-				up := strings.ToUpper(tok.Text)
-				for _, marker := range []string{"TODO", "FIXME", "XXX", "HACK"} {
-					s.TodoCount += strings.Count(up, marker)
-				}
-			case lexer.Number:
-				if tok.Text != "0" && tok.Text != "1" && tok.Text != "2" {
-					s.MagicNumbers++
-				}
-			}
-		}
-		for _, fn := range Cyclomatic(f) {
-			s.FunctionCount++
-			totalLen += fn.Length
-			totalCyclo += fn.Cyclomatic
-			if fn.Length > LongFunctionTokens {
-				s.LongFunctions++
-			}
-			if fn.MaxNesting > DeepNesting {
-				s.DeeplyNested++
-			}
-			if fn.Params > ManyParamsLimit {
-				s.ManyParams++
-			}
-			if fn.Length > s.MaxFunctionLen {
-				s.MaxFunctionLen = fn.Length
-			}
-			if fn.Cyclomatic > s.MaxCyclomatic {
-				s.MaxCyclomatic = fn.Cyclomatic
-			}
-		}
-	}
-	for _, n := range lineSeen {
-		if n > 3 {
-			s.DuplicateLines += n
-		}
-	}
-	if commentLines+codeLines > 0 {
-		s.CommentRatio = float64(commentLines) / float64(commentLines+codeLines)
-	}
-	if s.FunctionCount > 0 {
-		s.AvgFunctionLen = float64(totalLen) / float64(s.FunctionCount)
-		s.AvgCyclomatic = float64(totalCyclo) / float64(s.FunctionCount)
-	}
-	return s
+	return scanTree(t).smells
 }

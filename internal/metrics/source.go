@@ -90,15 +90,5 @@ func (t *Tree) PrimaryLanguage() lang.Language {
 		c := CountLines(f)
 		counts[f.Language] += c.Code
 	}
-	best := lang.Unknown
-	bestN := -1
-	for _, l := range lang.All() {
-		if counts[l] > bestN {
-			best, bestN = l, counts[l]
-		}
-	}
-	if bestN <= 0 {
-		return lang.Unknown
-	}
-	return best
+	return primaryFromCounts(counts)
 }

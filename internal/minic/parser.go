@@ -3,6 +3,7 @@ package minic
 import (
 	"fmt"
 	"strconv"
+	"sync"
 
 	"repro/internal/lang"
 	"repro/internal/lexer"
@@ -19,10 +20,22 @@ func (e *ParseError) Error() string {
 	return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg)
 }
 
+// tokBuf is pooled per-parse token scratch. The AST retains only strings
+// (substrings of src) and ints, never token slices, so the buffers are safe
+// to recycle the moment Parse returns.
+type tokBuf struct {
+	all, code []lexer.Token
+}
+
+var tokPool = sync.Pool{New: func() any { return new(tokBuf) }}
+
 // Parse parses a MiniC translation unit.
 func Parse(src string) (*Program, error) {
-	toks := lexer.Code(lexer.Tokenize(src, lang.MiniC))
-	p := &parser{toks: toks}
+	buf := tokPool.Get().(*tokBuf)
+	defer tokPool.Put(buf)
+	buf.all = lexer.TokenizeInto(buf.all[:0], src, lang.MiniC)
+	buf.code = lexer.CodeInto(buf.code[:0], buf.all)
+	p := &parser{toks: buf.code}
 	prog := &Program{}
 	for !p.atEOF() {
 		if err := p.parseTopLevel(prog); err != nil {
@@ -56,7 +69,7 @@ func (p *parser) peekAt(off int) lexer.Token {
 	return p.toks[p.pos+off]
 }
 
-func (p *parser) lastLine() int {
+func (p *parser) lastLine() int32 {
 	if len(p.toks) == 0 {
 		return 1
 	}
@@ -75,8 +88,8 @@ func (p *parser) errf(line int, format string, args ...any) error {
 
 func (p *parser) expect(text string) (lexer.Token, error) {
 	t := p.peek()
-	if t.Text != text {
-		return t, p.errf(t.Line, "expected %q, found %q", text, t.Text)
+	if t.Text() != text {
+		return t, p.errf(int(t.Line), "expected %q, found %q", text, t.Text())
 	}
 	return p.next(), nil
 }
@@ -84,7 +97,7 @@ func (p *parser) expect(text string) (lexer.Token, error) {
 func (p *parser) expectIdent() (lexer.Token, error) {
 	t := p.peek()
 	if t.Kind != lexer.Ident {
-		return t, p.errf(t.Line, "expected identifier, found %q", t.Text)
+		return t, p.errf(int(t.Line), "expected identifier, found %q", t.Text())
 	}
 	return p.next(), nil
 }
@@ -92,11 +105,11 @@ func (p *parser) expectIdent() (lexer.Token, error) {
 // parseTopLevel parses one function definition or global declaration.
 func (p *parser) parseTopLevel(prog *Program) error {
 	t := p.peek()
-	if t.Text != "int" && t.Text != "void" {
-		return p.errf(t.Line, "expected declaration, found %q", t.Text)
+	if t.Text() != "int" && t.Text() != "void" {
+		return p.errf(int(t.Line), "expected declaration, found %q", t.Text())
 	}
 	// Lookahead: "int name (" is a function, otherwise a global decl.
-	if p.peekAt(1).Kind == lexer.Ident && p.peekAt(2).Text == "(" {
+	if p.peekAt(1).Kind == lexer.Ident && p.peekAt(2).Text() == "(" {
 		fn, err := p.parseFunc()
 		if err != nil {
 			return err
@@ -104,8 +117,8 @@ func (p *parser) parseTopLevel(prog *Program) error {
 		prog.Funcs = append(prog.Funcs, fn)
 		return nil
 	}
-	if t.Text == "void" {
-		return p.errf(t.Line, "void globals are not allowed")
+	if t.Text() == "void" {
+		return p.errf(int(t.Line), "void globals are not allowed")
 	}
 	d, err := p.parseDecl()
 	if err != nil {
@@ -124,9 +137,9 @@ func (p *parser) parseFunc() (*FuncDecl, error) {
 	if _, err := p.expect("("); err != nil {
 		return nil, err
 	}
-	fn := &FuncDecl{Name: nameTok.Text, Line: retTok.Line}
-	for p.peek().Text != ")" {
-		if p.peek().Text == "void" && p.peekAt(1).Text == ")" {
+	fn := &FuncDecl{Name: nameTok.Text(), Line: int(retTok.Line)}
+	for p.peek().Text() != ")" {
+		if p.peek().Text() == "void" && p.peekAt(1).Text() == ")" {
 			p.next()
 			break
 		}
@@ -137,8 +150,8 @@ func (p *parser) parseFunc() (*FuncDecl, error) {
 		if err != nil {
 			return nil, err
 		}
-		fn.Params = append(fn.Params, param.Text)
-		if p.peek().Text == "," {
+		fn.Params = append(fn.Params, param.Text())
+		if p.peek().Text() == "," {
 			p.next()
 			continue
 		}
@@ -159,10 +172,10 @@ func (p *parser) parseBlock() (*Block, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &Block{Line: open.Line}
-	for p.peek().Text != "}" {
+	b := &Block{Line: int(open.Line)}
+	for p.peek().Text() != "}" {
 		if p.atEOF() {
-			return nil, p.errf(open.Line, "unterminated block")
+			return nil, p.errf(int(open.Line), "unterminated block")
 		}
 		s, err := p.parseStmt()
 		if err != nil {
@@ -184,16 +197,16 @@ func (p *parser) parseDecl() (*DeclStmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &DeclStmt{Name: nameTok.Text, Line: intTok.Line}
-	if p.peek().Text == "[" {
+	d := &DeclStmt{Name: nameTok.Text(), Line: int(intTok.Line)}
+	if p.peek().Text() == "[" {
 		p.next()
 		sizeTok := p.peek()
 		if sizeTok.Kind != lexer.Number {
-			return nil, p.errf(sizeTok.Line, "array size must be a literal, found %q", sizeTok.Text)
+			return nil, p.errf(int(sizeTok.Line), "array size must be a literal, found %q", sizeTok.Text())
 		}
-		n, err := strconv.Atoi(sizeTok.Text)
+		n, err := strconv.Atoi(sizeTok.Text())
 		if err != nil || n <= 0 {
-			return nil, p.errf(sizeTok.Line, "bad array size %q", sizeTok.Text)
+			return nil, p.errf(int(sizeTok.Line), "bad array size %q", sizeTok.Text())
 		}
 		p.next()
 		if _, err := p.expect("]"); err != nil {
@@ -201,9 +214,9 @@ func (p *parser) parseDecl() (*DeclStmt, error) {
 		}
 		d.Size = n
 	}
-	if p.peek().Text == "=" {
+	if p.peek().Text() == "=" {
 		if d.Size > 0 {
-			return nil, p.errf(p.peek().Line, "array initializers are not supported")
+			return nil, p.errf(int(p.peek().Line), "array initializers are not supported")
 		}
 		p.next()
 		e, err := p.parseExpr()
@@ -220,7 +233,7 @@ func (p *parser) parseDecl() (*DeclStmt, error) {
 
 func (p *parser) parseStmt() (Stmt, error) {
 	t := p.peek()
-	switch t.Text {
+	switch t.Text() {
 	case "{":
 		return p.parseBlock()
 	case "int":
@@ -233,8 +246,8 @@ func (p *parser) parseStmt() (Stmt, error) {
 		return p.parseFor()
 	case "return":
 		p.next()
-		r := &ReturnStmt{Line: t.Line}
-		if p.peek().Text != ";" {
+		r := &ReturnStmt{Line: int(t.Line)}
+		if p.peek().Text() != ";" {
 			e, err := p.parseExpr()
 			if err != nil {
 				return nil, err
@@ -250,13 +263,13 @@ func (p *parser) parseStmt() (Stmt, error) {
 		if _, err := p.expect(";"); err != nil {
 			return nil, err
 		}
-		return &BreakStmt{Line: t.Line}, nil
+		return &BreakStmt{Line: int(t.Line)}, nil
 	case "continue":
 		p.next()
 		if _, err := p.expect(";"); err != nil {
 			return nil, err
 		}
-		return &ContinueStmt{Line: t.Line}, nil
+		return &ContinueStmt{Line: int(t.Line)}, nil
 	}
 	s, err := p.parseSimpleStmt()
 	if err != nil {
@@ -273,24 +286,24 @@ func (p *parser) parseStmt() (Stmt, error) {
 func (p *parser) parseSimpleStmt() (Stmt, error) {
 	t := p.peek()
 	if t.Kind != lexer.Ident {
-		return nil, p.errf(t.Line, "expected statement, found %q", t.Text)
+		return nil, p.errf(int(t.Line), "expected statement, found %q", t.Text())
 	}
 	// Call statement: ident '(' ...
-	if p.peekAt(1).Text == "(" {
+	if p.peekAt(1).Text() == "(" {
 		e, err := p.parseExpr()
 		if err != nil {
 			return nil, err
 		}
 		call, ok := e.(*CallExpr)
 		if !ok {
-			return nil, p.errf(t.Line, "expression statement must be a call")
+			return nil, p.errf(int(t.Line), "expression statement must be a call")
 		}
-		return &ExprStmt{X: call, Line: t.Line}, nil
+		return &ExprStmt{X: call, Line: int(t.Line)}, nil
 	}
 	// LValue.
 	name := p.next()
-	var target LValue = &VarRef{Name: name.Text, Line: name.Line}
-	if p.peek().Text == "[" {
+	var target LValue = &VarRef{Name: name.Text(), Line: int(name.Line)}
+	if p.peek().Text() == "[" {
 		p.next()
 		idx, err := p.parseExpr()
 		if err != nil {
@@ -299,32 +312,32 @@ func (p *parser) parseSimpleStmt() (Stmt, error) {
 		if _, err := p.expect("]"); err != nil {
 			return nil, err
 		}
-		target = &IndexExpr{Name: name.Text, Index: idx, Line: name.Line}
+		target = &IndexExpr{Name: name.Text(), Index: idx, Line: int(name.Line)}
 	}
 	op := p.next()
-	switch op.Text {
+	switch op.Text() {
 	case "=":
 		v, err := p.parseExpr()
 		if err != nil {
 			return nil, err
 		}
-		return &AssignStmt{Target: target, Value: v, Line: name.Line}, nil
+		return &AssignStmt{Target: target, Value: v, Line: int(name.Line)}, nil
 	case "+=", "-=", "*=", "/=", "%=":
 		v, err := p.parseExpr()
 		if err != nil {
 			return nil, err
 		}
-		bin := &BinaryExpr{Op: op.Text[:1], L: lvalueExpr(target), R: v, Line: name.Line}
-		return &AssignStmt{Target: target, Value: bin, Line: name.Line}, nil
+		bin := &BinaryExpr{Op: op.Text()[:1], L: lvalueExpr(target), R: v, Line: int(name.Line)}
+		return &AssignStmt{Target: target, Value: bin, Line: int(name.Line)}, nil
 	case "++", "--":
 		binOp := "+"
-		if op.Text == "--" {
+		if op.Text() == "--" {
 			binOp = "-"
 		}
-		bin := &BinaryExpr{Op: binOp, L: lvalueExpr(target), R: &NumLit{Value: 1, Line: name.Line}, Line: name.Line}
-		return &AssignStmt{Target: target, Value: bin, Line: name.Line}, nil
+		bin := &BinaryExpr{Op: binOp, L: lvalueExpr(target), R: &NumLit{Value: 1, Line: int(name.Line)}, Line: int(name.Line)}
+		return &AssignStmt{Target: target, Value: bin, Line: int(name.Line)}, nil
 	default:
-		return nil, p.errf(op.Line, "expected assignment operator, found %q", op.Text)
+		return nil, p.errf(int(op.Line), "expected assignment operator, found %q", op.Text())
 	}
 }
 
@@ -355,8 +368,8 @@ func (p *parser) parseIf() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &IfStmt{Cond: cond, Then: then, Line: t.Line}
-	if p.peek().Text == "else" {
+	s := &IfStmt{Cond: cond, Then: then, Line: int(t.Line)}
+	if p.peek().Text() == "else" {
 		p.next()
 		els, err := p.parseStmtAsBlock()
 		if err != nil {
@@ -370,7 +383,7 @@ func (p *parser) parseIf() (Stmt, error) {
 // parseStmtAsBlock parses either a block or a single statement wrapped in a
 // synthetic block, so if/while bodies are uniform.
 func (p *parser) parseStmtAsBlock() (*Block, error) {
-	if p.peek().Text == "{" {
+	if p.peek().Text() == "{" {
 		return p.parseBlock()
 	}
 	s, err := p.parseStmt()
@@ -396,7 +409,7 @@ func (p *parser) parseWhile() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &WhileStmt{Cond: cond, Body: body, Line: t.Line}, nil
+	return &WhileStmt{Cond: cond, Body: body, Line: int(t.Line)}, nil
 }
 
 func (p *parser) parseFor() (Stmt, error) {
@@ -404,11 +417,11 @@ func (p *parser) parseFor() (Stmt, error) {
 	if _, err := p.expect("("); err != nil {
 		return nil, err
 	}
-	f := &ForStmt{Line: t.Line}
-	if p.peek().Text != ";" {
+	f := &ForStmt{Line: int(t.Line)}
+	if p.peek().Text() != ";" {
 		var init Stmt
 		var err error
-		if p.peek().Text == "int" {
+		if p.peek().Text() == "int" {
 			init, err = p.parseDecl() // consumes its own ';'
 			if err != nil {
 				return nil, err
@@ -427,7 +440,7 @@ func (p *parser) parseFor() (Stmt, error) {
 	} else {
 		p.next()
 	}
-	if p.peek().Text != ";" {
+	if p.peek().Text() != ";" {
 		cond, err := p.parseExpr()
 		if err != nil {
 			return nil, err
@@ -437,7 +450,7 @@ func (p *parser) parseFor() (Stmt, error) {
 	if _, err := p.expect(";"); err != nil {
 		return nil, err
 	}
-	if p.peek().Text != ")" {
+	if p.peek().Text() != ")" {
 		post, err := p.parseSimpleStmt()
 		if err != nil {
 			return nil, err
@@ -476,7 +489,7 @@ func (p *parser) parseBinary(minPrec int) (Expr, error) {
 	}
 	for {
 		op := p.peek()
-		prec, ok := binPrec[op.Text]
+		prec, ok := binPrec[op.Text()]
 		if !ok || prec < minPrec || op.Kind != lexer.Operator {
 			return left, nil
 		}
@@ -485,19 +498,19 @@ func (p *parser) parseBinary(minPrec int) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		left = &BinaryExpr{Op: op.Text, L: left, R: right, Line: op.Line}
+		left = &BinaryExpr{Op: op.Text(), L: left, R: right, Line: int(op.Line)}
 	}
 }
 
 func (p *parser) parseUnary() (Expr, error) {
 	t := p.peek()
-	if t.Text == "-" || t.Text == "!" {
+	if t.Text() == "-" || t.Text() == "!" {
 		p.next()
 		x, err := p.parseUnary()
 		if err != nil {
 			return nil, err
 		}
-		return &UnaryExpr{Op: t.Text, X: x, Line: t.Line}, nil
+		return &UnaryExpr{Op: t.Text(), X: x, Line: int(t.Line)}, nil
 	}
 	return p.parsePrimary()
 }
@@ -507,27 +520,27 @@ func (p *parser) parsePrimary() (Expr, error) {
 	switch {
 	case t.Kind == lexer.Number:
 		p.next()
-		v, err := strconv.ParseInt(t.Text, 0, 64)
+		v, err := strconv.ParseInt(t.Text(), 0, 64)
 		if err != nil {
-			return nil, p.errf(t.Line, "bad number %q", t.Text)
+			return nil, p.errf(int(t.Line), "bad number %q", t.Text())
 		}
-		return &NumLit{Value: v, Line: t.Line}, nil
+		return &NumLit{Value: v, Line: int(t.Line)}, nil
 	case t.Kind == lexer.Ident:
 		p.next()
-		switch p.peek().Text {
+		switch p.peek().Text() {
 		case "(":
 			p.next()
-			call := &CallExpr{Name: t.Text, Line: t.Line}
-			for p.peek().Text != ")" {
+			call := &CallExpr{Name: t.Text(), Line: int(t.Line)}
+			for p.peek().Text() != ")" {
 				if p.atEOF() {
-					return nil, p.errf(t.Line, "unterminated call")
+					return nil, p.errf(int(t.Line), "unterminated call")
 				}
 				arg, err := p.parseExpr()
 				if err != nil {
 					return nil, err
 				}
 				call.Args = append(call.Args, arg)
-				if p.peek().Text == "," {
+				if p.peek().Text() == "," {
 					p.next()
 				}
 			}
@@ -542,11 +555,11 @@ func (p *parser) parsePrimary() (Expr, error) {
 			if _, err := p.expect("]"); err != nil {
 				return nil, err
 			}
-			return &IndexExpr{Name: t.Text, Index: idx, Line: t.Line}, nil
+			return &IndexExpr{Name: t.Text(), Index: idx, Line: int(t.Line)}, nil
 		default:
-			return &VarRef{Name: t.Text, Line: t.Line}, nil
+			return &VarRef{Name: t.Text(), Line: int(t.Line)}, nil
 		}
-	case t.Text == "(":
+	case t.Text() == "(":
 		p.next()
 		e, err := p.parseExpr()
 		if err != nil {
@@ -557,6 +570,6 @@ func (p *parser) parsePrimary() (Expr, error) {
 		}
 		return e, nil
 	default:
-		return nil, p.errf(t.Line, "expected expression, found %q", t.Text)
+		return nil, p.errf(int(t.Line), "expected expression, found %q", t.Text())
 	}
 }

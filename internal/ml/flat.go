@@ -1,0 +1,209 @@
+package ml
+
+// Compiled forest inference. A fitted (or loaded) RandomForest flattens its
+// pointer trees into one contiguous node arena so prediction walks
+// cache-coherent memory instead of chasing heap pointers. The pointer trees
+// stay canonical — serialization and introspection use them — and the flat
+// form is derived, rebuilt after every Fit or load.
+//
+// Prediction order is preserved exactly: trees accumulate into the output in
+// tree order and the final division is unchanged, so flat predictions are
+// bit-identical to the pointer walk they replace.
+
+// flatNode is one compiled tree node, packed to 16 bytes so two nodes share
+// a cache line. Interior nodes carry the split (attr >= 0) and the index of
+// the right child; the left child is implicit at i+1 (preorder emission
+// places it immediately after its parent). Leaves set attr to flatLeaf and
+// reuse right as the offset of their class probabilities in the shared
+// arena.
+type flatNode struct {
+	thr   float64
+	attr  int32
+	right int32
+}
+
+const flatLeaf = int32(-1)
+
+// flatForest is the compiled form of an entire ensemble: every tree's nodes
+// live in one arena, with per-tree root offsets, and every leaf's class
+// probabilities live in one float64 arena (k values per leaf).
+type flatForest struct {
+	k     int
+	roots []int32
+	nodes []flatNode
+	probs []float64
+}
+
+// compileForest flattens the pointer trees. Nodes are emitted preorder, so
+// each tree occupies one contiguous arena segment.
+func compileForest(trees []*DecisionTree, k int) *flatForest {
+	ff := &flatForest{k: k, roots: make([]int32, 0, len(trees))}
+	for _, tr := range trees {
+		ff.roots = append(ff.roots, ff.emit(tr.root))
+	}
+	return ff
+}
+
+func (ff *flatForest) emit(n *treeNode) int32 {
+	id := int32(len(ff.nodes))
+	if n.leaf {
+		off := int32(len(ff.probs))
+		ff.probs = append(ff.probs, n.probs...)
+		ff.nodes = append(ff.nodes, flatNode{attr: flatLeaf, right: off})
+		return id
+	}
+	ff.nodes = append(ff.nodes, flatNode{attr: int32(n.attr), thr: n.threshold})
+	ff.emit(n.left) // lands at id+1, the implicit left-child slot
+	ff.nodes[id].right = ff.emit(n.right)
+	return id
+}
+
+// leafProbs returns the probability slice of the leaf reached by x in the
+// tree rooted at root. The descent selects the next index with a
+// conditional move instead of a branch: split directions are close to
+// 50/50, so a branching walk stalls on mispredictions at every level.
+func (ff *flatForest) leafProbs(root int32, x []float64) []float64 {
+	nodes := ff.nodes
+	i := root
+	for {
+		n := &nodes[i]
+		a := n.attr
+		if a == flatLeaf {
+			off := int(n.right)
+			return ff.probs[off : off+ff.k : off+ff.k]
+		}
+		next := n.right
+		if x[a] <= n.thr {
+			next = i + 1
+		}
+		i = next
+	}
+}
+
+// accumulateInto adds every tree's leaf probabilities for x into out, in
+// tree order, then divides by the ensemble size — the exact float operation
+// sequence of the original per-tree pointer walk.
+func (ff *flatForest) accumulateInto(x []float64, out []float64) {
+	for _, root := range ff.roots {
+		p := ff.leafProbs(root, x)
+		for c := range out {
+			out[c] += p[c]
+		}
+	}
+	inv := float64(len(ff.roots))
+	for c := range out {
+		out[c] /= inv
+	}
+}
+
+// batchBlock bounds how many rows stream against the node arena before the
+// walk moves to the next ensemble pass, keeping the block of feature
+// vectors cache-resident while one tree's contiguous segment is hot.
+const batchBlock = 512
+
+// batchInto predicts probabilities for every row of X into out (row i into
+// out[i], which must be zeroed and k wide). The walk is blocked: for each
+// block of rows, every tree streams its contiguous arena segment against
+// the block, so neither the row matrix nor a large ensemble forces the
+// other out of cache. Within a block, rows advance in pairs — two
+// independent load-to-load dependency chains (node -> attr -> feature ->
+// compare -> next node) that overlap each other's latencies; more chains
+// spill registers and lose the gain. Each step selects the next index with
+// a conditional move (both candidates are computed before the test), so
+// near-random split directions cost no branch mispredictions. Each
+// out[i][c] accumulates trees in tree order with the same final division,
+// keeping results bit-identical to row-at-a-time prediction.
+func (ff *flatForest) batchInto(X [][]float64, out [][]float64) {
+	nodes := ff.nodes
+	probs := ff.probs
+	k := ff.k
+	for b0 := 0; b0 < len(X); b0 += batchBlock {
+		b1 := b0 + batchBlock
+		if b1 > len(X) {
+			b1 = len(X)
+		}
+		for _, root := range ff.roots {
+			r := b0
+			for ; r+1 < b1; r += 2 {
+				x0, x1 := X[r], X[r+1]
+				i0, i1 := root, root
+				a0, a1 := nodes[root].attr, nodes[root].attr
+				// flatLeaf is all ones, so the AND is flatLeaf exactly when
+				// both chains have reached their leaves (interior attrs
+				// are >= 0).
+				for a0&a1 != flatLeaf {
+					if a0 != flatLeaf {
+						n := &nodes[i0]
+						next := n.right
+						if x0[a0] <= n.thr {
+							next = i0 + 1
+						}
+						i0 = next
+						a0 = nodes[i0].attr
+					}
+					if a1 != flatLeaf {
+						n := &nodes[i1]
+						next := n.right
+						if x1[a1] <= n.thr {
+							next = i1 + 1
+						}
+						i1 = next
+						a1 = nodes[i1].attr
+					}
+				}
+				off0, off1 := int(nodes[i0].right), int(nodes[i1].right)
+				o0, o1 := out[r], out[r+1]
+				for c := 0; c < k; c++ {
+					o0[c] += probs[off0+c]
+					o1[c] += probs[off1+c]
+				}
+			}
+			for ; r < b1; r++ {
+				p := ff.leafProbs(root, X[r])
+				o := out[r]
+				for c := range o {
+					o[c] += p[c]
+				}
+			}
+		}
+	}
+	inv := float64(len(ff.roots))
+	for _, o := range out {
+		for c := range o {
+			o[c] /= inv
+		}
+	}
+}
+
+// BatchProber is implemented by classifiers with a batched probability
+// path; Evaluate and the scoring daemon prefer it when present.
+// Implementations must guarantee that the argmax of each batched row equals
+// PredictClass for that row, so callers can derive both from one pass.
+type BatchProber interface {
+	PredictProbaBatch(X [][]float64) [][]float64
+}
+
+// PredictProbaBatch predicts class probabilities for every row of X with one
+// cache-coherent pass per tree over the compiled forest. Results are
+// bit-identical to calling PredictProba per row.
+func (rf *RandomForest) PredictProbaBatch(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	arena := make([]float64, len(X)*rf.k)
+	for i := range out {
+		out[i] = arena[i*rf.k : (i+1)*rf.k : (i+1)*rf.k]
+	}
+	if len(rf.forest) == 0 {
+		return out
+	}
+	rf.compiled().batchInto(X, out)
+	return out
+}
+
+// compiled returns the flat form, deriving it on first use for forests
+// constructed without passing through Fit or the load paths.
+func (rf *RandomForest) compiled() *flatForest {
+	if rf.flat == nil {
+		rf.flat = compileForest(rf.forest, rf.k)
+	}
+	return rf.flat
+}

@@ -192,6 +192,7 @@ func UnmarshalClassifier(data []byte) (Classifier, error) {
 		for _, td := range d.Trees {
 			rf.forest = append(rf.forest, &DecisionTree{k: td.K, root: fromDTO(td.Root)})
 		}
+		rf.flat = compileForest(rf.forest, rf.k)
 		return rf, nil
 	case "boost":
 		var d boostDTO

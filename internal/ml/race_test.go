@@ -1,0 +1,7 @@
+//go:build race
+
+package ml
+
+// raceEnabled gates allocation-count assertions, which the race detector's
+// instrumentation would otherwise skew.
+const raceEnabled = true

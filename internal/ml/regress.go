@@ -2,6 +2,7 @@ package ml
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/stats"
 )
@@ -106,7 +107,7 @@ func (t *RegressionTree) grow(d *Dataset, idx []int, depth int) *regNode {
 		for i, r := range idx {
 			vals[i] = d.X[r][j]
 		}
-		sortFloats(vals)
+		sort.Float64s(vals)
 		for v := 1; v < len(vals); v++ {
 			if vals[v] == vals[v-1] {
 				continue

@@ -3,6 +3,7 @@ package ml
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/stats"
 )
@@ -20,6 +21,13 @@ type DecisionTree struct {
 
 	root *treeNode
 	k    int
+
+	// Per-tree scratch reused across splits while fitting; each tree fits on
+	// one goroutine, so the buffers are never shared.
+	splitVals []float64
+	lCounts   []int
+	rCounts   []int
+	attrsBuf  []int
 }
 
 type treeNode struct {
@@ -121,21 +129,31 @@ func (t *DecisionTree) bestSplit(d *Dataset, idx []int) (attr int, thr float64, 
 	attrs := t.candidateAttrs(d.P())
 	bestGain := 0.0
 	bestAttr, bestThr := -1, 0.0
+	if cap(t.splitVals) < len(idx) {
+		t.splitVals = make([]float64, len(idx))
+	}
+	if len(t.lCounts) != t.k {
+		t.lCounts = make([]int, t.k)
+		t.rCounts = make([]int, t.k)
+	}
+	lCounts, rCounts := t.lCounts, t.rCounts
 	for _, j := range attrs {
 		// Candidate thresholds: midpoints between distinct sorted values.
-		vals := make([]float64, len(idx))
+		vals := t.splitVals[:len(idx)]
 		for i, r := range idx {
 			vals[i] = d.X[r][j]
 		}
-		sortFloats(vals)
+		sort.Float64s(vals)
 		for v := 1; v < len(vals); v++ {
 			if vals[v] == vals[v-1] {
 				continue
 			}
 			mid := (vals[v] + vals[v-1]) / 2
 			var nl, nr int
-			lCounts := make([]int, t.k)
-			rCounts := make([]int, t.k)
+			for c := range lCounts {
+				lCounts[c] = 0
+				rCounts[c] = 0
+			}
 			for _, r := range idx {
 				if d.X[r][j] <= mid {
 					nl++
@@ -159,7 +177,10 @@ func (t *DecisionTree) bestSplit(d *Dataset, idx []int) (attr int, thr float64, 
 }
 
 func (t *DecisionTree) candidateAttrs(p int) []int {
-	all := make([]int, p)
+	if cap(t.attrsBuf) < p {
+		t.attrsBuf = make([]int, p)
+	}
+	all := t.attrsBuf[:p]
 	for i := range all {
 		all[i] = i
 	}
@@ -188,42 +209,6 @@ func giniCounts(counts []int, n int) float64 {
 		g -= p * p
 	}
 	return g
-}
-
-func sortFloats(xs []float64) {
-	// Insertion sort is fine for split-candidate lists; quicksort for larger.
-	if len(xs) > 64 {
-		quickSort(xs)
-		return
-	}
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-}
-
-func quickSort(xs []float64) {
-	if len(xs) < 2 {
-		return
-	}
-	pivot := xs[len(xs)/2]
-	lo, hi := 0, len(xs)-1
-	for lo <= hi {
-		for xs[lo] < pivot {
-			lo++
-		}
-		for xs[hi] > pivot {
-			hi--
-		}
-		if lo <= hi {
-			xs[lo], xs[hi] = xs[hi], xs[lo]
-			lo++
-			hi--
-		}
-	}
-	quickSort(xs[:hi+1])
-	quickSort(xs[lo:])
 }
 
 // PredictProba walks the tree.
@@ -270,6 +255,7 @@ type RandomForest struct {
 
 	forest []*DecisionTree
 	k      int
+	flat   *flatForest // compiled inference form, derived from forest
 }
 
 // Name implements Classifier.
@@ -303,28 +289,24 @@ func (rf *RandomForest) Fit(d *Dataset) error {
 		}
 		boots[i] = d.Bootstrap(d.N(), rng)
 	}
-	rf.forest = nil
+	rf.forest, rf.flat = nil, nil
 	if err := ParallelFor(rf.Trees, rf.Jobs, func(i int) error {
 		return trees[i].Fit(boots[i])
 	}); err != nil {
 		return err
 	}
 	rf.forest = trees
+	rf.flat = compileForest(trees, rf.k)
 	return nil
 }
 
-// PredictProba averages tree probabilities.
+// PredictProba averages tree probabilities over the compiled forest.
 func (rf *RandomForest) PredictProba(x []float64) []float64 {
 	out := make([]float64, rf.k)
-	for _, tr := range rf.forest {
-		p := tr.PredictProba(x)
-		for c := range out {
-			out[c] += p[c]
-		}
+	if len(rf.forest) == 0 {
+		return out
 	}
-	for c := range out {
-		out[c] /= float64(len(rf.forest))
-	}
+	rf.compiled().accumulateInto(x, out)
 	return out
 }
 

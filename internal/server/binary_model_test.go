@@ -1,0 +1,68 @@
+package server
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	secmetric "repro"
+)
+
+// TestRegistryBinaryModelReload drops a binary model into the model dir,
+// hot-reloads, and asserts it scores byte-identically to the in-memory model
+// it was saved from; then corrupts the file and asserts the reload fails
+// with the named error while the old snapshot keeps serving.
+func TestRegistryBinaryModelReload(t *testing.T) {
+	mA, mB := getModels(t)
+	dir := t.TempDir()
+	if err := secmetric.SaveModel(mA, filepath.Join(dir, "default.json")); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(dir, nil)
+	if _, err := reg.Load(); err != nil {
+		t.Fatal(err)
+	}
+
+	binPath := filepath.Join(dir, "alt.bin")
+	if err := secmetric.SaveModelBinary(mB, binPath); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := reg.Load()
+	if err != nil {
+		t.Fatalf("reload with binary model: %v", err)
+	}
+	alt := snap.Models["alt"]
+	if alt == nil {
+		t.Fatalf("binary model not registered; have %v", snap.Names())
+	}
+	fv := secmetric.AnalyzeTree(libTree(t, wireTree(3)))
+	if canon(t, alt.Score("x", fv)) != canon(t, mB.Score("x", fv)) {
+		t.Fatal("binary-loaded model scores differently from the model it was saved from")
+	}
+
+	// Truncate the binary file: the reload is refused all-or-nothing and the
+	// previous snapshot keeps serving.
+	raw, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(binPath, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := reg.Snapshot()
+	_, err = reg.Load()
+	if !errors.Is(err, secmetric.ErrModelCorrupt) {
+		t.Fatalf("corrupt reload: err = %v, want ErrModelCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "alt") {
+		t.Fatalf("error does not name the refused model: %v", err)
+	}
+	if reg.Snapshot() != before {
+		t.Fatal("failed reload replaced the snapshot")
+	}
+	if reg.Snapshot().Models["alt"] == nil {
+		t.Fatal("old snapshot lost the previously loaded binary model")
+	}
+}

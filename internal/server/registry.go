@@ -116,10 +116,20 @@ func (r *Registry) Load() (*Snapshot, error) {
 			return nil, fmt.Errorf("server: model dir: %w", err)
 		}
 		for _, e := range entries {
-			if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") || strings.HasPrefix(e.Name(), ".") {
+			if e.IsDir() || strings.HasPrefix(e.Name(), ".") {
 				continue
 			}
-			name := strings.TrimSuffix(e.Name(), ".json")
+			// Both model formats register; LoadModel sniffs the encoding.
+			ext := ""
+			switch {
+			case strings.HasSuffix(e.Name(), ".json"):
+				ext = ".json"
+			case strings.HasSuffix(e.Name(), ".bin"):
+				ext = ".bin"
+			default:
+				continue
+			}
+			name := strings.TrimSuffix(e.Name(), ext)
 			if err := load(name, filepath.Join(r.dir, e.Name())); err != nil {
 				return nil, err
 			}

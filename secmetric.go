@@ -19,6 +19,7 @@ package secmetric
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -193,19 +194,37 @@ func analyzeTree(ctx context.Context, tree *Tree, cfg AnalyzeConfig) (FeatureVec
 // than silently misaligning columns at score time.
 var ErrFeatureSchema = core.ErrFeatureSchema
 
-// SaveModel writes a trained model to path. The write is atomic: the model
-// is serialized to a temporary file in the same directory and renamed into
-// place, so a crash mid-write can never leave a truncated model a later
+// ErrModelCorrupt marks a binary model file whose header or sections are
+// truncated or inconsistent; LoadModel refuses it, and the daemon's registry
+// keeps serving its previous snapshot.
+var ErrModelCorrupt = core.ErrModelCorrupt
+
+// SaveModel writes a trained model to path as JSON. The write is atomic: the
+// model is serialized to a temporary file in the same directory and renamed
+// into place, so a crash mid-write can never leave a truncated model a later
 // LoadModel (or a serving daemon's hot-reload) would choke on, and a reader
 // racing the write sees either the old complete file or the new one.
 func SaveModel(m *Model, path string) error {
+	return saveModelAtomic(path, m.Save)
+}
+
+// SaveModelBinary writes a trained model to path in the compact binary
+// container (tree ensembles as flat node arrays, everything else as embedded
+// JSON). LoadModel sniffs the format, so binary and JSON models are
+// interchangeable everywhere a model path is accepted. The write is atomic
+// exactly like SaveModel's.
+func SaveModelBinary(m *Model, path string) error {
+	return saveModelAtomic(path, m.SaveBinary)
+}
+
+func saveModelAtomic(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".model-*.json")
+	tmp, err := os.CreateTemp(dir, ".model-*"+filepath.Ext(path))
 	if err != nil {
 		return fmt.Errorf("secmetric: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := m.Save(tmp); err != nil {
+	if err := write(tmp); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -223,9 +242,10 @@ func SaveModel(m *Model, path string) error {
 	return nil
 }
 
-// LoadModel reads a model written by SaveModel. Loaded models score and
-// compare codebases but cannot be retrained. A model whose feature schema
-// does not match this build is refused with ErrFeatureSchema.
+// LoadModel reads a model written by SaveModel or SaveModelBinary (the
+// format is sniffed). Loaded models score and compare codebases but cannot
+// be retrained. A model whose feature schema does not match this build is
+// refused with ErrFeatureSchema; a damaged binary file with ErrModelCorrupt.
 func LoadModel(path string) (*Model, error) {
 	f, err := os.Open(path)
 	if err != nil {

@@ -43,6 +43,15 @@ case "$out" in
 	;;
 esac
 
+# Bench smoke: the quick-budget workloads must stay within 25% ns/op of
+# the committed post-optimization baseline, so hot-path regressions fail
+# verification instead of landing silently.
+echo "== bench smoke (secmetric bench -quick vs BENCH_pr6.json) =="
+benchtmp=$(mktemp -d)
+go run ./cmd/secmetric bench -quick -rev verify -out "$benchtmp/bench.json" \
+	-against BENCH_pr6.json -max-regress 0.25
+rm -rf "$benchtmp"
+
 # Trace smoke: a traced analysis of examples/vulnapp must produce
 # well-formed, non-empty trace_event JSON, and the span structure must be
 # identical at -jobs 1 and -jobs 8 (cacheless; only durations may vary).
