@@ -17,6 +17,19 @@
 //	    with the daemon's deadline signal (504) — and the process stays
 //	    alive (healthz still answers)
 //
+//	-mode delta:
+//	  * a /v1/delta modification before any seed fails with the 409
+//	    stale-session signal
+//	  * seeding a session with the full tree succeeds (seq 1, no
+//	    comparison) and scores byte-identically to a cold /v1/score of
+//	    the same tree under the same subject name
+//	  * a 1-file change applies incrementally (seq 2, diagnostics cover
+//	    only that file) and both its report and its comparison are
+//	    byte-identical to cold /v1/score and /v1/compare over the full
+//	    trees — the incremental path changes the cost, never the bytes
+//	  * a changeset contradicting the session state answers 409 and
+//	    leaves the session usable
+//
 //	-mode burst:
 //	  * a burst of concurrent /v1/score requests against a tightly
 //	    provisioned daemon (workers=1, queue=1) yields at least one 429
@@ -49,7 +62,7 @@ func main() {
 		addr     = flag.String("addr", "", "daemon address (host:port)")
 		dir      = flag.String("dir", "examples/vulnapp", "source directory to score")
 		cliFile  = flag.String("cli", "", "file holding `secmetric score -json` output to compare against")
-		mode     = flag.String("mode", "full", "full | burst")
+		mode     = flag.String("mode", "full", "full | burst | delta")
 		requests = flag.Int("requests", 8, "concurrent requests per phase")
 		replicas = flag.Int("replicas", 300, "file replicas in the large synthetic tree (deadline/burst phases)")
 	)
@@ -65,6 +78,8 @@ func main() {
 		err = runFull(ctx, c, *dir, *cliFile, *requests, *replicas)
 	case "burst":
 		err = runBurst(ctx, c, *dir, *requests, *replicas)
+	case "delta":
+		err = runDelta(ctx, c, *dir)
 	default:
 		err = fmt.Errorf("unknown -mode %q", *mode)
 	}
@@ -255,6 +270,125 @@ func phaseSpansPositive(m string) bool {
 		}
 	}
 	return false
+}
+
+// runDelta drives the incremental endpoint end to end and holds it to the
+// byte-parity contract: every report or comparison it produces must be
+// byte-identical to the cold endpoints' answer for the same tree under the
+// same subject name.
+func runDelta(ctx context.Context, c *client.Client, dir string) error {
+	tree, err := client.TreeFromDir(dir)
+	if err != nil {
+		return err
+	}
+	if len(tree.Files) == 0 {
+		return fmt.Errorf("delta: no source files under %s", dir)
+	}
+	const repo = "smoke-repo"
+
+	// 1. Unseeded modification: the daemon has no picture of this repo.
+	_, err = c.Delta(ctx, api.DeltaRequest{RepoID: repo, Changeset: api.Changeset{
+		Modified: []api.File{tree.Files[0]},
+	}})
+	if err == nil {
+		return fmt.Errorf("delta: unseeded modify unexpectedly succeeded")
+	}
+	if !client.IsStaleSession(err) {
+		return fmt.Errorf("delta: want the 409 stale-session signal, got: %w", err)
+	}
+	log.Printf("unseeded modify rejected with 409 stale_session")
+
+	// 2. Seed with the full tree.
+	seed, err := c.Delta(ctx, api.DeltaRequest{RepoID: repo, Changeset: api.Changeset{Added: tree.Files}})
+	if err != nil {
+		return fmt.Errorf("delta seed: %w", err)
+	}
+	if seed.Seq != 1 || seed.Files != len(tree.Files) || seed.Report == nil || seed.Comparison != nil {
+		return fmt.Errorf("delta seed: seq=%d files=%d report? %v comparison? %v",
+			seed.Seq, seed.Files, seed.Report != nil, seed.Comparison != nil)
+	}
+	// Cold truth for the seed: score the same tree under the delta
+	// endpoint's subject name; identical feature vectors must yield
+	// byte-identical reports.
+	oldTree := api.Tree{Name: fmt.Sprintf("%s@1", repo), Files: tree.Files}
+	coldSeed, err := c.Score(ctx, api.ScoreRequest{Tree: oldTree})
+	if err != nil {
+		return fmt.Errorf("cold score (seed): %w", err)
+	}
+	if err := assertSameJSON("seed report vs cold score", seed.Report, coldSeed.Report); err != nil {
+		return err
+	}
+	log.Printf("seed applied (%d files, %d ms); report byte-identical to cold score", seed.Files, seed.ElapsedMS)
+
+	// 3. One-file change, applied incrementally.
+	edited := tree.Files[0]
+	edited.Content += "\nint smoke_delta_edit(int x) { if (x > 3) { return x; } return 0; }\n"
+	change, err := c.Delta(ctx, api.DeltaRequest{RepoID: repo, Changeset: api.Changeset{
+		Modified: []api.File{edited},
+	}})
+	if err != nil {
+		return fmt.Errorf("delta change: %w", err)
+	}
+	if change.Seq != 2 || change.Files != len(tree.Files) || change.Comparison == nil {
+		return fmt.Errorf("delta change: seq=%d files=%d comparison? %v",
+			change.Seq, change.Files, change.Comparison != nil)
+	}
+	if change.Diagnostics == nil || len(change.Diagnostics.Files) != 1 {
+		return fmt.Errorf("delta change: diagnostics should cover exactly the edited file, got %+v", change.Diagnostics)
+	}
+
+	// 4. Byte parity against the cold endpoints over the full trees.
+	newFiles := append([]api.File(nil), tree.Files...)
+	newFiles[0] = edited
+	newTree := api.Tree{Name: fmt.Sprintf("%s@2", repo), Files: newFiles}
+	coldScore, err := c.Score(ctx, api.ScoreRequest{Tree: newTree})
+	if err != nil {
+		return fmt.Errorf("cold score (change): %w", err)
+	}
+	if err := assertSameJSON("change report vs cold score", change.Report, coldScore.Report); err != nil {
+		return err
+	}
+	coldCmp, err := c.Compare(ctx, api.CompareRequest{Old: oldTree, New: newTree})
+	if err != nil {
+		return fmt.Errorf("cold compare: %w", err)
+	}
+	if err := assertSameJSON("change comparison vs cold compare", change.Comparison, coldCmp.Comparison); err != nil {
+		return err
+	}
+	log.Printf("1-file change applied in %d ms; report and comparison byte-identical to cold score/compare", change.ElapsedMS)
+
+	// 5. A contradictory changeset is rejected and the session survives.
+	_, err = c.Delta(ctx, api.DeltaRequest{RepoID: repo, Changeset: api.Changeset{Added: []api.File{edited}}})
+	if !client.IsStaleSession(err) {
+		return fmt.Errorf("delta: re-adding an existing file should answer 409 stale_session, got: %v", err)
+	}
+	again, err := c.Delta(ctx, api.DeltaRequest{RepoID: repo, Changeset: api.Changeset{
+		Modified: []api.File{tree.Files[0]},
+	}})
+	if err != nil {
+		return fmt.Errorf("delta after rejection: %w", err)
+	}
+	if again.Seq != 3 {
+		return fmt.Errorf("delta after rejection: seq=%d, want 3", again.Seq)
+	}
+	log.Printf("stale changeset rejected; session continued at seq %d", again.Seq)
+	return nil
+}
+
+// assertSameJSON canon-compares two JSON-representable values.
+func assertSameJSON(what string, a, b any) error {
+	ca, err := canon(a)
+	if err != nil {
+		return err
+	}
+	cb, err := canon(b)
+	if err != nil {
+		return err
+	}
+	if string(ca) != string(cb) {
+		return fmt.Errorf("%s: bytes differ:\n--- incremental ---\n%s\n--- cold ---\n%s", what, ca, cb)
+	}
+	return nil
 }
 
 func runBurst(ctx context.Context, c *client.Client, dir string, requests, replicas int) error {

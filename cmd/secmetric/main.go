@@ -5,7 +5,7 @@
 //
 //	secmetric analyze  [-diag] [-json] [-trace f] [-slowest N] <dir>  print the code-property vector
 //	secmetric score    [-model m.json] [-json] <dir>  print the security report
-//	secmetric compare  [-model m.json] <old> <new>  print the risk delta
+//	secmetric compare  [-model m.json] [-incremental] <old> <new>  print the risk delta
 //	secmetric focus    [-model m.json] [-budget N] <dir>  apportion deep analysis
 //	secmetric hotspots [-top N] <dir>             rank risky functions
 //	secmetric findings [-min sev] [-json] <dir>   print the CWE-tagged findings
@@ -72,7 +72,7 @@ func run(ctx context.Context, args []string) error {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: secmetric {analyze [-diag] [-json] [-trace f] [-slowest N] <dir> | score [-model m.json] [-json] <dir> | compare [-model m.json] <old> <new> | focus [-model m.json] [-budget N] <dir> | hotspots [-top N] <dir> | findings [-min sev] [-json] <dir> | image [-model m.json] <manifest.json> | bench [-quick] [-rev r] [-out f] [-against baseline.json]} [-jobs N] [-cache dir] [-file-timeout d]")
+	return fmt.Errorf("usage: secmetric {analyze [-diag] [-json] [-trace f] [-slowest N] <dir> | score [-model m.json] [-json] <dir> | compare [-model m.json] [-incremental] <old> <new> | focus [-model m.json] [-budget N] <dir> | hotspots [-top N] <dir> | findings [-min sev] [-json] <dir> | image [-model m.json] <manifest.json> | bench [-quick] [-rev r] [-out f] [-against baseline.json]} [-jobs N] [-cache dir] [-file-timeout d]")
 }
 
 // analyzeOpts registers the shared extraction flags (-jobs, -cache,
@@ -365,6 +365,7 @@ func cmdScore(ctx context.Context, args []string) error {
 func cmdCompare(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "trained model file (from trainctl)")
+	incremental := fs.Bool("incremental", false, "analyze old fully, then apply the old→new diff as a changeset instead of re-analyzing new from scratch")
 	acfg := analyzeOpts(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -372,13 +373,18 @@ func cmdCompare(ctx context.Context, args []string) error {
 	if fs.NArg() != 2 {
 		return fmt.Errorf("compare needs exactly two directories")
 	}
-	// With -cache, the two versions share one cache, so only the files
-	// that changed between them are deep-analyzed twice.
-	oldFV, err := secmetric.AnalyzeDirWith(ctx, fs.Arg(0), *acfg)
-	if err != nil {
-		return err
+	var oldFV, newFV secmetric.FeatureVector
+	var err error
+	if *incremental {
+		oldFV, newFV, err = compareIncremental(ctx, fs.Arg(0), fs.Arg(1), *acfg)
+	} else {
+		// With -cache, the two versions share one cache, so only the files
+		// that changed between them are deep-analyzed twice.
+		oldFV, err = secmetric.AnalyzeDirWith(ctx, fs.Arg(0), *acfg)
+		if err == nil {
+			newFV, err = secmetric.AnalyzeDirWith(ctx, fs.Arg(1), *acfg)
+		}
 	}
-	newFV, err := secmetric.AnalyzeDirWith(ctx, fs.Arg(1), *acfg)
 	if err != nil {
 		return err
 	}
@@ -388,4 +394,68 @@ func cmdCompare(ctx context.Context, args []string) error {
 	}
 	fmt.Print(model.Compare(fs.Arg(0), oldFV, fs.Arg(1), newFV))
 	return nil
+}
+
+// compareIncremental seeds a session with the old tree, then applies the
+// old→new diff as one changeset, so only the files the change touched are
+// re-analyzed. The session's parity contract makes both vectors — and
+// therefore the printed comparison — byte-identical to the batch path's.
+func compareIncremental(ctx context.Context, oldDir, newDir string, acfg secmetric.AnalyzeConfig) (oldFV, newFV secmetric.FeatureVector, err error) {
+	oldTree, err := metrics.LoadTree(oldDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	newTree, err := metrics.LoadTree(newDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(oldTree.Files) == 0 {
+		return nil, nil, fmt.Errorf("no source files under %s", oldDir)
+	}
+	if len(newTree.Files) == 0 {
+		return nil, nil, fmt.Errorf("no source files under %s", newDir)
+	}
+	sess, err := secmetric.NewSession(oldDir, acfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	seed, err := sess.Apply(ctx, secmetric.SessionChangeset{Added: oldTree.Files})
+	if err != nil {
+		return nil, nil, err
+	}
+	cs := diffTrees(oldTree, newTree)
+	if cs.Empty() {
+		return seed.Features, seed.Features, nil
+	}
+	res, err := sess.Apply(ctx, cs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return seed.Features, res.Features, nil
+}
+
+// diffTrees computes the changeset that edits old into new: paths only in
+// new are additions, paths only in old are removals, and shared paths with
+// different content are modifications.
+func diffTrees(oldTree, newTree *metrics.Tree) secmetric.SessionChangeset {
+	var cs secmetric.SessionChangeset
+	prev := make(map[string]metrics.File, len(oldTree.Files))
+	for _, f := range oldTree.Files {
+		prev[f.Path] = f
+	}
+	next := make(map[string]bool, len(newTree.Files))
+	for _, f := range newTree.Files {
+		next[f.Path] = true
+		if old, ok := prev[f.Path]; !ok {
+			cs.Added = append(cs.Added, f)
+		} else if old.Content != f.Content || old.Language != f.Language {
+			cs.Modified = append(cs.Modified, f)
+		}
+	}
+	for _, f := range oldTree.Files {
+		if !next[f.Path] {
+			cs.Removed = append(cs.Removed, f.Path)
+		}
+	}
+	return cs
 }

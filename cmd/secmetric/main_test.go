@@ -309,3 +309,47 @@ func TestCLIAnalyzeTracingDoesNotChangeOutput(t *testing.T) {
 		}
 	}
 }
+
+// TestCLICompareIncrementalMatchesBatch holds `compare -incremental` to
+// the parity contract: the printed comparison must be byte-identical to
+// the batch path's over the same two directories.
+func TestCLICompareIncrementalMatchesBatch(t *testing.T) {
+	old := t.TempDir()
+	for name, content := range map[string]string{
+		"keep.c": "int keep(int x) { return x + 1; }\n",
+		"edit.c": cliSrc,
+		"gone.c": "int gone(void) { return 9; }\n",
+	} {
+		if err := os.WriteFile(filepath.Join(old, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newDir := t.TempDir()
+	for name, content := range map[string]string{
+		"keep.c":  "int keep(int x) { return x + 1; }\n",
+		"edit.c":  "int main(void) { return 0; }\n",
+		"fresh.c": "int fresh(int n) { if (n > 2) { return n; } return 0; }\n",
+	} {
+		if err := os.WriteFile(filepath.Join(newDir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	model := sharedModel(t)
+	batch := captureStdout(t, func() error {
+		return run(context.Background(), []string{"compare", "-model", model, old, newDir})
+	})
+	incremental := captureStdout(t, func() error {
+		return run(context.Background(), []string{"compare", "-model", model, "-incremental", old, newDir})
+	})
+	if batch != incremental {
+		t.Fatalf("incremental compare output differs from batch:\n--- batch ---\n%s\n--- incremental ---\n%s", batch, incremental)
+	}
+	// Identical trees: the incremental path diffs to an empty changeset
+	// and must still print a comparison rather than erroring.
+	same := captureStdout(t, func() error {
+		return run(context.Background(), []string{"compare", "-model", model, "-incremental", old, old})
+	})
+	if !strings.Contains(same, old) {
+		t.Fatalf("self-compare output missing the directory name:\n%s", same)
+	}
+}

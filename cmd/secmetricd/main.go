@@ -10,6 +10,7 @@
 //	POST /v1/analyze        raw code-property vector
 //	POST /v1/findings       CWE-mapped findings stream
 //	POST /v1/compare        risk delta between two versions (the CI gate)
+//	POST /v1/delta          apply a changeset to a per-repo session, score the delta
 //	POST /v1/models/reload  re-read the model sources, swap atomically
 //	GET  /healthz           liveness plus registry summary
 //	GET  /metrics           Prometheus text exposition
@@ -21,6 +22,7 @@
 //	           [-request-timeout d] [-jobs N] [-file-timeout d]
 //	           [-cache dir] [-addr-file f] [-drain-timeout d]
 //	           [-max-body-bytes N] [-pprof addr]
+//	           [-sessions N] [-session-ttl d]
 //
 // With -pprof, a second listener serves net/http/pprof on its own mux —
 // profiling never shares a port (or an exposure decision) with the scoring
@@ -80,6 +82,8 @@ func run() error {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
 		maxBody      = flag.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "largest accepted request body in bytes; oversized bodies are rejected with 413")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		maxSessions  = flag.Int("sessions", server.DefaultMaxSessions, "max live /v1/delta repo sessions; least-recently-used beyond this are evicted")
+		sessionTTL   = flag.Duration("session-ttl", server.DefaultSessionTTL, "evict /v1/delta sessions idle longer than this")
 	)
 	modelFiles := map[string]string{}
 	flag.Func("model", "model file to serve, repeatable; `path` or NAME=PATH (name defaults to the basename)", func(v string) error {
@@ -137,6 +141,8 @@ func run() error {
 		FileTimeout:    *fileTimeout,
 		Cache:          cache,
 		MaxBodyBytes:   *maxBody,
+		MaxSessions:    *maxSessions,
+		SessionTTL:     *sessionTTL,
 	})
 
 	if *pprofAddr != "" {

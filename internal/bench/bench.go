@@ -1,7 +1,8 @@
 // Package bench is the fixed-scale performance harness behind `secmetric
 // bench`. It runs the workloads the serving path is built from — tokenize,
-// base-metric extraction, lint, full analysis, forest training, batched
-// forest inference, model scoring, and model loading — at pinned scales,
+// base-metric extraction, lint, full analysis, incremental one-file
+// applies against a warm session, forest training, batched forest
+// inference, model scoring, and model loading — at pinned scales,
 // measures ns/op, allocs/op, and bytes/op from runtime.MemStats deltas, and
 // emits a JSON report (BENCH_<rev>.json) that verify.sh compares against
 // the committed baseline.

@@ -39,6 +39,12 @@ type workloads struct {
 	modelJSON  []byte
 	modelBin   []byte
 	scoreInput metrics.FeatureVector
+
+	// sess is a session pre-seeded with the extraction tree; the
+	// compare_incremental workload applies one-file changesets to it, the
+	// warm path the /v1/delta endpoint serves.
+	sess      *core.Session
+	editCount int
 }
 
 func setupWorkloads(dir string) (*workloads, error) {
@@ -98,6 +104,15 @@ func setupWorkloads(dir string) (*workloads, error) {
 	}
 	w.modelBin = bin.Bytes()
 	w.scoreInput = metrics.Extract(w.tree)
+
+	// The incremental session is seeded outside the timed loop; the
+	// workload measures steady-state one-file applies only. Jobs is pinned
+	// to one worker like every other concurrency knob, and no cache is
+	// attached, so each apply pays the real re-analysis of its file.
+	w.sess = core.NewSession("bench-inc", core.ExtractConfig{Jobs: 1})
+	if _, err := w.sess.Apply(context.Background(), core.Changeset{Added: w.tree.Files}); err != nil {
+		return nil, fmt.Errorf("bench: seed session: %w", err)
+	}
 	return w, nil
 }
 
@@ -189,6 +204,19 @@ func (w *workloads) list() []workload {
 		{"analyze_full", func() {
 			fv := core.ExtractFeatures(w.tree)
 			sink += fv[metrics.FeatKLoC]
+		}},
+		{"compare_incremental", func() {
+			// One-file edit against the warm session: re-analyzes exactly
+			// one of the TreeFiles files, then folds the aggregates. The
+			// content is counter-unique so every op models a real edit.
+			w.editCount++
+			f := w.tree.Files[0]
+			f.Content = fmt.Sprintf("%s\n// bench edit %d\n", w.tree.Files[0].Content, w.editCount)
+			res, err := w.sess.Apply(context.Background(), core.Changeset{Modified: []metrics.File{f}})
+			if err != nil {
+				panic(err)
+			}
+			sink += res.Features[metrics.FeatKLoC]
 		}},
 		{"forest_fit", func() {
 			rf := &ml.RandomForest{Trees: FitTrees, MaxDepth: FitDepth, Seed: benchSeed, Jobs: 1}

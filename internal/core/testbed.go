@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/callgraph"
@@ -320,10 +321,11 @@ func ExtractFeaturesDiagnostics(ctx context.Context, tree *metrics.Tree, cfg Ext
 	ls.End()
 	fv[metrics.FeatLintWarnings] = float64(rep.Total())
 
-	var hits0, misses0 uint64
-	if cfg.Cache != nil {
-		hits0, misses0 = cfg.Cache.Stats()
-	}
+	// Cache traffic is counted per run, not as a delta over the cache's
+	// process-global counters: with a shared cache (secmetricd), concurrent
+	// runs' global-counter windows overlap and would attribute each
+	// other's hits and misses.
+	var ct cacheTraffic
 
 	enriched := make([]fileEnrichment, len(tree.Files))
 	diag := &AnalysisDiagnostics{Files: make([]FileDiagnostic, len(tree.Files))}
@@ -344,7 +346,7 @@ func ExtractFeaturesDiagnostics(ctx context.Context, tree *metrics.Tree, cfg Ext
 				fs := ext.ChildAt(fileSpanSeqBase+i, trace.SpanNameFile)
 				fs.SetLabel(f.Path)
 				fs.Add("bytes", int64(len(f.Content)))
-				enr, status, detail := enrichFileCached(ctx, f, cfg, fs)
+				enr, status, detail := enrichFileCached(ctx, f, cfg, &ct, fs)
 				fs.End()
 				enriched[i] = enr
 				diag.Files[i] = FileDiagnostic{Path: f.Path, Status: status, Detail: detail}
@@ -365,6 +367,26 @@ dispatch:
 		return nil, nil, err
 	}
 
+	setEnrichmentFeatures(fv, aggregateEnrichments(enriched))
+	diag.CacheHits, diag.CacheMisses = ct.hits.Load(), ct.misses.Load()
+	return fv, diag, nil
+}
+
+// cacheTraffic counts one run's feature-cache hits and misses. Each
+// extraction (and each session changeset) owns its own instance, so
+// concurrent runs over a shared cache report only their own traffic.
+type cacheTraffic struct {
+	hits, misses atomic.Uint64
+}
+
+// aggregateEnrichments folds per-file enrichments, in slice order, into the
+// tree-level aggregate. Every field is an integer sum, a float sum, or a
+// max. The integer fields and maxes are order-independent; the float sums
+// (FeasiblePaths, CovSum) are not associative under reordering, so callers
+// needing byte parity with a batch extraction must pass the slice in tree
+// (path-sorted) order — which is why the incremental session re-folds with
+// this same function instead of maintaining float sums by delta.
+func aggregateEnrichments(enriched []fileEnrichment) fileEnrichment {
 	var agg fileEnrichment
 	for _, r := range enriched {
 		agg.TaintedSinks += r.TaintedSinks
@@ -386,13 +408,21 @@ dispatch:
 		agg.CWE134 += r.CWE134
 		agg.CWE78 += r.CWE78
 	}
+	return agg
+}
 
+// setEnrichmentFeatures writes the aggregated deep-analysis values into
+// the feature vector — the one place the enrichment-to-feature mapping
+// lives, shared by the batch extractor and the incremental session.
+func setEnrichmentFeatures(fv metrics.FeatureVector, agg fileEnrichment) {
 	fv[metrics.FeatTaintedSinks] = float64(agg.TaintedSinks)
 	fv[metrics.FeatFeasiblePaths] = math.Log10(1 + agg.FeasiblePaths)
 	fv[metrics.FeatCallFanOut] = float64(agg.MaxFanOut)
 	fv[metrics.FeatCallDepth] = float64(agg.MaxDepth)
 	if agg.CovRuns > 0 {
 		fv[metrics.FeatDynBranchCov] = agg.CovSum / float64(agg.CovRuns)
+	} else {
+		fv[metrics.FeatDynBranchCov] = 0
 	}
 	fv[metrics.FeatDynUniquePaths] = math.Log10(1 + float64(agg.DynPaths))
 	fv[metrics.FeatInterTaintedSinks] = float64(agg.InterSinks)
@@ -400,12 +430,6 @@ dispatch:
 	fv[metrics.FeatCWE121Findings] = float64(agg.CWE121)
 	fv[metrics.FeatCWE134Findings] = float64(agg.CWE134)
 	fv[metrics.FeatCWE78Findings] = float64(agg.CWE78)
-
-	if cfg.Cache != nil {
-		hits, misses := cfg.Cache.Stats()
-		diag.CacheHits, diag.CacheMisses = hits-hits0, misses-misses0
-	}
-	return fv, diag, nil
 }
 
 // fileSpanSeqBase offsets per-file span sequence keys past the sequential
@@ -425,7 +449,7 @@ const deepSpanSeq = 1
 // timed-out or panic-contained zero is a degraded result, and caching it
 // would make the degradation permanent even after the timeout is raised
 // or the analyzer bug fixed.
-func enrichFileCached(ctx context.Context, f metrics.File, cfg ExtractConfig, fs *trace.Span) (fileEnrichment, FileStatus, string) {
+func enrichFileCached(ctx context.Context, f metrics.File, cfg ExtractConfig, ct *cacheTraffic, fs *trace.Span) (fileEnrichment, FileStatus, string) {
 	if cfg.Cache == nil {
 		return enrichFileBounded(ctx, f, cfg.FileTimeout, fs)
 	}
@@ -435,9 +459,11 @@ func enrichFileCached(ctx context.Context, f metrics.File, cfg ExtractConfig, fs
 	hit := cfg.Cache.GetJSON(key, &out)
 	cs.End()
 	if hit {
+		ct.hits.Add(1)
 		fs.Add("cache_hit", 1)
 		return out, StatusCacheHit, ""
 	}
+	ct.misses.Add(1)
 	out, status, detail := enrichFileBounded(ctx, f, cfg.FileTimeout, fs)
 	if status == StatusOK || status == StatusParseSkip {
 		// A failed write only costs a future re-analysis; the result is

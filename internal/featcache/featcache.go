@@ -8,10 +8,13 @@
 //
 // Entries live both in memory (for repeated analyses inside one process)
 // and, when a directory is configured, on disk as one small file per
-// entry, sharded by the first byte of the key. Disk writes are atomic
-// (temp file + rename) so a crashed or concurrent run can never leave a
-// truncated entry a later run would trust; unreadable or corrupt entries
-// simply read as misses.
+// entry, sharded by the first byte of the key. The in-memory tier is a
+// size-capped insertion-order window over the hot set — a long-running
+// daemon must not grow its RSS with every file it ever analyzed — while
+// the disk tier is durable: an evicted entry is a future disk hit, never a
+// recomputation. Disk writes are atomic (temp file + rename) so a crashed
+// or concurrent run can never leave a truncated entry a later run would
+// trust; unreadable or corrupt entries simply read as misses.
 package featcache
 
 import (
@@ -25,13 +28,21 @@ import (
 	"sync/atomic"
 )
 
+// DefaultMemLimit caps the in-memory tier's payload bytes unless
+// SetMemLimit overrides it. Entries are small JSON records (~200 bytes),
+// so the default holds a few hundred thousand files' enrichments.
+const DefaultMemLimit = 64 << 20
+
 // Cache is a concurrency-safe content-addressed store. The zero value is
 // unusable; construct with Open or NewMemory.
 type Cache struct {
 	dir string // "" means memory-only
 
-	mu  sync.RWMutex
-	mem map[string][]byte
+	mu       sync.RWMutex
+	mem      map[string][]byte
+	order    []string // mem keys in insertion order; evictions pop the front
+	memBytes int64
+	maxBytes int64 // <= 0 disables the bound
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
@@ -39,7 +50,7 @@ type Cache struct {
 
 // NewMemory returns a process-local cache with no disk backing.
 func NewMemory() *Cache {
-	return &Cache{mem: map[string][]byte{}}
+	return &Cache{mem: map[string][]byte{}, maxBytes: DefaultMemLimit}
 }
 
 // Open returns a cache persisted under dir, creating it if needed. An
@@ -51,7 +62,23 @@ func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("featcache: %w", err)
 	}
-	return &Cache{dir: dir, mem: map[string][]byte{}}, nil
+	return &Cache{dir: dir, mem: map[string][]byte{}, maxBytes: DefaultMemLimit}, nil
+}
+
+// SetMemLimit bounds the in-memory tier to n payload bytes (n <= 0 removes
+// the bound). Shrinking below the current footprint evicts immediately.
+func (c *Cache) SetMemLimit(n int64) {
+	c.mu.Lock()
+	c.maxBytes = n
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
+// MemStats reports the in-memory tier's entry count and payload bytes.
+func (c *Cache) MemStats() (entries int, bytes int64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.mem), c.memBytes
 }
 
 // Key derives the content address of one analysis result: a SHA-256 over
@@ -71,8 +98,40 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key[:2], key[2:]+".json")
 }
 
+// storeMem inserts data into the bounded memory tier. Keys are content
+// addresses, so a re-store of an existing key carries identical bytes and
+// keeps its original eviction slot. Callers must hold c.mu.
+func (c *Cache) storeMem(key string, data []byte) {
+	if old, ok := c.mem[key]; ok {
+		c.memBytes += int64(len(data)) - int64(len(old))
+		c.mem[key] = data
+	} else {
+		c.mem[key] = data
+		c.memBytes += int64(len(data))
+		c.order = append(c.order, key)
+	}
+	c.evictLocked()
+}
+
+// evictLocked pops insertion-order entries until the tier fits the bound.
+// Callers must hold c.mu.
+func (c *Cache) evictLocked() {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.memBytes > c.maxBytes && len(c.order) > 0 {
+		k := c.order[0]
+		c.order = c.order[1:]
+		if d, ok := c.mem[k]; ok {
+			c.memBytes -= int64(len(d))
+			delete(c.mem, k)
+		}
+	}
+}
+
 // Get returns the cached bytes for key, checking memory first and then
-// disk. A disk hit is promoted into memory.
+// disk. A disk hit is promoted into memory (subject to the memory bound).
+// The returned slice is shared with the cache and must not be modified.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.RLock()
 	data, ok := c.mem[key]
@@ -84,7 +143,7 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	if c.dir != "" {
 		if data, err := os.ReadFile(c.path(key)); err == nil {
 			c.mu.Lock()
-			c.mem[key] = data
+			c.storeMem(key, data)
 			c.mu.Unlock()
 			c.hits.Add(1)
 			return data, true
@@ -95,10 +154,13 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 }
 
 // Put stores data under key in memory and, when disk-backed, atomically
-// on disk.
+// on disk. The cache copies data once up front and both tiers store that
+// copy, so a caller mutating its slice after Put can never make the
+// durable bytes diverge from the in-memory entry.
 func (c *Cache) Put(key string, data []byte) error {
+	cp := append([]byte(nil), data...)
 	c.mu.Lock()
-	c.mem[key] = append([]byte(nil), data...)
+	c.storeMem(key, cp)
 	c.mu.Unlock()
 	if c.dir == "" {
 		return nil
@@ -111,7 +173,7 @@ func (c *Cache) Put(key string, data []byte) error {
 	if err != nil {
 		return fmt.Errorf("featcache: %w", err)
 	}
-	if _, err := tmp.Write(data); err != nil {
+	if _, err := tmp.Write(cp); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("featcache: %w", err)

@@ -1,6 +1,7 @@
 package featcache
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -137,5 +138,118 @@ func TestOpenEmptyDirIsMemoryOnly(t *testing.T) {
 	}
 	if _, ok := c.Get("k"); !ok {
 		t.Fatal("memory-only cache lost its entry")
+	}
+}
+
+// TestMemTierBounded asserts the in-memory tier never exceeds its byte
+// cap: older entries are evicted as new ones arrive, and for a disk-backed
+// cache an evicted entry is still served (from disk, re-promoted within
+// the bound) rather than lost.
+func TestMemTierBounded(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 100)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	c.SetMemLimit(350) // fits three 100-byte entries
+	var keys []string
+	for i := 0; i < 50; i++ {
+		k := Key("v", fmt.Sprintf("file-%d", i))
+		keys = append(keys, k)
+		if err := c.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+		if entries, bytes := c.MemStats(); bytes > 350 || entries > 3 {
+			t.Fatalf("after put %d: mem tier over bound: %d entries, %d bytes", i, entries, bytes)
+		}
+	}
+	// The earliest key was evicted from memory but survives on disk.
+	if entries, _ := c.MemStats(); entries != 3 {
+		t.Fatalf("expected 3 resident entries, got %d", entries)
+	}
+	got, ok := c.Get(keys[0])
+	if !ok {
+		t.Fatal("evicted entry lost: disk tier should have served it")
+	}
+	if string(got) != string(payload) {
+		t.Fatal("disk tier returned wrong bytes")
+	}
+	// The promotion itself must respect the bound too.
+	if _, bytes := c.MemStats(); bytes > 350 {
+		t.Fatalf("disk promotion broke the bound: %d bytes", bytes)
+	}
+}
+
+// TestMemTierBoundMemoryOnly asserts a memory-only cache stays bounded:
+// overflow entries are dropped (future misses), not retained.
+func TestMemTierBoundMemoryOnly(t *testing.T) {
+	c := NewMemory()
+	c.SetMemLimit(64)
+	for i := 0; i < 20; i++ {
+		if err := c.Put(Key("v", fmt.Sprintf("k%d", i)), make([]byte, 30)); err != nil {
+			t.Fatal(err)
+		}
+		if _, bytes := c.MemStats(); bytes > 64 {
+			t.Fatalf("bound exceeded: %d bytes", bytes)
+		}
+	}
+	if _, ok := c.Get(Key("v", "k0")); ok {
+		t.Fatal("expected earliest entry to be evicted in a memory-only cache")
+	}
+}
+
+// TestShrinkMemLimitEvictsImmediately covers SetMemLimit below the current
+// footprint.
+func TestShrinkMemLimitEvictsImmediately(t *testing.T) {
+	c := NewMemory()
+	for i := 0; i < 10; i++ {
+		if err := c.Put(Key("v", fmt.Sprintf("k%d", i)), make([]byte, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SetMemLimit(25)
+	if entries, bytes := c.MemStats(); bytes > 25 || entries > 2 {
+		t.Fatalf("shrink did not evict: %d entries, %d bytes", entries, bytes)
+	}
+}
+
+// TestPutCopiesBeforeDiskWrite is the regression test for the divergence
+// bug: Put used to write the caller's slice to disk after taking the
+// in-memory copy, so a caller mutating its buffer post-Put could persist
+// bytes that differed from the in-memory entry.
+func TestPutCopiesBeforeDiskWrite(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("v", "mutated")
+	buf := []byte("original-bytes")
+	if err := c.Put(key, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		buf[i] = 'X'
+	}
+	// A fresh cache over the same directory sees only the disk tier.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(key)
+	if !ok {
+		t.Fatal("entry missing from disk")
+	}
+	if string(got) != "original-bytes" {
+		t.Fatalf("disk tier holds mutated bytes %q; Put must copy before writing", got)
+	}
+	// And the in-memory tier of the original cache agrees.
+	mem, ok := c.Get(key)
+	if !ok || string(mem) != "original-bytes" {
+		t.Fatalf("memory tier corrupted: %q", mem)
 	}
 }

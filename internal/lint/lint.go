@@ -84,11 +84,7 @@ func Check(t *metrics.Tree) *Report {
 	for _, f := range t.Files {
 		all = lexer.TokenizeInto(all[:0], f.Content, f.Language)
 		code = lexer.CodeInto(code[:0], all)
-		checkTokens(f, code, rep)
-		// The AST rules only apply to files that parse as MiniC.
-		if prog, err := minic.Parse(f.Content); err == nil {
-			checkAST(f.Path, prog, rep)
-		}
+		checkFile(f, code, rep)
 	}
 	sort.SliceStable(rep.Warnings, func(i, j int) bool {
 		if rep.Warnings[i].File != rep.Warnings[j].File {
@@ -97,6 +93,26 @@ func Check(t *metrics.Tree) *Report {
 		return rep.Warnings[i].Line < rep.Warnings[j].Line
 	})
 	return rep
+}
+
+// CheckFile runs every applicable rule over one file. Warnings depend only
+// on the file itself, so a tree report is exactly the per-file reports
+// concatenated (then sorted); incremental analyses rely on that to
+// maintain warning totals by delta.
+func CheckFile(f metrics.File) *Report {
+	rep := &Report{}
+	code := lexer.CodeInto(nil, lexer.Tokenize(f.Content, f.Language))
+	checkFile(f, code, rep)
+	return rep
+}
+
+// checkFile folds one file's token and AST rules into rep.
+func checkFile(f metrics.File, code []lexer.Token, rep *Report) {
+	checkTokens(f, code, rep)
+	// The AST rules only apply to files that parse as MiniC.
+	if prog, err := minic.Parse(f.Content); err == nil {
+		checkAST(f.Path, prog, rep)
+	}
 }
 
 // checkTokens runs the token rules over the file's semantic token stream.

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-
-	"repro/internal/lang"
 )
 
 // FeatureVector is the named code-property vector the prediction model
@@ -99,57 +97,8 @@ var FeatureNames = []string{
 // single pass — each file is tokenized exactly once and every extractor
 // family reads the shared token stream.
 func Extract(t *Tree) FeatureVector {
-	fv := FeatureVector{}
-	for _, name := range FeatureNames {
-		fv[name] = 0
-	}
-
 	sc := scanTree(t)
-	total := sc.total
-	fv[FeatKLoC] = float64(total.Code) / 1000
-	fv[FeatFiles] = float64(len(t.Files))
-
-	primary := primaryFromCounts(sc.codePerLang)
-	if primary == lang.C || primary == lang.CPP || primary == lang.MiniC {
-		fv[FeatLanguageUnsafe] = 1
-	}
-
-	fv[FeatFunctions] = float64(len(sc.fns))
-	fv[FeatCyclomaticTotal] = float64(sc.cycloTotal)
-
-	s := sc.smells
-	fv[FeatCommentRatio] = s.CommentRatio
-	fv[FeatAvgFunctionLen] = s.AvgFunctionLen
-	fv[FeatMaxFunctionLen] = float64(s.MaxFunctionLen)
-	fv[FeatCyclomaticAvg] = s.AvgCyclomatic
-	fv[FeatCyclomaticMax] = float64(s.MaxCyclomatic)
-	fv[FeatLongFunctions] = float64(s.LongFunctions)
-	fv[FeatDeeplyNested] = float64(s.DeeplyNested)
-	fv[FeatManyParams] = float64(s.ManyParams)
-	fv[FeatGodFiles] = float64(s.GodFiles)
-	fv[FeatMagicNumbers] = float64(s.MagicNumbers)
-	if total.Code > 0 {
-		fv[FeatTodoDensity] = float64(s.TodoCount) / (float64(total.Code) / 1000)
-	}
-	fv[FeatDupLines] = float64(s.DuplicateLines)
-
-	h := sc.halstead
-	fv[FeatHalsteadVolume] = h.Volume
-	fv[FeatHalsteadEffort] = h.Effort
-	fv[FeatHalsteadBugs] = h.EstimatedBugs
-
-	as := sc.surface
-	fv[FeatNetworkCalls] = float64(as.NetworkEndpoints)
-	fv[FeatFileInputs] = float64(as.FileInputs)
-	fv[FeatEnvInputs] = float64(as.EnvInputs)
-	fv[FeatProcessSpawns] = float64(as.ProcessSpawns)
-	fv[FeatPrivilegeOps] = float64(as.PrivilegeOps)
-	fv[FeatUnsafeCalls] = float64(as.UnsafeAPIs)
-	fv[FeatFormatCalls] = float64(as.FormatCalls)
-	fv[FeatEntryPoints] = float64(as.EntryPoints)
-	fv[FeatRASQ] = as.Quotient
-
-	return fv
+	return sc.features(len(t.Files))
 }
 
 // Set assigns a feature value, validating the name.

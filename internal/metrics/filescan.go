@@ -1,0 +1,228 @@
+package metrics
+
+import "repro/internal/lang"
+
+// This file is the incremental counterpart of scan.go: ScanFile runs the
+// same per-file pass as the batch extractor but keeps the file's
+// contribution mergeable (its duplicate-line and Halstead-vocabulary maps
+// stay private instead of folding into tree-wide shared maps), and
+// TreeStats maintains the tree-level aggregate under Add/Remove so a
+// changeset only pays for the files it touches.
+//
+// The correctness contract is byte parity: for any set of files, a
+// TreeStats reached through any sequence of Add/Remove calls yields
+// Features() identical — bit-for-bit on every float — to
+// Extract(&Tree{Files: ...}) over the same final set. That holds because
+//   - every counter is an exact integer sum (order-independent),
+//   - maxima are kept as value multisets (maxTracker) so removals
+//     recompute exactly,
+//   - duplicate-line and Halstead state are maintained as the same
+//     multiset maps the batch scan builds, with derived floats computed
+//     from them by the shared finishDerived/halsteadFromMaps code, and
+//   - every float the vector carries is derived at Features() time from
+//     those integer totals by the exact expressions the batch path uses.
+
+// FileScan is one file's mergeable scan summary: the per-file counters a
+// batch scan would have folded into the tree plus the maps (duplicate-line
+// candidates, Halstead vocabulary) whose tree-level form is a multiset
+// union. It is immutable after ScanFile returns and safe to retain.
+type FileScan struct {
+	scan      treeScan
+	lines     map[string]int // trimmed non-trivial line -> occurrences
+	operators map[string]int
+	operands  map[string]int
+}
+
+// ScanFile runs the single-pass extractor over one file.
+func ScanFile(f File) *FileScan {
+	fs := &FileScan{
+		lines:     map[string]int{},
+		operators: map[string]int{},
+		operands:  map[string]int{},
+	}
+	fs.scan.codePerLang = make(map[lang.Language]int, 1)
+	buf := scanPool.Get().(*scanBuf)
+	fs.scan.scanFile(f, buf, fs.lines, fs.operators, fs.operands)
+	scanPool.Put(buf)
+	// The function list is the one per-file product the aggregate never
+	// reads (FunctionCount and the max/total counters carry everything the
+	// feature vector needs); drop it so long-lived sessions don't retain
+	// every function of every file.
+	fs.scan.fns = nil
+	return fs
+}
+
+// maxTracker maintains the maximum of a multiset of ints under insert and
+// remove. Values are reference-counted so removing the current maximum
+// recomputes the next one exactly instead of guessing.
+type maxTracker struct {
+	counts map[int]int
+	max    int
+}
+
+func newMaxTracker() *maxTracker { return &maxTracker{counts: map[int]int{}} }
+
+func (t *maxTracker) add(v int) {
+	t.counts[v]++
+	if v > t.max {
+		t.max = v
+	}
+}
+
+func (t *maxTracker) remove(v int) {
+	n := t.counts[v] - 1
+	if n > 0 {
+		t.counts[v] = n
+		return
+	}
+	delete(t.counts, v)
+	if v == t.max {
+		m := 0
+		for k := range t.counts {
+			if k > m {
+				m = k
+			}
+		}
+		t.max = m
+	}
+}
+
+// Max returns the current maximum, or 0 for an empty tracker (matching the
+// batch scan, whose maxima start at zero).
+func (t *maxTracker) Max() int { return t.max }
+
+// TreeStats is the tree-level aggregate of a set of FileScans, maintained
+// incrementally. The zero value is not usable; construct with
+// NewTreeStats.
+type TreeStats struct {
+	nfiles int
+	// agg holds the exact-integer sums (line counts, smell counters,
+	// attack-surface counts, function totals). Its max/derived/halstead
+	// fields stay zero; Features() fills them from the trackers and maps.
+	agg        treeScan
+	maxFnLen   *maxTracker
+	maxFnCyclo *maxTracker
+	// lineSeen is the tree-wide duplicate-line multiset; dupLines caches
+	// sum(n for n in lineSeen if n > 3) and is updated by
+	// threshold-crossing deltas as counts move.
+	lineSeen map[string]int
+	dupLines int
+	// operators/operands are the tree-wide Halstead vocabulary multisets.
+	operators map[string]int
+	operands  map[string]int
+}
+
+// NewTreeStats returns an empty aggregate.
+func NewTreeStats() *TreeStats {
+	ts := &TreeStats{
+		maxFnLen:   newMaxTracker(),
+		maxFnCyclo: newMaxTracker(),
+		lineSeen:   map[string]int{},
+		operators:  map[string]int{},
+		operands:   map[string]int{},
+	}
+	ts.agg.codePerLang = make(map[lang.Language]int, 4)
+	return ts
+}
+
+// Len returns the number of files currently aggregated.
+func (ts *TreeStats) Len() int { return ts.nfiles }
+
+// Add folds one file's scan into the aggregate.
+func (ts *TreeStats) Add(fs *FileScan) { ts.apply(fs, 1) }
+
+// Remove subtracts a previously added scan. The caller must pass the same
+// FileScan (or an identical re-scan of the same content) that was added.
+func (ts *TreeStats) Remove(fs *FileScan) { ts.apply(fs, -1) }
+
+func (ts *TreeStats) apply(fs *FileScan, sign int) {
+	ts.nfiles += sign
+	src := &fs.scan
+
+	ts.agg.total.Blank += sign * src.total.Blank
+	ts.agg.total.Comment += sign * src.total.Comment
+	ts.agg.total.Code += sign * src.total.Code
+	for l, n := range src.codePerLang {
+		ts.agg.codePerLang[l] += sign * n
+		if ts.agg.codePerLang[l] == 0 {
+			delete(ts.agg.codePerLang, l)
+		}
+	}
+	ts.agg.cycloTotal += sign * src.cycloTotal
+	ts.agg.commentLines += sign * src.commentLines
+	ts.agg.codeLines += sign * src.codeLines
+	ts.agg.fnLenTotal += sign * src.fnLenTotal
+	ts.agg.fnCycloTotal += sign * src.fnCycloTotal
+
+	dst, s := &ts.agg.smells, &src.smells
+	dst.LongFunctions += sign * s.LongFunctions
+	dst.DeeplyNested += sign * s.DeeplyNested
+	dst.ManyParams += sign * s.ManyParams
+	dst.GodFiles += sign * s.GodFiles
+	dst.MagicNumbers += sign * s.MagicNumbers
+	dst.TodoCount += sign * s.TodoCount
+	dst.LongLines += sign * s.LongLines
+	dst.FunctionCount += sign * s.FunctionCount
+
+	a, b := &ts.agg.surface, &src.surface
+	a.NetworkEndpoints += sign * b.NetworkEndpoints
+	a.FileInputs += sign * b.FileInputs
+	a.EnvInputs += sign * b.EnvInputs
+	a.ProcessSpawns += sign * b.ProcessSpawns
+	a.PrivilegeOps += sign * b.PrivilegeOps
+	a.UnsafeAPIs += sign * b.UnsafeAPIs
+	a.FormatCalls += sign * b.FormatCalls
+	a.EntryPoints += sign * b.EntryPoints
+
+	if sign > 0 {
+		ts.maxFnLen.add(s.MaxFunctionLen)
+		ts.maxFnCyclo.add(s.MaxCyclomatic)
+	} else {
+		ts.maxFnLen.remove(s.MaxFunctionLen)
+		ts.maxFnCyclo.remove(s.MaxCyclomatic)
+	}
+
+	ts.applyCounts(ts.lineSeen, fs.lines, sign, true)
+	ts.applyCounts(ts.operators, fs.operators, sign, false)
+	ts.applyCounts(ts.operands, fs.operands, sign, false)
+}
+
+// applyCounts merges (or un-merges) a per-file count map into a tree-wide
+// multiset, deleting keys that reach zero so len(map) stays the distinct
+// count the batch scan would report. When dup is set, the duplicate-line
+// cache is adjusted by each key's threshold-crossing delta.
+func (ts *TreeStats) applyCounts(total, delta map[string]int, sign int, dup bool) {
+	for k, n := range delta {
+		old := total[k]
+		nw := old + sign*n
+		if nw == 0 {
+			delete(total, k)
+		} else {
+			total[k] = nw
+		}
+		if dup {
+			ts.dupLines += dupContribution(nw) - dupContribution(old)
+		}
+	}
+}
+
+// dupContribution is one line's contribution to Smells.DuplicateLines:
+// lines appearing more than three times count every occurrence.
+func dupContribution(n int) int {
+	if n > 3 {
+		return n
+	}
+	return 0
+}
+
+// Features assembles the feature vector of the current aggregate,
+// byte-identical to Extract over the same file set.
+func (ts *TreeStats) Features() FeatureVector {
+	sc := ts.agg // shallow copy: maps are shared but only read below
+	sc.smells.MaxFunctionLen = ts.maxFnLen.Max()
+	sc.smells.MaxCyclomatic = ts.maxFnCyclo.Max()
+	sc.smells.DuplicateLines = ts.dupLines
+	sc.halstead = halsteadFromMaps(ts.operators, ts.operands)
+	sc.finishDerived()
+	return sc.features(ts.nfiles)
+}

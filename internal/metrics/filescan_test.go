@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+// genSource builds a random C-ish source file exercising every metric
+// family: functions with branching (cyclomatic), duplicated lines, long
+// lines, TODO markers, magic numbers, attack-surface calls, comments.
+func genSource(rng *rand.Rand) string {
+	var out string
+	stock := []string{
+		"int shared_buffer_fill(char *dst, const char *src);",
+		"static int counter_value = 4711;",
+		"// TODO clean this up before release",
+		"/* FIXME boundary handling is wrong for n == 0 */",
+	}
+	calls := []string{"socket", "fopen", "getenv", "system", "strcpy", "printf", "setuid"}
+	nfn := 1 + rng.Intn(4)
+	for i := 0; i < nfn; i++ {
+		name := fmt.Sprintf("fn_%d", rng.Intn(6))
+		if rng.Intn(4) == 0 {
+			name = "handle_request"
+		}
+		out += fmt.Sprintf("int %s(int a, int b, int c) {\n", name)
+		for j, n := 0, rng.Intn(8); j < n; j++ {
+			switch rng.Intn(5) {
+			case 0:
+				out += fmt.Sprintf("    if (a > %d) { b = b + %d; }\n", rng.Intn(100), rng.Intn(100))
+			case 1:
+				out += fmt.Sprintf("    %s(a, b);\n", calls[rng.Intn(len(calls))])
+			case 2:
+				out += "    " + stock[rng.Intn(len(stock))] + "\n"
+			case 3:
+				out += fmt.Sprintf("    while (b < %d) { b = b * 3 + a; c = c - 1; }\n", rng.Intn(50))
+			case 4:
+				out += "    long_accumulator_value = long_accumulator_value + another_fairly_long_identifier_name + yet_one_more_operand_to_push_this_line_far_past_the_limit;\n"
+			}
+		}
+		out += "    return a + b + c;\n}\n"
+	}
+	return out
+}
+
+func randFile(rng *rand.Rand, path string) File {
+	langs := []lang.Language{lang.C, lang.MiniC, lang.CPP, lang.Python}
+	return File{Path: path, Language: langs[rng.Intn(len(langs))], Content: genSource(rng)}
+}
+
+func treeOf(files map[string]File) *Tree {
+	t := &Tree{Name: "prop"}
+	paths := make([]string, 0, len(files))
+	for p := range files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		t.Files = append(t.Files, files[p])
+	}
+	return t
+}
+
+func assertSameVector(t *testing.T, step int, got, want FeatureVector) {
+	t.Helper()
+	g, w := got.Slice(), want.Slice()
+	for i, name := range FeatureNames {
+		if math.Float64bits(g[i]) != math.Float64bits(w[i]) {
+			t.Fatalf("step %d: feature %s: incremental %v != batch %v", step, name, g[i], w[i])
+		}
+	}
+}
+
+// TestTreeStatsMatchesExtract drives TreeStats through random
+// add/modify/remove sequences and asserts Features() is bit-identical to a
+// fresh batch Extract of the same file set after every step.
+func TestTreeStatsMatchesExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed7))
+	files := map[string]File{}
+	scans := map[string]*FileScan{}
+	ts := NewTreeStats()
+
+	// Seed with a handful of files.
+	for i := 0; i < 6; i++ {
+		p := fmt.Sprintf("src/f%02d.c", i)
+		f := randFile(rng, p)
+		files[p] = f
+		scans[p] = ScanFile(f)
+		ts.Add(scans[p])
+	}
+	assertSameVector(t, -1, ts.Features(), Extract(treeOf(files)))
+
+	paths := func() []string {
+		out := make([]string, 0, len(files))
+		for p := range files {
+			out = append(out, p)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	for step := 0; step < 60; step++ {
+		switch op := rng.Intn(3); {
+		case op == 0 || len(files) <= 1: // add
+			p := fmt.Sprintf("src/g%03d.c", step)
+			f := randFile(rng, p)
+			files[p] = f
+			scans[p] = ScanFile(f)
+			ts.Add(scans[p])
+		case op == 1: // modify
+			p := paths()[rng.Intn(len(files))]
+			ts.Remove(scans[p])
+			f := randFile(rng, p)
+			files[p] = f
+			scans[p] = ScanFile(f)
+			ts.Add(scans[p])
+		default: // remove
+			p := paths()[rng.Intn(len(files))]
+			ts.Remove(scans[p])
+			delete(files, p)
+			delete(scans, p)
+		}
+		assertSameVector(t, step, ts.Features(), Extract(treeOf(files)))
+		if ts.Len() != len(files) {
+			t.Fatalf("step %d: Len() = %d, want %d", step, ts.Len(), len(files))
+		}
+	}
+}
+
+// TestTreeStatsEmpty checks the degenerate everything-removed state
+// matches a batch scan of an empty tree.
+func TestTreeStatsEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ts := NewTreeStats()
+	f := randFile(rng, "a.c")
+	fs := ScanFile(f)
+	ts.Add(fs)
+	ts.Remove(fs)
+	assertSameVector(t, 0, ts.Features(), Extract(&Tree{Name: "empty"}))
+	if ts.dupLines != 0 || len(ts.lineSeen) != 0 || len(ts.operators) != 0 || len(ts.operands) != 0 {
+		t.Fatalf("aggregate state not empty after full removal: dup=%d lines=%d ops=%d opnds=%d",
+			ts.dupLines, len(ts.lineSeen), len(ts.operators), len(ts.operands))
+	}
+}

@@ -65,7 +65,21 @@ type Config struct {
 	// is cut off and answered 413 instead of growing the daemon's heap
 	// without bound. <= 0 uses 32 MiB.
 	MaxBodyBytes int64
+	// MaxSessions bounds the per-repo incremental session registry behind
+	// /v1/delta; the least-recently-used session is evicted beyond it.
+	// <= 0 uses 64.
+	MaxSessions int
+	// SessionTTL expires sessions idle longer than this; an expired
+	// session's next non-seeding changeset answers 409 stale_session.
+	// <= 0 uses 1 hour.
+	SessionTTL time.Duration
 }
+
+// Session-registry defaults applied when Config leaves them unset.
+const (
+	DefaultMaxSessions = 64
+	DefaultSessionTTL  = time.Hour
+)
 
 // DefaultMaxBodyBytes is the request-body cap applied when
 // Config.MaxBodyBytes is unset: 32 MiB, roomy for a JSON-encoded source
@@ -74,13 +88,14 @@ const DefaultMaxBodyBytes = 32 << 20
 
 // Server is the HTTP daemon. Construct with New, mount Handler.
 type Server struct {
-	cfg   Config
-	reg   *Registry
-	cache *featcache.Cache
-	tel   *telemetry
-	sem   chan struct{}
-	slots int
-	start time.Time
+	cfg      Config
+	reg      *Registry
+	cache    *featcache.Cache
+	tel      *telemetry
+	sem      chan struct{}
+	slots    int
+	start    time.Time
+	sessions *sessionPool
 
 	// testHookAcquired, when non-nil, runs on the request goroutine right
 	// after a worker slot is acquired and before any analysis. Tests use
@@ -103,6 +118,12 @@ func New(reg *Registry, cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = DefaultSessionTTL
+	}
 	cache := cfg.Cache
 	if cache == nil {
 		cache = featcache.NewMemory()
@@ -115,6 +136,14 @@ func New(reg *Registry, cfg Config) *Server {
 		sem:   make(chan struct{}, cfg.Workers),
 		slots: cfg.Workers,
 		start: time.Now(),
+		// Delta sessions extract with the same pool width, per-file
+		// deadline, and shared cache as the batch endpoints, so the
+		// incremental and cold paths produce byte-identical vectors.
+		sessions: newSessionPool(cfg.MaxSessions, cfg.SessionTTL, core.ExtractConfig{
+			Jobs:        cfg.AnalyzeJobs,
+			Cache:       cache,
+			FileTimeout: cfg.FileTimeout,
+		}),
 	}
 }
 
@@ -127,6 +156,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
 	mux.HandleFunc("POST /v1/findings", s.instrument("findings", s.handleFindings))
 	mux.HandleFunc("POST /v1/compare", s.instrument("compare", s.handleCompare))
+	mux.HandleFunc("POST /v1/delta", s.instrument("delta", s.handleDelta))
 	mux.HandleFunc("POST /v1/models/reload", s.instrument("reload", s.handleReload))
 	return mux
 }
@@ -435,6 +465,119 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// toChangeset converts a wire changeset with the exact per-file
+// discipline toTree applies to whole trees: dot-files and unrecognized
+// extensions are silently dropped (from Removed too — such paths were
+// never admitted into a session, so removing one must not read as stale),
+// empty paths are an error, languages come from extensions. Uniqueness
+// across the three lists is the session's own validation.
+func toChangeset(cs api.Changeset) (core.Changeset, error) {
+	var out core.Changeset
+	admit := func(p string) (lang.Language, bool, error) {
+		if p == "" {
+			return lang.Unknown, false, errors.New("changeset contains an empty file path")
+		}
+		if strings.HasPrefix(path.Base(p), ".") {
+			return lang.Unknown, false, nil
+		}
+		l := lang.FromPath(p)
+		return l, l != lang.Unknown, nil
+	}
+	for _, f := range cs.Added {
+		l, ok, err := admit(f.Path)
+		if err != nil {
+			return core.Changeset{}, err
+		}
+		if ok {
+			out.Added = append(out.Added, metrics.File{Path: f.Path, Language: l, Content: f.Content})
+		}
+	}
+	for _, f := range cs.Modified {
+		l, ok, err := admit(f.Path)
+		if err != nil {
+			return core.Changeset{}, err
+		}
+		if ok {
+			out.Modified = append(out.Modified, metrics.File{Path: f.Path, Language: l, Content: f.Content})
+		}
+	}
+	for _, p := range cs.Removed {
+		_, ok, err := admit(p)
+		if err != nil {
+			return core.Changeset{}, err
+		}
+		if ok {
+			out.Removed = append(out.Removed, p)
+		}
+	}
+	if out.Empty() {
+		return core.Changeset{}, errors.New("changeset carries no analyzable files")
+	}
+	return out, nil
+}
+
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	var req api.DeltaRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.RepoID == "" {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "repo_id is required")
+		return
+	}
+	cs, err := toChangeset(req.Changeset)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	model, name, ok := s.reg.Snapshot().Get(req.Model)
+	if !ok {
+		writeErr(w, http.StatusNotFound, api.CodeUnknownModel, fmt.Sprintf("unknown model %q", req.Model))
+		return
+	}
+	s.withSlot(w, r, "delta", req.TimeoutMS, func(ctx context.Context) error {
+		t0 := time.Now()
+		sess := s.sessions.acquire(req.RepoID)
+		res, err := sess.Apply(ctx, cs)
+		if err != nil {
+			switch {
+			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+				return err // withSlot turns these into 504
+			case errors.Is(err, core.ErrStaleSession):
+				writeErr(w, http.StatusConflict, api.CodeStaleSession, err.Error())
+				return nil
+			default:
+				// Validation problems (empty changeset, duplicate paths,
+				// would-empty) left the session untouched.
+				writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+				return nil
+			}
+		}
+		sc := trace.SpanFromContext(ctx).Child("score")
+		subject := fmt.Sprintf("%s@%d", req.RepoID, res.Seq)
+		rep := model.Score(subject, res.Features)
+		var cmp *secmetric.Comparison
+		if res.OldFeatures != nil {
+			cmp = model.Compare(fmt.Sprintf("%s@%d", req.RepoID, res.Seq-1), res.OldFeatures, subject, res.Features)
+		}
+		sc.End()
+		if req.Trace && res.Diagnostics != nil {
+			res.Diagnostics.Trace = trace.Summarize(trace.SpanFromContext(ctx))
+		}
+		writeJSON(w, http.StatusOK, api.DeltaResponse{
+			Model:       name,
+			RepoID:      req.RepoID,
+			Seq:         res.Seq,
+			Files:       res.Files,
+			Report:      rep,
+			Comparison:  cmp,
+			ElapsedMS:   time.Since(t0).Milliseconds(),
+			Diagnostics: res.Diagnostics,
+		})
+		return nil
+	})
+}
+
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.reg.Load()
 	if err != nil {
@@ -475,6 +618,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP secmetricd_model_reloads_total Successful registry loads since start.")
 	fmt.Fprintln(w, "# TYPE secmetricd_model_reloads_total counter")
 	fmt.Fprintf(w, "secmetricd_model_reloads_total %d\n", s.reg.Reloads())
+	active, evicted := s.sessions.stats()
+	fmt.Fprintln(w, "# HELP secmetricd_sessions_active Live incremental sessions in the delta registry.")
+	fmt.Fprintln(w, "# TYPE secmetricd_sessions_active gauge")
+	fmt.Fprintf(w, "secmetricd_sessions_active %d\n", active)
+	fmt.Fprintln(w, "# HELP secmetricd_session_evictions_total Sessions dropped by LRU capacity or idle TTL.")
+	fmt.Fprintln(w, "# TYPE secmetricd_session_evictions_total counter")
+	fmt.Fprintf(w, "secmetricd_session_evictions_total %d\n", evicted)
 	fmt.Fprintln(w, "# HELP secmetricd_uptime_seconds Seconds since the daemon started.")
 	fmt.Fprintln(w, "# TYPE secmetricd_uptime_seconds gauge")
 	fmt.Fprintf(w, "secmetricd_uptime_seconds %g\n", time.Since(s.start).Seconds())

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// sessionPool is the daemon's bounded per-repo session registry behind
+// POST /v1/delta. Each repo_id owns at most one core.Session; the pool
+// caps how many live at once (LRU eviction on overflow) and expires
+// sessions idle past a TTL, so a stream of one-shot repo_ids cannot grow
+// the daemon's heap without bound.
+//
+// Eviction is deliberately soft: an evicted *core.Session already handed
+// to an in-flight request keeps working (the Session is self-contained
+// and concurrency-safe); only the registry forgets it. The next request
+// for that repo_id gets a fresh empty session and, unless it seeds, an
+// ErrStaleSession telling the client to re-seed.
+type sessionPool struct {
+	mu      sync.Mutex
+	max     int
+	ttl     time.Duration
+	cfg     core.ExtractConfig
+	entries map[string]*sessionEntry
+
+	evictions uint64
+
+	// now is the clock; tests override it to drive TTL expiry.
+	now func() time.Time
+}
+
+// sessionEntry tracks one session's recency for LRU + TTL decisions.
+type sessionEntry struct {
+	sess     *core.Session
+	lastUsed time.Time
+}
+
+// newSessionPool builds a pool that creates sessions with cfg. max <= 0
+// and ttl <= 0 are the caller's bug; New applies the defaults.
+func newSessionPool(max int, ttl time.Duration, cfg core.ExtractConfig) *sessionPool {
+	return &sessionPool{
+		max:     max,
+		ttl:     ttl,
+		cfg:     cfg,
+		entries: map[string]*sessionEntry{},
+		now:     time.Now,
+	}
+}
+
+// acquire returns repoID's session, creating it if absent, and marks it
+// most-recently-used. Expired sessions are swept first, so an idle-beyond-
+// TTL session is replaced (the caller then sees stale-session semantics on
+// a non-seeding changeset, exactly as after an LRU eviction).
+func (p *sessionPool) acquire(repoID string) *core.Session {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	p.sweepLocked(now)
+	if e, ok := p.entries[repoID]; ok {
+		e.lastUsed = now
+		return e.sess
+	}
+	if len(p.entries) >= p.max {
+		p.evictLRULocked()
+	}
+	e := &sessionEntry{sess: core.NewSession(repoID, p.cfg), lastUsed: now}
+	p.entries[repoID] = e
+	return e.sess
+}
+
+// sweepLocked drops every session idle longer than the TTL.
+func (p *sessionPool) sweepLocked(now time.Time) {
+	for id, e := range p.entries {
+		if now.Sub(e.lastUsed) > p.ttl {
+			delete(p.entries, id)
+			p.evictions++
+		}
+	}
+}
+
+// evictLRULocked drops the least-recently-used session to make room.
+func (p *sessionPool) evictLRULocked() {
+	var victim string
+	var oldest time.Time
+	for id, e := range p.entries {
+		if victim == "" || e.lastUsed.Before(oldest) {
+			victim, oldest = id, e.lastUsed
+		}
+	}
+	if victim != "" {
+		delete(p.entries, victim)
+		p.evictions++
+	}
+}
+
+// stats reports the live session count and total evictions for /metrics.
+func (p *sessionPool) stats() (active int, evictions uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries), p.evictions
+}

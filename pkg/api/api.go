@@ -1,7 +1,8 @@
 // Package api defines the JSON wire contract of secmetricd, the
 // clairvoyance-as-a-service scoring daemon: request and response envelopes
 // for the analyzing endpoints (/v1/score, /v1/analyze, /v1/findings,
-// /v1/compare), the operational endpoints (/healthz, /v1/models/reload),
+// /v1/compare, /v1/delta), the operational endpoints (/healthz,
+// /v1/models/reload),
 // and the error envelope every non-2xx response carries. Both the server
 // (internal/server) and the typed client (pkg/client) build against these
 // types, so the contract lives in exactly one place.
@@ -103,6 +104,59 @@ type CompareResponse struct {
 	NewDiagnostics *secmetric.AnalysisDiagnostics `json:"new_diagnostics,omitempty"`
 }
 
+// Changeset is one edit step against a repository session: files added,
+// files whose content changed, and paths removed. Paths obey the same
+// filtering as Tree files (dot-files and unrecognized extensions are
+// ignored), and the same uniqueness rule: one path may appear at most once
+// across the three lists.
+type Changeset struct {
+	Added    []File   `json:"added,omitempty"`
+	Modified []File   `json:"modified,omitempty"`
+	Removed  []string `json:"removed,omitempty"`
+}
+
+// DeltaRequest asks POST /v1/delta for the risk delta of one changeset
+// against the repository's server-side session — the per-change CI gate
+// without re-shipping or re-analyzing the whole tree. The first request
+// for a repo_id (or the first after an eviction) must seed the session
+// with an Added-only changeset carrying the full tree; the server answers
+// 409 with code "stale_session" when the changeset contradicts its
+// current picture, and the client recovers by re-seeding.
+type DeltaRequest struct {
+	// RepoID keys the server-side session registry. Sessions are evicted
+	// LRU beyond the daemon's capacity and after its idle TTL.
+	RepoID string `json:"repo_id"`
+	// Model names a registry entry; empty selects the daemon's default.
+	Model     string    `json:"model,omitempty"`
+	Changeset Changeset `json:"changeset"`
+	TimeoutMS int64     `json:"timeout_ms,omitempty"`
+	// Trace joins a span summary onto the response diagnostics.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// DeltaResponse carries the post-changeset evaluation. Features is
+// byte-identical to what /v1/analyze would report for the full current
+// tree; Comparison is present from the second changeset on.
+type DeltaResponse struct {
+	Model  string `json:"model"`
+	RepoID string `json:"repo_id"`
+	// Seq counts the changesets applied to this session, starting at 1.
+	// A jump the client did not expect means the session was rebuilt.
+	Seq uint64 `json:"seq"`
+	// Files is the session's file count after the changeset.
+	Files int `json:"files"`
+	// Report scores the tree as it stands after the changeset.
+	Report *secmetric.Report `json:"report"`
+	// Comparison is the risk delta against the session's previous state;
+	// absent on the seeding changeset, which has nothing to diff against.
+	Comparison *secmetric.Comparison `json:"comparison,omitempty"`
+	// ElapsedMS is the server-side wall time of the apply + score, the
+	// number the incremental path exists to shrink.
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// Diagnostics covers only the re-analyzed (added + modified) files.
+	Diagnostics *secmetric.AnalysisDiagnostics `json:"diagnostics,omitempty"`
+}
+
 // Health is GET /healthz's body.
 type Health struct {
 	Status        string   `json:"status"`
@@ -124,7 +178,7 @@ type ReloadResponse struct {
 type Error struct {
 	// Code is a stable machine-readable reason: "bad_request",
 	// "unknown_model", "queue_full", "deadline", "body_too_large",
-	// "reload_failed", "internal".
+	// "stale_session", "reload_failed", "internal".
 	Code  string `json:"code"`
 	Error string `json:"error"`
 }
@@ -136,6 +190,7 @@ const (
 	CodeQueueFull    = "queue_full"
 	CodeDeadline     = "deadline"
 	CodeBodyTooLarge = "body_too_large"
+	CodeStaleSession = "stale_session"
 	CodeReloadFailed = "reload_failed"
 	CodeInternal     = "internal"
 )

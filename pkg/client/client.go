@@ -100,6 +100,15 @@ func IsDeadline(err error) bool {
 	return errors.As(err, &ae) && ae.StatusCode == http.StatusGatewayTimeout
 }
 
+// IsStaleSession reports whether err is the daemon's 409 signal that a
+// delta changeset contradicts the server-side session (first contact,
+// eviction, or a diverged client picture). Recovery is re-seeding: send
+// the full current tree as an Added-only changeset.
+func IsStaleSession(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusConflict && ae.Code == api.CodeStaleSession
+}
+
 // Score asks the daemon to analyze and score one tree.
 func (c *Client) Score(ctx context.Context, req api.ScoreRequest) (*api.ScoreResponse, error) {
 	var out api.ScoreResponse
@@ -131,6 +140,17 @@ func (c *Client) Findings(ctx context.Context, req api.FindingsRequest) (*api.Fi
 func (c *Client) Compare(ctx context.Context, req api.CompareRequest) (*api.CompareResponse, error) {
 	var out api.CompareResponse
 	if err := c.post(ctx, "/v1/compare", req.TimeoutMS, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Delta pushes one changeset to the repository's server-side session and
+// returns the incremental evaluation. On IsStaleSession errors the caller
+// should re-seed with a full Added-only changeset and retry.
+func (c *Client) Delta(ctx context.Context, req api.DeltaRequest) (*api.DeltaResponse, error) {
+	var out api.DeltaResponse
+	if err := c.post(ctx, "/v1/delta", req.TimeoutMS, req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -189,6 +189,46 @@ func analyzeTree(ctx context.Context, tree *Tree, cfg AnalyzeConfig) (FeatureVec
 	return core.ExtractFeaturesDiagnostics(ctx, tree, ecfg)
 }
 
+// Incremental-analysis re-exports: the apply-a-changeset form of the
+// testbed, for callers that track a tree across edits (watch modes, CI
+// bots, the daemon's /v1/delta endpoint).
+type (
+	// Session holds one tree's per-file analysis state and updates the
+	// tree-level feature vector incrementally as changesets arrive. After
+	// any sequence of changesets its Features() is byte-identical to a
+	// fresh full analysis of the same tree.
+	Session = core.Session
+	// SessionChangeset is one edit step: files added, files whose content
+	// changed, and paths removed.
+	SessionChangeset = core.Changeset
+	// SessionResult is the outcome of one applied changeset.
+	SessionResult = core.ApplyResult
+)
+
+// ErrStaleSession reports a changeset that contradicts a session's current
+// file set; recovery is re-seeding with a full Added-only changeset.
+var ErrStaleSession = core.ErrStaleSession
+
+// ErrSessionEmpty rejects a changeset that would leave a session with no
+// files.
+var ErrSessionEmpty = core.ErrSessionEmpty
+
+// NewSession builds an empty incremental session configured like an
+// AnalyzeTreeWith call: the same worker-pool bound, per-file deadline, and
+// optional persistent cache. Seed it by applying an Added-only changeset
+// carrying the full tree.
+func NewSession(name string, cfg AnalyzeConfig) (*Session, error) {
+	ecfg := core.ExtractConfig{Jobs: cfg.Jobs, FileTimeout: cfg.FileTimeout}
+	if cfg.CacheDir != "" {
+		cache, err := featcache.Open(cfg.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("secmetric: %w", err)
+		}
+		ecfg.Cache = cache
+	}
+	return core.NewSession(name, ecfg), nil
+}
+
 // ErrFeatureSchema marks a model file whose feature schema does not match
 // this build's metrics.FeatureNames; LoadModel refuses such models rather
 // than silently misaligning columns at score time.

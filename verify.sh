@@ -6,8 +6,9 @@
 # and a short native-fuzz smoke over the MiniC parser, the panic source
 # the containment layer most needs to hold against. Ends with a live
 # secmetricd smoke: concurrent daemon scores must be byte-identical to a
-# CLI run, deadlines must 504 without killing the process, a tight queue
-# must shed load with 429s, and SIGTERM must drain cleanly.
+# CLI run, incremental /v1/delta results must be byte-identical to the
+# cold endpoints, deadlines must 504 without killing the process, a tight
+# queue must shed load with 429s, and SIGTERM must drain cleanly.
 set -eu
 
 cd "$(dirname "$0")"
@@ -46,10 +47,10 @@ esac
 # Bench smoke: the quick-budget workloads must stay within 25% ns/op of
 # the committed post-optimization baseline, so hot-path regressions fail
 # verification instead of landing silently.
-echo "== bench smoke (secmetric bench -quick vs BENCH_pr6.json) =="
+echo "== bench smoke (secmetric bench -quick vs BENCH_pr7.json) =="
 benchtmp=$(mktemp -d)
 go run ./cmd/secmetric bench -quick -rev verify -out "$benchtmp/bench.json" \
-	-against BENCH_pr6.json -max-regress 0.25
+	-against BENCH_pr7.json -max-regress 0.25
 rm -rf "$benchtmp"
 
 # Trace smoke: a traced analysis of examples/vulnapp must produce
@@ -99,6 +100,11 @@ daemon_pid=$!
 wait_addr
 "$smoketmp/daemonsmoke" -addr "$(cat "$smoketmp/addr")" \
 	-dir examples/vulnapp -cli "$smoketmp/cli.json"
+# Delta smoke against the same daemon: seed a session, push a 1-file
+# change, and hold the incremental report/comparison to byte parity with
+# the cold score/compare endpoints.
+"$smoketmp/daemonsmoke" -addr "$(cat "$smoketmp/addr")" \
+	-dir examples/vulnapp -mode delta
 kill -TERM "$daemon_pid"
 if ! wait "$daemon_pid"; then
 	echo "daemon smoke: SIGTERM drain exited nonzero" >&2
