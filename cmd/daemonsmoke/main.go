@@ -30,6 +30,12 @@
 //	  * a changeset contradicting the session state answers 409 and
 //	    leaves the session usable
 //
+//	-mode rank:
+//	  * /v1/rank returns a non-empty function-level ranking that is
+//	    byte-identical across repeated requests and — with -cli pointing at
+//	    a `secmetric rank -json` run over the same directory — byte-identical
+//	    to the CLI's ranking
+//
 //	-mode burst:
 //	  * a burst of concurrent /v1/score requests against a tightly
 //	    provisioned daemon (workers=1, queue=1) yields at least one 429
@@ -47,6 +53,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -62,7 +69,7 @@ func main() {
 		addr     = flag.String("addr", "", "daemon address (host:port)")
 		dir      = flag.String("dir", "examples/vulnapp", "source directory to score")
 		cliFile  = flag.String("cli", "", "file holding `secmetric score -json` output to compare against")
-		mode     = flag.String("mode", "full", "full | burst | delta")
+		mode     = flag.String("mode", "full", "full | burst | delta | rank")
 		requests = flag.Int("requests", 8, "concurrent requests per phase")
 		replicas = flag.Int("replicas", 300, "file replicas in the large synthetic tree (deadline/burst phases)")
 	)
@@ -80,6 +87,8 @@ func main() {
 		err = runBurst(ctx, c, *dir, *requests, *replicas)
 	case "delta":
 		err = runDelta(ctx, c, *dir)
+	case "rank":
+		err = runRank(ctx, c, *dir, *cliFile)
 	default:
 		err = fmt.Errorf("unknown -mode %q", *mode)
 	}
@@ -387,6 +396,65 @@ func assertSameJSON(what string, a, b any) error {
 	}
 	if string(ca) != string(cb) {
 		return fmt.Errorf("%s: bytes differ:\n--- incremental ---\n%s\n--- cold ---\n%s", what, ca, cb)
+	}
+	return nil
+}
+
+// runRank drives /v1/rank and holds it to the determinism contract: repeated
+// requests are byte-identical, and — when -cli names a `secmetric rank -json`
+// capture of the same directory — the daemon's ranking matches the CLI's
+// byte for byte after canonical re-marshalling.
+func runRank(ctx context.Context, c *client.Client, dir, cliFile string) error {
+	tree, err := client.TreeFromDir(dir)
+	if err != nil {
+		return err
+	}
+	// The ranking echoes the tree's subject name; the CLI loader names the
+	// tree after the directory's base name, so match it for byte parity.
+	tree.Name = filepath.Base(dir)
+	first, err := c.Rank(ctx, api.RankRequest{Tree: tree})
+	if err != nil {
+		return fmt.Errorf("rank: %w", err)
+	}
+	if first.Ranking == nil || first.Ranking.Functions == 0 || len(first.Ranking.Ranked) == 0 {
+		return fmt.Errorf("rank: empty ranking for %s", dir)
+	}
+	want, err := canon(first.Ranking)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		again, err := c.Rank(ctx, api.RankRequest{Tree: tree})
+		if err != nil {
+			return fmt.Errorf("rank (repeat %d): %w", i, err)
+		}
+		got, err := canon(again.Ranking)
+		if err != nil {
+			return err
+		}
+		if string(got) != string(want) {
+			return fmt.Errorf("rank: repeat %d returned different ranking bytes", i)
+		}
+	}
+	log.Printf("rank: %d function(s) in %d bin(s), byte-identical across repeats",
+		first.Ranking.Functions, first.Ranking.Bins)
+	if cliFile != "" {
+		cliRaw, err := os.ReadFile(cliFile)
+		if err != nil {
+			return err
+		}
+		var cliRanking any
+		if err := json.Unmarshal(cliRaw, &cliRanking); err != nil {
+			return fmt.Errorf("parse %s: %w", cliFile, err)
+		}
+		cliBytes, err := canon(cliRanking)
+		if err != nil {
+			return err
+		}
+		if string(want) != string(cliBytes) {
+			return fmt.Errorf("rank: daemon ranking differs from CLI ranking (%s)", cliFile)
+		}
+		log.Printf("rank: daemon ranking byte-identical to CLI run")
 	}
 	return nil
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|f1|f2|f3|f4|t1|t2|a1|a2|a3|a4|reg]
+//	experiments [-run all|f1|f2|f3|f4|t1|t2|fr|a1|a2|a3|a4|reg]
 package main
 
 import (
@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	which := flag.String("run", "all", "experiment id (f1..f4, t1, t2, a1..a4, reg) or 'all'")
+	which := flag.String("run", "all", "experiment id (f1..f4, t1, t2, fr, a1..a4, reg) or 'all'")
 	flag.Parse()
 	if err := run(strings.ToLower(*which)); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -60,6 +60,10 @@ func run(which string) error {
 		}},
 		{"t2", func() (string, error) {
 			r, err := experiments.Table2(200, 7)
+			return r.Table, err
+		}},
+		{"fr", func() (string, error) {
+			r, err := experiments.FuncRank(40, 11)
 			return r.Table, err
 		}},
 		{"a1", func() (string, error) {

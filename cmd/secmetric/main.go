@@ -7,7 +7,7 @@
 //	secmetric score    [-model m.json] [-json] <dir>  print the security report
 //	secmetric compare  [-model m.json] [-incremental] <old> <new>  print the risk delta
 //	secmetric focus    [-model m.json] [-budget N] <dir>  apportion deep analysis
-//	secmetric hotspots [-top N] <dir>             rank risky functions
+//	secmetric rank     [-top N] [-json] [-explain] <dir>  rank functions by risk
 //	secmetric findings [-min sev] [-json] <dir>   print the CWE-tagged findings
 //	secmetric image    [-model m.json] <manifest.json>  whole-image evaluation
 //
@@ -58,8 +58,13 @@ func run(ctx context.Context, args []string) error {
 		return cmdCompare(ctx, args[1:])
 	case "focus":
 		return cmdFocus(args[1:])
+	case "rank":
+		return cmdRank(ctx, args[1:])
 	case "hotspots":
-		return cmdHotspots(args[1:])
+		// Deprecated alias: hotspots' heuristic scorer was folded into the
+		// function-level ranking engine.
+		fmt.Fprintln(os.Stderr, "secmetric: `hotspots` is deprecated; forwarding to `rank`")
+		return cmdRank(ctx, args[1:])
 	case "findings":
 		return cmdFindings(args[1:])
 	case "image":
@@ -72,7 +77,7 @@ func run(ctx context.Context, args []string) error {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: secmetric {analyze [-diag] [-json] [-trace f] [-slowest N] <dir> | score [-model m.json] [-json] <dir> | compare [-model m.json] [-incremental] <old> <new> | focus [-model m.json] [-budget N] <dir> | hotspots [-top N] <dir> | findings [-min sev] [-json] <dir> | image [-model m.json] <manifest.json> | bench [-quick] [-rev r] [-out f] [-against baseline.json]} [-jobs N] [-cache dir] [-file-timeout d]")
+	return fmt.Errorf("usage: secmetric {analyze [-diag] [-json] [-trace f] [-slowest N] <dir> | score [-model m.json] [-json] <dir> | compare [-model m.json] [-incremental] <old> <new> | focus [-model m.json] [-budget N] <dir> | rank [-top N] [-json] [-explain] [-vcs-seed N] <dir> | findings [-min sev] [-json] <dir> | image [-model m.json] <manifest.json> | bench [-quick] [-rev r] [-out f] [-against baseline.json]} [-jobs N] [-cache dir] [-file-timeout d]")
 }
 
 // analyzeOpts registers the shared extraction flags (-jobs, -cache,
@@ -86,30 +91,33 @@ func analyzeOpts(fs *flag.FlagSet) *secmetric.AnalyzeConfig {
 	return cfg
 }
 
-func cmdHotspots(args []string) error {
-	fs := flag.NewFlagSet("hotspots", flag.ContinueOnError)
-	top := fs.Int("top", 10, "number of functions to list")
+func cmdRank(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("rank", flag.ContinueOnError)
+	top := fs.Int("top", 10, "number of functions to list (0 = all)")
+	asJSON := fs.Bool("json", false, "emit the ranking as JSON (for CI integration)")
+	explain := fs.Bool("explain", false, "list the features driving each function's vulnerability score")
+	jobs := fs.Int("jobs", 0, "per-file analysis worker pool size (0 = all cores)")
+	vcsSeed := fs.Uint64("vcs-seed", 0, "seed for synthetic VCS process metrics (0 = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("hotspots needs exactly one directory")
+		return fmt.Errorf("rank needs exactly one directory")
 	}
-	tree, err := metrics.LoadTree(fs.Arg(0))
+	cfg := secmetric.RankConfig{Jobs: *jobs, Top: *top}
+	if *vcsSeed != 0 {
+		cfg.VCS = secmetric.NewVCSGenerator(*vcsSeed)
+	}
+	ranking, err := secmetric.RankDir(ctx, fs.Arg(0), cfg)
 	if err != nil {
 		return err
 	}
-	hs := metrics.TopHotspots(tree, *top)
-	if len(hs) == 0 {
-		return fmt.Errorf("no functions found under %s", fs.Arg(0))
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(ranking)
 	}
-	fmt.Printf("%-28s %-24s %6s %6s %6s %6s %8s\n",
-		"function", "file", "cyclo", "len", "nest", "unsafe", "score")
-	for _, h := range hs {
-		fmt.Printf("%-28s %-24s %6d %6d %6d %6d %8.1f\n",
-			h.Function.Name, h.Function.File, h.Function.Cyclomatic,
-			h.Function.Length, h.Function.MaxNesting, h.UnsafeHits, h.Score)
-	}
+	fmt.Print(ranking.Format(*explain))
 	return nil
 }
 

@@ -173,13 +173,20 @@ func TestCLIBadModelFile(t *testing.T) {
 	}
 }
 
-func TestCLIHotspots(t *testing.T) {
+func TestCLIRank(t *testing.T) {
 	dir := writeSrc(t, "main.c", cliSrc)
-	if err := run(context.Background(), []string{"hotspots", "-top", "3", dir}); err != nil {
+	if err := run(context.Background(), []string{"rank", "-top", "3", dir}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), []string{"hotspots", t.TempDir()}); err == nil {
-		t.Fatal("empty dir produced hotspots")
+	if err := run(context.Background(), []string{"rank", "-json", "-explain", "-vcs-seed", "7", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"rank", t.TempDir()}); err == nil {
+		t.Fatal("empty dir produced a ranking")
+	}
+	// The deprecated alias forwards to the same engine.
+	if err := run(context.Background(), []string{"hotspots", "-top", "3", dir}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/funcrank"
 	"repro/internal/lexer"
 	"repro/internal/lint"
 	"repro/internal/metrics"
@@ -217,6 +218,15 @@ func (w *workloads) list() []workload {
 				panic(err)
 			}
 			sink += res.Features[metrics.FeatKLoC]
+		}},
+		{"rank", func() {
+			// Function-level feature extraction + LEOPARD binning over the
+			// replica tree, single-worker like every other concurrency knob.
+			r, err := funcrank.Rank(context.Background(), w.tree, funcrank.Config{Jobs: 1})
+			if err != nil {
+				panic(err)
+			}
+			sink += float64(r.Functions + r.Bins)
 		}},
 		{"forest_fit", func() {
 			rf := &ml.RandomForest{Trees: FitTrees, MaxDepth: FitDepth, Seed: benchSeed, Jobs: 1}

@@ -199,3 +199,36 @@ func TestRegressionFullBeatsLoC(t *testing.T) {
 		t.Errorf("LoC-only out-of-sample R2 %.3f suspiciously strong", r.LoCR2)
 	}
 }
+
+func TestFuncRankReplication(t *testing.T) {
+	r, err := FuncRank(40, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VulnFuncs == 0 || r.VulnFuncs == r.Functions {
+		t.Fatalf("degenerate labels: %d/%d", r.VulnFuncs, r.Functions)
+	}
+	if len(r.Cutoffs) == 0 {
+		t.Fatal("no cutoffs reported")
+	}
+	// The LEOPARD claim: a small inspection budget catches vulnerable
+	// functions far above the base rate. At top-10 the precision must beat
+	// the population density by a wide margin.
+	base := float64(r.VulnFuncs) / float64(r.Functions)
+	first := r.Cutoffs[0]
+	if first.Precision < 2*base {
+		t.Errorf("top-%d precision %.2f does not beat base rate %.2f by 2x",
+			first.TopN, first.Precision, base)
+	}
+	// Recall must grow monotonically with the budget and get substantial by
+	// the widest cutoff.
+	last := r.Cutoffs[len(r.Cutoffs)-1]
+	for i := 1; i < len(r.Cutoffs); i++ {
+		if r.Cutoffs[i].Recall < r.Cutoffs[i-1].Recall {
+			t.Errorf("recall not monotone at cutoff %d", i)
+		}
+	}
+	if last.Recall < 0.7 {
+		t.Errorf("recall at top-%d = %.2f, want >= 0.7", last.TopN, last.Recall)
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/funcrank"
+	"repro/internal/lang"
+	"repro/internal/langgen"
+	"repro/internal/vcsgen"
+)
+
+// FuncRank: the function-level companion to Table2's file-level Shin et al.
+// replication. LEOPARD (Du et al.) showed that binning functions by
+// complexity and ranking within bins by vulnerability metrics surfaces
+// vulnerable functions in the top of the list without any training data;
+// Viszkok et al. showed process metrics (churn, authors, commit frequency)
+// sharpen function-level prediction further. We generate a tree whose
+// injected source→sink functions are the ground truth, rank it with the
+// funcrank engine (with synthetic VCS history attached), and report the
+// recall and precision of the top-N prefix at several inspection budgets.
+
+// FuncRankCutoff is one row of the replication table: how much of the
+// injected-vulnerable population an inspection budget of TopN functions
+// catches.
+type FuncRankCutoff struct {
+	TopN      int
+	Hits      int
+	Recall    float64
+	Precision float64
+}
+
+// FuncRankResult carries the function-level replication outcome.
+type FuncRankResult struct {
+	Functions int
+	VulnFuncs int
+	Cutoffs   []FuncRankCutoff
+	Table     string
+}
+
+// FuncRank runs the function-level vulnerable-function ranking experiment
+// over a generated tree of nFiles files.
+func FuncRank(nFiles int, seed uint64) (FuncRankResult, error) {
+	spec := langgen.Spec{
+		Language:     lang.MiniC,
+		Files:        nFiles,
+		FuncsPerFile: 6,
+		StmtsPerFunc: 8,
+		BranchProb:   0.22,
+		LoopProb:     0.12,
+		CallProb:     0.18,
+		CommentRate:  0.2,
+		VulnDensity:  0.18,
+		Seed:         seed,
+	}
+	tree, _, funcLabels := langgen.GenerateFuncLabeled(spec)
+	ranking, err := funcrank.Rank(context.Background(), tree, funcrank.Config{
+		VCS: vcsgen.New(seed),
+	})
+	if err != nil {
+		return FuncRankResult{}, err
+	}
+	vuln := 0
+	for _, v := range funcLabels {
+		if v {
+			vuln++
+		}
+	}
+	res := FuncRankResult{Functions: ranking.Functions, VulnFuncs: vuln}
+	// Inspection budgets: LEOPARD's framing is "inspect the top N% of the
+	// ranked list"; we report fixed prefixes spanning roughly 5-40% of the
+	// population.
+	for _, topN := range []int{10, 20, 40, 80} {
+		if topN > len(ranking.Ranked) {
+			topN = len(ranking.Ranked)
+		}
+		hits := 0
+		for _, e := range ranking.Ranked[:topN] {
+			if funcLabels[e.Name] {
+				hits++
+			}
+		}
+		c := FuncRankCutoff{TopN: topN, Hits: hits}
+		if vuln > 0 {
+			c.Recall = float64(hits) / float64(vuln)
+		}
+		if topN > 0 {
+			c.Precision = float64(hits) / float64(topN)
+		}
+		res.Cutoffs = append(res.Cutoffs, c)
+		if topN == len(ranking.Ranked) {
+			break
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("Function-level ranking (§4): LEOPARD-style vulnerable-function replication\n")
+	fmt.Fprintf(&sb, "  functions ranked          %6d (%d with injected source→sink flaw)\n",
+		res.Functions, res.VulnFuncs)
+	fmt.Fprintf(&sb, "  complexity bins           %6d\n", ranking.Bins)
+	fmt.Fprintf(&sb, "  %6s %6s %8s %10s\n", "top-N", "hits", "recall", "precision")
+	for _, c := range res.Cutoffs {
+		fmt.Fprintf(&sb, "  %6d %6d %8.2f %10.2f\n", c.TopN, c.Hits, c.Recall, c.Precision)
+	}
+	res.Table = sb.String()
+	return res, nil
+}

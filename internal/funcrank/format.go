@@ -1,0 +1,37 @@
+package funcrank
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+func fmtInt(n int) string { return strconv.Itoa(n) }
+
+// fmtFloat renders feature values compactly with a fixed precision, so
+// driver strings are stable across platforms.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+
+// Format renders the ranking as a fixed-width table. With explain, each
+// entry is followed by an indented line listing the features driving its
+// vulnerability score.
+func (r *Ranking) Format(explain bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Function risk ranking of %s (%d functions, %d bins)\n",
+		r.Tree, r.Functions, r.Bins)
+	fmt.Fprintf(&sb, "%4s %-24s %-28s %4s %7s %7s %s\n",
+		"rank", "function", "location", "bin", "cplx", "vuln", "flags")
+	for _, e := range r.Ranked {
+		flags := ""
+		if e.Degraded {
+			flags = "degraded"
+		}
+		fmt.Fprintf(&sb, "%4d %-24s %-28s %4d %7.2f %7.2f %s\n",
+			e.Rank, e.Name, fmt.Sprintf("%s:%d", e.File, e.Line),
+			e.Bin, e.ComplexityScore, e.VulnScore, flags)
+		if explain && len(e.Drivers) > 0 {
+			fmt.Fprintf(&sb, "     drivers: %s\n", strings.Join(e.Drivers, ", "))
+		}
+	}
+	return sb.String()
+}

@@ -58,8 +58,17 @@ func Generate(spec Spec) *metrics.Tree {
 // was injected — the ground-truth labels for the Shin et al. style
 // vulnerable-file prediction experiment.
 func GenerateLabeled(spec Spec) (*metrics.Tree, []bool) {
+	tree, fileLabels, _ := GenerateFuncLabeled(spec)
+	return tree, fileLabels
+}
+
+// GenerateFuncLabeled additionally returns function-level ground truth: for
+// each generated function name, whether the vulnerable pattern was injected
+// into that function's body — the labels the function-level ranking
+// replication scores against.
+func GenerateFuncLabeled(spec Spec) (*metrics.Tree, []bool, map[string]bool) {
 	rng := stats.NewRNG(spec.Seed ^ 0xc0de)
-	g := &generator{spec: spec, rng: rng}
+	g := &generator{spec: spec, rng: rng, funcVulnerable: map[string]bool{}}
 	tree := &metrics.Tree{Name: fmt.Sprintf("synth-%d", spec.Seed)}
 	for fi := 0; fi < spec.Files; fi++ {
 		name := fmt.Sprintf("src/file%03d%s", fi, spec.Language.Extension())
@@ -71,13 +80,14 @@ func GenerateLabeled(spec Spec) (*metrics.Tree, []bool) {
 		})
 		g.fileVulnerable = append(g.fileVulnerable, vulnerable)
 	}
-	return tree, g.fileVulnerable
+	return tree, g.fileVulnerable, g.funcVulnerable
 }
 
 type generator struct {
 	spec           Spec
 	rng            *stats.RNG
 	fileVulnerable []bool
+	funcVulnerable map[string]bool
 	funcCounter    int
 	// fileFuncs are the function ids defined earlier in the current file,
 	// available as intra-file call targets (keeps the call graph acyclic).
@@ -121,6 +131,7 @@ func (g *generator) genCFile(fileIdx int) (string, bool) {
 		if inject {
 			vulnerable = true
 		}
+		g.funcVulnerable[fmt.Sprintf("fn_%04d", g.funcCounter)] = inject
 		g.genCFunc(&sb, g.funcCounter, inject)
 		g.fileFuncs = append(g.fileFuncs, g.funcCounter)
 		sb.WriteString("\n")
@@ -235,6 +246,7 @@ func (g *generator) genPythonFile(fileIdx int) (string, bool) {
 		if inject {
 			vulnerable = true
 		}
+		g.funcVulnerable[fmt.Sprintf("fn_%04d", g.funcCounter)] = inject
 		params := g.rng.IntRange(0, 3)
 		var plist []string
 		names := []string{}
@@ -282,6 +294,7 @@ func (g *generator) genJavaFile(fileIdx int) (string, bool) {
 		if inject {
 			vulnerable = true
 		}
+		g.funcVulnerable[fmt.Sprintf("fn%04d", g.funcCounter)] = inject
 		names := []string{"acc"}
 		fmt.Fprintf(&sb, "\tpublic int fn%04d(int p0) {\n\t\tint acc = %d;\n", g.funcCounter, g.rng.IntRange(0, 100))
 		if inject {

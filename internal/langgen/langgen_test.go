@@ -172,3 +172,45 @@ func TestCommentRateProducesComments(t *testing.T) {
 		t.Fatal("no comments generated at rate 0.9")
 	}
 }
+
+func TestFuncLabels(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Files, spec.FuncsPerFile = 4, 6
+	spec.VulnDensity = 0.4
+	tree, fileLabels, funcLabels := GenerateFuncLabeled(spec)
+	if len(funcLabels) != spec.Files*spec.FuncsPerFile {
+		t.Fatalf("labels for %d functions, want %d", len(funcLabels), spec.Files*spec.FuncsPerFile)
+	}
+	// File labels are the OR of their functions' labels; function names are
+	// globally unique and partition into files by counter ranges.
+	anyVuln := false
+	for _, v := range funcLabels {
+		if v {
+			anyVuln = true
+		}
+	}
+	if !anyVuln {
+		t.Fatal("no function labeled vulnerable at density 0.4")
+	}
+	// Every labeled-vulnerable function's body must actually contain the
+	// injected pattern.
+	all := ""
+	for _, f := range tree.Files {
+		all += f.Content
+	}
+	for name, v := range funcLabels {
+		if v && !strings.Contains(all, name) {
+			t.Errorf("labeled function %s not present in generated source", name)
+		}
+	}
+	// GenerateLabeled stays consistent with the func-labeled variant.
+	_, fileLabels2 := GenerateLabeled(spec)
+	if len(fileLabels) != len(fileLabels2) {
+		t.Fatalf("file label lengths differ: %d vs %d", len(fileLabels), len(fileLabels2))
+	}
+	for i := range fileLabels {
+		if fileLabels[i] != fileLabels2[i] {
+			t.Errorf("file %d label differs between Labeled and FuncLabeled", i)
+		}
+	}
+}

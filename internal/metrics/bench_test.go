@@ -55,10 +55,12 @@ func BenchmarkExtractFeatureVector(b *testing.B) {
 	}
 }
 
-func BenchmarkHotspots(b *testing.B) {
+func BenchmarkScanFunctions(b *testing.B) {
 	tree := benchTree()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		Hotspots(tree)
+		for _, f := range tree.Files {
+			ScanFunctions(f)
+		}
 	}
 }

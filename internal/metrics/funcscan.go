@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"repro/internal/lexer"
+)
+
+// This file is the per-function slice of the single-pass extraction engine:
+// the same token-level families FileScan computes for a whole file
+// (Halstead, smell counts, API call-site classification), attributed to
+// individual function bodies. The function-level ranking engine
+// (internal/funcrank) builds its base feature vectors from these scans, so
+// every file — whether or not it parses as MiniC — contributes ranked
+// functions.
+
+// FunctionScan couples one function's structural metrics with the
+// token-content statistics of its body.
+type FunctionScan struct {
+	FunctionMetrics
+	// EndLine is the first line past the function's attribution range: the
+	// next function's starting line, or one past the file's last line for
+	// the final function. Token-level counts cover [Line, EndLine).
+	EndLine int
+	// Lines is the attribution range's size in source lines.
+	Lines int
+	// Halstead is computed over the body's own operator/operand vocabulary
+	// (per-function distinct counts, not the file-shared ones).
+	Halstead Halstead
+	// Call-site counts by API classification, matching the attack-surface
+	// families: unsafe copy/format-string/process-spawn calls mark risk,
+	// input calls (network + file + env) mark attacker-reachable entry.
+	UnsafeCalls  int
+	FormatCalls  int
+	ProcessCalls int
+	InputCalls   int
+	MagicNumbers int
+}
+
+// ScanFunctions tokenizes the file once and returns one scan per function,
+// in source order. Attribution is by line range: a function owns the lines
+// from its own start to the next function's start (the last function runs
+// to EOF), the same rule the whole-file smell counters use.
+func ScanFunctions(f File) []FunctionScan {
+	buf := scanPool.Get().(*scanBuf)
+	defer scanPool.Put(buf)
+	buf.all = lexer.TokenizeInto(buf.all[:0], f.Content, f.Language)
+	buf.code = lexer.CodeInto(buf.code[:0], buf.all)
+
+	fns := cyclomaticTokens(f, buf.code, nil)
+	if len(fns) == 0 {
+		return nil
+	}
+	lastLine := 1
+	for _, t := range buf.all {
+		if int(t.Line) > lastLine {
+			lastLine = int(t.Line)
+		}
+	}
+	out := make([]FunctionScan, len(fns))
+	for i, fn := range fns {
+		end := lastLine + 1
+		if i+1 < len(fns) {
+			end = fns[i+1].Line
+		}
+		fs := FunctionScan{FunctionMetrics: fn, EndLine: end}
+		if end > fn.Line {
+			fs.Lines = end - fn.Line
+		}
+		operators := map[string]int{}
+		operands := map[string]int{}
+		for j, tok := range buf.code {
+			line := int(tok.Line)
+			if line < fn.Line || line >= end {
+				continue
+			}
+			switch tok.Kind {
+			case lexer.Keyword, lexer.Operator, lexer.Punct:
+				operators[tok.Text()]++
+			case lexer.Number:
+				operands[tok.Text()]++
+				if txt := tok.Text(); txt != "0" && txt != "1" && txt != "2" {
+					fs.MagicNumbers++
+				}
+			case lexer.Ident:
+				operands[tok.Text()]++
+				if j+1 < len(buf.code) && buf.code[j+1].Text() == "(" {
+					name := tok.Text()
+					switch {
+					case unsafeAPIs[name]:
+						fs.UnsafeCalls++
+					case formatAPIs[name]:
+						fs.FormatCalls++
+					case procAPIs[name]:
+						fs.ProcessCalls++
+					case networkAPIs[name], fileAPIs[name], envAPIs[name]:
+						fs.InputCalls++
+					}
+				}
+			case lexer.String:
+				operands[tok.Text()]++
+			}
+		}
+		fs.Halstead = halsteadFromMaps(operators, operands)
+		out[i] = fs
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+)
+
+const funcScanSrc = `int first(int a, int b) {
+	int x = 42;
+	if (a > b) {
+		strcpy(a, b);
+	}
+	return x;
+}
+
+int second(void) {
+	int data = recv();
+	printf(data);
+	system(data);
+	return 0;
+}
+`
+
+func TestScanFunctions(t *testing.T) {
+	f := File{Path: "t.mc", Language: lang.MiniC, Content: funcScanSrc}
+	scans := ScanFunctions(f)
+	if len(scans) != 2 {
+		t.Fatalf("found %d functions, want 2", len(scans))
+	}
+	first, second := scans[0], scans[1]
+	if first.Name != "first" || second.Name != "second" {
+		t.Fatalf("names = %s, %s", first.Name, second.Name)
+	}
+	// Attribution: first owns [its line, second's line); second runs to EOF.
+	if first.EndLine != second.Line {
+		t.Errorf("first.EndLine = %d, want %d", first.EndLine, second.Line)
+	}
+	if first.Lines <= 0 || second.Lines <= 0 {
+		t.Errorf("line counts: first=%d second=%d", first.Lines, second.Lines)
+	}
+	// API classification lands in the right function.
+	if first.UnsafeCalls != 1 || first.FormatCalls != 0 || first.ProcessCalls != 0 {
+		t.Errorf("first call counts = %+v", first)
+	}
+	if second.UnsafeCalls != 0 || second.FormatCalls != 1 || second.ProcessCalls != 1 || second.InputCalls != 1 {
+		t.Errorf("second call counts = %+v", second)
+	}
+	// Magic numbers: 42 counts, 0 does not.
+	if first.MagicNumbers != 1 {
+		t.Errorf("first.MagicNumbers = %d, want 1", first.MagicNumbers)
+	}
+	// Halstead is per-function: both bodies are non-trivial.
+	if first.Halstead.Volume <= 0 || second.Halstead.Volume <= 0 {
+		t.Errorf("Halstead volumes: %f, %f", first.Halstead.Volume, second.Halstead.Volume)
+	}
+	// Structural metrics ride along from the cyclomatic pass.
+	if first.Cyclomatic < 2 || first.Params != 2 {
+		t.Errorf("first structural = %+v", first.FunctionMetrics)
+	}
+}
+
+func TestScanFunctionsEmpty(t *testing.T) {
+	f := File{Path: "t.mc", Language: lang.MiniC, Content: "// nothing here\nint x = 1;\n"}
+	if scans := ScanFunctions(f); len(scans) != 0 {
+		t.Fatalf("found %d functions in a function-free file", len(scans))
+	}
+}

@@ -157,6 +157,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/findings", s.instrument("findings", s.handleFindings))
 	mux.HandleFunc("POST /v1/compare", s.instrument("compare", s.handleCompare))
 	mux.HandleFunc("POST /v1/delta", s.instrument("delta", s.handleDelta))
+	mux.HandleFunc("POST /v1/rank", s.instrument("rank", s.handleRank))
 	mux.HandleFunc("POST /v1/models/reload", s.instrument("reload", s.handleReload))
 	return mux
 }
@@ -412,6 +413,33 @@ func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
 			return ctx.Err()
 		}
 		writeJSON(w, http.StatusOK, api.FindingsResponse{Report: rep})
+		return nil
+	})
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	var req api.RankRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Top < 0 {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "top must be >= 0")
+		return
+	}
+	tree, err := toTree(req.Tree)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	s.withSlot(w, r, "rank", req.TimeoutMS, func(ctx context.Context) error {
+		ranking, err := secmetric.RankTree(ctx, tree, secmetric.RankConfig{
+			Jobs: s.cfg.AnalyzeJobs,
+			Top:  req.Top,
+		})
+		if err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusOK, api.RankResponse{Ranking: ranking})
 		return nil
 	})
 }

@@ -647,3 +647,52 @@ func TestCanceledRequestClassifiedAsDeadline(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+// TestRankMatchesLibrary checks the function-ranking endpoint against the
+// library call: same tree, byte-identical ranking.
+func TestRankMatchesLibrary(t *testing.T) {
+	mA, _ := getModels(t)
+	reg := NewRegistry("", nil)
+	reg.Register("default", mA)
+	_, ts := newTestServer(t, reg, Config{Workers: 2})
+
+	wt := wireTree(5)
+	resp, data := postJSON(t, ts.URL+"/v1/rank", api.RankRequest{Tree: wt})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var rr api.RankResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Ranking == nil || rr.Ranking.Functions == 0 {
+		t.Fatalf("empty ranking: %+v", rr.Ranking)
+	}
+	want, err := secmetric.RankTree(context.Background(), libTree(t, wt), secmetric.RankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon(t, rr.Ranking) != canon(t, want) {
+		t.Fatal("daemon ranking differs from library ranking")
+	}
+
+	// Top trims server-side.
+	resp, data = postJSON(t, ts.URL+"/v1/rank", api.RankRequest{Tree: wt, Top: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var trimmed api.RankResponse
+	if err := json.Unmarshal(data, &trimmed); err != nil {
+		t.Fatal(err)
+	}
+	if len(trimmed.Ranking.Ranked) != 1 || trimmed.Ranking.Functions != rr.Ranking.Functions {
+		t.Fatalf("top=1 gave %d entries over %d functions",
+			len(trimmed.Ranking.Ranked), trimmed.Ranking.Functions)
+	}
+
+	// A negative Top is a 400, not a 500.
+	resp, data = postJSON(t, ts.URL+"/v1/rank", api.RankRequest{Tree: wt, Top: -1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("top=-1: status %d: %s", resp.StatusCode, data)
+	}
+}

@@ -1,0 +1,57 @@
+package vcsgen
+
+import "testing"
+
+// TestDeterminism: a history is a pure function of (seed, name, size).
+func TestDeterminism(t *testing.T) {
+	g := New(42)
+	a := g.ForFunction("f.mc:handler", 30)
+	b := New(42).ForFunction("f.mc:handler", 30)
+	if a != b {
+		t.Fatalf("same inputs, different histories: %+v vs %+v", a, b)
+	}
+	if a.Commits < 1 || a.Authors < 1 || a.Churn < 1 || a.AgeDays < 30 {
+		t.Fatalf("implausible history: %+v", a)
+	}
+}
+
+// TestVisitOrderIndependence: a function's history cannot depend on what
+// else the generator was asked about.
+func TestVisitOrderIndependence(t *testing.T) {
+	g1 := New(7)
+	want := g1.ForFunction("a.mc:f", 10)
+	g2 := New(7)
+	g2.ForFunction("z.mc:other", 99)
+	g2.ForFunction("m.mc:another", 1)
+	if got := g2.ForFunction("a.mc:f", 10); got != want {
+		t.Fatalf("history changed with visit order: %+v vs %+v", got, want)
+	}
+}
+
+// TestSeedsDiverge: distinct seeds give a function distinct histories (for
+// at least some functions — collisions are allowed, uniformity is not
+// required).
+func TestSeedsDiverge(t *testing.T) {
+	names := []string{"a.mc:f", "b.mc:g", "c.mc:h", "d.mc:i"}
+	differ := false
+	for _, n := range names {
+		if New(1).ForFunction(n, 20) != New(2).ForFunction(n, 20) {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatal("seeds 1 and 2 produced identical histories for every probe")
+	}
+}
+
+// TestCommitsPerMonth checks the age normalization.
+func TestCommitsPerMonth(t *testing.T) {
+	h := History{Commits: 10, AgeDays: 300}
+	if got := h.CommitsPerMonth(); got != 1.0 {
+		t.Fatalf("10 commits over 10 months = %f, want 1.0", got)
+	}
+	young := History{Commits: 5, AgeDays: 3}
+	if got := young.CommitsPerMonth(); got != 5.0 {
+		t.Fatalf("young function should normalize by one month, got %f", got)
+	}
+}

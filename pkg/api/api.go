@@ -1,7 +1,7 @@
 // Package api defines the JSON wire contract of secmetricd, the
 // clairvoyance-as-a-service scoring daemon: request and response envelopes
 // for the analyzing endpoints (/v1/score, /v1/analyze, /v1/findings,
-// /v1/compare, /v1/delta), the operational endpoints (/healthz,
+// /v1/compare, /v1/delta, /v1/rank), the operational endpoints (/healthz,
 // /v1/models/reload),
 // and the error envelope every non-2xx response carries. Both the server
 // (internal/server) and the typed client (pkg/client) build against these
@@ -155,6 +155,22 @@ type DeltaResponse struct {
 	ElapsedMS int64 `json:"elapsed_ms"`
 	// Diagnostics covers only the re-analyzed (added + modified) files.
 	Diagnostics *secmetric.AnalysisDiagnostics `json:"diagnostics,omitempty"`
+}
+
+// RankRequest asks POST /v1/rank for the function-level risk ranking of one
+// tree — the LEOPARD-style bin-then-rank ordering the `secmetric rank` CLI
+// prints. The response is byte-identical (after canonical re-marshalling) to
+// `secmetric rank -json` over the same tree.
+type RankRequest struct {
+	Tree Tree `json:"tree"`
+	// Top trims the ranking to its first N entries; 0 keeps every function.
+	Top       int   `json:"top,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// RankResponse is the function-level ranking.
+type RankResponse struct {
+	Ranking *secmetric.Ranking `json:"ranking"`
 }
 
 // Health is GET /healthz's body.

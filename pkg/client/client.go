@@ -156,6 +156,15 @@ func (c *Client) Delta(ctx context.Context, req api.DeltaRequest) (*api.DeltaRes
 	return &out, nil
 }
 
+// Rank asks for the function-level risk ranking of one tree.
+func (c *Client) Rank(ctx context.Context, req api.RankRequest) (*api.RankResponse, error) {
+	var out api.RankResponse
+	if err := c.post(ctx, "/v1/rank", req.TimeoutMS, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Reload asks the daemon to re-read its model sources and swap the
 // registry snapshot.
 func (c *Client) Reload(ctx context.Context) (*api.ReloadResponse, error) {

@@ -28,9 +28,11 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/featcache"
 	"repro/internal/findings"
+	"repro/internal/funcrank"
 	"repro/internal/metrics"
 	"repro/internal/system"
 	"repro/internal/trace"
+	"repro/internal/vcsgen"
 )
 
 // Re-exported types: the facade's vocabulary.
@@ -338,6 +340,50 @@ func CollectFindingsDir(dir string) (*FindingsReport, error) {
 		return nil, fmt.Errorf("secmetric: no source files under %s", dir)
 	}
 	return findings.Collect(tree), nil
+}
+
+// Function-level ranking re-exports: the "where do I look" engine behind
+// `secmetric rank` and POST /v1/rank.
+type (
+	// Ranking is a LEOPARD-style function risk ranking of one tree.
+	Ranking = funcrank.Ranking
+	// RankedFunction is one entry of a Ranking.
+	RankedFunction = funcrank.RankedFunction
+	// FuncFeatures is one function's feature vector.
+	FuncFeatures = funcrank.FuncFeatures
+	// RankConfig tunes RankDir / RankTree.
+	RankConfig = funcrank.Config
+	// VCSGenerator deterministically assigns synthetic per-function
+	// process metrics (churn, authors, commit frequency).
+	VCSGenerator = vcsgen.Generator
+)
+
+// NewVCSGenerator builds a seeded synthetic VCS-history generator for
+// RankConfig.VCS.
+func NewVCSGenerator(seed uint64) *VCSGenerator { return vcsgen.New(seed) }
+
+// RankDir loads a source tree from disk and ranks its functions by risk:
+// complexity bins, vulnerability metrics within bins. The ranking is
+// byte-identical at any RankConfig.Jobs width.
+func RankDir(ctx context.Context, dir string, cfg RankConfig) (*Ranking, error) {
+	ls := trace.SpanFromContext(ctx).Child("load")
+	tree, err := metrics.LoadTree(dir)
+	ls.End()
+	if err != nil {
+		return nil, fmt.Errorf("secmetric: %w", err)
+	}
+	if len(tree.Files) == 0 {
+		return nil, fmt.Errorf("secmetric: no source files under %s", dir)
+	}
+	return funcrank.Rank(ctx, tree, cfg)
+}
+
+// RankTree ranks the functions of an in-memory tree; see RankDir.
+func RankTree(ctx context.Context, tree *Tree, cfg RankConfig) (*Ranking, error) {
+	if len(tree.Files) == 0 {
+		return nil, fmt.Errorf("secmetric: no source files in tree %q", tree.Name)
+	}
+	return funcrank.Rank(ctx, tree, cfg)
 }
 
 // Whole-system evaluation (§5.3 future work) re-exports.

@@ -47,11 +47,32 @@ esac
 # Bench smoke: the quick-budget workloads must stay within 25% ns/op of
 # the committed post-optimization baseline, so hot-path regressions fail
 # verification instead of landing silently.
-echo "== bench smoke (secmetric bench -quick vs BENCH_pr7.json) =="
+echo "== bench smoke (secmetric bench -quick vs BENCH_pr8.json) =="
 benchtmp=$(mktemp -d)
 go run ./cmd/secmetric bench -quick -rev verify -out "$benchtmp/bench.json" \
-	-against BENCH_pr7.json -max-regress 0.25
+	-against BENCH_pr8.json -max-regress 0.25
 rm -rf "$benchtmp"
+
+# Rank smoke: the function-level ranking must be byte-identical at any
+# worker-pool width, and the acceptance ordering on examples/vulnapp must
+# hold (the function reaching three sinks outranks everything, the benign
+# input wrapper comes last).
+echo "== rank smoke (jobs parity + acceptance ordering) =="
+ranktmp=$(mktemp -d)
+go run ./cmd/secmetric rank -jobs 1 -json examples/vulnapp > "$ranktmp/j1.json"
+go run ./cmd/secmetric rank -jobs 8 -json examples/vulnapp > "$ranktmp/j8.json"
+cmp "$ranktmp/j1.json" "$ranktmp/j8.json" || {
+	echo "rank smoke: -jobs 1 and -jobs 8 rankings differ" >&2
+	exit 1
+}
+rankout=$(go run ./cmd/secmetric rank -top 10 examples/vulnapp)
+echo "$rankout"
+first_fn=$(echo "$rankout" | awk '$1 == "1" { print $2 }')
+if [ "$first_fn" != "main" ]; then
+	echo "rank smoke: expected main at rank 1, got '$first_fn'" >&2
+	exit 1
+fi
+rm -rf "$ranktmp"
 
 # Trace smoke: a traced analysis of examples/vulnapp must produce
 # well-formed, non-empty trace_event JSON, and the span structure must be
@@ -77,6 +98,7 @@ trap cleanup EXIT
 go build -o "$smoketmp/" ./cmd/secmetric ./cmd/secmetricd ./cmd/daemonsmoke
 go run ./cmd/trainctl -kind logistic -folds 5 -seed 5 -out "$smoketmp/model.json" >/dev/null
 "$smoketmp/secmetric" score -model "$smoketmp/model.json" -json examples/vulnapp > "$smoketmp/cli.json"
+"$smoketmp/secmetric" rank -json examples/vulnapp > "$smoketmp/cli-rank.json"
 
 wait_addr() {
 	i=0
@@ -105,6 +127,10 @@ wait_addr
 # the cold score/compare endpoints.
 "$smoketmp/daemonsmoke" -addr "$(cat "$smoketmp/addr")" \
 	-dir examples/vulnapp -mode delta
+# Rank smoke against the same daemon: /v1/rank must be deterministic
+# across repeats and byte-identical to the CLI's -json ranking.
+"$smoketmp/daemonsmoke" -addr "$(cat "$smoketmp/addr")" \
+	-dir examples/vulnapp -mode rank -cli "$smoketmp/cli-rank.json"
 kill -TERM "$daemon_pid"
 if ! wait "$daemon_pid"; then
 	echo "daemon smoke: SIGTERM drain exited nonzero" >&2
