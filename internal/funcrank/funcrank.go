@@ -159,36 +159,15 @@ func Rank(ctx context.Context, tree *metrics.Tree, cfg Config) (*Ranking, error)
 	defer rk.End()
 
 	perFile := make([][]candidate, len(tree.Files))
-	jobs := ml.EffectiveJobs(cfg.Jobs, len(tree.Files))
-	work := make(chan int)
-	done := make(chan error, jobs)
-	for w := 0; w < jobs; w++ {
-		go func() {
-			for i := range work {
-				if err := ctx.Err(); err != nil {
-					done <- err
-					return
-				}
-				fs := rk.ChildAt(i, trace.SpanNameFile)
-				fs.SetLabel(tree.Files[i].Path)
-				perFile[i] = analyzeFile(tree.Files[i])
-				fs.End()
-			}
-			done <- nil
-		}()
-	}
-	for i := range tree.Files {
-		work <- i
-	}
-	close(work)
-	var firstErr error
-	for w := 0; w < jobs; w++ {
-		if err := <-done; err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
+	err := ml.ParallelForCtx(ctx, len(tree.Files), cfg.Jobs, func(i int) error {
+		fs := rk.ChildAt(i, trace.SpanNameFile)
+		fs.SetLabel(tree.Files[i].Path)
+		perFile[i] = analyzeFile(tree.Files[i])
+		fs.End()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	var cands []candidate
@@ -223,10 +202,23 @@ func analyzeFile(f metrics.File) []candidate {
 		return nil
 	}
 	deep, fileDegraded := deepFile(f)
+	return joinDeep(scans, deep, fileDegraded)
+}
+
+// joinDeep attaches per-function deep facts to the token-level scans. The
+// join is by function name (the IR carries no positions), so a name the
+// token scanner saw more than once in this file is ambiguous — those
+// functions keep base metrics only rather than all inheriting one
+// definition's deep facts.
+func joinDeep(scans []metrics.FunctionScan, deep map[string]deepFacts, fileDegraded bool) []candidate {
+	names := make(map[string]int, len(scans))
+	for _, sc := range scans {
+		names[sc.Name]++
+	}
 	out := make([]candidate, len(scans))
 	for i, sc := range scans {
 		c := candidate{scan: sc, degraded: fileDegraded}
-		if df, ok := deep[sc.Name]; ok {
+		if df, ok := deep[sc.Name]; ok && names[sc.Name] == 1 {
 			if df.degraded {
 				c.degraded = true
 			} else {
@@ -277,8 +269,18 @@ func deepFile(f metrics.File) (facts map[string]deepFacts, fileDegraded bool) {
 		}
 	}
 	taint := dataflow.AnalyzeProgramTaint(lowered, dataflow.DefaultInterConfig())
+	dup := make(map[string]int, len(lowered.Funcs))
+	for _, fn := range lowered.Funcs {
+		dup[fn.Name]++
+	}
 	facts = make(map[string]deepFacts, len(lowered.Funcs))
 	for _, fn := range lowered.Funcs {
+		// A redefined name is ambiguous at join time (the map would keep
+		// whichever definition lowered last); leave it out so the caller
+		// falls back to base metrics instead of misattributed facts.
+		if dup[fn.Name] > 1 {
+			continue
+		}
 		facts[fn.Name] = deepFunc(f.Path, fn, cg, sccSize, inCycle, taint)
 	}
 	return facts, false

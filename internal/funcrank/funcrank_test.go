@@ -3,7 +3,9 @@ package funcrank
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/lang"
 	"repro/internal/metrics"
@@ -196,6 +198,66 @@ func TestVCSFeaturesJoin(t *testing.T) {
 	b, _ := json.Marshal(again)
 	if string(a) != string(b) {
 		t.Fatal("seeded VCS ranking not reproducible")
+	}
+}
+
+// TestRankCanceledContext is the regression for the worker-pool deadlock:
+// a context canceled while files still await dispatch must make Rank
+// return the context error promptly instead of blocking forever on the
+// work channel (which leaked the daemon's worker-slot semaphore).
+func TestRankCanceledContext(t *testing.T) {
+	tree := vulnappTree(t)
+	// Far more files than workers, so cancellation lands mid-dispatch.
+	for i := 0; i < 63; i++ {
+		f := tree.Files[0]
+		f.Path = fmt.Sprintf("%s.%02d", f.Path, i)
+		tree.Files = append(tree.Files, f)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Rank(ctx, tree, Config{Jobs: 2})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Rank returned no error under a canceled context")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Rank deadlocked under a canceled context")
+	}
+}
+
+// TestJoinDeepDuplicateNames pins the ambiguous-name rule: when the token
+// scanner saw one name twice in a file, neither occurrence may inherit the
+// single deep-facts entry for that name (it belongs to an unknown one of
+// them), while uniquely named functions join as usual.
+func TestJoinDeepDuplicateNames(t *testing.T) {
+	scans := []metrics.FunctionScan{
+		{FunctionMetrics: metrics.FunctionMetrics{Name: "helper", Line: 1}},
+		{FunctionMetrics: metrics.FunctionMetrics{Name: "helper", Line: 10}},
+		{FunctionMetrics: metrics.FunctionMetrics{Name: "other", Line: 20}},
+	}
+	deep := map[string]deepFacts{
+		"helper": {fanIn: 7},
+		"other":  {fanIn: 3},
+	}
+	cands := joinDeep(scans, deep, false)
+	if len(cands) != 3 {
+		t.Fatalf("joined %d candidates, want 3", len(cands))
+	}
+	for _, c := range cands[:2] {
+		if c.hasDeep {
+			t.Errorf("duplicate-named %q at line %d inherited deep facts", c.scan.Name, c.scan.Line)
+		}
+		if c.degraded {
+			t.Errorf("duplicate-named %q at line %d marked degraded", c.scan.Name, c.scan.Line)
+		}
+	}
+	if !cands[2].hasDeep || cands[2].deep.fanIn != 3 {
+		t.Errorf("uniquely named %q lost its deep facts: %+v", cands[2].scan.Name, cands[2])
 	}
 }
 

@@ -56,6 +56,10 @@ func ScanFunctions(f File) []FunctionScan {
 		}
 	}
 	out := make([]FunctionScan, len(fns))
+	// Functions are in source order with contiguous attribution ranges, and
+	// token lines are non-decreasing, so one cursor sweeps buf.code exactly
+	// once across all functions instead of rescanning it per function.
+	cursor := 0
 	for i, fn := range fns {
 		end := lastLine + 1
 		if i+1 < len(fns) {
@@ -67,11 +71,12 @@ func ScanFunctions(f File) []FunctionScan {
 		}
 		operators := map[string]int{}
 		operands := map[string]int{}
-		for j, tok := range buf.code {
-			line := int(tok.Line)
-			if line < fn.Line || line >= end {
-				continue
-			}
+		for cursor < len(buf.code) && int(buf.code[cursor].Line) < fn.Line {
+			cursor++
+		}
+		j := cursor
+		for ; j < len(buf.code) && int(buf.code[j].Line) < end; j++ {
+			tok := buf.code[j]
 			switch tok.Kind {
 			case lexer.Keyword, lexer.Operator, lexer.Punct:
 				operators[tok.Text()]++
@@ -99,6 +104,7 @@ func ScanFunctions(f File) []FunctionScan {
 				operands[tok.Text()]++
 			}
 		}
+		cursor = j
 		fs.Halstead = halsteadFromMaps(operators, operands)
 		out[i] = fs
 	}
