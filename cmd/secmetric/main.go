@@ -3,18 +3,25 @@
 //
 // Usage:
 //
-//	secmetric analyze  [-diag] [-json] [-trace f] [-slowest N] <dir>  print the code-property vector
+//	secmetric analyze  [-diag] [-json] [-trace f] [-slowest N] [-history db] <dir>  print the code-property vector
 //	secmetric score    [-model m.json] [-json] <dir>  print the security report
 //	secmetric compare  [-model m.json] [-incremental] <old> <new>  print the risk delta
 //	secmetric focus    [-model m.json] [-budget N] <dir>  apportion deep analysis
 //	secmetric rank     [-top N] [-json] [-explain] <dir>  rank functions by risk
-//	secmetric findings [-min sev] [-json] <dir>   print the CWE-tagged findings
+//	secmetric findings [-min sev] [-json] [-history db] <dir>   print the CWE-tagged findings
+//	secmetric query    [-db db] [-explain] [-full-scan] [-json] "<expr>"  query the findings history
 //	secmetric image    [-model m.json] <manifest.json>  whole-image evaluation
 //
 // Every analyzing subcommand accepts -jobs N (worker-pool bound), -cache dir
 // (incremental feature cache), and -file-timeout d (per-file deep-analysis
 // deadline; files that exceed it degrade to base metrics). Interrupting the
 // process (Ctrl-C) cancels the analysis pool cleanly.
+//
+// With -history db, findings and analyze append the run's CWE-tagged
+// findings to the embedded time-series database at that path; `secmetric
+// query` searches it with the internal/store query language, e.g.
+//
+//	secmetric query -db findings.db "cwe121 > 0 AND severity >= high ORDER BY score DESC LIMIT 20"
 //
 // Without -model, a model is trained on the built-in corpus first (slower,
 // but zero-setup).
@@ -29,9 +36,11 @@ import (
 	"os/signal"
 	"sort"
 	"syscall"
+	"time"
 
 	secmetric "repro"
 	"repro/internal/metrics"
+	"repro/internal/store/findex"
 	"repro/internal/system"
 	"repro/internal/trace"
 )
@@ -67,6 +76,8 @@ func run(ctx context.Context, args []string) error {
 		return cmdRank(ctx, args[1:])
 	case "findings":
 		return cmdFindings(args[1:])
+	case "query":
+		return cmdQuery(args[1:])
 	case "image":
 		return cmdImage(ctx, args[1:])
 	case "bench":
@@ -77,7 +88,7 @@ func run(ctx context.Context, args []string) error {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: secmetric {analyze [-diag] [-json] [-trace f] [-slowest N] <dir> | score [-model m.json] [-json] <dir> | compare [-model m.json] [-incremental] <old> <new> | focus [-model m.json] [-budget N] <dir> | rank [-top N] [-json] [-explain] [-vcs-seed N] <dir> | findings [-min sev] [-json] <dir> | image [-model m.json] <manifest.json> | bench [-quick] [-rev r] [-out f] [-against baseline.json]} [-jobs N] [-cache dir] [-file-timeout d]")
+	return fmt.Errorf("usage: secmetric {analyze [-diag] [-json] [-trace f] [-slowest N] [-history db] <dir> | score [-model m.json] [-json] <dir> | compare [-model m.json] [-incremental] <old> <new> | focus [-model m.json] [-budget N] <dir> | rank [-top N] [-json] [-explain] [-vcs-seed N] <dir> | findings [-min sev] [-json] [-history db] <dir> | query [-db db] [-explain] [-full-scan] [-json] \"<expr>\" | image [-model m.json] <manifest.json> | bench [-quick] [-rev r] [-out f] [-against baseline.json]} [-jobs N] [-cache dir] [-file-timeout d]")
 }
 
 // analyzeOpts registers the shared extraction flags (-jobs, -cache,
@@ -121,10 +132,30 @@ func cmdRank(ctx context.Context, args []string) error {
 	return nil
 }
 
+// recordHistory appends one run to the findings history at dbPath. The
+// full (unfiltered) report is recorded even when the printout is filtered,
+// so the history stays complete.
+func recordHistory(dbPath, repo, source string, rep *secmetric.FindingsReport) error {
+	s, err := findex.Open(dbPath)
+	if err != nil {
+		return err
+	}
+	seq, err := s.Append(findex.NewRun(repo, source, rep))
+	if cerr := s.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("record history: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "recorded run %s/%d in %s\n", repo, seq, dbPath)
+	return nil
+}
+
 func cmdFindings(args []string) error {
 	fs := flag.NewFlagSet("findings", flag.ContinueOnError)
 	minSev := fs.String("min", "info", "lowest severity to report (info|low|medium|high|critical)")
 	asJSON := fs.Bool("json", false, "emit the findings as JSON (for CI integration)")
+	history := fs.String("history", "", "append this run to the findings-history database at `path`")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -139,6 +170,11 @@ func cmdFindings(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *history != "" {
+		if err := recordHistory(*history, fs.Arg(0), "findings", rep); err != nil {
+			return err
+		}
+	}
 	rep = rep.MinSeverity(sev)
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -150,6 +186,60 @@ func cmdFindings(args []string) error {
 		return nil
 	}
 	fmt.Print(rep)
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	dbPath := fs.String("db", "findings.db", "findings-history database to search")
+	explain := fs.Bool("explain", false, "print the planner's access-path decision before the results")
+	fullScan := fs.Bool("full-scan", false, "disable the index planner and filter every run (parity check)")
+	asJSON := fs.Bool("json", false, "emit the matching runs as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		return fmt.Errorf("query takes one quoted expression (or none for all runs)")
+	}
+	src := ""
+	if fs.NArg() == 1 {
+		src = fs.Arg(0)
+	}
+	s, err := findex.Open(*dbPath)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	runs, ex, err := s.QueryString(src, findex.Options{ForceFullScan: *fullScan})
+	if err != nil {
+		return err
+	}
+	if *explain {
+		fmt.Fprintln(os.Stderr, ex)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(runs)
+	}
+	if len(runs) == 0 {
+		fmt.Printf("no runs match %q in %s\n", src, *dbPath)
+		return nil
+	}
+	fmt.Printf("%-24s %5s  %-20s %-8s  %8s %6s  %s\n", "REPO", "SEQ", "TIME", "SOURCE", "SEVERITY", "TOTAL", "SCORE")
+	for _, r := range runs {
+		score := "-"
+		if r.HasScore {
+			score = fmt.Sprintf("%.3f", r.Score)
+		}
+		sev := "-"
+		if r.Total > 0 {
+			sev = r.MaxSeverity.String()
+		}
+		fmt.Printf("%-24s %5d  %-20s %-8s  %8s %6d  %s\n",
+			r.Repo, r.Seq, time.Unix(r.Time, 0).UTC().Format("2006-01-02T15:04:05Z"),
+			r.Source, sev, r.Total, score)
+	}
 	return nil
 }
 
@@ -262,6 +352,7 @@ func cmdAnalyze(ctx context.Context, args []string) error {
 	asJSON := fs.Bool("json", false, "emit the vector (and -diag diagnostics) as JSON")
 	traceOut := fs.String("trace", "", "write a Chrome trace_event profile of the run to this file (open in Perfetto / chrome://tracing)")
 	slowest := fs.Int("slowest", 0, "print the N slowest files with a per-phase time breakdown")
+	history := fs.String("history", "", "append this run's CWE-tagged findings to the findings-history database at `path`")
 	acfg := analyzeOpts(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -281,6 +372,15 @@ func cmdAnalyze(ctx context.Context, args []string) error {
 	tr.Finish()
 	if err != nil {
 		return err
+	}
+	if *history != "" {
+		rep, err := secmetric.CollectFindingsDir(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		if err := recordHistory(*history, fs.Arg(0), "analyze", rep); err != nil {
+			return err
+		}
 	}
 	if *traceOut != "" {
 		f, ferr := os.Create(*traceOut)

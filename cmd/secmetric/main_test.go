@@ -360,3 +360,69 @@ func TestCLICompareIncrementalMatchesBatch(t *testing.T) {
 		t.Fatalf("self-compare output missing the directory name:\n%s", same)
 	}
 }
+
+// TestCLIHistoryAndQuery records two runs with -history and reads them
+// back through `secmetric query`, checking the planner's -explain output
+// and the planned-vs-full-scan parity at the CLI surface.
+func TestCLIHistoryAndQuery(t *testing.T) {
+	dir := writeSrc(t, "main.c", cliSrc)
+	db := filepath.Join(t.TempDir(), "findings.db")
+	if err := run(context.Background(), []string{"findings", "-history", db, dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"analyze", "-history", db, dir}); err != nil {
+		t.Fatal(err)
+	}
+
+	queryJSON := func(args ...string) []secmetric.HistoryRun {
+		t.Helper()
+		out := captureStdout(t, func() error {
+			return run(context.Background(), append([]string{"query", "-db", db, "-json"}, args...))
+		})
+		var runs []secmetric.HistoryRun
+		if err := json.Unmarshal([]byte(out), &runs); err != nil {
+			t.Fatalf("query output %q: %v", out, err)
+		}
+		return runs
+	}
+
+	all := queryJSON("")
+	if len(all) != 2 {
+		t.Fatalf("recorded %d runs, want 2: %+v", len(all), all)
+	}
+	if all[0].Seq != 1 || all[1].Seq != 2 || all[0].Source != "findings" || all[1].Source != "analyze" {
+		t.Fatalf("run shape wrong: %+v", all)
+	}
+
+	// cliSrc's gets() call is a CWE-242 finding at high severity; an
+	// indexed predicate must match both runs, identically to a full scan.
+	planned := queryJSON("severity >= high")
+	full := queryJSON("-full-scan", "severity >= high")
+	pj, _ := json.Marshal(planned)
+	fj, _ := json.Marshal(full)
+	if string(pj) != string(fj) {
+		t.Fatalf("CLI parity violation:\n planned: %s\n full:    %s", pj, fj)
+	}
+	if len(planned) != 2 {
+		t.Fatalf("severity query matched %d runs, want 2", len(planned))
+	}
+
+	// Human-readable table and the no-match path.
+	table := captureStdout(t, func() error {
+		return run(context.Background(), []string{"query", "-db", db, "-explain", "severity >= high"})
+	})
+	if !strings.Contains(table, "REPO") || !strings.Contains(strings.ToLower(table), "high") {
+		t.Fatalf("table output wrong:\n%s", table)
+	}
+	none := captureStdout(t, func() error {
+		return run(context.Background(), []string{"query", "-db", db, "total = 12345"})
+	})
+	if !strings.Contains(none, "no runs match") {
+		t.Fatalf("empty-result output wrong: %q", none)
+	}
+
+	// A malformed query is a CLI error, not a panic.
+	if err := run(context.Background(), []string{"query", "-db", db, "bogus > 1"}); err == nil {
+		t.Fatal("malformed query accepted")
+	}
+}

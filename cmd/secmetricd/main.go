@@ -11,6 +11,8 @@
 //	POST /v1/findings       CWE-mapped findings stream
 //	POST /v1/compare        risk delta between two versions (the CI gate)
 //	POST /v1/delta          apply a changeset to a per-repo session, score the delta
+//	POST /v1/rank           function-level risk ranking
+//	POST /v1/query          query the -db findings history (404 without -db)
 //	POST /v1/models/reload  re-read the model sources, swap atomically
 //	GET  /healthz           liveness plus registry summary
 //	GET  /metrics           Prometheus text exposition
@@ -20,9 +22,14 @@
 //	secmetricd [-addr :8321] [-model m.json ...] [-model-dir dir]
 //	           [-train-default] [-workers N] [-queue N]
 //	           [-request-timeout d] [-jobs N] [-file-timeout d]
-//	           [-cache dir] [-addr-file f] [-drain-timeout d]
-//	           [-max-body-bytes N] [-pprof addr]
+//	           [-cache dir] [-db findings.db] [-addr-file f]
+//	           [-drain-timeout d] [-max-body-bytes N] [-pprof addr]
 //	           [-sessions N] [-session-ttl d]
+//
+// With -db, every /v1/score, /v1/compare, and /v1/rank request appends a
+// run (tree name, CWE-tagged findings, score where the endpoint computes
+// one) to the embedded findings history at that path, and POST /v1/query
+// serves the internal/store query language over it.
 //
 // With -pprof, a second listener serves net/http/pprof on its own mux —
 // profiling never shares a port (or an exposure decision) with the scoring
@@ -57,6 +64,7 @@ import (
 	secmetric "repro"
 	"repro/internal/featcache"
 	"repro/internal/server"
+	"repro/internal/store/findex"
 )
 
 func main() {
@@ -79,6 +87,7 @@ func run() error {
 		jobs         = flag.Int("jobs", 0, "per-request extraction pool width (0 = all cores)")
 		fileTimeout  = flag.Duration("file-timeout", 0, "per-file deep-analysis deadline (0 = unbounded)")
 		cacheDir     = flag.String("cache", "", "persistent feature-cache directory shared by all requests (empty = in-memory)")
+		dbPath       = flag.String("db", "", "findings-history database; records score/compare/rank runs and enables /v1/query (empty = disabled)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
 		maxBody      = flag.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "largest accepted request body in bytes; oversized bodies are rejected with 413")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
@@ -106,6 +115,22 @@ func run() error {
 	cache, err := featcache.Open(*cacheDir)
 	if err != nil {
 		return err
+	}
+
+	var history *findex.Store
+	if *dbPath != "" {
+		history, err = findex.Open(*dbPath)
+		if err != nil {
+			return fmt.Errorf("open -db %s: %w", *dbPath, err)
+		}
+		// Closed after the drain below, so the final checkpoint covers every
+		// recorded run.
+		defer func() {
+			if err := history.Close(); err != nil {
+				log.Printf("close -db: %v", err)
+			}
+		}()
+		log.Printf("recording findings history to %s", *dbPath)
 	}
 
 	reg := server.NewRegistry(*modelDir, modelFiles)
@@ -143,6 +168,7 @@ func run() error {
 		MaxBodyBytes:   *maxBody,
 		MaxSessions:    *maxSessions,
 		SessionTTL:     *sessionTTL,
+		History:        history,
 	})
 
 	if *pprofAddr != "" {

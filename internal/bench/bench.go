@@ -2,7 +2,9 @@
 // bench`. It runs the workloads the serving path is built from — tokenize,
 // base-metric extraction, lint, full analysis, incremental one-file
 // applies against a warm session, forest training, batched forest
-// inference, model scoring, and model loading — at pinned scales,
+// inference, model scoring, model loading, and the embedded storage
+// engine (committed puts, snapshot scans, index-planned history queries)
+// — at pinned scales,
 // measures ns/op, allocs/op, and bytes/op from runtime.MemStats deltas, and
 // emits a JSON report (BENCH_<rev>.json) that verify.sh compares against
 // the committed baseline.
@@ -46,6 +48,13 @@ const (
 	// ModelTrees is the per-hypothesis tree count of the persisted
 	// benchmark model (model_load_* workloads).
 	ModelTrees = 20
+	// StoreKeys / StoreValueBytes size the KV store the store_put and
+	// store_scan workloads run against; StoreRuns / StoreRepos size the
+	// findings history behind query_indexed.
+	StoreKeys       = 2000
+	StoreValueBytes = 256
+	StoreRuns       = 256
+	StoreRepos      = 4
 
 	benchSeed = 0xbe9c4
 )
@@ -162,12 +171,15 @@ func Run(opts Options) (*Report, error) {
 			"fit_depth":   FitDepth,
 			"batch_rows":  BatchRows,
 			"model_trees": ModelTrees,
+			"store_keys":  StoreKeys,
+			"store_runs":  StoreRuns,
 		},
 	}
 	ws, err := setupWorkloads(opts.Dir)
 	if err != nil {
 		return nil, err
 	}
+	defer ws.close()
 	only := map[string]bool{}
 	for _, name := range opts.Only {
 		only[name] = true

@@ -4,14 +4,20 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/cwe"
+	"repro/internal/findings"
 	"repro/internal/funcrank"
 	"repro/internal/lexer"
 	"repro/internal/lint"
 	"repro/internal/metrics"
 	"repro/internal/ml"
 	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/store/findex"
 	"repro/internal/trace"
 )
 
@@ -46,6 +52,31 @@ type workloads struct {
 	// warm path the /v1/delta endpoint serves.
 	sess      *core.Session
 	editCount int
+
+	// Storage-engine fixtures: a KV store pre-seeded with StoreKeys rows
+	// (store_put overwrites them in rotation, store_scan walks them all)
+	// and a findings history of StoreRuns runs for query_indexed. Both run
+	// with NoSync so the workloads measure engine CPU, not fsync latency —
+	// the variance of a CI box's disk must not gate verification.
+	storeDB   *store.DB
+	storeKeys [][]byte
+	storeVal  []byte
+	putCount  int
+	hist      *findex.Store
+	tmpDir    string
+}
+
+// close releases the storage fixtures; Run defers it.
+func (w *workloads) close() {
+	if w.hist != nil {
+		w.hist.Close()
+	}
+	if w.storeDB != nil {
+		w.storeDB.Close()
+	}
+	if w.tmpDir != "" {
+		os.RemoveAll(w.tmpDir)
+	}
 }
 
 func setupWorkloads(dir string) (*workloads, error) {
@@ -114,7 +145,82 @@ func setupWorkloads(dir string) (*workloads, error) {
 	if _, err := w.sess.Apply(context.Background(), core.Changeset{Added: w.tree.Files}); err != nil {
 		return nil, fmt.Errorf("bench: seed session: %w", err)
 	}
+	if err := w.setupStore(); err != nil {
+		w.close()
+		return nil, err
+	}
 	return w, nil
+}
+
+// setupStore builds the storage-engine fixtures outside the timed loops:
+// a KV store of StoreKeys rows and a findings history of StoreRuns
+// deterministic runs across StoreRepos repos.
+func (w *workloads) setupStore() error {
+	dir, err := os.MkdirTemp("", "secmetric-bench-store")
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	w.tmpDir = dir
+	w.storeDB, err = store.Open(filepath.Join(dir, "kv.db"), store.Options{NoSync: true})
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	w.storeVal = make([]byte, StoreValueBytes)
+	for i := range w.storeVal {
+		w.storeVal[i] = byte(i*131 + 17)
+	}
+	w.storeKeys = make([][]byte, StoreKeys)
+	for i := range w.storeKeys {
+		w.storeKeys[i] = []byte(fmt.Sprintf("bench/k%06d", i))
+	}
+	const batch = 200
+	for lo := 0; lo < StoreKeys; lo += batch {
+		hi := lo + batch
+		if hi > StoreKeys {
+			hi = StoreKeys
+		}
+		if err := w.storeDB.Update(func(tx *store.Tx) error {
+			for _, k := range w.storeKeys[lo:hi] {
+				if err := tx.Put(k, w.storeVal); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return fmt.Errorf("bench: seed store: %w", err)
+		}
+	}
+
+	hdb, err := store.Open(filepath.Join(dir, "findings.db"), store.Options{NoSync: true})
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	w.hist = findex.OpenDB(hdb)
+	rng := stats.NewRNG(benchSeed + 3)
+	files := []string{"src/a.c", "src/b.c", "src/c.c", "lib/d.c"}
+	cwes := []int{0, 78, 119, 121, 134, 369, 676}
+	for i := 0; i < StoreRuns; i++ {
+		rep := &findings.Report{}
+		for j, nf := 0, rng.Intn(6); j < nf; j++ {
+			rep.Findings = append(rep.Findings, findings.Finding{
+				Rule:     "bench",
+				CWE:      cwe.ID(cwes[rng.Intn(len(cwes))]),
+				File:     files[rng.Intn(len(files))],
+				Line:     j + 1,
+				Severity: findings.Severity(rng.Intn(5)),
+				Message:  "bench",
+			})
+		}
+		run := findex.NewRun(fmt.Sprintf("bench-%d", i%StoreRepos), "bench", rep)
+		run.Time = int64(1_700_000_000 + i*600)
+		if rng.Bool(0.7) {
+			run = run.WithScore(rng.Float64())
+		}
+		if _, err := w.hist.Append(run); err != nil {
+			return fmt.Errorf("bench: seed history: %w", err)
+		}
+	}
+	return nil
 }
 
 // syntheticDataset draws a two-class dataset with class-shifted Gaussian
@@ -255,6 +361,49 @@ func (w *workloads) list() []workload {
 				panic(err)
 			}
 			sink += float64(len(m.Hypotheses))
+		}},
+		{"store_put", func() {
+			// One committed overwrite per op, rotating through the seeded
+			// keys: the copy-on-write update path plus WAL encode/commit,
+			// with the freelist recycling the shadowed pages.
+			k := w.storeKeys[w.putCount%StoreKeys]
+			w.putCount++
+			w.storeVal[0] = byte(w.putCount)
+			if err := w.storeDB.Update(func(tx *store.Tx) error {
+				return tx.Put(k, w.storeVal)
+			}); err != nil {
+				panic(err)
+			}
+			sink++
+		}},
+		{"store_scan", func() {
+			// Full in-order walk of the StoreKeys rows through an MVCC
+			// snapshot — the read path /v1/query's full scan sits on.
+			snap, err := w.storeDB.Snapshot()
+			if err != nil {
+				panic(err)
+			}
+			n := 0
+			err = snap.Scan(nil, nil, func(k, v []byte) (bool, error) {
+				n += len(v)
+				return true, nil
+			})
+			snap.Release()
+			if err != nil {
+				panic(err)
+			}
+			sink += float64(n)
+		}},
+		{"query_indexed", func() {
+			// The acceptance query over the seeded history: index-planned
+			// candidate fetch, row filtering, sort, and LIMIT.
+			runs, _, err := w.hist.QueryString(
+				"cwe121 > 0 AND severity >= high ORDER BY score DESC LIMIT 20",
+				findex.Options{})
+			if err != nil {
+				panic(err)
+			}
+			sink += float64(len(runs))
 		}},
 	}
 }

@@ -12,9 +12,13 @@
 // size-capped insertion-order window over the hot set — a long-running
 // daemon must not grow its RSS with every file it ever analyzed — while
 // the disk tier is durable: an evicted entry is a future disk hit, never a
-// recomputation. Disk writes are atomic (temp file + rename) so a crashed
-// or concurrent run can never leave a truncated entry a later run would
-// trust; unreadable or corrupt entries simply read as misses.
+// recomputation. Disk writes go through the shared durable-write helper
+// (temp file, fsync, rename, directory fsync) so neither a crash nor a
+// concurrent run can leave a truncated — or, after power loss, empty —
+// entry a later run would trust. Unreadable or corrupt entries still read
+// as misses (the cache recomputes rather than serving garbage), but
+// corruption is counted (CorruptReads) so an operator sees it instead of
+// it hiding inside the miss rate.
 package featcache
 
 import (
@@ -26,6 +30,8 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/system/durable"
 )
 
 // DefaultMemLimit caps the in-memory tier's payload bytes unless
@@ -44,8 +50,9 @@ type Cache struct {
 	memBytes int64
 	maxBytes int64 // <= 0 disables the bound
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	corrupt atomic.Uint64
 }
 
 // NewMemory returns a process-local cache with no disk backing.
@@ -169,34 +176,23 @@ func (c *Cache) Put(key string, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return fmt.Errorf("featcache: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(p), ".put-*")
-	if err != nil {
-		return fmt.Errorf("featcache: %w", err)
-	}
-	if _, err := tmp.Write(cp); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("featcache: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("featcache: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
-		os.Remove(tmp.Name())
+	if err := durable.WriteFile(p, cp, 0o644); err != nil {
 		return fmt.Errorf("featcache: %w", err)
 	}
 	return nil
 }
 
 // GetJSON decodes the entry for key into v. Corrupt entries read as
-// misses.
+// misses so the caller recomputes, but each such read is counted in
+// CorruptReads — silent corruption would otherwise be indistinguishable
+// from a cold cache.
 func (c *Cache) GetJSON(key string, v any) bool {
 	data, ok := c.Get(key)
 	if !ok {
 		return false
 	}
 	if err := json.Unmarshal(data, v); err != nil {
+		c.corrupt.Add(1)
 		return false
 	}
 	return true
@@ -214,4 +210,12 @@ func (c *Cache) PutJSON(key string, v any) error {
 // Stats reports lifetime hit and miss counts for this Cache value.
 func (c *Cache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// CorruptReads reports how many reads decoded to garbage and were served
+// as misses. A nonzero value on a healthy host means something else is
+// writing into the cache directory (or the durability discipline was
+// violated by an older build).
+func (c *Cache) CorruptReads() uint64 {
+	return c.corrupt.Load()
 }

@@ -106,6 +106,20 @@ func TestCorruptEntryReadsAsMiss(t *testing.T) {
 	if c2.GetJSON(key, &v) {
 		t.Fatal("corrupt entry decoded as a hit")
 	}
+	if got := c2.CorruptReads(); got != 1 {
+		t.Fatalf("CorruptReads = %d, want 1: corruption must be counted, not folded into misses", got)
+	}
+	// A clean entry does not move the corruption counter.
+	clean := Key("v1", "y")
+	if err := c2.PutJSON(clean, 7); err != nil {
+		t.Fatal(err)
+	}
+	if !c2.GetJSON(clean, &v) || v != 7 {
+		t.Fatal("clean entry should hit")
+	}
+	if got := c2.CorruptReads(); got != 1 {
+		t.Fatalf("CorruptReads moved to %d on a clean read", got)
+	}
 }
 
 func TestConcurrentPutGet(t *testing.T) {

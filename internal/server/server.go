@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	secmetric "repro"
@@ -35,6 +36,8 @@ import (
 	"repro/internal/findings"
 	"repro/internal/lang"
 	"repro/internal/metrics"
+	"repro/internal/store/findex"
+	"repro/internal/store/query"
 	"repro/internal/trace"
 	"repro/pkg/api"
 )
@@ -73,6 +76,10 @@ type Config struct {
 	// session's next non-seeding changeset answers 409 stale_session.
 	// <= 0 uses 1 hour.
 	SessionTTL time.Duration
+	// History is the findings time-series the daemon records scoring
+	// requests into and serves POST /v1/query from; nil disables both
+	// (queries answer 404 no_history). The server does not close it.
+	History *findex.Store
 }
 
 // Session-registry defaults applied when Config leaves them unset.
@@ -96,6 +103,12 @@ type Server struct {
 	slots    int
 	start    time.Time
 	sessions *sessionPool
+
+	// historyRuns / historyErrors count run recordings into cfg.History.
+	// Recording is best-effort: a failed append never fails the scoring
+	// request that triggered it, it only moves this counter.
+	historyRuns   atomic.Uint64
+	historyErrors atomic.Uint64
 
 	// testHookAcquired, when non-nil, runs on the request goroutine right
 	// after a worker slot is acquired and before any analysis. Tests use
@@ -158,6 +171,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/compare", s.instrument("compare", s.handleCompare))
 	mux.HandleFunc("POST /v1/delta", s.instrument("delta", s.handleDelta))
 	mux.HandleFunc("POST /v1/rank", s.instrument("rank", s.handleRank))
+	mux.HandleFunc("POST /v1/query", s.instrument("query", s.handleQuery))
 	mux.HandleFunc("POST /v1/models/reload", s.instrument("reload", s.handleReload))
 	return mux
 }
@@ -332,6 +346,66 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// record persists one scoring request into the findings history, keyed by
+// the tree's name. It runs synchronously inside the request's worker slot
+// (the store has a single writer; holding the slot keeps history pressure
+// under the same admission discipline as the analysis itself), but its
+// outcome only moves counters — a full disk must not turn a perfectly good
+// score into a 500.
+func (s *Server) record(ctx context.Context, source string, tree *metrics.Tree, score float64, hasScore bool) {
+	if s.cfg.History == nil {
+		return
+	}
+	rs := trace.SpanFromContext(ctx).Child("record")
+	defer rs.End()
+	run := findex.NewRun(tree.Name, source, findings.Collect(tree))
+	if hasScore {
+		run = run.WithScore(score)
+	}
+	if _, err := s.cfg.History.Append(run); err != nil {
+		s.historyErrors.Add(1)
+		return
+	}
+	s.historyRuns.Add(1)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req api.QueryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	// Parse before admission: a syntax error should cost no worker slot.
+	q, err := query.Parse(req.Query)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	if s.cfg.History == nil {
+		writeErr(w, http.StatusNotFound, api.CodeNoHistory,
+			"this daemon records no history; start it with -db to enable /v1/query")
+		return
+	}
+	s.withSlot(w, r, "query", req.TimeoutMS, func(ctx context.Context) error {
+		runs, ex, err := s.cfg.History.Query(q, findex.Options{ForceFullScan: req.FullScan})
+		if err != nil {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		writeJSON(w, http.StatusOK, api.QueryResponse{
+			Runs: runs,
+			Explain: api.QueryExplain{
+				Index:      ex.Index,
+				FullScan:   ex.FullScan,
+				Candidates: ex.Candidates,
+				Matched:    ex.Matched,
+			},
+		})
+		return nil
+	})
+}
+
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	var req api.ScoreRequest
 	if !s.decode(w, r, &req) {
@@ -355,6 +429,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		sc := trace.SpanFromContext(ctx).Child("score")
 		rep := model.Score(req.Tree.Name, fv)
 		sc.End()
+		s.record(ctx, "score", tree, rep.RiskScore, true)
 		if req.Trace && diag != nil {
 			diag.Trace = trace.Summarize(trace.SpanFromContext(ctx))
 		}
@@ -439,6 +514,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return err
 		}
+		s.record(ctx, "rank", tree, 0, false)
 		writeJSON(w, http.StatusOK, api.RankResponse{Ranking: ranking})
 		return nil
 	})
@@ -478,6 +554,8 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		cs := trace.SpanFromContext(ctx).Child("score")
 		cmp := model.Compare(req.Old.Name, oldFV, req.New.Name, newFV)
 		cs.End()
+		// History records the new version — the one the gate is deciding on.
+		s.record(ctx, "compare", newTree, cmp.NewScore, true)
 		if req.Trace && newDiag != nil {
 			// One summary covers the whole request (both analyses); it
 			// rides on the new version's diagnostics.
@@ -640,6 +718,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP secmetricd_featcache_misses_total Shared feature-cache misses.")
 	fmt.Fprintln(w, "# TYPE secmetricd_featcache_misses_total counter")
 	fmt.Fprintf(w, "secmetricd_featcache_misses_total %d\n", misses)
+	fmt.Fprintln(w, "# HELP secmetricd_featcache_corrupt_total Disk cache entries that failed validation on read (counted, then treated as misses).")
+	fmt.Fprintln(w, "# TYPE secmetricd_featcache_corrupt_total counter")
+	fmt.Fprintf(w, "secmetricd_featcache_corrupt_total %d\n", s.cache.CorruptReads())
 	fmt.Fprintln(w, "# HELP secmetricd_models_loaded Models in the current registry snapshot.")
 	fmt.Fprintln(w, "# TYPE secmetricd_models_loaded gauge")
 	fmt.Fprintf(w, "secmetricd_models_loaded %d\n", len(s.reg.Snapshot().Models))
@@ -653,6 +734,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP secmetricd_session_evictions_total Sessions dropped by LRU capacity or idle TTL.")
 	fmt.Fprintln(w, "# TYPE secmetricd_session_evictions_total counter")
 	fmt.Fprintf(w, "secmetricd_session_evictions_total %d\n", evicted)
+	if s.cfg.History != nil {
+		fmt.Fprintln(w, "# HELP secmetricd_history_runs_total Analysis runs recorded into the -db findings history.")
+		fmt.Fprintln(w, "# TYPE secmetricd_history_runs_total counter")
+		fmt.Fprintf(w, "secmetricd_history_runs_total %d\n", s.historyRuns.Load())
+		fmt.Fprintln(w, "# HELP secmetricd_history_errors_total Failed history appends (the scoring request itself still succeeded).")
+		fmt.Fprintln(w, "# TYPE secmetricd_history_errors_total counter")
+		fmt.Fprintf(w, "secmetricd_history_errors_total %d\n", s.historyErrors.Load())
+		st := s.cfg.History.DB().Stats()
+		fmt.Fprintln(w, "# HELP secmetricd_store_pages Page-file size of the history store, in pages.")
+		fmt.Fprintln(w, "# TYPE secmetricd_store_pages gauge")
+		fmt.Fprintf(w, "secmetricd_store_pages %d\n", st.PageCount)
+		fmt.Fprintln(w, "# HELP secmetricd_store_free_pages Immediately reusable pages in the history store's freelist.")
+		fmt.Fprintln(w, "# TYPE secmetricd_store_free_pages gauge")
+		fmt.Fprintf(w, "secmetricd_store_free_pages %d\n", st.FreePages)
+		fmt.Fprintln(w, "# HELP secmetricd_store_wal_bytes Current write-ahead-log length of the history store.")
+		fmt.Fprintln(w, "# TYPE secmetricd_store_wal_bytes gauge")
+		fmt.Fprintf(w, "secmetricd_store_wal_bytes %d\n", st.WALBytes)
+		fmt.Fprintln(w, "# HELP secmetricd_store_commits_total Committed history-store transactions since open.")
+		fmt.Fprintln(w, "# TYPE secmetricd_store_commits_total counter")
+		fmt.Fprintf(w, "secmetricd_store_commits_total %d\n", st.Commits)
+		fmt.Fprintln(w, "# HELP secmetricd_store_checkpoints_total History-store WAL checkpoints since open.")
+		fmt.Fprintln(w, "# TYPE secmetricd_store_checkpoints_total counter")
+		fmt.Fprintf(w, "secmetricd_store_checkpoints_total %d\n", st.Checkpoints)
+	}
 	fmt.Fprintln(w, "# HELP secmetricd_uptime_seconds Seconds since the daemon started.")
 	fmt.Fprintln(w, "# TYPE secmetricd_uptime_seconds gauge")
 	fmt.Fprintf(w, "secmetricd_uptime_seconds %g\n", time.Since(s.start).Seconds())

@@ -1,0 +1,67 @@
+package store
+
+import "sort"
+
+// freelist tracks reusable pages. It is runtime-only state: nothing here is
+// persisted. At Open the free set is rebuilt as the complement of a
+// reachability walk from the committed root, which sidesteps every
+// freelist-durability hazard (torn freelist blobs, checkpoint/freelist
+// ordering) at the cost of an O(pages) walk per open.
+//
+// Pages freed by a commit do not become reusable immediately: a snapshot
+// taken before that commit may still read them. They park in pending[txid]
+// until every snapshot older than txid is released.
+type freelist struct {
+	free    []uint64            // immediately reusable, kept sorted ascending
+	pending map[uint64][]uint64 // txid -> pages freed by that commit
+}
+
+func newFreelist() *freelist {
+	return &freelist{pending: make(map[uint64][]uint64)}
+}
+
+// allocate pops the lowest reusable page id, or 0 if none.
+func (f *freelist) allocate() uint64 {
+	if len(f.free) == 0 {
+		return 0
+	}
+	id := f.free[0]
+	f.free = f.free[1:]
+	return id
+}
+
+// release parks pages freed by commit txid until older snapshots drain.
+func (f *freelist) release(txid uint64, ids []uint64) {
+	if len(ids) == 0 {
+		return
+	}
+	f.pending[txid] = append(f.pending[txid], ids...)
+}
+
+// promote moves every pending list with txid <= minActive into the free
+// set. minActive is the smallest txid any live snapshot observes (or the
+// current txid when no snapshots are open): a snapshot at txid S reads the
+// tree as of S, so pages freed by commits with txid <= S were already
+// absent from that tree and are safe to recycle.
+func (f *freelist) promote(minActive uint64) {
+	changed := false
+	for txid, ids := range f.pending {
+		if txid <= minActive {
+			f.free = append(f.free, ids...)
+			delete(f.pending, txid)
+			changed = true
+		}
+	}
+	if changed {
+		sort.Slice(f.free, func(i, j int) bool { return f.free[i] < f.free[j] })
+	}
+}
+
+// pendingCount totals parked pages across all commits.
+func (f *freelist) pendingCount() int {
+	n := 0
+	for _, ids := range f.pending {
+		n += len(ids)
+	}
+	return n
+}

@@ -1,0 +1,45 @@
+package query
+
+import (
+	"fmt"
+	"time"
+)
+
+// ParseTime parses a quoted time operand: RFC 3339 or a bare "2006-01-02"
+// date (midnight UTC), returning Unix seconds.
+func ParseTime(s string) (int64, error) {
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t.Unix(), nil
+	}
+	if t, err := time.Parse("2006-01-02", s); err == nil {
+		return t.Unix(), nil
+	}
+	return 0, fmt.Errorf("query: unparseable time %q", s)
+}
+
+// TimeOperand resolves a time comparison value to Unix seconds (numbers
+// pass through; strings parse as dates). The parser has already
+// type-checked, so errors only occur on hand-built trees.
+func TimeOperand(v Value) (int64, error) {
+	if v.IsNum {
+		return int64(v.Num), nil
+	}
+	return ParseTime(v.Str)
+}
+
+// severityLevels orders the level names; index = ordinal, matching the
+// findings package's Severity constants.
+var severityLevels = []string{"info", "low", "medium", "high", "critical"}
+
+// SeverityOperand resolves a severity comparison value to its ordinal.
+func SeverityOperand(v Value) (int, error) {
+	if v.IsNum {
+		return int(v.Num), nil
+	}
+	for i, name := range severityLevels {
+		if name == v.Str {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("query: unknown severity %q", v.Str)
+}

@@ -1,0 +1,215 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// WAL record layout (little-endian):
+//
+//	u32 magic "WAL1"
+//	u32 recordLen   (total record bytes, header through CRC)
+//	u64 txid
+//	u64 root        (root pgid after this commit)
+//	u64 pageCount   (page-file size in pages after this commit)
+//	u32 npages
+//	npages × { u64 pgid, pageSize bytes page image }
+//	u32 crc         (CRC-32/IEEE over every preceding byte of the record)
+//
+// A record is the unit of commit: recovery accepts it only if the magic,
+// length, and CRC all check out, so a torn append (the classic
+// crash-mid-commit) truncates cleanly at the last durable record boundary.
+const (
+	walMagic      = 0x314C4157 // "WAL1"
+	walHeaderSize = 4 + 4 + 8 + 8 + 8 + 4
+	walEntrySize  = 8 + pageSize
+)
+
+// wal is the append-only log. Appends are serialized by mu; fsyncs are
+// batched: a committer whose bytes were already covered by another
+// committer's fsync returns without touching the disk (group commit).
+type wal struct {
+	f      *os.File
+	mu     sync.Mutex // serializes appends
+	size   atomic.Int64
+	syncMu sync.Mutex // serializes fsyncs
+	synced atomic.Int64
+
+	// crashAt > 0 injects a crash once written (cumulative bytes appended
+	// over the log's lifetime, immune to checkpoint truncation) crosses
+	// it: the crossing append lands only partially and fails with
+	// ErrCrashInjected.
+	crashAt int64
+	written int64 // guarded by mu
+	noSync  bool
+}
+
+func openWAL(path string, crashAt int64, noSync bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := &wal{f: f, crashAt: crashAt, noSync: noSync}
+	w.size.Store(fi.Size())
+	w.synced.Store(fi.Size())
+	return w, nil
+}
+
+// encodeRecord builds one commit record from the transaction's new pages.
+func encodeRecord(txid, root, pageCount uint64, pgids []uint64, pages map[uint64][]byte) []byte {
+	n := len(pgids)
+	rec := make([]byte, walHeaderSize+n*walEntrySize+4)
+	binary.LittleEndian.PutUint32(rec[0:], walMagic)
+	binary.LittleEndian.PutUint32(rec[4:], uint32(len(rec)))
+	binary.LittleEndian.PutUint64(rec[8:], txid)
+	binary.LittleEndian.PutUint64(rec[16:], root)
+	binary.LittleEndian.PutUint64(rec[24:], pageCount)
+	binary.LittleEndian.PutUint32(rec[32:], uint32(n))
+	w := walHeaderSize
+	for _, id := range pgids {
+		binary.LittleEndian.PutUint64(rec[w:], id)
+		copy(rec[w+8:], pages[id])
+		w += walEntrySize
+	}
+	binary.LittleEndian.PutUint32(rec[w:], crc32.ChecksumIEEE(rec[:w]))
+	return rec
+}
+
+// append writes one record and returns the log's end offset afterwards.
+// The bytes are in the OS buffer, not yet durable — callers must syncTo
+// the returned offset before acknowledging the commit.
+func (w *wal) append(rec []byte) (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	off := w.size.Load()
+	if w.crashAt > 0 && w.written+int64(len(rec)) > w.crashAt {
+		// Injected crash: persist only the prefix below the crash point,
+		// exactly like a process killed mid-write.
+		if keep := w.crashAt - w.written; keep > 0 {
+			w.f.WriteAt(rec[:keep], off)
+		}
+		return 0, ErrCrashInjected
+	}
+	w.written += int64(len(rec))
+	if _, err := w.f.WriteAt(rec, off); err != nil {
+		return 0, fmt.Errorf("store: wal append: %w", err)
+	}
+	end := off + int64(len(rec))
+	w.size.Store(end)
+	return end, nil
+}
+
+// syncTo makes every byte below end durable. Concurrent committers share
+// fsyncs: whoever holds syncMu syncs the whole log, covering everyone who
+// appended before the sync started.
+func (w *wal) syncTo(end int64) error {
+	if w.noSync || w.synced.Load() >= end {
+		return nil
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.synced.Load() >= end {
+		return nil // a concurrent committer's fsync already covered us
+	}
+	covered := w.size.Load()
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: wal sync: %w", err)
+	}
+	w.synced.Store(covered)
+	return nil
+}
+
+// truncate cuts the log to n bytes (recovery discarding a torn tail, or a
+// checkpoint resetting to empty) and records the new durable size.
+func (w *wal) truncate(n int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(n); err != nil {
+		return err
+	}
+	if !w.noSync {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	w.size.Store(n)
+	w.synced.Store(n)
+	return nil
+}
+
+func (w *wal) close() error { return w.f.Close() }
+
+// walCommit is one decoded, validated log record.
+type walCommit struct {
+	txid      uint64
+	root      uint64
+	pageCount uint64
+	pages     map[uint64][]byte
+}
+
+// replayWAL scans the log from the start, yielding every intact record in
+// order. It stops at the first record that is short, mismatched, or fails
+// its CRC and returns the byte offset where the log should be truncated —
+// everything after the last good record is a torn tail from a crash.
+func replayWAL(f *os.File, yield func(walCommit) error) (truncateAt int64, err error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := fi.Size()
+	var off int64
+	header := make([]byte, walHeaderSize)
+	for {
+		if off+walHeaderSize+4 > size {
+			return off, nil
+		}
+		if _, err := f.ReadAt(header, off); err != nil {
+			return off, nil
+		}
+		if binary.LittleEndian.Uint32(header[0:]) != walMagic {
+			return off, nil
+		}
+		recLen := int64(binary.LittleEndian.Uint32(header[4:]))
+		npages := int64(binary.LittleEndian.Uint32(header[32:]))
+		if recLen != walHeaderSize+npages*walEntrySize+4 || off+recLen > size {
+			return off, nil
+		}
+		rec := make([]byte, recLen)
+		if _, err := f.ReadAt(rec, off); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return off, nil
+			}
+			return 0, err
+		}
+		body := rec[:recLen-4]
+		if binary.LittleEndian.Uint32(rec[recLen-4:]) != crc32.ChecksumIEEE(body) {
+			return off, nil
+		}
+		c := walCommit{
+			txid:      binary.LittleEndian.Uint64(rec[8:]),
+			root:      binary.LittleEndian.Uint64(rec[16:]),
+			pageCount: binary.LittleEndian.Uint64(rec[24:]),
+			pages:     make(map[uint64][]byte, npages),
+		}
+		w := int64(walHeaderSize)
+		for i := int64(0); i < npages; i++ {
+			pgid := binary.LittleEndian.Uint64(rec[w:])
+			c.pages[pgid] = rec[w+8 : w+8+pageSize : w+8+pageSize]
+			w += walEntrySize
+		}
+		if err := yield(c); err != nil {
+			return 0, err
+		}
+		off += recLen
+	}
+}

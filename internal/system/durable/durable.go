@@ -1,0 +1,85 @@
+// Package durable is the one place the repository writes files it cannot
+// afford to lose. The temp-file-plus-rename idiom alone guarantees only
+// *atomicity* — a reader sees the old file or the new file, never a
+// half-written one. It does not guarantee *durability*: after a crash, a
+// file that was renamed into place but never fsynced can legally come back
+// empty or torn on many filesystems (the rename is a metadata operation
+// that journals independently of the data blocks). The featcache, the model
+// saves, and the storage engine all discovered they shared exactly that
+// rename-without-fsync pattern; they now share this helper instead.
+//
+// The full discipline, in order:
+//
+//  1. create a temp file in the destination directory (same filesystem,
+//     so the rename is atomic),
+//  2. write the payload,
+//  3. fsync the temp file (the data blocks are on stable storage),
+//  4. rename over the destination (atomic swap),
+//  5. fsync the destination directory (the rename itself is on stable
+//     storage — without this, a crash can resurrect the old name).
+package durable
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically and durably replaces path with data. See the
+// package comment for the exact fsync discipline.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	return WriteFileTo(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// WriteFileTo is WriteFile for payloads produced by a serializer: write
+// receives the temp file and the result is fsynced, renamed into place,
+// and the directory fsynced. On any error the temp file is removed and
+// the destination is untouched.
+func WriteFileTo(path string, perm os.FileMode, write func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".durable-*"+filepath.Ext(path))
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("durable: fsync %s: %w", tmp.Name(), err)
+	}
+	// CreateTemp opens 0600; honor the caller's intended mode.
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making renames and creates inside it
+// crash-durable. Filesystems that refuse directory fsync (some network
+// mounts) degrade gracefully: the error is reported, the rename already
+// happened.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("durable: fsync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,8 +1,9 @@
 // Package api defines the JSON wire contract of secmetricd, the
 // clairvoyance-as-a-service scoring daemon: request and response envelopes
 // for the analyzing endpoints (/v1/score, /v1/analyze, /v1/findings,
-// /v1/compare, /v1/delta, /v1/rank), the operational endpoints (/healthz,
-// /v1/models/reload),
+// /v1/compare, /v1/delta, /v1/rank), the history endpoint (/v1/query,
+// served when the daemon persists runs with -db), the operational
+// endpoints (/healthz, /v1/models/reload),
 // and the error envelope every non-2xx response carries. Both the server
 // (internal/server) and the typed client (pkg/client) build against these
 // types, so the contract lives in exactly one place.
@@ -173,6 +174,38 @@ type RankResponse struct {
 	Ranking *secmetric.Ranking `json:"ranking"`
 }
 
+// QueryRequest asks POST /v1/query to run one findings-history query
+// (the internal/store/query language) against the daemon's -db store.
+// A daemon started without -db answers 404 with code "no_history".
+type QueryRequest struct {
+	// Query is the filter expression, e.g.
+	// `cwe121 > 0 AND severity >= high ORDER BY score DESC LIMIT 20`.
+	// The empty string matches every run.
+	Query string `json:"query"`
+	// FullScan disables the index planner and filters every run — the
+	// wire form of the CLI's -full-scan parity check.
+	FullScan  bool  `json:"full_scan,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// QueryExplain mirrors the planner's account of how a query executed.
+type QueryExplain struct {
+	// Index names the access path (e.g. "cwe121"); empty for a full scan.
+	Index string `json:"index,omitempty"`
+	// FullScan reports whether every run row was visited.
+	FullScan bool `json:"full_scan"`
+	// Candidates counts rows fetched; Matched counts rows that passed the
+	// filter, before LIMIT.
+	Candidates int `json:"candidates"`
+	Matched    int `json:"matched"`
+}
+
+// QueryResponse is the matching runs plus the plan that produced them.
+type QueryResponse struct {
+	Runs    []secmetric.HistoryRun `json:"runs"`
+	Explain QueryExplain           `json:"explain"`
+}
+
 // Health is GET /healthz's body.
 type Health struct {
 	Status        string   `json:"status"`
@@ -194,7 +227,7 @@ type ReloadResponse struct {
 type Error struct {
 	// Code is a stable machine-readable reason: "bad_request",
 	// "unknown_model", "queue_full", "deadline", "body_too_large",
-	// "stale_session", "reload_failed", "internal".
+	// "stale_session", "no_history", "reload_failed", "internal".
 	Code  string `json:"code"`
 	Error string `json:"error"`
 }
@@ -207,6 +240,7 @@ const (
 	CodeDeadline     = "deadline"
 	CodeBodyTooLarge = "body_too_large"
 	CodeStaleSession = "stale_session"
+	CodeNoHistory    = "no_history"
 	CodeReloadFailed = "reload_failed"
 	CodeInternal     = "internal"
 )

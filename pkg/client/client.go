@@ -109,6 +109,13 @@ func IsStaleSession(err error) bool {
 	return errors.As(err, &ae) && ae.StatusCode == http.StatusConflict && ae.Code == api.CodeStaleSession
 }
 
+// IsNoHistory reports whether err is the daemon's 404 signal that it was
+// started without -db and therefore records and serves no findings history.
+func IsNoHistory(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound && ae.Code == api.CodeNoHistory
+}
+
 // Score asks the daemon to analyze and score one tree.
 func (c *Client) Score(ctx context.Context, req api.ScoreRequest) (*api.ScoreResponse, error) {
 	var out api.ScoreResponse
@@ -160,6 +167,16 @@ func (c *Client) Delta(ctx context.Context, req api.DeltaRequest) (*api.DeltaRes
 func (c *Client) Rank(ctx context.Context, req api.RankRequest) (*api.RankResponse, error) {
 	var out api.RankResponse
 	if err := c.post(ctx, "/v1/rank", req.TimeoutMS, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Query runs one findings-history query against the daemon's -db store.
+// IsNoHistory distinguishes "daemon keeps no history" from other failures.
+func (c *Client) Query(ctx context.Context, req api.QueryRequest) (*api.QueryResponse, error) {
+	var out api.QueryResponse
+	if err := c.post(ctx, "/v1/query", req.TimeoutMS, req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

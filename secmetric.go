@@ -21,7 +21,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"time"
 
 	"repro/internal/core"
@@ -30,7 +29,9 @@ import (
 	"repro/internal/findings"
 	"repro/internal/funcrank"
 	"repro/internal/metrics"
+	"repro/internal/store/findex"
 	"repro/internal/system"
+	"repro/internal/system/durable"
 	"repro/internal/trace"
 	"repro/internal/vcsgen"
 )
@@ -259,26 +260,13 @@ func SaveModelBinary(m *Model, path string) error {
 	return saveModelAtomic(path, m.SaveBinary)
 }
 
+// saveModelAtomic delegates to the shared durable-write helper: the model
+// is serialized to a temp file in the destination directory, fsynced,
+// renamed into place, and the directory fsynced — the same discipline the
+// feature cache and the storage engine use, so a crash right after train
+// can never surface an empty or torn model file to a later LoadModel.
 func saveModelAtomic(path string, write func(io.Writer) error) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".model-*"+filepath.Ext(path))
-	if err != nil {
-		return fmt.Errorf("secmetric: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := write(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	// CreateTemp opens 0600; match the 0644 a plain create would have used.
-	if err := tmp.Chmod(0o644); err != nil {
-		tmp.Close()
-		return fmt.Errorf("secmetric: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("secmetric: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := durable.WriteFileTo(path, 0o644, write); err != nil {
 		return fmt.Errorf("secmetric: %w", err)
 	}
 	return nil
@@ -328,6 +316,12 @@ func ParseSeverity(name string) (FindingSeverity, error) {
 func CollectFindings(tree *Tree) *FindingsReport {
 	return findings.Collect(tree)
 }
+
+// HistoryRun is one persisted analysis run in the findings history — the
+// unit `secmetric findings -history` appends, secmetricd's -db records per
+// scoring request, and `secmetric query`//v1/query return. See
+// internal/store/findex for the storage layout.
+type HistoryRun = findex.Run
 
 // CollectFindingsDir loads a source tree from disk and collects its
 // CWE-mapped findings stream.

@@ -33,6 +33,9 @@ go test -race -timeout 5m ./...
 echo "== fuzz smoke (FuzzParse, 10s) =="
 go test -run Fuzz -fuzz FuzzParse -fuzztime 10s ./internal/minic
 
+echo "== fuzz smoke (FuzzQueryParse, 10s) =="
+go test -run Fuzz -fuzz FuzzQueryParse -fuzztime 10s ./internal/store/query
+
 echo "== findings smoke (examples/vulnapp) =="
 out=$(go run ./cmd/secmetric findings examples/vulnapp)
 echo "$out"
@@ -47,11 +50,20 @@ esac
 # Bench smoke: the quick-budget workloads must stay within 25% ns/op of
 # the committed post-optimization baseline, so hot-path regressions fail
 # verification instead of landing silently.
-echo "== bench smoke (secmetric bench -quick vs BENCH_pr8.json) =="
+echo "== bench smoke (secmetric bench -quick vs BENCH_pr9.json) =="
 benchtmp=$(mktemp -d)
 go run ./cmd/secmetric bench -quick -rev verify -out "$benchtmp/bench.json" \
-	-against BENCH_pr8.json -max-regress 0.25
+	-against BENCH_pr9.json -max-regress 0.25
 rm -rf "$benchtmp"
+
+# Store smoke: the embedded engine must survive an injected mid-commit
+# crash losing no acknowledged run (two crash offsets), and MVCC snapshot
+# reads must stay byte-identical while a writer commits 100 runs — the
+# parity acceptance test, run explicitly under the race detector.
+echo "== store smoke (crash recovery + snapshot parity) =="
+go run ./cmd/storesmoke -crash $((128 * 1024)) -runs 600
+go run ./cmd/storesmoke -crash $((300 * 1024)) -runs 1200 -seed 99
+go test -race -count=1 -run 'TestSnapshotParityUnderConcurrentWriter|TestCrashRecoveryTorture' ./internal/store
 
 # Rank smoke: the function-level ranking must be byte-identical at any
 # worker-pool width, and the acceptance ordering on examples/vulnapp must
