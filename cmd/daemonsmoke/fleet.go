@@ -1,0 +1,551 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/pkg/api"
+	"repro/pkg/client"
+)
+
+// runStream holds the streaming endpoints to the batch contract through
+// the typed client: per-file callbacks fire once per tree file and the
+// summary record is byte-identical to the batch response.
+func runStream(ctx context.Context, c *client.Client, dir string) error {
+	tree, err := client.TreeFromDir(dir)
+	if err != nil {
+		return err
+	}
+
+	// Warm the cache, then take the batch truth: warm batch and warm
+	// stream see identical per-file diagnostics.
+	if _, err := c.Analyze(ctx, api.AnalyzeRequest{Tree: tree}); err != nil {
+		return fmt.Errorf("analyze (warmup): %w", err)
+	}
+	batch, err := c.Analyze(ctx, api.AnalyzeRequest{Tree: tree})
+	if err != nil {
+		return fmt.Errorf("analyze (batch): %w", err)
+	}
+	var files int
+	sum, err := c.AnalyzeStream(ctx, api.AnalyzeRequest{Tree: tree}, func(f api.StreamFile) { files++ })
+	if err != nil {
+		return fmt.Errorf("analyze stream: %w", err)
+	}
+	if files != len(tree.Files) {
+		return fmt.Errorf("analyze stream: %d file records for %d files", files, len(tree.Files))
+	}
+	if err := assertSameJSON("analyze stream summary vs batch", sum, batch); err != nil {
+		return err
+	}
+	log.Printf("analyze stream: %d file records, summary byte-identical to batch", files)
+
+	fbatch, err := c.Findings(ctx, api.FindingsRequest{Tree: tree})
+	if err != nil {
+		return fmt.Errorf("findings (batch): %w", err)
+	}
+	perFile := map[string][]string{}
+	fsum, err := c.FindingsStream(ctx, api.FindingsRequest{Tree: tree}, func(f api.StreamFile) {
+		for _, fd := range f.Findings {
+			perFile[f.Path] = append(perFile[f.Path], fmt.Sprintf("%s:%d:%s:%s", fd.File, fd.Line, fd.Rule, fd.Message))
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("findings stream: %w", err)
+	}
+	if err := assertSameJSON("findings stream summary vs batch", fsum, fbatch); err != nil {
+		return err
+	}
+	// The per-file records, concatenated in path order, must carry exactly
+	// the batch report's findings.
+	paths := make([]string, 0, len(perFile))
+	for p := range perFile {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var concat []string
+	for _, p := range paths {
+		concat = append(concat, perFile[p]...)
+	}
+	var want []string
+	if fbatch.Report != nil {
+		for _, fd := range fbatch.Report.Findings {
+			want = append(want, fmt.Sprintf("%s:%d:%s:%s", fd.File, fd.Line, fd.Rule, fd.Message))
+		}
+	}
+	if len(want) == 0 {
+		return fmt.Errorf("findings stream: batch report is empty; parity check is vacuous")
+	}
+	if strings.Join(concat, "\n") != strings.Join(want, "\n") {
+		return fmt.Errorf("findings stream: concatenated records differ from the batch report:\n%s\nvs\n%s",
+			strings.Join(concat, "\n"), strings.Join(want, "\n"))
+	}
+	log.Printf("findings stream: %d finding(s) across records match the batch report exactly", len(want))
+	return nil
+}
+
+// daemonProc is one secmetricd the fleet smoke booted itself.
+type daemonProc struct {
+	name string
+	cmd  *exec.Cmd
+	addr string
+	args []string // the full arg list, for restarting on the same address
+	bin  string
+	logP string
+}
+
+// startDaemon boots bin with the given args plus addr bookkeeping and
+// waits for the address file. addr == "" picks an ephemeral port.
+func startDaemon(bin, tmp, name, addr string, extra ...string) (*daemonProc, error) {
+	addrFile := filepath.Join(tmp, name+".addr")
+	os.Remove(addrFile)
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	logP := filepath.Join(tmp, name+".log")
+	logf, err := os.OpenFile(logP, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	defer logf.Close()
+	args := append([]string{"-addr", addr, "-addr-file", addrFile}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout, cmd.Stderr = logf, logf
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", name, err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			return &daemonProc{name: name, cmd: cmd, addr: string(data), args: extra, bin: bin, logP: logP}, nil
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			logData, _ := os.ReadFile(logP)
+			return nil, fmt.Errorf("%s never wrote its address; log:\n%s", name, logData)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (d *daemonProc) stop() {
+	if d == nil || d.cmd == nil || d.cmd.Process == nil {
+		return
+	}
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { d.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		d.cmd.Process.Kill()
+		<-done
+	}
+}
+
+// kill SIGKILLs the process — the fleet smoke's stand-in for a backend
+// dying without a drain.
+func (d *daemonProc) kill() {
+	d.cmd.Process.Kill()
+	d.cmd.Wait()
+}
+
+// canonRuns canonicalizes a query response for cross-daemon comparison:
+// each shard stamps runs with its own wall clock, so the time field is
+// zeroed; everything else must match byte for byte.
+func canonRuns(resp *api.QueryResponse) ([]byte, error) {
+	raw, err := json.Marshal(resp.Runs)
+	if err != nil {
+		return nil, err
+	}
+	var runs []map[string]any
+	if err := json.Unmarshal(raw, &runs); err != nil {
+		return nil, err
+	}
+	for _, r := range runs {
+		delete(r, "time")
+	}
+	return json.MarshalIndent(runs, "", " ")
+}
+
+// routerHealthy polls the router's /healthz until want backends report
+// healthy (or the deadline passes).
+func routerHealthy(routerAddr string, want int, deadline time.Duration) error {
+	end := time.Now().Add(deadline)
+	for {
+		var health api.RouterHealth
+		resp, err := http.Get("http://" + routerAddr + "/healthz")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&health)
+			resp.Body.Close()
+		}
+		if err == nil {
+			healthy := 0
+			for _, b := range health.Backends {
+				if b.Healthy {
+					healthy++
+				}
+			}
+			if healthy == want {
+				return nil
+			}
+		}
+		if time.Now().After(end) {
+			return fmt.Errorf("router never reached %d healthy backend(s): %+v", want, health.Backends)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// coalescedRequests sums the request-kind coalesced counter across a set
+// of daemons' /metrics expositions.
+func coalescedRequests(ctx context.Context, addrs []string) (int, error) {
+	total := 0
+	for _, a := range addrs {
+		m, err := client.New("http://" + a).RawMetrics(ctx)
+		if err != nil {
+			return 0, fmt.Errorf("metrics on %s: %w", a, err)
+		}
+		for _, line := range strings.Split(m, "\n") {
+			if strings.HasPrefix(line, `secmetricd_coalesced_total{kind="request"`) {
+				var v int
+				if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err == nil {
+					total += v
+				}
+			}
+		}
+	}
+	return total, nil
+}
+
+// runFleet boots a solo daemon, three shard backends, and the router, then
+// holds the fleet to the solo daemon's answers: same bytes for score,
+// rank, delta, and (time-normalized) query; coalescing on the home shard;
+// and service through a SIGKILLed backend and its recovery.
+func runFleet(ctx context.Context, daemonBin, modelFile, dir string, requests int) error {
+	tmp, err := os.MkdirTemp("", "fleetsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	common := func(name string) []string {
+		return []string{
+			"-model", modelFile, "-workers", "2", "-queue", "64",
+			"-db", filepath.Join(tmp, name+".db"),
+		}
+	}
+	solo, err := startDaemon(daemonBin, tmp, "solo", "", common("solo")...)
+	if err != nil {
+		return err
+	}
+	defer solo.stop()
+	backends := make([]*daemonProc, 3)
+	for i := range backends {
+		name := fmt.Sprintf("b%d", i+1)
+		backends[i], err = startDaemon(daemonBin, tmp, name, "", common(name)...)
+		if err != nil {
+			return err
+		}
+		defer backends[i].stop()
+	}
+	routeList := make([]string, len(backends))
+	backendAddrs := make([]string, len(backends))
+	for i, b := range backends {
+		routeList[i] = "http://" + b.addr
+		backendAddrs[i] = b.addr
+	}
+	router, err := startDaemon(daemonBin, tmp, "router", "",
+		"-route", strings.Join(routeList, ","), "-health-interval", "100ms")
+	if err != nil {
+		return err
+	}
+	defer router.stop()
+	log.Printf("fleet up: solo %s, backends %v, router %s", solo.addr, backendAddrs, router.addr)
+
+	cSolo := client.New("http://" + solo.addr)
+	cFleet := client.New("http://" + router.addr)
+
+	base, err := client.TreeFromDir(dir)
+	if err != nil {
+		return err
+	}
+	namedTree := func(name string) api.Tree { return api.Tree{Name: name, Files: base.Files} }
+
+	// 1. Score parity across enough distinct repos to involve every shard.
+	const repos = 12
+	for i := 0; i < repos; i++ {
+		tree := namedTree(fmt.Sprintf("fleet-%d", i))
+		fleetResp, err := cFleet.Score(ctx, api.ScoreRequest{Tree: tree})
+		if err != nil {
+			return fmt.Errorf("fleet score %s: %w", tree.Name, err)
+		}
+		soloResp, err := cSolo.Score(ctx, api.ScoreRequest{Tree: tree})
+		if err != nil {
+			return fmt.Errorf("solo score %s: %w", tree.Name, err)
+		}
+		if err := assertSameJSON("fleet vs solo score "+tree.Name, fleetResp.Report, soloResp.Report); err != nil {
+			return err
+		}
+	}
+	log.Printf("score parity: %d repos byte-identical through the router", repos)
+
+	// 2. Rank parity.
+	rTree := namedTree("fleet-rank")
+	fleetRank, err := cFleet.Rank(ctx, api.RankRequest{Tree: rTree})
+	if err != nil {
+		return fmt.Errorf("fleet rank: %w", err)
+	}
+	soloRank, err := cSolo.Rank(ctx, api.RankRequest{Tree: rTree})
+	if err != nil {
+		return fmt.Errorf("solo rank: %w", err)
+	}
+	if err := assertSameJSON("fleet vs solo rank", fleetRank.Ranking, soloRank.Ranking); err != nil {
+		return err
+	}
+	log.Printf("rank parity: byte-identical through the router")
+
+	// 3. Delta through the router: the 409 contract crosses it, sessions
+	// stay shard-local, and the incremental bytes match the solo daemon's.
+	const repo = "fleet-delta-repo"
+	if _, err := cFleet.Delta(ctx, api.DeltaRequest{RepoID: repo, Changeset: api.Changeset{
+		Modified: []api.File{base.Files[0]},
+	}}); !client.IsStaleSession(err) {
+		return fmt.Errorf("fleet delta: unseeded modify should answer 409 stale_session through the router, got: %v", err)
+	}
+	deltaDance := func(c *client.Client) (*api.DeltaResponse, *api.DeltaResponse, error) {
+		seed, err := c.Delta(ctx, api.DeltaRequest{RepoID: repo, Changeset: api.Changeset{Added: base.Files}})
+		if err != nil {
+			return nil, nil, fmt.Errorf("seed: %w", err)
+		}
+		edited := base.Files[0]
+		edited.Content += "\nint fleet_edit(int x) { if (x > 7) { return x; } return 0; }\n"
+		change, err := c.Delta(ctx, api.DeltaRequest{RepoID: repo, Changeset: api.Changeset{
+			Modified: []api.File{edited},
+		}})
+		if err != nil {
+			return nil, nil, fmt.Errorf("change: %w", err)
+		}
+		return seed, change, nil
+	}
+	fSeed, fChange, err := deltaDance(cFleet)
+	if err != nil {
+		return fmt.Errorf("fleet delta: %w", err)
+	}
+	sSeed, sChange, err := deltaDance(cSolo)
+	if err != nil {
+		return fmt.Errorf("solo delta: %w", err)
+	}
+	if err := assertSameJSON("fleet vs solo delta seed report", fSeed.Report, sSeed.Report); err != nil {
+		return err
+	}
+	if err := assertSameJSON("fleet vs solo delta change report", fChange.Report, sChange.Report); err != nil {
+		return err
+	}
+	if err := assertSameJSON("fleet vs solo delta comparison", fChange.Comparison, sChange.Comparison); err != nil {
+		return err
+	}
+	log.Printf("delta parity: 409 + seed + 1-file change byte-identical through the router")
+
+	// 4. Query parity: the scores above were recorded shard-local; a
+	// repo-filtered query converges on the owning shard and answers what
+	// the solo daemon's all-in-one history answers (times normalized).
+	for _, name := range []string{"fleet-0", "fleet-7"} {
+		q := api.QueryRequest{Query: fmt.Sprintf("repo = %q", name)}
+		fleetQ, err := cFleet.Query(ctx, q)
+		if err != nil {
+			return fmt.Errorf("fleet query %s: %w", name, err)
+		}
+		soloQ, err := cSolo.Query(ctx, q)
+		if err != nil {
+			return fmt.Errorf("solo query %s: %w", name, err)
+		}
+		if len(fleetQ.Runs) == 0 {
+			return fmt.Errorf("fleet query %s: no runs recorded", name)
+		}
+		fr, err := canonRuns(fleetQ)
+		if err != nil {
+			return err
+		}
+		sr, err := canonRuns(soloQ)
+		if err != nil {
+			return err
+		}
+		if string(fr) != string(sr) {
+			return fmt.Errorf("query %s: fleet runs differ from solo runs:\n%s\nvs\n%s", name, fr, sr)
+		}
+	}
+	// A query that cannot name its shard is refused, not partially answered.
+	if _, err := cFleet.Query(ctx, api.QueryRequest{Query: "score > 0"}); err == nil {
+		return fmt.Errorf("fleet query without a repo filter unexpectedly succeeded")
+	}
+	log.Printf("query parity: shard-local history answers match the solo daemon")
+
+	// 5. Coalescing drill: identical concurrent scores of a heavy tree all
+	// hash to one backend; the followers ride the leader's execution.
+	big, err := bigTree(dir, 30)
+	if err != nil {
+		return err
+	}
+	big.Name = "fleet-coalesce"
+	before, err := coalescedRequests(ctx, backendAddrs)
+	if err != nil {
+		return err
+	}
+	bodies := make([][]byte, requests)
+	errs := make([]error, requests)
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := cFleet.Score(ctx, api.ScoreRequest{Tree: big})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			bodies[i], errs[i] = canon(resp.Report)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("coalesce burst %d: %w", i, err)
+		}
+		if string(bodies[i]) != string(bodies[0]) {
+			return fmt.Errorf("coalesce burst %d: response differs from burst 0", i)
+		}
+	}
+	after, err := coalescedRequests(ctx, backendAddrs)
+	if err != nil {
+		return err
+	}
+	if after <= before {
+		return fmt.Errorf("coalesce burst: no request was coalesced (counter %d -> %d)", before, after)
+	}
+	soloBig, err := cSolo.Score(ctx, api.ScoreRequest{Tree: big})
+	if err != nil {
+		return fmt.Errorf("solo score (big): %w", err)
+	}
+	soloBigC, err := canon(soloBig.Report)
+	if err != nil {
+		return err
+	}
+	if string(bodies[0]) != string(soloBigC) {
+		return fmt.Errorf("coalesced fleet response differs from the solo daemon's")
+	}
+	log.Printf("coalescing: %d identical scores deduplicated %d request(s) on the home shard, bytes match solo", requests, after-before)
+
+	// 6. Kill drill: baseline every repo, SIGKILL one backend under load,
+	// then require every repo to keep answering its baseline bytes.
+	baseline := make(map[string][]byte, repos)
+	for i := 0; i < repos; i++ {
+		name := fmt.Sprintf("fleet-%d", i)
+		resp, err := cFleet.Score(ctx, api.ScoreRequest{Tree: namedTree(name)})
+		if err != nil {
+			return fmt.Errorf("baseline %s: %w", name, err)
+		}
+		baseline[name], err = canon(resp.Report)
+		if err != nil {
+			return err
+		}
+	}
+	stopLoad := make(chan struct{})
+	var loadWG sync.WaitGroup
+	var loadOK, loadErr int64
+	var loadMu sync.Mutex
+	for w := 0; w < 4; w++ {
+		loadWG.Add(1)
+		go func(w int) {
+			defer loadWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopLoad:
+					return
+				default:
+				}
+				name := fmt.Sprintf("fleet-%d", (w*31+i)%repos)
+				resp, err := cFleet.Score(ctx, api.ScoreRequest{Tree: namedTree(name)})
+				loadMu.Lock()
+				if err != nil {
+					// Requests in flight on the dying backend at the kill
+					// instant may fail; the sweep below is the contract.
+					loadErr++
+				} else if b, cerr := canon(resp.Report); cerr == nil && string(b) == string(baseline[name]) {
+					loadOK++
+				} else {
+					loadErr++
+				}
+				loadMu.Unlock()
+			}
+		}(w)
+	}
+	time.Sleep(500 * time.Millisecond)
+	victim := backends[1]
+	victim.kill()
+	log.Printf("killed backend %s (%s) mid-burst", victim.name, victim.addr)
+	time.Sleep(500 * time.Millisecond)
+	close(stopLoad)
+	loadWG.Wait()
+	if loadOK == 0 {
+		return fmt.Errorf("kill drill: no request succeeded under load (%d errors)", loadErr)
+	}
+	log.Printf("kill drill load: %d correct responses, %d transient failures", loadOK, loadErr)
+
+	// With the backend dead, every repo must still answer its baseline
+	// bytes (keys slid to the ring successor), and the router must report
+	// the ejection.
+	if err := routerHealthy(router.addr, 2, 10*time.Second); err != nil {
+		return fmt.Errorf("after kill: %w", err)
+	}
+	for name, want := range baseline {
+		resp, err := cFleet.Score(ctx, api.ScoreRequest{Tree: namedTree(name)})
+		if err != nil {
+			return fmt.Errorf("post-kill score %s: %w", name, err)
+		}
+		got, err := canon(resp.Report)
+		if err != nil {
+			return err
+		}
+		if string(got) != string(want) {
+			return fmt.Errorf("post-kill score %s: bytes differ from baseline", name)
+		}
+	}
+	log.Printf("post-kill: all %d repos answer baseline bytes through %d surviving backends", repos, 2)
+
+	// 7. Recovery: restart the backend on its old address; the router's
+	// probes re-admit it and the fleet answers whole again.
+	restarted, err := startDaemon(victim.bin, tmp, victim.name+"-restart", victim.addr, victim.args...)
+	if err != nil {
+		return fmt.Errorf("restart %s: %w", victim.name, err)
+	}
+	defer restarted.stop()
+	if err := routerHealthy(router.addr, 3, 15*time.Second); err != nil {
+		return fmt.Errorf("after restart: %w", err)
+	}
+	for name, want := range baseline {
+		resp, err := cFleet.Score(ctx, api.ScoreRequest{Tree: namedTree(name)})
+		if err != nil {
+			return fmt.Errorf("post-restart score %s: %w", name, err)
+		}
+		got, err := canon(resp.Report)
+		if err != nil {
+			return err
+		}
+		if string(got) != string(want) {
+			return fmt.Errorf("post-restart score %s: bytes differ from baseline", name)
+		}
+	}
+	log.Printf("recovery: backend re-admitted; all repos answer baseline bytes with the fleet whole")
+	return nil
+}

@@ -41,7 +41,32 @@
 //	    provisioned daemon (workers=1, queue=1) yields at least one 429
 //	    rejection and at least one success, and every success is
 //	    byte-identical — backpressure sheds load instead of queueing
-//	    without bound, and shed load never corrupts served results
+//	    without bound, and shed load never corrupts served results. Each
+//	    request carries a distinct tree name so the burst is distinct
+//	    work: an identical burst would coalesce into one queued job and
+//	    (correctly) never shed.
+//
+//	-mode stream:
+//	  * /v1/analyze/stream and /v1/findings/stream (driven through the
+//	    typed client) fire one per-file callback per tree file and end
+//	    with a summary byte-identical to the batch endpoint's response;
+//	    the per-file findings records concatenated in path order carry
+//	    exactly the batch report's findings
+//
+//	-mode fleet (boots its own processes; needs -daemon and -model):
+//	  * a 3-backend fleet behind the consistent-hash router answers
+//	    /v1/score, /v1/rank, /v1/delta, and /v1/query byte-identical to a
+//	    single solo daemon (query times normalized — shards stamp their
+//	    own clocks)
+//	  * an unseeded /v1/delta modification crosses the router as the
+//	    same 409 stale-session signal a direct daemon answers
+//	  * a burst of identical scores through the router coalesces on the
+//	    home backend (its coalesced_total counter moves) and every
+//	    response is byte-identical to the solo daemon's
+//	  * SIGKILLing one backend mid-burst leaves the fleet serving: after
+//	    the kill every repo still scores correctly (keys slide to the
+//	    ring successor), and restarting the backend on its old address
+//	    re-admits it (router health returns to all-healthy)
 //
 // Exit status 0 means every assertion held.
 package main
@@ -66,19 +91,31 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("daemonsmoke: ")
 	var (
-		addr     = flag.String("addr", "", "daemon address (host:port)")
-		dir      = flag.String("dir", "examples/vulnapp", "source directory to score")
-		cliFile  = flag.String("cli", "", "file holding `secmetric score -json` output to compare against")
-		mode     = flag.String("mode", "full", "full | burst | delta | rank")
-		requests = flag.Int("requests", 8, "concurrent requests per phase")
-		replicas = flag.Int("replicas", 300, "file replicas in the large synthetic tree (deadline/burst phases)")
+		addr      = flag.String("addr", "", "daemon address (host:port); unused by -mode fleet")
+		dir       = flag.String("dir", "examples/vulnapp", "source directory to score")
+		cliFile   = flag.String("cli", "", "file holding `secmetric score -json` output to compare against")
+		mode      = flag.String("mode", "full", "full | burst | delta | rank | stream | fleet")
+		requests  = flag.Int("requests", 8, "concurrent requests per phase")
+		replicas  = flag.Int("replicas", 300, "file replicas in the large synthetic tree (deadline/burst phases)")
+		daemonBin = flag.String("daemon", "", "fleet mode: path to the secmetricd binary to boot")
+		modelFile = flag.String("model", "", "fleet mode: model file every booted daemon serves")
 	)
 	flag.Parse()
+	ctx := context.Background()
+	if *mode == "fleet" {
+		if *daemonBin == "" || *modelFile == "" {
+			log.Fatal("-mode fleet needs -daemon and -model")
+		}
+		if err := runFleet(ctx, *daemonBin, *modelFile, *dir, *requests); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("daemonsmoke: OK (fleet)")
+		return
+	}
 	if *addr == "" {
 		log.Fatal("-addr is required")
 	}
 	c := client.New("http://" + *addr)
-	ctx := context.Background()
 	var err error
 	switch *mode {
 	case "full":
@@ -89,6 +126,8 @@ func main() {
 		err = runDelta(ctx, c, *dir)
 	case "rank":
 		err = runRank(ctx, c, *dir, *cliFile)
+	case "stream":
+		err = runStream(ctx, c, *dir)
 	default:
 		err = fmt.Errorf("unknown -mode %q", *mode)
 	}
@@ -476,11 +515,20 @@ func runBurst(ctx context.Context, c *client.Client, dir string, requests, repli
 		go func(i int) {
 			defer wg.Done()
 			<-start
-			resp, err := c.Score(ctx, api.ScoreRequest{Tree: big})
+			// Distinct tree names per request: the tree name is part of
+			// the request-coalescing key, so an identical burst would
+			// deduplicate into one queued job and never trip 429. The
+			// backpressure contract is about distinct work.
+			t := big
+			t.Name = fmt.Sprintf("%s-burst-%02d", big.Name, i)
+			resp, err := c.Score(ctx, api.ScoreRequest{Tree: t})
 			if err != nil {
 				results[i] = result{err: err}
 				return
 			}
+			// The per-request name is the only field that may differ
+			// between successes; normalize it before the parity check.
+			resp.Report.Name = big.Name
 			b, err := canon(resp.Report)
 			results[i] = result{report: b, err: err}
 		}(i)

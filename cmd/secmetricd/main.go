@@ -8,7 +8,9 @@
 //
 //	POST /v1/score          security report of a JSON-encoded source tree
 //	POST /v1/analyze        raw code-property vector
+//	POST /v1/analyze/stream NDJSON per-file progress, then the batch response
 //	POST /v1/findings       CWE-mapped findings stream
+//	POST /v1/findings/stream NDJSON per-file findings, then the batch report
 //	POST /v1/compare        risk delta between two versions (the CI gate)
 //	POST /v1/delta          apply a changeset to a per-repo session, score the delta
 //	POST /v1/rank           function-level risk ranking
@@ -30,6 +32,14 @@
 // run (tree name, CWE-tagged findings, score where the endpoint computes
 // one) to the embedded findings history at that path, and POST /v1/query
 // serves the internal/store query language over it.
+//
+// With -route URL1,URL2,... the process runs as a consistent-hash shard
+// router over those secmetricd backends instead of serving analyses
+// itself: requests hash by repository (tree name, repo_id, or a query's
+// repo filter) so delta sessions and -db history stay shard-local, down
+// backends are ejected by active health probes (-health-interval) and
+// re-admitted on recovery, and backend responses — 429, 504, 409 included
+// — are forwarded verbatim.
 //
 // With -pprof, a second listener serves net/http/pprof on its own mux —
 // profiling never shares a port (or an exposure decision) with the scoring
@@ -63,6 +73,7 @@ import (
 
 	secmetric "repro"
 	"repro/internal/featcache"
+	"repro/internal/router"
 	"repro/internal/server"
 	"repro/internal/store/findex"
 )
@@ -93,6 +104,8 @@ func run() error {
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
 		maxSessions  = flag.Int("sessions", server.DefaultMaxSessions, "max live /v1/delta repo sessions; least-recently-used beyond this are evicted")
 		sessionTTL   = flag.Duration("session-ttl", server.DefaultSessionTTL, "evict /v1/delta sessions idle longer than this")
+		route        = flag.String("route", "", "run as a shard router over this comma-separated backend URL list instead of serving analyses")
+		healthIvl    = flag.Duration("health-interval", router.DefaultHealthInterval, "router mode: interval between active backend health probes")
 	)
 	modelFiles := map[string]string{}
 	flag.Func("model", "model file to serve, repeatable; `path` or NAME=PATH (name defaults to the basename)", func(v string) error {
@@ -111,6 +124,21 @@ func run() error {
 		return nil
 	})
 	flag.Parse()
+
+	if *route != "" {
+		// Router mode: no models, no cache, no history — just the ring.
+		rt, err := router.New(router.Config{
+			Backends:       strings.Split(*route, ","),
+			HealthInterval: *healthIvl,
+			MaxBodyBytes:   *maxBody,
+		})
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		log.Printf("routing across %d backend(s): %s", len(rt.Backends()), strings.Join(rt.Backends(), ", "))
+		return serveAndDrain(rt.Handler(), *addr, *addrFile, *drainTimeout)
+	}
 
 	cache, err := featcache.Open(*cacheDir)
 	if err != nil {
@@ -186,24 +214,31 @@ func run() error {
 		}()
 	}
 
-	ln, err := net.Listen("tcp", *addr)
+	return serveAndDrain(srv.Handler(), *addr, *addrFile, *drainTimeout)
+}
+
+// serveAndDrain runs one hardened HTTP server (daemon or router mode)
+// until SIGINT/SIGTERM, then drains: the listener closes, in-flight
+// requests finish bounded by drainTimeout, and the process exits cleanly.
+func serveAndDrain(h http.Handler, addr, addrFile string, drainTimeout time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	bound := ln.Addr().String()
-	if *addrFile != "" {
+	if addrFile != "" {
 		// Write-then-rename so a poller never reads a half-written address.
-		tmp := *addrFile + ".tmp"
+		tmp := addrFile + ".tmp"
 		if err := os.WriteFile(tmp, []byte(bound), 0o644); err != nil {
 			return err
 		}
-		if err := os.Rename(tmp, *addrFile); err != nil {
+		if err := os.Rename(tmp, addrFile); err != nil {
 			return err
 		}
 	}
 	log.Printf("listening on %s", bound)
 
-	hs := newHTTPServer(srv.Handler())
+	hs := newHTTPServer(h)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -215,8 +250,8 @@ func run() error {
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("signal received; draining in-flight requests (up to %v)...", *drainTimeout)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	log.Printf("signal received; draining in-flight requests (up to %v)...", drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)

@@ -55,6 +55,10 @@ const (
 	StoreValueBytes = 256
 	StoreRuns       = 256
 	StoreRepos      = 4
+	// CoalesceFanout is the burst width of the score_coalesced workload:
+	// how many identical concurrent scores one op fans through the
+	// singleflight group (the request coalescer's dedup primitive).
+	CoalesceFanout = 8
 
 	benchSeed = 0xbe9c4
 )
@@ -164,15 +168,16 @@ func Run(opts Options) (*Report, error) {
 		GoVersion: runtime.Version(),
 		Quick:     opts.Quick,
 		Scales: map[string]int{
-			"tree_files":  TreeFiles,
-			"fit_rows":    FitRows,
-			"fit_cols":    FitCols,
-			"fit_trees":   FitTrees,
-			"fit_depth":   FitDepth,
-			"batch_rows":  BatchRows,
-			"model_trees": ModelTrees,
-			"store_keys":  StoreKeys,
-			"store_runs":  StoreRuns,
+			"tree_files":      TreeFiles,
+			"fit_rows":        FitRows,
+			"fit_cols":        FitCols,
+			"fit_trees":       FitTrees,
+			"fit_depth":       FitDepth,
+			"batch_rows":      BatchRows,
+			"model_trees":     ModelTrees,
+			"store_keys":      StoreKeys,
+			"store_runs":      StoreRuns,
+			"coalesce_fanout": CoalesceFanout,
 		},
 	}
 	ws, err := setupWorkloads(opts.Dir)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/cwe"
@@ -15,14 +16,19 @@ import (
 	"repro/internal/lint"
 	"repro/internal/metrics"
 	"repro/internal/ml"
+	"repro/internal/singleflight"
 	"repro/internal/stats"
 	"repro/internal/store"
 	"repro/internal/store/findex"
 	"repro/internal/trace"
 )
 
-// sink defeats dead-code elimination of benchmark bodies.
-var sink float64
+// sink defeats dead-code elimination of benchmark bodies. sinkMu guards
+// it in the one workload whose body fans out goroutines.
+var (
+	sink   float64
+	sinkMu sync.Mutex
+)
 
 // workload is one named benchmark body over shared fixtures.
 type workload struct {
@@ -64,6 +70,10 @@ type workloads struct {
 	putCount  int
 	hist      *findex.Store
 	tmpDir    string
+
+	// flight is the singleflight group score_coalesced fans bursts
+	// through; shared so the key bookkeeping is steady-state.
+	flight singleflight.Group[float64]
 }
 
 // close releases the storage fixtures; Run defers it.
@@ -347,6 +357,27 @@ func (w *workloads) list() []workload {
 		{"score", func() {
 			rep := w.model.Score("bench", w.scoreInput)
 			sink += rep.RiskScore
+		}},
+		{"score_coalesced", func() {
+			// A CoalesceFanout-wide burst of identical scores through the
+			// singleflight group: one leader runs the model, the rest
+			// adopt its flight — the dedup hot path the daemon's request
+			// coalescer pays per burst (goroutine fan-out, channel wait,
+			// key bookkeeping) on top of one model execution.
+			var wg sync.WaitGroup
+			for i := 0; i < CoalesceFanout; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					v, _, _ := w.flight.Do(context.Background(), "score", func() float64 {
+						return w.model.Score("bench", w.scoreInput).RiskScore
+					})
+					sinkMu.Lock()
+					sink += v
+					sinkMu.Unlock()
+				}()
+			}
+			wg.Wait()
 		}},
 		{"model_load_json", func() {
 			m, err := core.LoadModel(bytes.NewReader(w.modelJSON))

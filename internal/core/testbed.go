@@ -22,6 +22,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/minic"
 	"repro/internal/ml"
+	"repro/internal/singleflight"
 	"repro/internal/stats"
 	"repro/internal/symexec"
 	"repro/internal/trace"
@@ -269,7 +270,44 @@ type ExtractConfig struct {
 	// never written to the cache, so raising the timeout later re-runs
 	// the analysis.
 	FileTimeout time.Duration
+	// Flight, when non-nil, coalesces identical in-flight deep analyses
+	// across concurrent extractions sharing the flight: when two requests
+	// race the same cache miss (same analysis version, language, and
+	// bytes), one runs the analysis and the other adopts its result with a
+	// StatusCoalesced diagnostic. A flight only dedups concurrency — the
+	// Cache still owns reuse over time — so it changes cost, never bytes.
+	Flight *ExtractFlight
+	// FileDone, when non-nil, receives each file's diagnostic as the
+	// worker pool finishes it. Calls arrive on worker goroutines in
+	// completion order (any order); i indexes tree.Files. Files skipped
+	// because the run was canceled are never reported. The streaming
+	// endpoints use this to emit per-file records before the run's
+	// aggregate exists.
+	FileDone func(i int, d FileDiagnostic)
 }
+
+// ExtractFlight is the shared in-flight dedup table for per-file deep
+// analyses. One flight serves any number of concurrent extractions (the
+// daemon owns exactly one, shared by every request and delta session);
+// the zero value is ready to use.
+type ExtractFlight struct {
+	g singleflight.Group[flightResult]
+}
+
+// flightResult is what a leader hands its followers: the enrichment plus
+// how the analysis ended, so a degraded result is shared as degraded.
+type flightResult struct {
+	enr    fileEnrichment
+	status FileStatus
+	detail string
+}
+
+// NewExtractFlight returns an empty flight.
+func NewExtractFlight() *ExtractFlight { return &ExtractFlight{} }
+
+// Coalesced counts per-file analyses that were adopted from a concurrent
+// leader instead of being run (the daemon's coalesced_total metric).
+func (f *ExtractFlight) Coalesced() uint64 { return f.g.Shared() }
 
 // ExtractFeatures runs the full static-analysis testbed over a source tree:
 // the base extractors plus the deep-analysis enrichment (lint warnings,
@@ -350,6 +388,9 @@ func ExtractFeaturesDiagnostics(ctx context.Context, tree *metrics.Tree, cfg Ext
 				fs.End()
 				enriched[i] = enr
 				diag.Files[i] = FileDiagnostic{Path: f.Path, Status: status, Detail: detail}
+				if cfg.FileDone != nil {
+					cfg.FileDone(i, diag.Files[i])
+				}
 			}
 		}()
 	}
@@ -369,14 +410,16 @@ dispatch:
 
 	setEnrichmentFeatures(fv, aggregateEnrichments(enriched))
 	diag.CacheHits, diag.CacheMisses = ct.hits.Load(), ct.misses.Load()
+	diag.Coalesced = ct.coalesced.Load()
 	return fv, diag, nil
 }
 
-// cacheTraffic counts one run's feature-cache hits and misses. Each
+// cacheTraffic counts one run's feature-cache hits and misses, plus the
+// misses that coalesced onto a concurrent leader's analysis. Each
 // extraction (and each session changeset) owns its own instance, so
 // concurrent runs over a shared cache report only their own traffic.
 type cacheTraffic struct {
-	hits, misses atomic.Uint64
+	hits, misses, coalesced atomic.Uint64
 }
 
 // aggregateEnrichments folds per-file enrichments, in slice order, into the
@@ -449,28 +492,71 @@ const deepSpanSeq = 1
 // timed-out or panic-contained zero is a degraded result, and caching it
 // would make the degradation permanent even after the timeout is raised
 // or the analyzer bug fixed.
+//
+// With a Flight configured, concurrent misses on the same key coalesce:
+// one caller (the leader) runs the analysis and writes the cache, the
+// rest adopt its result. The leader runs under a cancel-free context —
+// the deep analysis is non-preemptible CPU work bounded by FileTimeout,
+// so finishing it always costs the same, and finishing lets the result
+// land in the cache and in every follower even when the leader's own
+// request was canceled (the leader's run is discarded by its caller's
+// ctx check regardless).
 func enrichFileCached(ctx context.Context, f metrics.File, cfg ExtractConfig, ct *cacheTraffic, fs *trace.Span) (fileEnrichment, FileStatus, string) {
-	if cfg.Cache == nil {
+	if cfg.Cache == nil && cfg.Flight == nil {
 		return enrichFileBounded(ctx, f, cfg.FileTimeout, fs)
 	}
-	cs := fs.Child("cache")
 	key := featcache.Key(AnalysisVersion, f.Language.String(), f.Content)
-	var out fileEnrichment
-	hit := cfg.Cache.GetJSON(key, &out)
-	cs.End()
-	if hit {
-		ct.hits.Add(1)
-		fs.Add("cache_hit", 1)
-		return out, StatusCacheHit, ""
+	if cfg.Cache != nil {
+		cs := fs.Child("cache")
+		var out fileEnrichment
+		hit := cfg.Cache.GetJSON(key, &out)
+		cs.End()
+		if hit {
+			ct.hits.Add(1)
+			fs.Add("cache_hit", 1)
+			return out, StatusCacheHit, ""
+		}
+		ct.misses.Add(1)
 	}
-	ct.misses.Add(1)
-	out, status, detail := enrichFileBounded(ctx, f, cfg.FileTimeout, fs)
+	if cfg.Flight == nil {
+		out, status, detail := enrichFileBounded(ctx, f, cfg.FileTimeout, fs)
+		cachePut(cfg, key, out, status)
+		return out, status, detail
+	}
+	res, shared, err := cfg.Flight.g.Do(ctx, key, func() flightResult {
+		enr, status, detail := enrichFileBounded(context.WithoutCancel(ctx), f, cfg.FileTimeout, fs)
+		cachePut(cfg, key, enr, status)
+		return flightResult{enr: enr, status: status, detail: detail}
+	})
+	if err != nil {
+		// Follower canceled while waiting; the whole run is being torn
+		// down and its output discarded, so only a non-ok status matters.
+		return fileEnrichment{}, StatusTimeout, err.Error()
+	}
+	if shared {
+		if res.status == StatusTimeout || res.status == StatusPanic {
+			// An adopted degradation is still a degradation; reporting it
+			// as coalesced would hide the zero enrichment from the
+			// diagnostics.
+			return res.enr, res.status, res.detail
+		}
+		ct.coalesced.Add(1)
+		fs.Add("coalesced", 1)
+		return res.enr, StatusCoalesced, ""
+	}
+	return res.enr, res.status, res.detail
+}
+
+// cachePut writes one completed analysis back to the cache. A failed write
+// only costs a future re-analysis; the result is still correct, so cache
+// errors are deliberately not fatal.
+func cachePut(cfg ExtractConfig, key string, enr fileEnrichment, status FileStatus) {
+	if cfg.Cache == nil {
+		return
+	}
 	if status == StatusOK || status == StatusParseSkip {
-		// A failed write only costs a future re-analysis; the result is
-		// still correct, so cache errors are deliberately not fatal.
-		_ = cfg.Cache.PutJSON(key, out)
+		_ = cfg.Cache.PutJSON(key, enr)
 	}
-	return out, status, detail
 }
 
 // enrichFileBounded applies the per-file deadline. The analysis itself is

@@ -1,0 +1,84 @@
+// Package router implements secmetricd's scale-out front door: a
+// consistent-hash shard router that spreads repositories across a fleet of
+// secmetricd backends. Every request that names a repository — a tree name,
+// a delta session's repo_id, a query's repo filter — hashes onto a ring of
+// virtual nodes, so the same repository always lands on the same backend.
+// That is what makes the stateful serving features shard-local instead of
+// fleet-global: a repo's incremental delta session lives in exactly one
+// backend's session registry, its findings history accumulates in exactly
+// one backend's -db store, and its feature-cache locality survives scale-out.
+//
+// The router holds no analysis state of its own. Backends are actively
+// health-checked and ejected from the ring while down (their keys slide to
+// the clockwise successor), then re-admitted when probes succeed again;
+// backend responses — including 429 backpressure, 504 deadlines, and 409
+// stale-session conflicts — are forwarded transparently so clients speak
+// the exact same wire contract through the router as against one daemon.
+package router
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// vnodesPerBackend is the virtual-node multiplier of the hash ring. 64
+// points per backend keeps the expected load imbalance across a small
+// fleet within a few percent while the ring stays tiny (a binary search
+// over n*64 entries).
+const vnodesPerBackend = 64
+
+type vnode struct {
+	hash    uint64
+	backend int
+}
+
+// ring is a fixed consistent-hash ring over backend indices. It is built
+// once at construction: membership changes are expressed by skipping
+// unhealthy backends during the clockwise walk, not by rebuilding, so a
+// backend bounce moves only the keys that had to move.
+type ring struct {
+	vnodes []vnode
+}
+
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// buildRing places vnodesPerBackend points per backend, keyed by the
+// backend's address (not its index), so the mapping is stable under
+// reordering of the -route list.
+func buildRing(addrs []string) ring {
+	r := ring{vnodes: make([]vnode, 0, len(addrs)*vnodesPerBackend)}
+	for i, addr := range addrs {
+		for v := 0; v < vnodesPerBackend; v++ {
+			r.vnodes = append(r.vnodes, vnode{hash: hash64(fmt.Sprintf("%s#%d", addr, v)), backend: i})
+		}
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool { return r.vnodes[a].hash < r.vnodes[b].hash })
+	return r
+}
+
+// walk yields backend indices in ring order starting at key's successor,
+// deduplicated, until each backend appeared once. The first yielded index
+// is the key's home; the rest are the failover order.
+func (r ring) walk(key string, visit func(backend int) (stop bool)) {
+	if len(r.vnodes) == 0 {
+		return
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	seen := map[int]bool{}
+	for i := 0; i < len(r.vnodes); i++ {
+		v := r.vnodes[(start+i)%len(r.vnodes)]
+		if seen[v.backend] {
+			continue
+		}
+		seen[v.backend] = true
+		if visit(v.backend) {
+			return
+		}
+	}
+}

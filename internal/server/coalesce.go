@@ -1,0 +1,166 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/featcache"
+	"repro/pkg/api"
+)
+
+// reqCoalesceVersion is mixed into every whole-request coalescing key, so
+// a change to what a response contains (or to the key layout itself)
+// never lets two daemon builds treat different requests as identical.
+const reqCoalesceVersion = "req-coalesce-v1"
+
+// coalescer dedups identical whole requests in flight: when N requests
+// carrying the same model and the same canonical tree arrive together on
+// /v1/score or /v1/rank, one (the leader) runs the full admission +
+// analysis pipeline into a buffered response and the rest (followers)
+// replay those exact bytes — status, headers, and body — so a follower is
+// byte-identical to a solo run while costing no worker slot.
+//
+// Like the per-file flight, this is a dedup, not a cache: the key is
+// forgotten the moment the leader's response is published, so sequential
+// identical requests each run (and each observe the live model registry
+// and cache state).
+type coalescer struct {
+	mu      sync.Mutex
+	flights map[string]*reqFlight
+}
+
+// reqFlight is one in-flight leader execution. done is closed after the
+// response fields are set.
+type reqFlight struct {
+	done   chan struct{}
+	code   int
+	header http.Header
+	body   []byte
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{flights: map[string]*reqFlight{}}
+}
+
+// respCapture buffers a handler's response so it can be replayed to every
+// coalesced follower.
+type respCapture struct {
+	header http.Header
+	code   int
+	wrote  bool
+	body   bytes.Buffer
+}
+
+func newRespCapture() *respCapture {
+	return &respCapture{header: http.Header{}, code: http.StatusOK}
+}
+
+func (c *respCapture) Header() http.Header { return c.header }
+
+func (c *respCapture) WriteHeader(code int) {
+	if !c.wrote {
+		c.code = code
+		c.wrote = true
+	}
+}
+
+func (c *respCapture) Write(b []byte) (int, error) {
+	c.wrote = true
+	return c.body.Write(b)
+}
+
+// coalesce runs handler once per key among concurrent callers and replays
+// the captured response to every caller. The follower's wait is bounded
+// by its own request deadline (expiry answers 504 exactly as if its own
+// analysis had run long), and a follower whose client hangs up just
+// stops waiting — the leader is unaffected either way.
+//
+// The leader's response is published even if handler panics (a synthetic
+// 500), so a follower can never hang on a dead flight.
+func (s *Server) coalesce(w http.ResponseWriter, r *http.Request, endpoint, key string, timeoutMS int64, handler func(http.ResponseWriter)) {
+	s.coalesced.mu.Lock()
+	if fl, ok := s.coalesced.flights[key]; ok {
+		s.coalesced.mu.Unlock()
+		s.tel.observeCoalesced(endpoint)
+		timer := time.NewTimer(s.requestTimeout(timeoutMS))
+		defer timer.Stop()
+		select {
+		case <-fl.done:
+			s.replay(w, fl)
+		case <-timer.C:
+			s.writeErr(w, http.StatusGatewayTimeout, api.CodeDeadline,
+				"deadline exceeded while waiting for an identical in-flight request")
+		case <-r.Context().Done():
+			// Client gone; there is nobody to answer.
+		}
+		return
+	}
+	fl := &reqFlight{done: make(chan struct{})}
+	s.coalesced.flights[key] = fl
+	s.coalesced.mu.Unlock()
+
+	published := false
+	defer func() {
+		s.coalesced.mu.Lock()
+		delete(s.coalesced.flights, key)
+		s.coalesced.mu.Unlock()
+		if !published {
+			fl.code = http.StatusInternalServerError
+			fl.header = http.Header{"Content-Type": []string{"application/json"}}
+			fl.body = []byte(`{"code":"internal","error":"coalesced leader did not produce a response"}` + "\n")
+		}
+		close(fl.done)
+	}()
+
+	rec := newRespCapture()
+	handler(rec)
+	fl.code, fl.header, fl.body = rec.code, rec.header, rec.body.Bytes()
+	published = true
+	s.replay(w, fl)
+}
+
+// replay writes one captured response, counting mid-body write failures
+// like any other response write.
+func (s *Server) replay(w http.ResponseWriter, fl *reqFlight) {
+	h := w.Header()
+	for k, vs := range fl.header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	w.WriteHeader(fl.code)
+	if _, err := w.Write(fl.body); err != nil {
+		s.countWriteError(err)
+	}
+}
+
+// requestKey canonically digests everything that determines a response
+// byte-for-byte: the endpoint, the resolved model, endpoint options, and
+// the full tree content. It reuses the feature cache's length-prefixed
+// SHA-256 key construction, so no concatenation of parts can collide
+// with a different split of the same bytes. timeout_ms and trace are
+// deliberately excluded — timeout only bounds the wait (followers apply
+// their own), and traced requests never coalesce (a trace is a
+// per-execution account, meaningless when adopted).
+func requestKey(endpoint string, opts []string, t api.Tree) string {
+	parts := make([]string, 0, 2+len(opts)+2*len(t.Files))
+	parts = append(parts, endpoint)
+	parts = append(parts, opts...)
+	parts = append(parts, t.Name)
+	for _, f := range t.Files {
+		parts = append(parts, f.Path, f.Content)
+	}
+	return featcache.Key(reqCoalesceVersion, parts...)
+}
+
+// scoreKey / rankKey build the per-endpoint coalescing keys.
+func scoreKey(model string, t api.Tree) string {
+	return requestKey("score", []string{model}, t)
+}
+
+func rankKey(top int, t api.Tree) string {
+	return requestKey("rank", []string{strconv.Itoa(top)}, t)
+}

@@ -1,0 +1,268 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// waitCoalesced polls the request-coalescing counter until endpoint has
+// registered want followers (the follower increments it before parking on
+// the leader's flight, so this is a deterministic rendezvous).
+func waitCoalesced(t *testing.T, s *Server, endpoint string, want uint64) bool {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.tel.coalescedSnapshot()[endpoint] < want {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}
+
+// TestScoreCoalescingByteParity is the whole-request coalescing contract:
+// a burst of identical /v1/score requests runs the pipeline once, every
+// response is byte-identical, and those bytes equal what a solo daemon
+// answers for the same request.
+func TestScoreCoalescingByteParity(t *testing.T) {
+	mA, _ := getModels(t)
+	reg := NewRegistry("", nil)
+	reg.Register("default", mA)
+	s, ts := newTestServer(t, reg, Config{Workers: 4, QueueDepth: 8})
+
+	const n = 4
+	// The leader blocks after taking its slot until every follower has
+	// registered on its flight, so the burst provably overlaps.
+	s.testHookAcquired = func(endpoint string) {
+		if endpoint != "score" {
+			return
+		}
+		if !waitCoalesced(t, s, "score", n-1) {
+			t.Error("followers never registered on the leader's flight")
+		}
+	}
+
+	req := api.ScoreRequest{Tree: wireTree(400)}
+	bodies := make([]string, n)
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, data := postJSON(t, ts.URL+"/v1/score", req)
+			codes[i] = resp.StatusCode
+			bodies[i] = string(data)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d body %s", i, codes[i], bodies[i])
+		}
+		if bodies[i] != bodies[0] {
+			t.Errorf("request %d body differs from request 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	if got := s.tel.coalescedSnapshot()["score"]; got != n-1 {
+		t.Fatalf("coalesced[score] = %d, want %d", got, n-1)
+	}
+
+	// Solo-run parity: a fresh daemon with the same model answers the same
+	// bytes for the same request.
+	s.testHookAcquired = nil
+	regSolo := NewRegistry("", nil)
+	regSolo.Register("default", mA)
+	_, tsSolo := newTestServer(t, regSolo, Config{Workers: 4, QueueDepth: 8})
+	resp, solo := postJSON(t, tsSolo.URL+"/v1/score", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solo: status %d", resp.StatusCode)
+	}
+	if string(solo) != bodies[0] {
+		t.Errorf("coalesced response differs from a solo daemon's:\n%s\nvs\n%s", bodies[0], solo)
+	}
+
+	// The key is a dedup, not a cache: a sequential identical request runs
+	// itself (the diagnostics flip to cache hits, proving a fresh run).
+	resp, data := postJSON(t, ts.URL+"/v1/score", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(data), `"cache_hits":2`) {
+		t.Errorf("follow-up run should be a fresh execution over a warm cache, got %s", data)
+	}
+	if got := s.tel.coalescedSnapshot()["score"]; got != n-1 {
+		t.Errorf("sequential request coalesced (count %d, want %d)", got, n-1)
+	}
+
+	// The metric family carries both kinds.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", mresp.StatusCode)
+	}
+	want := fmt.Sprintf("secmetricd_coalesced_total{kind=\"request\",endpoint=\"score\"} %d", n-1)
+	if !strings.Contains(string(metricsBody), want) {
+		t.Errorf("metrics missing %q", want)
+	}
+	if !strings.Contains(string(metricsBody), `secmetricd_coalesced_total{kind="file"}`) {
+		t.Error("metrics missing the file-kind coalesced counter")
+	}
+}
+
+// TestRankCoalescing: /v1/rank bursts coalesce like score, keyed by tree
+// plus the top parameter.
+func TestRankCoalescing(t *testing.T) {
+	mA, _ := getModels(t)
+	reg := NewRegistry("", nil)
+	reg.Register("default", mA)
+	s, ts := newTestServer(t, reg, Config{Workers: 4, QueueDepth: 8})
+	s.testHookAcquired = func(endpoint string) {
+		if endpoint != "rank" {
+			return
+		}
+		if !waitCoalesced(t, s, "rank", 1) {
+			t.Error("follower never registered")
+		}
+	}
+
+	req := api.RankRequest{Tree: wireTree(401), Top: 3}
+	bodies := make([]string, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, data := postJSON(t, ts.URL+"/v1/rank", req)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+			}
+			bodies[i] = string(data)
+		}(i)
+	}
+	wg.Wait()
+	if bodies[0] != bodies[1] {
+		t.Errorf("coalesced rank bodies differ:\n%s\nvs\n%s", bodies[0], bodies[1])
+	}
+	if got := s.tel.coalescedSnapshot()["rank"]; got != 1 {
+		t.Errorf("coalesced[rank] = %d, want 1", got)
+	}
+}
+
+// TestTracedRequestsNeverCoalesce: trace=true is a per-execution account,
+// so two overlapping traced requests both run.
+func TestTracedRequestsNeverCoalesce(t *testing.T) {
+	mA, _ := getModels(t)
+	reg := NewRegistry("", nil)
+	reg.Register("default", mA)
+	s, ts := newTestServer(t, reg, Config{Workers: 4, QueueDepth: 8})
+
+	entered := make(chan string, 4)
+	release := make(chan struct{})
+	var once sync.Once
+	s.testHookAcquired = func(endpoint string) {
+		entered <- endpoint
+		once.Do(func() { <-release }) // hold only the first arrival open
+	}
+
+	req := api.ScoreRequest{Tree: wireTree(402), Trace: true}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := postJSON(t, ts.URL+"/v1/score", req)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	// Both requests must enter withSlot themselves; a coalesced follower
+	// never would.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-entered:
+		case <-time.After(10 * time.Second):
+			t.Fatal("second traced request never entered the pipeline (it coalesced)")
+		}
+	}
+	close(release)
+	wg.Wait()
+	if got := s.tel.coalescedSnapshot()["score"]; got != 0 {
+		t.Errorf("traced requests coalesced %d time(s)", got)
+	}
+}
+
+// TestRetryAfterDerivation pins the hint's bounds: always >= 1, never
+// above 30, and scaling with backlog times observed service time.
+func TestRetryAfterDerivation(t *testing.T) {
+	reg := NewRegistry("", nil)
+	s := New(reg, Config{Workers: 2})
+
+	if got := s.retryAfterSeconds(); got < 1 || got > 30 {
+		t.Fatalf("idle hint %d outside [1,30]", got)
+	}
+	// Backlog of 20 at ~2s each over 2 slots ≈ 20s estimate; jitter may
+	// push it up but never past the cap.
+	s.tel.observeService(2.0)
+	s.tel.queued.Store(20)
+	for i := 0; i < 50; i++ {
+		got := s.retryAfterSeconds()
+		if got < 20 || got > 30 {
+			t.Fatalf("loaded hint %d outside [20,30]", got)
+		}
+	}
+	// Saturated estimate clamps to 30 regardless of jitter.
+	s.tel.observeService(60)
+	s.tel.observeService(60)
+	s.tel.queued.Store(100)
+	for i := 0; i < 20; i++ {
+		if got := s.retryAfterSeconds(); got != 30 {
+			t.Fatalf("saturated hint %d, want 30", got)
+		}
+	}
+}
+
+// failingWriter is a ResponseWriter whose body writes always fail — the
+// deterministic stand-in for a client that hung up after the header.
+type failingWriter struct{ header http.Header }
+
+func (f *failingWriter) Header() http.Header       { return f.header }
+func (f *failingWriter) WriteHeader(int)           {}
+func (f *failingWriter) Write([]byte) (int, error) { return 0, errors.New("client went away") }
+
+// TestWriteJSONCountsFailedWrites: an encode that dies mid-body must move
+// secmetricd_response_write_errors_total instead of vanishing.
+func TestWriteJSONCountsFailedWrites(t *testing.T) {
+	reg := NewRegistry("", nil)
+	s := New(reg, Config{})
+	if got := s.tel.writeErrors.Load(); got != 0 {
+		t.Fatalf("fresh server has %d write errors", got)
+	}
+	s.writeJSON(&failingWriter{header: http.Header{}}, http.StatusOK, map[string]string{"k": "v"})
+	s.writeJSON(&failingWriter{header: http.Header{}}, http.StatusOK, map[string]string{"k": "v"})
+	if got := s.tel.writeErrors.Load(); got != 2 {
+		t.Fatalf("write errors = %d, want 2", got)
+	}
+	var sb strings.Builder
+	s.tel.write(&sb)
+	if !strings.Contains(sb.String(), "secmetricd_response_write_errors_total 2") {
+		t.Errorf("exposition missing the write-error count:\n%s", sb.String())
+	}
+}

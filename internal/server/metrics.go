@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -38,17 +39,71 @@ type telemetry struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
 	phases    map[string]*phaseStats
+	// coalesced counts whole requests answered from a concurrent leader's
+	// execution, per endpoint (the request-level half of coalesced_total).
+	coalesced map[string]uint64
 
 	inFlight  atomic.Int64
 	queued    atomic.Int64
 	queueFull atomic.Uint64
+	// writeErrors counts response bodies that failed mid-write (almost
+	// always a client that hung up after the header went out).
+	writeErrors atomic.Uint64
+	// serviceEWMA holds math.Float64bits of the exponentially weighted
+	// moving average of successful request service seconds; it feeds the
+	// Retry-After derivation. Zero means "no observation yet".
+	serviceEWMA atomic.Uint64
 }
 
 func newTelemetry() *telemetry {
 	return &telemetry{
 		endpoints: map[string]*endpointStats{},
 		phases:    map[string]*phaseStats{},
+		coalesced: map[string]uint64{},
 	}
+}
+
+// observeService folds one successful request's service time into the
+// EWMA behind Retry-After. The 0.8/0.2 split keeps the estimate stable
+// under jitter while still tracking a real shift within a few requests.
+func (t *telemetry) observeService(seconds float64) {
+	for {
+		old := t.serviceEWMA.Load()
+		cur := math.Float64frombits(old)
+		next := seconds
+		if old != 0 {
+			next = 0.8*cur + 0.2*seconds
+		}
+		if t.serviceEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// recentServiceSeconds reports the EWMA of successful service times, zero
+// before any request completed.
+func (t *telemetry) recentServiceSeconds() float64 {
+	return math.Float64frombits(t.serviceEWMA.Load())
+}
+
+// observeCoalesced counts one request answered by adoption.
+func (t *telemetry) observeCoalesced(endpoint string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.coalesced[endpoint]++
+}
+
+// coalescedSnapshot copies the per-endpoint request-coalescing counters
+// for the exposition (the server merges them with the file-level count
+// into one family).
+func (t *telemetry) coalescedSnapshot() map[string]uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]uint64, len(t.coalesced))
+	for k, v := range t.coalesced {
+		out[k] = v
+	}
+	return out
 }
 
 // observePhases folds one finished request's per-phase busy totals into the
@@ -161,4 +216,8 @@ func (t *telemetry) write(w io.Writer) {
 	fmt.Fprintln(w, "# HELP secmetricd_rejected_total Requests rejected at admission.")
 	fmt.Fprintln(w, "# TYPE secmetricd_rejected_total counter")
 	fmt.Fprintf(w, "secmetricd_rejected_total{reason=\"queue_full\"} %d\n", t.queueFull.Load())
+
+	fmt.Fprintln(w, "# HELP secmetricd_response_write_errors_total Response bodies that failed mid-write (client gone after the header was sent).")
+	fmt.Fprintln(w, "# TYPE secmetricd_response_write_errors_total counter")
+	fmt.Fprintf(w, "secmetricd_response_write_errors_total %d\n", t.writeErrors.Load())
 }

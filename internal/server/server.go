@@ -22,11 +22,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
+	"math"
+	"math/rand/v2"
 	"net/http"
 	"path"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -80,6 +85,10 @@ type Config struct {
 	// requests into and serves POST /v1/query from; nil disables both
 	// (queries answer 404 no_history). The server does not close it.
 	History *findex.Store
+	// StreamHeartbeat is the idle interval between keepalive records on
+	// the NDJSON streaming endpoints; <= 0 uses 10 seconds. Tests shrink
+	// it to observe heartbeats without a genuinely slow analysis.
+	StreamHeartbeat time.Duration
 }
 
 // Session-registry defaults applied when Config leaves them unset.
@@ -93,6 +102,10 @@ const (
 // tree, far below anything that could OOM the process.
 const DefaultMaxBodyBytes = 32 << 20
 
+// DefaultStreamHeartbeat is the keepalive interval of the streaming
+// endpoints when Config.StreamHeartbeat is unset.
+const DefaultStreamHeartbeat = 10 * time.Second
+
 // Server is the HTTP daemon. Construct with New, mount Handler.
 type Server struct {
 	cfg      Config
@@ -103,6 +116,16 @@ type Server struct {
 	slots    int
 	start    time.Time
 	sessions *sessionPool
+
+	// flight dedups identical in-flight per-file deep analyses across every
+	// concurrent request and delta session of this server.
+	flight *core.ExtractFlight
+	// coalesced dedups identical whole requests on /v1/score and /v1/rank.
+	coalesced *coalescer
+
+	// logWriteErrOnce gates the single log line behind the response-write
+	// error counter.
+	logWriteErrOnce sync.Once
 
 	// historyRuns / historyErrors count run recordings into cfg.History.
 	// Recording is best-effort: a failed append never fails the scoring
@@ -137,25 +160,34 @@ func New(reg *Registry, cfg Config) *Server {
 	if cfg.SessionTTL <= 0 {
 		cfg.SessionTTL = DefaultSessionTTL
 	}
+	if cfg.StreamHeartbeat <= 0 {
+		cfg.StreamHeartbeat = DefaultStreamHeartbeat
+	}
 	cache := cfg.Cache
 	if cache == nil {
 		cache = featcache.NewMemory()
 	}
+	flight := core.NewExtractFlight()
 	return &Server{
-		cfg:   cfg,
-		reg:   reg,
-		cache: cache,
-		tel:   newTelemetry(),
-		sem:   make(chan struct{}, cfg.Workers),
-		slots: cfg.Workers,
-		start: time.Now(),
+		cfg:       cfg,
+		reg:       reg,
+		cache:     cache,
+		tel:       newTelemetry(),
+		sem:       make(chan struct{}, cfg.Workers),
+		slots:     cfg.Workers,
+		start:     time.Now(),
+		flight:    flight,
+		coalesced: newCoalescer(),
 		// Delta sessions extract with the same pool width, per-file
-		// deadline, and shared cache as the batch endpoints, so the
-		// incremental and cold paths produce byte-identical vectors.
+		// deadline, shared cache, and shared flight as the batch endpoints,
+		// so the incremental and cold paths produce byte-identical vectors
+		// and a session apply racing a batch request over the same bytes
+		// runs the deep analysis once.
 		sessions: newSessionPool(cfg.MaxSessions, cfg.SessionTTL, core.ExtractConfig{
 			Jobs:        cfg.AnalyzeJobs,
 			Cache:       cache,
 			FileTimeout: cfg.FileTimeout,
+			Flight:      flight,
 		}),
 	}
 }
@@ -167,7 +199,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("POST /v1/score", s.instrument("score", s.handleScore))
 	mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	mux.HandleFunc("POST /v1/analyze/stream", s.instrument("analyze_stream", s.handleAnalyzeStream))
 	mux.HandleFunc("POST /v1/findings", s.instrument("findings", s.handleFindings))
+	mux.HandleFunc("POST /v1/findings/stream", s.instrument("findings_stream", s.handleFindingsStream))
 	mux.HandleFunc("POST /v1/compare", s.instrument("compare", s.handleCompare))
 	mux.HandleFunc("POST /v1/delta", s.instrument("delta", s.handleDelta))
 	mux.HandleFunc("POST /v1/rank", s.instrument("rank", s.handleRank))
@@ -187,6 +221,22 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so handlers behind instrument can
+// stream: embedding http.ResponseWriter alone would satisfy the interface
+// set of the embedded value minus anything the wrapper shadows, but
+// type-asserting the wrapper to http.Flusher must keep working — the
+// streaming endpoints depend on a mid-handler flush reaching the client
+// before the handler returns.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, the
+// forward-compatible way to reach optional interfaces through wrappers.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // instrument wraps a handler with latency and status accounting.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -197,15 +247,32 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	}
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes one JSON response body. A failed encode after the
+// header is out (almost always a client that hung up mid-body) cannot be
+// reported to that client, but it must not vanish either: the daemon
+// counts it (secmetricd_response_write_errors_total) and logs the first
+// occurrence, so a truncated-body epidemic is visible operationally
+// instead of leaving both sides with no record.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.countWriteError(err)
+	}
 }
 
-func writeErr(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, api.Error{Code: code, Error: msg})
+func (s *Server) writeErr(w http.ResponseWriter, status int, code, msg string) {
+	s.writeJSON(w, status, api.Error{Code: code, Error: msg})
+}
+
+// countWriteError accounts one failed response write. Logging is
+// once-per-process: the counter carries the rate, the single log line
+// carries a concrete example without flooding under a disconnect storm.
+func (s *Server) countWriteError(err error) {
+	s.tel.writeErrors.Add(1)
+	s.logWriteErrOnce.Do(func() {
+		log.Printf("response write failed (now counted in secmetricd_response_write_errors_total): %v", err)
+	})
 }
 
 // requestTimeout resolves the effective deadline: the server maximum,
@@ -235,8 +302,8 @@ func (s *Server) withSlot(w http.ResponseWriter, r *http.Request, endpoint strin
 	defer s.tel.queued.Add(-1)
 	if int(q) > s.slots+s.cfg.QueueDepth {
 		s.tel.queueFull.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusTooManyRequests, api.CodeQueueFull,
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		s.writeErr(w, http.StatusTooManyRequests, api.CodeQueueFull,
 			fmt.Sprintf("queue full: %d running, %d waiting", s.slots, s.cfg.QueueDepth))
 		return
 	}
@@ -254,7 +321,7 @@ func (s *Server) withSlot(w http.ResponseWriter, r *http.Request, endpoint strin
 		ws.End()
 	case <-ctx.Done():
 		ws.End()
-		writeErr(w, http.StatusGatewayTimeout, api.CodeDeadline,
+		s.writeErr(w, http.StatusGatewayTimeout, api.CodeDeadline,
 			"deadline exceeded while waiting for a worker slot")
 		return
 	}
@@ -267,25 +334,64 @@ func (s *Server) withSlot(w http.ResponseWriter, r *http.Request, endpoint strin
 		s.testHookAcquired(endpoint)
 	}
 	if ctx.Err() != nil {
-		writeErr(w, http.StatusGatewayTimeout, api.CodeDeadline, "deadline exceeded before analysis started")
+		s.writeErr(w, http.StatusGatewayTimeout, api.CodeDeadline, "deadline exceeded before analysis started")
 		return
 	}
+	t0 := time.Now()
 	if err := fn(trace.ContextWithSpan(ctx, tr.Root())); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			writeErr(w, http.StatusGatewayTimeout, api.CodeDeadline, err.Error())
+			s.writeErr(w, http.StatusGatewayTimeout, api.CodeDeadline, err.Error())
 			return
 		}
-		writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+		s.writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+		return
 	}
+	// Successful service times feed the EWMA behind Retry-After: the hint
+	// tracks how long real work has been taking lately, not the config.
+	s.tel.observeService(time.Since(t0).Seconds())
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from live load: the
+// time the backlog ahead of a retry needs to drain at the recently
+// observed per-request service time across the worker pool, bounded to
+// [1, 30] seconds and jittered upward by up to ~25% so a burst rejected
+// together does not retry together (the router multiplies 429 fan-out,
+// and a synchronized herd would re-trip the queue it is waiting on).
+func (s *Server) retryAfterSeconds() int {
+	backlog := float64(s.tel.queued.Load())
+	if backlog < 0 {
+		backlog = 0
+	}
+	est := backlog * s.tel.recentServiceSeconds() / float64(s.slots)
+	secs := int(math.Ceil(est))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	secs += rand.IntN(max(1, secs/4) + 1)
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // analyze runs the full extraction pipeline for one request against the
-// shared feature cache.
+// shared feature cache and in-flight dedup table.
 func (s *Server) analyze(ctx context.Context, tree *metrics.Tree) (secmetric.FeatureVector, *secmetric.AnalysisDiagnostics, error) {
+	return s.analyzeWith(ctx, tree, nil)
+}
+
+// analyzeWith is analyze plus a per-file completion callback (the
+// streaming endpoints' record source; nil for the batch endpoints).
+func (s *Server) analyzeWith(ctx context.Context, tree *metrics.Tree, fileDone func(i int, d core.FileDiagnostic)) (secmetric.FeatureVector, *secmetric.AnalysisDiagnostics, error) {
 	return core.ExtractFeaturesDiagnostics(ctx, tree, core.ExtractConfig{
 		Jobs:        s.cfg.AnalyzeJobs,
 		Cache:       s.cache,
 		FileTimeout: s.cfg.FileTimeout,
+		Flight:      s.flight,
+		FileDone:    fileDone,
 	})
 }
 
@@ -336,11 +442,11 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := dec.Decode(v); err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			writeErr(w, http.StatusRequestEntityTooLarge, api.CodeBodyTooLarge,
+			s.writeErr(w, http.StatusRequestEntityTooLarge, api.CodeBodyTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
 			return false
 		}
-		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "decode request: "+err.Error())
+		s.writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "decode request: "+err.Error())
 		return false
 	}
 	return true
@@ -377,11 +483,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Parse before admission: a syntax error should cost no worker slot.
 	q, err := query.Parse(req.Query)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		s.writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
 	if s.cfg.History == nil {
-		writeErr(w, http.StatusNotFound, api.CodeNoHistory,
+		s.writeErr(w, http.StatusNotFound, api.CodeNoHistory,
 			"this daemon records no history; start it with -db to enable /v1/query")
 		return
 	}
@@ -393,7 +499,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		writeJSON(w, http.StatusOK, api.QueryResponse{
+		s.writeJSON(w, http.StatusOK, api.QueryResponse{
 			Runs: runs,
 			Explain: api.QueryExplain{
 				Index:      ex.Index,
@@ -413,33 +519,44 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	}
 	tree, err := toTree(req.Tree)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		s.writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
 	model, name, ok := s.reg.Snapshot().Get(req.Model)
 	if !ok {
-		writeErr(w, http.StatusNotFound, api.CodeUnknownModel, fmt.Sprintf("unknown model %q", req.Model))
+		s.writeErr(w, http.StatusNotFound, api.CodeUnknownModel, fmt.Sprintf("unknown model %q", req.Model))
 		return
 	}
-	s.withSlot(w, r, "score", req.TimeoutMS, func(ctx context.Context) error {
-		fv, diag, err := s.analyze(ctx, tree)
-		if err != nil {
-			return err
-		}
-		sc := trace.SpanFromContext(ctx).Child("score")
-		rep := model.Score(req.Tree.Name, fv)
-		sc.End()
-		s.record(ctx, "score", tree, rep.RiskScore, true)
-		if req.Trace && diag != nil {
-			diag.Trace = trace.Summarize(trace.SpanFromContext(ctx))
-		}
-		writeJSON(w, http.StatusOK, api.ScoreResponse{
-			Model:       name,
-			Report:      rep,
-			Diagnostics: diag,
+	run := func(w http.ResponseWriter) {
+		s.withSlot(w, r, "score", req.TimeoutMS, func(ctx context.Context) error {
+			fv, diag, err := s.analyze(ctx, tree)
+			if err != nil {
+				return err
+			}
+			sc := trace.SpanFromContext(ctx).Child("score")
+			rep := model.Score(req.Tree.Name, fv)
+			sc.End()
+			s.record(ctx, "score", tree, rep.RiskScore, true)
+			if req.Trace && diag != nil {
+				diag.Trace = trace.Summarize(trace.SpanFromContext(ctx))
+			}
+			s.writeJSON(w, http.StatusOK, api.ScoreResponse{
+				Model:       name,
+				Report:      rep,
+				Diagnostics: diag,
+			})
+			return nil
 		})
-		return nil
-	})
+	}
+	if req.Trace {
+		// A trace is this execution's account; adopting another request's
+		// would be a lie, so traced requests always run themselves.
+		run(w)
+		return
+	}
+	// The key carries the resolved model name, so "model":"" and an explicit
+	// request for the default coalesce together.
+	s.coalesce(w, r, "score", scoreKey(name, req.Tree), req.TimeoutMS, run)
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -449,7 +566,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	tree, err := toTree(req.Tree)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		s.writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
 	s.withSlot(w, r, "analyze", req.TimeoutMS, func(ctx context.Context) error {
@@ -460,7 +577,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		if req.Trace && diag != nil {
 			diag.Trace = trace.Summarize(trace.SpanFromContext(ctx))
 		}
-		writeJSON(w, http.StatusOK, api.AnalyzeResponse{Features: fv, Diagnostics: diag})
+		s.writeJSON(w, http.StatusOK, api.AnalyzeResponse{Features: fv, Diagnostics: diag})
 		return nil
 	})
 }
@@ -472,12 +589,12 @@ func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
 	}
 	tree, err := toTree(req.Tree)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		s.writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
 	sev, err := findings.ParseSeverity(req.MinSeverity)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		s.writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
 	s.withSlot(w, r, "findings", req.TimeoutMS, func(ctx context.Context) error {
@@ -487,7 +604,7 @@ func (s *Server) handleFindings(w http.ResponseWriter, r *http.Request) {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		writeJSON(w, http.StatusOK, api.FindingsResponse{Report: rep})
+		s.writeJSON(w, http.StatusOK, api.FindingsResponse{Report: rep})
 		return nil
 	})
 }
@@ -498,26 +615,29 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Top < 0 {
-		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "top must be >= 0")
+		s.writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "top must be >= 0")
 		return
 	}
 	tree, err := toTree(req.Tree)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		s.writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
-	s.withSlot(w, r, "rank", req.TimeoutMS, func(ctx context.Context) error {
-		ranking, err := secmetric.RankTree(ctx, tree, secmetric.RankConfig{
-			Jobs: s.cfg.AnalyzeJobs,
-			Top:  req.Top,
+	run := func(w http.ResponseWriter) {
+		s.withSlot(w, r, "rank", req.TimeoutMS, func(ctx context.Context) error {
+			ranking, err := secmetric.RankTree(ctx, tree, secmetric.RankConfig{
+				Jobs: s.cfg.AnalyzeJobs,
+				Top:  req.Top,
+			})
+			if err != nil {
+				return err
+			}
+			s.record(ctx, "rank", tree, 0, false)
+			s.writeJSON(w, http.StatusOK, api.RankResponse{Ranking: ranking})
+			return nil
 		})
-		if err != nil {
-			return err
-		}
-		s.record(ctx, "rank", tree, 0, false)
-		writeJSON(w, http.StatusOK, api.RankResponse{Ranking: ranking})
-		return nil
-	})
+	}
+	s.coalesce(w, r, "rank", rankKey(req.Top, req.Tree), req.TimeoutMS, run)
 }
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
@@ -527,17 +647,17 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	oldTree, err := toTree(req.Old)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "old: "+err.Error())
+		s.writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "old: "+err.Error())
 		return
 	}
 	newTree, err := toTree(req.New)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "new: "+err.Error())
+		s.writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "new: "+err.Error())
 		return
 	}
 	model, name, ok := s.reg.Snapshot().Get(req.Model)
 	if !ok {
-		writeErr(w, http.StatusNotFound, api.CodeUnknownModel, fmt.Sprintf("unknown model %q", req.Model))
+		s.writeErr(w, http.StatusNotFound, api.CodeUnknownModel, fmt.Sprintf("unknown model %q", req.Model))
 		return
 	}
 	s.withSlot(w, r, "compare", req.TimeoutMS, func(ctx context.Context) error {
@@ -561,7 +681,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			// rides on the new version's diagnostics.
 			newDiag.Trace = trace.Summarize(trace.SpanFromContext(ctx))
 		}
-		writeJSON(w, http.StatusOK, api.CompareResponse{
+		s.writeJSON(w, http.StatusOK, api.CompareResponse{
 			Model:          name,
 			Comparison:     cmp,
 			OldDiagnostics: oldDiag,
@@ -628,17 +748,17 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.RepoID == "" {
-		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "repo_id is required")
+		s.writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "repo_id is required")
 		return
 	}
 	cs, err := toChangeset(req.Changeset)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		s.writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
 	model, name, ok := s.reg.Snapshot().Get(req.Model)
 	if !ok {
-		writeErr(w, http.StatusNotFound, api.CodeUnknownModel, fmt.Sprintf("unknown model %q", req.Model))
+		s.writeErr(w, http.StatusNotFound, api.CodeUnknownModel, fmt.Sprintf("unknown model %q", req.Model))
 		return
 	}
 	s.withSlot(w, r, "delta", req.TimeoutMS, func(ctx context.Context) error {
@@ -650,12 +770,12 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 				return err // withSlot turns these into 504
 			case errors.Is(err, core.ErrStaleSession):
-				writeErr(w, http.StatusConflict, api.CodeStaleSession, err.Error())
+				s.writeErr(w, http.StatusConflict, api.CodeStaleSession, err.Error())
 				return nil
 			default:
 				// Validation problems (empty changeset, duplicate paths,
 				// would-empty) left the session untouched.
-				writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+				s.writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 				return nil
 			}
 		}
@@ -670,7 +790,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		if req.Trace && res.Diagnostics != nil {
 			res.Diagnostics.Trace = trace.Summarize(trace.SpanFromContext(ctx))
 		}
-		writeJSON(w, http.StatusOK, api.DeltaResponse{
+		s.writeJSON(w, http.StatusOK, api.DeltaResponse{
 			Model:       name,
 			RepoID:      req.RepoID,
 			Seq:         res.Seq,
@@ -689,15 +809,15 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// The previous snapshot keeps serving; the caller learns exactly
 		// which model file was refused and why.
-		writeErr(w, http.StatusInternalServerError, api.CodeReloadFailed, err.Error())
+		s.writeErr(w, http.StatusInternalServerError, api.CodeReloadFailed, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, api.ReloadResponse{Models: snap.Names(), DefaultModel: snap.Default})
+	s.writeJSON(w, http.StatusOK, api.ReloadResponse{Models: snap.Names(), DefaultModel: snap.Default})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	snap := s.reg.Snapshot()
-	writeJSON(w, http.StatusOK, api.Health{
+	s.writeJSON(w, http.StatusOK, api.Health{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Models:        snap.Names(),
@@ -721,6 +841,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP secmetricd_featcache_corrupt_total Disk cache entries that failed validation on read (counted, then treated as misses).")
 	fmt.Fprintln(w, "# TYPE secmetricd_featcache_corrupt_total counter")
 	fmt.Fprintf(w, "secmetricd_featcache_corrupt_total %d\n", s.cache.CorruptReads())
+	fmt.Fprintln(w, "# HELP secmetricd_coalesced_total Work answered by adopting a concurrent identical execution: kind=\"file\" is per-file deep analyses, kind=\"request\" is whole /v1/score and /v1/rank requests.")
+	fmt.Fprintln(w, "# TYPE secmetricd_coalesced_total counter")
+	fmt.Fprintf(w, "secmetricd_coalesced_total{kind=\"file\"} %d\n", s.flight.Coalesced())
+	creq := s.tel.coalescedSnapshot()
+	eps := make([]string, 0, len(creq))
+	for ep := range creq {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		fmt.Fprintf(w, "secmetricd_coalesced_total{kind=\"request\",endpoint=%q} %d\n", ep, creq[ep])
+	}
 	fmt.Fprintln(w, "# HELP secmetricd_models_loaded Models in the current registry snapshot.")
 	fmt.Fprintln(w, "# TYPE secmetricd_models_loaded gauge")
 	fmt.Fprintf(w, "secmetricd_models_loaded %d\n", len(s.reg.Snapshot().Models))

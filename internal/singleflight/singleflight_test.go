@@ -1,0 +1,149 @@
+package singleflight
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestExactlyOneExecution is the coalescing contract: N concurrent callers
+// of one key produce exactly one execution, every caller sees the same
+// value, and exactly one caller reports shared=false.
+func TestExactlyOneExecution(t *testing.T) {
+	var g Group[int]
+	const n = 32
+	var execs atomic.Int64
+	gate := make(chan struct{})
+
+	vals := make([]int, n)
+	shareds := make([]bool, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, shared, err := g.Do(context.Background(), "k", func() int {
+				execs.Add(1)
+				<-gate // hold the execution open until every caller has arrived
+				return 42
+			})
+			if err != nil {
+				t.Errorf("caller %d: unexpected error: %v", i, err)
+			}
+			vals[i], shareds[i] = v, shared
+		}(i)
+	}
+	// Wait until all stragglers are either the leader or parked on done.
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Shared() < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d callers coalesced", g.Shared(), n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("fn executed %d times, want exactly 1", got)
+	}
+	leaders := 0
+	for i := 0; i < n; i++ {
+		if vals[i] != 42 {
+			t.Errorf("caller %d got %d, want 42", i, vals[i])
+		}
+		if !shareds[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d callers report shared=false, want exactly 1", leaders)
+	}
+	if g.Leads() != 1 || g.Shared() != n-1 {
+		t.Errorf("counters: leads=%d shared=%d, want 1 and %d", g.Leads(), g.Shared(), n-1)
+	}
+}
+
+// TestKeyForgottenAfterCompletion: Do is a dedup, not a cache — a caller
+// arriving after the leader finished runs its own execution.
+func TestKeyForgottenAfterCompletion(t *testing.T) {
+	var g Group[int]
+	var execs atomic.Int64
+	for i := 0; i < 3; i++ {
+		v, shared, err := g.Do(context.Background(), "k", func() int {
+			return int(execs.Add(1))
+		})
+		if err != nil || shared {
+			t.Fatalf("sequential call %d: v=%d shared=%v err=%v", i, v, shared, err)
+		}
+		if v != i+1 {
+			t.Fatalf("sequential call %d got stale value %d", i, v)
+		}
+	}
+	if execs.Load() != 3 {
+		t.Fatalf("sequential calls executed %d times, want 3", execs.Load())
+	}
+}
+
+// TestDistinctKeysDoNotCoalesce.
+func TestDistinctKeysDoNotCoalesce(t *testing.T) {
+	var g Group[string]
+	var wg sync.WaitGroup
+	for _, k := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			v, shared, err := g.Do(context.Background(), k, func() string { return k })
+			if err != nil || shared || v != k {
+				t.Errorf("key %s: v=%q shared=%v err=%v", k, v, shared, err)
+			}
+		}(k)
+	}
+	wg.Wait()
+	if g.Leads() != 3 || g.Shared() != 0 {
+		t.Errorf("leads=%d shared=%d, want 3 and 0", g.Leads(), g.Shared())
+	}
+}
+
+// TestFollowerContextExpiry: an impatient follower gets its context error;
+// the leader and a patient follower are unaffected.
+func TestFollowerContextExpiry(t *testing.T) {
+	var g Group[int]
+	gate := make(chan struct{})
+	leaderDone := make(chan int)
+	go func() {
+		v, _, _ := g.Do(context.Background(), "k", func() int {
+			<-gate
+			return 7
+		})
+		leaderDone <- v
+	}()
+	// Wait for the leader to register.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		_, inFlight := g.calls["k"]
+		g.mu.Unlock()
+		if inFlight {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leader never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, shared, err := g.Do(ctx, "k", func() int { t.Error("follower must not execute fn"); return 0 })
+	if !shared || err == nil {
+		t.Fatalf("expired follower: shared=%v err=%v, want shared=true with a context error", shared, err)
+	}
+
+	close(gate)
+	if v := <-leaderDone; v != 7 {
+		t.Fatalf("leader got %d, want 7", v)
+	}
+}

@@ -206,6 +206,68 @@ type QueryResponse struct {
 	Explain QueryExplain           `json:"explain"`
 }
 
+// StreamRecord is one NDJSON line of the streaming endpoints
+// (POST /v1/analyze/stream, POST /v1/findings/stream). A stream is a
+// sequence of "file" records — one per tree file, emitted the moment that
+// file's analysis finishes, so arrival order is scheduling order — then
+// exactly one "summary" record carrying the same body the batch endpoint
+// would have returned for the whole tree. "heartbeat" records may appear
+// anywhere and carry nothing; clients skip them. A failure after the first
+// byte is on the wire cannot change the status line anymore, so it arrives
+// as a trailing "error" record instead of a summary.
+type StreamRecord struct {
+	// Type is "file", "summary", "heartbeat", or "error".
+	Type string `json:"type"`
+	// File is set on "file" records.
+	File *StreamFile `json:"file,omitempty"`
+	// Analyze is the summary body of an analyze stream.
+	Analyze *AnalyzeResponse `json:"analyze,omitempty"`
+	// Findings is the summary body of a findings stream.
+	Findings *FindingsResponse `json:"findings,omitempty"`
+	// Err is set on "error" records.
+	Err *Error `json:"error,omitempty"`
+}
+
+// StreamFile is one file's completion record. On a findings stream it also
+// carries that file's (already filtered, already sorted) findings; the
+// concatenation of every record's findings in tree (path-sorted) order is
+// exactly the batch report.
+type StreamFile struct {
+	Path   string `json:"path"`
+	Status string `json:"status"`
+	Detail string `json:"detail,omitempty"`
+	// Findings is present only on findings streams (and omitted when the
+	// file contributed none).
+	Findings []secmetric.Finding `json:"findings,omitempty"`
+}
+
+// Stream record types.
+const (
+	StreamTypeFile      = "file"
+	StreamTypeSummary   = "summary"
+	StreamTypeHeartbeat = "heartbeat"
+	StreamTypeError     = "error"
+)
+
+// RouterBackend is one backend's view in the router's health report.
+type RouterBackend struct {
+	// Addr is the backend's base URL as configured.
+	Addr string `json:"addr"`
+	// Healthy reports whether the ring currently routes to this backend.
+	Healthy bool `json:"healthy"`
+	// Requests / Errors count proxied requests and transport-level
+	// failures (a backend answering 4xx/5xx is a served request, not an
+	// error; errors are dials that failed or bodies that died mid-copy).
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+}
+
+// RouterHealth is the shard router's GET /healthz body.
+type RouterHealth struct {
+	Status   string          `json:"status"`
+	Backends []RouterBackend `json:"backends"`
+}
+
 // Health is GET /healthz's body.
 type Health struct {
 	Status        string   `json:"status"`
@@ -243,4 +305,7 @@ const (
 	CodeNoHistory    = "no_history"
 	CodeReloadFailed = "reload_failed"
 	CodeInternal     = "internal"
+	// CodeNoBackend is the shard router's 503: the key's ring walk found
+	// no healthy backend to serve the request.
+	CodeNoBackend = "no_backend"
 )

@@ -80,6 +80,10 @@ type APIError struct {
 	StatusCode int
 	Code       string
 	Message    string
+	// RetryAfter is the server's Retry-After hint in seconds (zero when the
+	// response carried none). On 429 the daemon derives it from live queue
+	// depth and recent service latency; Retry and RetryDo honor it.
+	RetryAfter int
 }
 
 func (e *APIError) Error() string {
@@ -260,7 +264,12 @@ func (c *Client) do(req *http.Request, out any) error {
 		if err := json.NewDecoder(resp.Body).Decode(&we); err != nil || we.Error == "" {
 			we = api.Error{Code: api.CodeInternal, Error: fmt.Sprintf("http %d", resp.StatusCode)}
 		}
-		return &APIError{StatusCode: resp.StatusCode, Code: we.Code, Message: we.Error}
+		return &APIError{
+			StatusCode: resp.StatusCode,
+			Code:       we.Code,
+			Message:    we.Error,
+			RetryAfter: retryAfterSeconds(resp),
+		}
 	}
 	if out == nil {
 		return nil

@@ -1,0 +1,58 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// RetryConfig tunes Retry. The zero value means up to 3 attempts with
+// pauses capped at 30 seconds.
+type RetryConfig struct {
+	// Attempts is the total number of tries (the first call included);
+	// <= 0 means 3.
+	Attempts int
+	// MaxWait caps one pause regardless of the server's hint; <= 0 means
+	// 30 seconds.
+	MaxWait time.Duration
+}
+
+// Retry runs fn, retrying only the daemon's 429 backpressure signal
+// (IsQueueFull) and pausing for the server's Retry-After hint between
+// tries — the daemon derives that hint from its live queue depth, so
+// honoring it is what keeps a rejected burst from re-forming. Every other
+// error (and success) returns immediately: a 504 ate its time budget, a
+// 4xx will not improve, and retrying non-idempotent failures is the
+// caller's call, not this helper's.
+func Retry[T any](ctx context.Context, cfg RetryConfig, fn func(ctx context.Context) (T, error)) (T, error) {
+	attempts := cfg.Attempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	maxWait := cfg.MaxWait
+	if maxWait <= 0 {
+		maxWait = 30 * time.Second
+	}
+	var zero T
+	for attempt := 1; ; attempt++ {
+		out, err := fn(ctx)
+		if err == nil || !IsQueueFull(err) || attempt >= attempts {
+			return out, err
+		}
+		wait := time.Second
+		var ae *APIError
+		if errors.As(err, &ae) && ae.RetryAfter > 0 {
+			wait = time.Duration(ae.RetryAfter) * time.Second
+		}
+		if wait > maxWait {
+			wait = maxWait
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return zero, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// newBackoffServer answers 429 (with the given Retry-After) until the
+// fail count is spent, then 200.
+func newBackoffServer(t *testing.T, fails int, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n <= int64(fails) {
+			w.Header().Set("Retry-After", retryAfter)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.Error{Code: api.CodeQueueFull, Error: "queue full"})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(api.Health{Status: "ok"})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+// TestRetryHonorsRetryAfter: 429s are retried, the server's hint is
+// parsed into APIError.RetryAfter, and the pause respects it (capped by
+// MaxWait so the test stays fast).
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	ts, calls := newBackoffServer(t, 2, "1")
+	c := New(ts.URL)
+
+	// A bare call surfaces the parsed hint.
+	_, err := c.Health(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || !IsQueueFull(err) {
+		t.Fatalf("err = %v, want queue-full APIError", err)
+	}
+	if ae.RetryAfter != 1 {
+		t.Fatalf("RetryAfter = %d, want 1", ae.RetryAfter)
+	}
+
+	// Retry eats the remaining 429 and succeeds on the third server call.
+	h, err := Retry(context.Background(), RetryConfig{Attempts: 3, MaxWait: 10 * time.Millisecond},
+		func(ctx context.Context) (*api.Health, error) { return c.Health(ctx) })
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status %q", h.Status)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+// TestRetryGivesUpAfterAttempts: a daemon that never admits returns the
+// last 429 rather than spinning.
+func TestRetryGivesUpAfterAttempts(t *testing.T) {
+	ts, calls := newBackoffServer(t, 1000, "1")
+	c := New(ts.URL)
+	_, err := Retry(context.Background(), RetryConfig{Attempts: 2, MaxWait: time.Millisecond},
+		func(ctx context.Context) (*api.Health, error) { return c.Health(ctx) })
+	if !IsQueueFull(err) {
+		t.Fatalf("err = %v, want queue-full", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+}
+
+// TestRetryDoesNotRetryOtherErrors: only the admission 429 is safe to
+// blindly retry; everything else returns immediately.
+func TestRetryDoesNotRetryOtherErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGatewayTimeout)
+		json.NewEncoder(w).Encode(api.Error{Code: api.CodeDeadline, Error: "deadline exceeded"})
+	}))
+	t.Cleanup(ts.Close)
+	c := New(ts.URL)
+	_, err := Retry(context.Background(), RetryConfig{Attempts: 5, MaxWait: time.Millisecond},
+		func(ctx context.Context) (*api.Health, error) { return c.Health(ctx) })
+	if !IsDeadline(err) {
+		t.Fatalf("err = %v, want deadline", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retry on 504)", got)
+	}
+}

@@ -7,8 +7,12 @@
 # the containment layer most needs to hold against. Ends with a live
 # secmetricd smoke: concurrent daemon scores must be byte-identical to a
 # CLI run, incremental /v1/delta results must be byte-identical to the
-# cold endpoints, deadlines must 504 without killing the process, a tight
-# queue must shed load with 429s, and SIGTERM must drain cleanly.
+# cold endpoints, the NDJSON streaming endpoints must end with the batch
+# bytes, deadlines must 504 without killing the process, a tight queue
+# must shed load with 429s, SIGTERM must drain cleanly — and a 3-backend
+# fleet behind the consistent-hash shard router must answer the same
+# bytes as a solo daemon, coalesce identical bursts, and keep serving
+# through a SIGKILLed backend and its recovery.
 set -eu
 
 cd "$(dirname "$0")"
@@ -50,10 +54,10 @@ esac
 # Bench smoke: the quick-budget workloads must stay within 25% ns/op of
 # the committed post-optimization baseline, so hot-path regressions fail
 # verification instead of landing silently.
-echo "== bench smoke (secmetric bench -quick vs BENCH_pr9.json) =="
+echo "== bench smoke (secmetric bench -quick vs BENCH_pr10.json) =="
 benchtmp=$(mktemp -d)
 go run ./cmd/secmetric bench -quick -rev verify -out "$benchtmp/bench.json" \
-	-against BENCH_pr9.json -max-regress 0.25
+	-against BENCH_pr10.json -max-regress 0.25
 rm -rf "$benchtmp"
 
 # Store smoke: the embedded engine must survive an injected mid-commit
@@ -143,6 +147,11 @@ wait_addr
 # across repeats and byte-identical to the CLI's -json ranking.
 "$smoketmp/daemonsmoke" -addr "$(cat "$smoketmp/addr")" \
 	-dir examples/vulnapp -mode rank -cli "$smoketmp/cli-rank.json"
+# Streaming smoke against the same daemon: the NDJSON endpoints must fire
+# one per-file record per tree file and end with a summary byte-identical
+# to the batch response.
+"$smoketmp/daemonsmoke" -addr "$(cat "$smoketmp/addr")" \
+	-dir examples/vulnapp -mode stream
 kill -TERM "$daemon_pid"
 if ! wait "$daemon_pid"; then
 	echo "daemon smoke: SIGTERM drain exited nonzero" >&2
@@ -173,5 +182,14 @@ if ! wait "$daemon_pid"; then
 	exit 1
 fi
 daemon_pid=""
+
+# Phase 3: the fleet smoke boots a solo daemon, three shard backends, and
+# the consistent-hash router itself, then holds the fleet to the solo
+# daemon's bytes for score/rank/delta/query, proves a burst of identical
+# requests coalesces on the home shard, SIGKILLs one backend mid-burst,
+# and requires service through the outage and after the restart.
+echo "== fleet smoke (shard router) =="
+"$smoketmp/daemonsmoke" -mode fleet -daemon "$smoketmp/secmetricd" \
+	-model "$smoketmp/model.json" -dir examples/vulnapp
 
 echo "verify: OK"
